@@ -1,0 +1,31 @@
+# Convenience targets for the repro library.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples experiments clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every table/figure with printed rows + saved artifacts.
+experiments:
+	$(PYTHON) -m repro experiments --out experiments_out
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/otsu_casestudy.py
+	$(PYTHON) examples/image_pipeline.py
+	$(PYTHON) examples/voice_trigger.py
+	$(PYTHON) examples/edge_detect_2d.py
+	$(PYTHON) examples/textual_dsl.py
+	$(PYTHON) examples/dse_explore.py
+
+clean:
+	rm -rf experiments_out examples/out benchmarks/out .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,64 @@
+"""Ablation: DMA count vs shared HP-port bandwidth.
+
+Complements the SDSoC comparison (bench_sdsoc.py): extra per-parameter
+DMA engines cannot buy throughput, because every PL master funnels into
+the same S_AXI_HP0 port.  Sweeps 1/2/4 concurrent loopback DMAs over one
+shared port and shows aggregate throughput saturating at the port
+bandwidth while per-transfer latency grows.
+"""
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.sim import Environment, Memory, StreamChannel
+from repro.sim.dma_engine import DmaEngine, HpPort
+from repro.util.text import format_table
+
+WORDS = 512
+
+
+def _run(n_dmas: int, words_per_cycle: int = 2) -> tuple[int, float]:
+    env = Environment()
+    mem = Memory()
+    port = HpPort(env, words_per_cycle=words_per_cycle)
+    sinks = []
+    for i in range(n_dmas):
+        src = mem.allocate(f"src{i}", np.arange(WORDS, dtype=np.int32) + i)
+        dst = mem.allocate(f"dst{i}", np.zeros(WORDS, dtype=np.int32))
+        ch = StreamChannel(env, f"ch{i}", capacity=16)
+        dma = DmaEngine(env, f"dma{i}", mem, mm2s=ch, s2mm=ch, hp_port=port)
+        dma.mm2s_transfer(src.base, src.nbytes)
+        dma.s2mm_transfer(dst.base, dst.nbytes)
+        sinks.append((src, dst))
+    cycles = env.run()
+    for src, dst in sinks:
+        assert np.array_equal(dst.data, src.data)
+    total_words = 2 * n_dmas * WORDS  # each word crosses the port twice
+    return cycles, total_words / cycles
+
+
+def _sweep():
+    return {n: _run(n) for n in (1, 2, 4)}
+
+
+def test_hp_port_saturation(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = [
+        (n, WORDS * n, cycles, f"{throughput:.2f}")
+        for n, (cycles, throughput) in sorted(results.items())
+    ]
+    text = format_table(
+        ["DMA engines", "words moved", "cycles", "words/cycle through HP0"],
+        rows,
+        title="HP-port saturation — more DMAs buy no bandwidth:",
+    )
+    print("\n" + text)
+    save_artifact("ablation_hp.txt", text)
+
+    throughputs = [results[n][1] for n in (1, 2, 4)]
+    # Aggregate throughput is capped by the port: going 1 -> 4 engines
+    # gains far less than 4x (and is already ~flat from 2 engines up).
+    assert throughputs[2] < throughputs[0] * 2.0
+    assert abs(throughputs[2] - throughputs[1]) / throughputs[1] < 0.25
+    # Per-transfer completion time degrades with contention.
+    assert results[4][0] > results[1][0] * 1.5

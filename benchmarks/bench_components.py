@@ -1,0 +1,75 @@
+"""Library micro-benchmarks: throughput of the main subsystems.
+
+Not a paper artifact — these track the repro library's own performance:
+HLS synthesis speed, DSL parse speed, simulator event rate, and tcl
+round-trip cost.
+"""
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.apps.otsu.csrc import half_probability_src
+from repro.dsl import emit_dsl, parse_dsl
+from repro.hls import InterfaceMode, interface, synthesize_function
+from repro.sim.axi import StreamChannel
+from repro.sim.kernel import Environment
+
+
+def test_hls_synthesis_speed(benchmark):
+    """csynth of the float Otsu core (the heaviest case-study kernel)."""
+    src = half_probability_src(4096)
+    dirs = [
+        interface("halfProbability", "histogram", InterfaceMode.AXIS),
+        interface("halfProbability", "probability", InterfaceMode.AXIS),
+    ]
+    result = benchmark(synthesize_function, src, "halfProbability", dirs)
+    assert result.resources.dsp == 2
+
+
+def test_dsl_parse_speed(benchmark):
+    from repro.apps.generator import random_task_graph
+
+    graph, _ = random_task_graph(lite_nodes=10, stream_chains=4, chain_length=6, seed=3)
+    text = emit_dsl(graph)
+    parsed = benchmark(parse_dsl, text)
+    assert parsed == graph
+
+
+def test_simulator_event_rate(benchmark):
+    """Token throughput of a producer->FIFO->consumer pair."""
+
+    def run():
+        env = Environment()
+        ch = StreamChannel(env, "bench", capacity=32)
+        n = 5000
+
+        def producer():
+            for i in range(n):
+                yield ch.put(i)
+
+        def consumer():
+            for _ in range(n):
+                yield ch.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        return ch
+
+    ch = benchmark(run)
+    assert ch.conserved()
+
+
+def test_interpreter_speed(benchmark):
+    """Interpreted kernel cycles/sec (the csim path)."""
+    n = 2048
+    src = f"""
+    void k(int a[{n}], int out[{n}]) {{
+        for (int i = 0; i < {n}; i++) out[i] = (a[i] * 5 + 3) >> 2;
+    }}
+    """
+    result = synthesize_function(src, "k")
+    a = np.arange(n, dtype=np.int32)
+    out = np.zeros(n, dtype=np.int32)
+    benchmark(result.run, a, out)
+    assert np.array_equal(out, (a * 5 + 3) >> 2)

@@ -1,0 +1,42 @@
+"""X3 — design-space exploration over the Otsu partitions (future work).
+
+Exhaustively evaluates every buildable partition (real flow + simulated
+execution), extracts the area/latency Pareto front and checks the greedy
+heuristic ends on it.
+"""
+
+from conftest import save_artifact
+
+from repro.dse import explore, greedy_partition, pareto_front
+from repro.util.text import format_table
+
+
+def test_dse_pareto(benchmark):
+    points = benchmark.pedantic(
+        lambda: explore(width=16, height=16), rounds=1, iterations=1
+    )
+    front = pareto_front(points)
+    rows = [
+        (p.label(), p.lut, p.dsp, p.cycles, "front" if p in front else "")
+        for p in sorted(points, key=lambda p: p.lut)
+    ]
+    text = format_table(
+        ["partition", "LUT", "DSP", "cycles", ""],
+        rows,
+        title="X3 — exhaustive DSE over the Otsu partitions:",
+    )
+    print("\n" + text)
+    save_artifact("dse.txt", text)
+
+    assert all(p.correct for p in points)
+    assert len(front) >= 2
+    # The all-software point anchors the front's low-area end.
+    assert front[0].lut == 0
+
+    trajectory = greedy_partition(
+        evaluator=lambda hw: next(p for p in points if p.hw == hw)
+    )
+    final = trajectory[-1]
+    from repro.dse.pareto import dominates
+
+    assert not any(dominates(q, final) for q in points)

@@ -1,0 +1,37 @@
+"""X6 — directive-level DSE: PIPELINE subsets over the Arch4 actors.
+
+Partitioning fixes *what* runs in hardware; the per-core directives the
+DSL flow forwards to HLS decide *how well*.  Sweeps all 2^3 PIPELINE
+subsets over grayScale/computeHistogram/segment, runs each system, and
+reports the latency/area landscape.
+"""
+
+from conftest import save_artifact
+
+from repro.dse import explore_directives
+from repro.util.text import format_table
+
+
+def test_directive_dse(benchmark):
+    points = benchmark.pedantic(
+        lambda: explore_directives(width=24, height=24), rounds=1, iterations=1
+    )
+    rows = [
+        (p.label(), p.cycles, p.lut, p.ff, p.dsp)
+        for p in sorted(points, key=lambda p: p.cycles)
+    ]
+    text = format_table(
+        ["pipelined actors", "cycles", "LUT", "FF", "DSP"],
+        rows,
+        title="X6 — PIPELINE-directive sweep over Arch4:",
+    )
+    print("\n" + text)
+    save_artifact("dse_directives.txt", text)
+
+    by_label = {p.label(): p for p in points}
+    full = by_label["computeHistogram+grayScale+segment"]
+    none = by_label["none"]
+    assert all(p.correct for p in points)
+    assert full.cycles < none.cycles
+    # Pipelining everything is the fastest configuration.
+    assert full.cycles == min(p.cycles for p in points)

@@ -1,0 +1,30 @@
+"""Fig. 10 — the generated block-design diagrams of Arch1-4.
+
+Regenerates the graphviz diagrams and checks the structural features the
+paper's figure colour-codes: ARM + bus in every design, DMA blocks, the
+per-architecture accelerator mix, and the Arch4 stream pipeline.
+"""
+
+from conftest import save_artifact
+
+from repro.report import regenerate_fig10
+
+
+def test_fig10(benchmark, otsu_builds):
+    result = benchmark(regenerate_fig10, otsu_builds)
+    text = result.render()
+    print("\n" + text)
+    save_artifact("fig10.txt", text)
+    for arch, dot in result.diagrams.items():
+        save_artifact(f"fig10_arch{arch}.dot", dot)
+
+    for arch, dot in result.diagrams.items():
+        assert "processing_system7_0" in dot  # ARM + bus (blue in the paper)
+        assert "axi_dma_0" in dot  # DMA blocks (green)
+    assert "computeHistogram_0" in result.diagrams[1]
+    assert "halfProbability_0" in result.diagrams[2]
+    assert '"grayScale_0" -> "computeHistogram_0"' in result.diagrams[4]
+    assert '"halfProbability_0" -> "segment_0"' in result.diagrams[4]
+    # More hardware -> more cells in the diagram.
+    counts = {a: d.count("[shape=") for a, d in result.diagrams.items()}
+    assert counts[4] > counts[1]

@@ -1,0 +1,27 @@
+"""Fig. 9 — time breakdown of generating the four architectures.
+
+Regenerates the modeled per-phase generation times.  Shape checks: the
+Scala/DSL compile is ~6 s and project generation ~50 s (the paper's
+anchors), HLS is paid only once (Arch4 is generated first and its cores
+reused), synthesis dominates every build, and the grand total lands in
+the paper's ~42-minute ballpark.
+"""
+
+from conftest import save_artifact
+
+from repro.report import regenerate_fig9
+
+
+def test_fig9(benchmark, otsu_builds):
+    result = benchmark(regenerate_fig9, otsu_builds)
+    text = result.render()
+    print("\n" + text)
+    save_artifact("fig9.txt", text)
+
+    for arch, row in result.breakdown.items():
+        assert 5.0 <= row["SCALA"] <= 8.0
+        assert 40.0 <= row["PROJECT"] <= 65.0
+        assert row["SYNTH"] > row["PROJECT"]
+    assert result.breakdown[4]["HLS"] > 0
+    assert all(result.breakdown[a]["HLS"] == 0 for a in (1, 2, 3))
+    assert 25 <= result.total_minutes <= 60  # paper: 42 min

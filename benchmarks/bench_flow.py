@@ -1,0 +1,50 @@
+"""X2 — tool scalability: end-to-end flow runtime vs design size.
+
+The DSL's value grows with design size (more cells, more connections,
+more tcl the designer never writes).  Measure the real Python runtime of
+the complete flow — HLS, integration, tcl generation + machine-check,
+bitstream, software layer — over generated designs of increasing size.
+"""
+
+import pytest
+from conftest import save_artifact
+
+from repro.apps.generator import random_task_graph
+from repro.flow import FlowConfig, run_flow
+from repro.hls import InterfaceMode, interface
+from repro.util.text import format_table
+
+SIZES = {
+    "small (3 nodes)": dict(lite_nodes=1, stream_chains=1, chain_length=2),
+    "medium (8 nodes)": dict(lite_nodes=2, stream_chains=2, chain_length=3),
+    "large (18 nodes)": dict(lite_nodes=4, stream_chains=2, chain_length=7),
+}
+
+
+def _run(params):
+    graph, sources = random_task_graph(stream_depth=32, seed=9, **params)
+    return run_flow(graph, sources, config=FlowConfig(check_tcl=True))
+
+
+@pytest.mark.parametrize("label", list(SIZES))
+def test_flow_scaling(benchmark, label):
+    result = benchmark.pedantic(_run, args=(SIZES[label],), rounds=2, iterations=1)
+    rows = [
+        (
+            label,
+            len(result.graph.nodes),
+            len(result.design.cells),
+            result.system_tcl.lines_of_code(),
+            result.bitstream.utilization.lut,
+        )
+    ]
+    text = format_table(
+        ["design", "DSL nodes", "bd cells", "tcl LoC", "LUT"], rows
+    )
+    print("\n" + text)
+    save_artifact(f"flow_scaling_{len(result.graph.nodes)}.txt", text)
+    assert result.bitstream.digest
+    # The generated tcl grows with the design, the DSL grows slower:
+    from repro.util.text import count_lines
+
+    assert result.system_tcl.lines_of_code() > count_lines(result.dsl_text)

@@ -1,0 +1,21 @@
+"""Table I — the four automatically generated implementations.
+
+Regenerates the hardware/software split of every architecture from the
+built systems and checks it matches the paper's Table I exactly.
+"""
+
+from conftest import save_artifact
+
+from repro.apps.otsu import ARCHITECTURES
+from repro.report import regenerate_table1
+
+
+def test_table1(benchmark, otsu_builds):
+    result = benchmark(regenerate_table1, otsu_builds)
+    text = result.render()
+    print("\n" + text)
+    save_artifact("table1.txt", text)
+
+    for arch, hw in ARCHITECTURES.items():
+        for func, in_hw in result.rows[arch].items():
+            assert in_hw == (func in hw), f"Arch{arch}/{func}"

@@ -1,0 +1,29 @@
+"""Table II — resource usage of the four generated solutions.
+
+Regenerates the LUT/FF/RAMB18/DSP utilization of Arch1-4 and checks the
+paper's shape: the RAMB18 and DSP columns match exactly, LUT/FF keep the
+paper's strict ordering and the Arch2->Arch3 increment stays small
+relative to Arch1->Arch2 (the DMA substrate and the float Otsu core
+dominate; the histogram core is cheap).
+"""
+
+from conftest import save_artifact
+
+from repro.report import regenerate_table2
+from repro.report.experiments import PAPER_TABLE2
+
+
+def test_table2(benchmark, otsu_builds):
+    result = benchmark(regenerate_table2, otsu_builds)
+    text = result.render()
+    print("\n" + text)
+    save_artifact("table2.txt", text)
+
+    for arch, paper in PAPER_TABLE2.items():
+        measured = result.measured[arch]
+        assert measured[2] == paper[2], f"Arch{arch} RAMB18"
+        assert measured[3] == paper[3], f"Arch{arch} DSP"
+        assert 0.3 < measured[0] / paper[0] < 2.0, f"Arch{arch} LUT magnitude"
+    assert result.monotone_in_hw()
+    lut = {a: result.measured[a][0] for a in (1, 2, 3, 4)}
+    assert (lut[3] - lut[2]) < (lut[2] - lut[1])

@@ -1,0 +1,4 @@
+# Auto-generated directives file
+set_directive_interface -mode s_axilite "CHECKSUM" A
+set_directive_interface -mode s_axilite "CHECKSUM" B
+set_directive_interface -mode s_axilite "CHECKSUM" return

@@ -1,0 +1,13 @@
+# Vivado HLS project for core 'CHECKSUM'
+open_project CHECKSUM
+set_top CHECKSUM
+add_files CHECKSUM/CHECKSUM.c
+open_solution solution1
+set_part {xc7z020clg484-1}
+create_clock -period 10 -name default
+set_directive_interface -mode s_axilite "CHECKSUM" A
+set_directive_interface -mode s_axilite "CHECKSUM" B
+set_directive_interface -mode s_axilite "CHECKSUM" return
+csynth_design
+export_design -format ip_catalog
+exit

@@ -1,0 +1,4 @@
+# Auto-generated directives file
+set_directive_pipeline "OFFSET/i"
+set_directive_interface -mode axis "OFFSET" in
+set_directive_interface -mode axis "OFFSET" out

@@ -1,0 +1,13 @@
+# Vivado HLS project for core 'OFFSET'
+open_project OFFSET
+set_top OFFSET
+add_files OFFSET/OFFSET.c
+open_solution solution1
+set_part {xc7z020clg484-1}
+create_clock -period 10 -name default
+set_directive_pipeline "OFFSET/i"
+set_directive_interface -mode axis "OFFSET" in
+set_directive_interface -mode axis "OFFSET" out
+csynth_design
+export_design -format ip_catalog
+exit

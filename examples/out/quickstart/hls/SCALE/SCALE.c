@@ -1,0 +1,4 @@
+
+void SCALE(int in[128], int out[128]) {
+    for (int i = 0; i < 128; i++) out[i] = (in[i] * 205) >> 8;
+}

@@ -1,0 +1,4 @@
+# Auto-generated directives file
+set_directive_pipeline "SCALE/i"
+set_directive_interface -mode axis "SCALE" in
+set_directive_interface -mode axis "SCALE" out

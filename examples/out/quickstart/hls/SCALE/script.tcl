@@ -1,0 +1,13 @@
+# Vivado HLS project for core 'SCALE'
+open_project SCALE
+set_top SCALE
+add_files SCALE/SCALE.c
+open_solution solution1
+set_part {xc7z020clg484-1}
+create_clock -period 10 -name default
+set_directive_pipeline "SCALE/i"
+set_directive_interface -mode axis "SCALE" in
+set_directive_interface -mode axis "SCALE" out
+csynth_design
+export_design -format ip_catalog
+exit

@@ -1,0 +1,41 @@
+`timescale 1ns / 1ps
+// repro-hls functional unit library
+module repro_cvt_if (input wire clk, input wire [31:0] a,
+                input wire [31:0] b, output reg [31:0] q);
+  // behavioural model of the cast_if unit
+endmodule
+
+module repro_sdiv32 (input wire clk, input wire [31:0] a,
+                input wire [31:0] b, output reg [31:0] q);
+  // behavioural model of the div unit
+endmodule
+
+module repro_fadd (input wire clk, input wire [31:0] a,
+                input wire [31:0] b, output reg [31:0] q);
+  // behavioural model of the fadd unit
+endmodule
+
+module repro_fdiv (input wire clk, input wire [31:0] a,
+                input wire [31:0] b, output reg [31:0] q);
+  // behavioural model of the fdiv unit
+endmodule
+
+module repro_fmul (input wire clk, input wire [31:0] a,
+                input wire [31:0] b, output reg [31:0] q);
+  // behavioural model of the fmul unit
+endmodule
+
+module repro_fsqrt (input wire clk, input wire [31:0] a,
+                input wire [31:0] b, output reg [31:0] q);
+  // behavioural model of the fsqrt unit
+endmodule
+
+module repro_mul32 (input wire clk, input wire [31:0] a,
+                input wire [31:0] b, output reg [31:0] q);
+  // behavioural model of the mul unit
+endmodule
+
+module repro_mulk (input wire clk, input wire [31:0] a,
+                input wire [31:0] b, output reg [31:0] q);
+  // behavioural model of the mul_small unit
+endmodule

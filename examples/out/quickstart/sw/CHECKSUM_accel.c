@@ -1,0 +1,43 @@
+#include "CHECKSUM_accel.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+static volatile uint32_t *regs;
+
+static void ensure_mapped(void) {
+    if (regs) return;
+    int fd = open("/dev/mem", O_RDWR | O_SYNC);
+    regs = (volatile uint32_t *)mmap(0, CHECKSUM_ADDR_RANGE, PROT_READ | PROT_WRITE, MAP_SHARED, fd, CHECKSUM_BASE_ADDR);
+    close(fd);
+}
+
+void CHECKSUM_set_A(uint32_t value) {
+    ensure_mapped();
+    regs[CHECKSUM_REG_A / 4] = value;
+}
+
+void CHECKSUM_set_B(uint32_t value) {
+    ensure_mapped();
+    regs[CHECKSUM_REG_B / 4] = value;
+}
+
+uint32_t CHECKSUM_get_return(void) {
+    ensure_mapped();
+    return regs[CHECKSUM_REG_RETURN / 4];
+}
+
+void CHECKSUM_start(void) {
+    ensure_mapped();
+    regs[CHECKSUM_REG_CTRL / 4] = 0x1u; /* ap_start */
+}
+
+int CHECKSUM_is_done(void) {
+    ensure_mapped();
+    return (regs[CHECKSUM_REG_CTRL / 4] & 0x2u) != 0; /* ap_done */
+}
+
+void CHECKSUM_wait(void) {
+    while (!CHECKSUM_is_done()) { /* spin */ }
+}

@@ -1,0 +1,26 @@
+/* Auto-generated API for accelerator 'CHECKSUM'. */
+#ifndef CHECKSUM_ACCEL_H
+#define CHECKSUM_ACCEL_H
+
+#include <stdint.h>
+
+#define CHECKSUM_BASE_ADDR 0x43C00000u
+#define CHECKSUM_ADDR_RANGE 0x10000u
+
+/* Register map (Vivado HLS ap_ctrl_hs layout). */
+#define CHECKSUM_REG_CTRL 0x00u
+#define CHECKSUM_REG_GIE 0x04u
+#define CHECKSUM_REG_IER 0x08u
+#define CHECKSUM_REG_ISR 0x0Cu
+#define CHECKSUM_REG_A 0x10u
+#define CHECKSUM_REG_B 0x18u
+#define CHECKSUM_REG_RETURN 0x20u
+
+void CHECKSUM_set_A(uint32_t value);
+void CHECKSUM_set_B(uint32_t value);
+uint32_t CHECKSUM_get_return(void);
+void CHECKSUM_start(void);
+int CHECKSUM_is_done(void);
+void CHECKSUM_wait(void);
+
+#endif /* CHECKSUM_ACCEL_H */

@@ -1,0 +1,17 @@
+/* Auto-generated DMA API (readDMA/writeDMA over /dev nodes). */
+#ifndef DMA_API_H
+#define DMA_API_H
+
+#include <stddef.h>
+#include <stdint.h>
+
+/* Device nodes created by the customized device tree: */
+/*   /dev/axidma0: axi_dma_0 (mm2s+s2mm) */
+
+int openDMA(const char *dev_path);
+/* Blocking transfers; return bytes moved or a negative errno. */
+ssize_t writeDMA(int fd, const void *buf, size_t nbytes);
+ssize_t readDMA(int fd, void *buf, size_t nbytes);
+void closeDMA(int fd);
+
+#endif /* DMA_API_H */

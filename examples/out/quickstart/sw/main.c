@@ -1,0 +1,27 @@
+/* Auto-generated application skeleton.
+ * Replace the buffer setup with real application data. */
+#include <stdio.h>
+#include <stdint.h>
+
+#include "dma_api.h"
+#include "CHECKSUM_accel.h"
+
+int main(void) {
+    int dma0 = openDMA("/dev/axidma0");
+
+    static int32_t in_buf0[1024];
+    static int32_t out_buf1[1024];
+
+    /* invoke CHECKSUM */
+    CHECKSUM_set_A(0 /* TODO */);
+    CHECKSUM_set_B(0 /* TODO */);
+    CHECKSUM_start();
+    CHECKSUM_wait();
+    printf("CHECKSUM -> %u\n", CHECKSUM_get_return());
+
+    readDMA(dma0, out_buf1, sizeof out_buf1);   /* arm S2MM */
+    writeDMA(dma0, in_buf0, sizeof in_buf0);  /* -> SCALE.in */
+
+    closeDMA(dma0);
+    return 0;
+}

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no ``wheel`` package and no
+network, so PEP-517 editable installs (which shell out to ``bdist_wheel``)
+fail.  This shim lets ``pip install -e . --no-build-isolation`` fall back
+to the classic ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""Applications and kernels used by the paper's evaluation.
+
+* :mod:`image` — PGM/PPM I/O, packed-RGB helpers, and the synthetic
+  test scene standing in for the paper's photograph (Fig. 7a);
+* :mod:`otsu` — the Otsu-filter case study (Section VI): the six-task
+  application, its synthesizable C sources, golden NumPy behaviours and
+  the four architectures of Table I;
+* :mod:`kernels` — the ADD/MUL/GAUSS/EDGE example of Fig. 4;
+* :mod:`generator` — random task-graph generation for scalability
+  benchmarks.
+"""
+
+from repro.apps.image import (
+    pack_rgb,
+    read_pgm,
+    read_ppm,
+    synthetic_scene,
+    unpack_rgb,
+    write_pgm,
+    write_ppm,
+)
+from repro.apps.kernels import build_fig4_flow_inputs
+from repro.apps.otsu import ARCHITECTURES, OtsuApplication, build_otsu_app
+
+__all__ = [
+    "ARCHITECTURES",
+    "OtsuApplication",
+    "build_fig4_flow_inputs",
+    "build_otsu_app",
+    "pack_rgb",
+    "read_pgm",
+    "read_ppm",
+    "synthetic_scene",
+    "unpack_rgb",
+    "write_pgm",
+    "write_ppm",
+]

@@ -1,0 +1,109 @@
+"""True 2-D image filters (frame-buffered GAUSS and SOBEL).
+
+The paper's Fig.-4 pipeline names its cores after a Gaussian and an
+edge-detection filter; these are full 2-D implementations: each core
+reads its input stream sequentially into a local frame buffer (2-D
+array → BRAM), computes with random access and replicated borders, and
+writes the output stream sequentially — the buffer-then-process pattern
+that satisfies the AXI-Stream access discipline
+(:func:`repro.hls.project.verify_stream_discipline` checks it).
+
+GAUSS is the 3×3 binomial kernel [[1,2,1],[2,4,2],[1,2,1]]/16; SOBEL is
+gradient magnitude (|Gx|+|Gy|) with thresholding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def gauss2d_src(width: int, height: int) -> str:
+    n = width * height
+    return f"""
+void GAUSS2D(int in[{n}], int out[{n}]) {{
+    int buf[{height}][{width}];
+    for (int r = 0; r < {height}; r++) {{
+        for (int c = 0; c < {width}; c++) {{
+            buf[r][c] = in[r * {width} + c];
+        }}
+    }}
+    for (int r = 0; r < {height}; r++) {{
+        for (int c = 0; c < {width}; c++) {{
+            int acc = 0;
+            for (int dr = -1; dr <= 1; dr++) {{
+                for (int dc = -1; dc <= 1; dc++) {{
+                    int rr = r + dr;
+                    int cc = c + dc;
+                    if (rr < 0) rr = 0;
+                    if (rr > {height - 1}) rr = {height - 1};
+                    if (cc < 0) cc = 0;
+                    if (cc > {width - 1}) cc = {width - 1};
+                    int wr = dr == 0 ? 2 : 1;
+                    int wc = dc == 0 ? 2 : 1;
+                    acc += buf[rr][cc] * (wr * wc);
+                }}
+            }}
+            out[r * {width} + c] = acc >> 4;
+        }}
+    }}
+}}
+"""
+
+
+def sobel2d_src(width: int, height: int, threshold: int = 96) -> str:
+    n = width * height
+    return f"""
+void SOBEL2D(int in[{n}], int out[{n}]) {{
+    int buf[{height}][{width}];
+    for (int r = 0; r < {height}; r++) {{
+        for (int c = 0; c < {width}; c++) {{
+            buf[r][c] = in[r * {width} + c];
+        }}
+    }}
+    for (int r = 0; r < {height}; r++) {{
+        for (int c = 0; c < {width}; c++) {{
+            int rm = r - 1 < 0 ? 0 : r - 1;
+            int rp = r + 1 > {height - 1} ? {height - 1} : r + 1;
+            int cm = c - 1 < 0 ? 0 : c - 1;
+            int cp = c + 1 > {width - 1} ? {width - 1} : c + 1;
+            int gx = buf[rm][cp] + 2 * buf[r][cp] + buf[rp][cp]
+                   - buf[rm][cm] - 2 * buf[r][cm] - buf[rp][cm];
+            int gy = buf[rp][cm] + 2 * buf[rp][c] + buf[rp][cp]
+                   - buf[rm][cm] - 2 * buf[rm][c] - buf[rm][cp];
+            int mag = abs(gx) + abs(gy);
+            out[r * {width} + c] = mag > {threshold} ? 255 : 0;
+        }}
+    }}
+}}
+"""
+
+
+# --- exact NumPy references -----------------------------------------------
+def _clamp_pad(img: np.ndarray) -> np.ndarray:
+    return np.pad(img, 1, mode="edge").astype(np.int64)
+
+
+def gauss2d_reference(img: np.ndarray) -> np.ndarray:
+    """(H, W) -> (H, W), identical integer arithmetic to the C."""
+    p = _clamp_pad(np.asarray(img))
+    h, w = img.shape
+    acc = np.zeros((h, w), dtype=np.int64)
+    weights = {(-1, -1): 1, (-1, 0): 2, (-1, 1): 1,
+               (0, -1): 2, (0, 0): 4, (0, 1): 2,
+               (1, -1): 1, (1, 0): 2, (1, 1): 1}
+    for (dr, dc), wgt in weights.items():
+        acc += wgt * p[1 + dr : 1 + dr + h, 1 + dc : 1 + dc + w]
+    return (acc >> 4).astype(np.int32)
+
+
+def sobel2d_reference(img: np.ndarray, threshold: int = 96) -> np.ndarray:
+    p = _clamp_pad(np.asarray(img))
+    h, w = img.shape
+
+    def sh(dr, dc):
+        return p[1 + dr : 1 + dr + h, 1 + dc : 1 + dc + w]
+
+    gx = sh(-1, 1) + 2 * sh(0, 1) + sh(1, 1) - sh(-1, -1) - 2 * sh(0, -1) - sh(1, -1)
+    gy = sh(1, -1) + 2 * sh(1, 0) + sh(1, 1) - sh(-1, -1) - 2 * sh(-1, 0) - sh(-1, 1)
+    mag = np.abs(gx) + np.abs(gy)
+    return np.where(mag > threshold, 255, 0).astype(np.int32)

@@ -1,0 +1,95 @@
+"""Random task-graph generation for scalability benchmarks.
+
+Produces valid DSL graphs of configurable size — a mix of AXI-Lite
+scalar cores and AXI-Stream chains — together with synthesizable C
+sources, so the end-to-end flow can be benchmarked on designs far larger
+than the case study (experiment X2 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dsl.ast import SOC, ConnectEdge, LinkEdge, NodeDecl, PortDecl, PortKind, TgGraph
+from repro.dsl.validate import validate_graph
+
+_LITE_TEMPLATE = """
+int {name}(int A, int B) {{
+    int acc = A;
+    for (int i = 0; i < {iters}; i++) {{
+        acc = acc + B;
+        acc = acc ^ (acc >> 3);
+    }}
+    return acc;
+}}
+"""
+
+_STREAM_TEMPLATE = """
+void {name}(int in[{n}], int out[{n}]) {{
+    for (int i = 0; i < {n}; i++) {{
+        int v = in[i];
+        out[i] = (v * {mult} + {add}) >> {shift};
+    }}
+}}
+"""
+
+
+def random_task_graph(
+    *,
+    lite_nodes: int = 2,
+    stream_chains: int = 1,
+    chain_length: int = 2,
+    stream_depth: int = 64,
+    seed: int = 0,
+) -> tuple[TgGraph, dict[str, str]]:
+    """Generate a valid random graph + C sources.
+
+    Layout: *lite_nodes* AXI-Lite scalar cores, plus *stream_chains*
+    independent AXI-Stream pipelines of *chain_length* cores each.
+    """
+    rng = random.Random(seed)
+    graph = TgGraph(f"rand_{seed}")
+    sources: dict[str, str] = {}
+
+    for i in range(lite_nodes):
+        name = f"calc{i}"
+        graph.nodes.append(
+            NodeDecl(
+                name,
+                (
+                    PortDecl("A", PortKind.LITE),
+                    PortDecl("B", PortKind.LITE),
+                    PortDecl("return", PortKind.LITE),
+                ),
+            )
+        )
+        graph.edges.append(ConnectEdge(name))
+        sources[name] = _LITE_TEMPLATE.format(name=name, iters=rng.randint(4, 64))
+
+    for c in range(stream_chains):
+        prev: tuple[str, str] | None = None
+        for k in range(chain_length):
+            name = f"stage{c}_{k}"
+            graph.nodes.append(
+                NodeDecl(
+                    name,
+                    (PortDecl("in", PortKind.STREAM), PortDecl("out", PortKind.STREAM)),
+                )
+            )
+            sources[name] = _STREAM_TEMPLATE.format(
+                name=name,
+                n=stream_depth,
+                mult=rng.choice([1, 2, 3, 5]),
+                add=rng.randint(0, 15),
+                shift=rng.choice([0, 1, 2]),
+            )
+            if prev is None:
+                graph.edges.append(LinkEdge(SOC, (name, "in")))
+            else:
+                graph.edges.append(LinkEdge(prev, (name, "in")))
+            prev = (name, "out")
+        assert prev is not None
+        graph.edges.append(LinkEdge(prev, SOC))
+
+    validate_graph(graph)
+    return graph, sources

@@ -1,0 +1,29 @@
+"""The Otsu-filter case study (paper Section VI).
+
+Six tasks: ``readImage`` → ``grayScale`` → ``histogram`` →
+``otsuMethod`` → ``binarization`` → ``writeImage``; everything except
+the two I/O tasks can go to hardware.  Table I's four architectures are
+built by :func:`build_otsu_app`; the dataflow actor names follow the
+paper's Listing 4 (``grayScale``, ``computeHistogram``,
+``halfProbability``, ``segment``).
+"""
+
+from repro.apps.otsu.app import ARCHITECTURES, OtsuApplication, build_otsu_app
+from repro.apps.otsu.golden import (
+    golden_binarize,
+    golden_grayscale,
+    golden_histogram,
+    golden_otsu_threshold,
+    golden_pipeline,
+)
+
+__all__ = [
+    "ARCHITECTURES",
+    "OtsuApplication",
+    "build_otsu_app",
+    "golden_binarize",
+    "golden_grayscale",
+    "golden_histogram",
+    "golden_otsu_threshold",
+    "golden_pipeline",
+]

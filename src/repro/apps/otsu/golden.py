@@ -1,0 +1,82 @@
+"""Golden NumPy references for the Otsu pipeline.
+
+Bit-exact with the HLS-compiled C: the grayscale conversion uses the
+same fixed-point coefficients, and the threshold search replays the same
+float32 operation order as the interpreter, so a hardware run and the
+software reference produce identical images.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.otsu.csrc import LUMA_B, LUMA_G, LUMA_R
+
+
+def golden_grayscale(packed: np.ndarray) -> np.ndarray:
+    """Packed 0x00RRGGBB words -> gray values (int32, same length)."""
+    p = np.asarray(packed, dtype=np.int64)
+    r = (p >> 16) & 255
+    g = (p >> 8) & 255
+    b = p & 255
+    return ((LUMA_R * r + LUMA_G * g + LUMA_B * b) >> 8).astype(np.int32)
+
+
+def golden_histogram(gray: np.ndarray) -> np.ndarray:
+    """256-bin histogram (int32)."""
+    return np.bincount(
+        np.asarray(gray, dtype=np.int64) & 255, minlength=256
+    ).astype(np.int32)
+
+
+def golden_otsu_threshold(hist: np.ndarray, npix: int) -> int:
+    """Between-class-variance maximization, float32 step-for-step.
+
+    Mirrors the C actor exactly (same accumulation order, same float32
+    rounding) so the reference threshold equals the hardware one.
+    """
+    f32 = np.float32
+    hist = np.asarray(hist)
+    total = f32(npix)
+    s = f32(0.0)
+    for i in range(256):
+        s = f32(s + f32(f32(i) * f32(hist[i])))
+    sum_b = f32(0.0)
+    w_b = f32(0.0)
+    max_var = f32(0.0)
+    threshold = 0
+    for t in range(256):
+        w_b = f32(w_b + f32(hist[t]))
+        if w_b == 0.0:
+            continue
+        w_f = f32(total - w_b)
+        if w_f == 0.0:
+            break
+        sum_b = f32(sum_b + f32(f32(t) * f32(hist[t])))
+        m_b = f32(sum_b / w_b)
+        m_f = f32(f32(s - sum_b) / w_f)
+        diff = f32(m_b - m_f)
+        between = f32(f32(f32(w_b * w_f) * diff) * diff)
+        if between > max_var:
+            max_var = between
+            threshold = t
+    return threshold
+
+
+def golden_binarize(gray: np.ndarray, threshold: int) -> np.ndarray:
+    """gray -> 0/255 binary image (int32)."""
+    return np.where(np.asarray(gray) > threshold, 255, 0).astype(np.int32)
+
+
+def golden_pipeline(packed: np.ndarray) -> dict[str, np.ndarray | int]:
+    """Run the whole software pipeline; returns every intermediate."""
+    gray = golden_grayscale(packed)
+    hist = golden_histogram(gray)
+    threshold = golden_otsu_threshold(hist, len(gray))
+    binary = golden_binarize(gray, threshold)
+    return {
+        "gray": gray,
+        "hist": hist,
+        "threshold": threshold,
+        "binary": binary,
+    }

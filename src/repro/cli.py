@@ -1,0 +1,263 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``check``        parse + validate a ``.tg`` description, print a summary
+``build``        run the full flow for a ``.tg`` file (C sources looked
+                 up as ``<node>.c`` in ``--sources``) and materialize
+                 the workspace
+``otsu``         build + simulate one Table-I architecture
+``experiments``  regenerate every table and figure into a directory
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.util.errors import ReproError
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.dsl import parse_dsl, validate_graph
+
+    text = Path(args.design).read_text()
+    graph = parse_dsl(text, filename=args.design)
+    validate_graph(graph)
+    lite = [n.name for n in graph.nodes if n.lite_ports() and not n.stream_ports()]
+    stream = [n.name for n in graph.nodes if n.stream_ports()]
+    print(f"{args.design}: OK — graph {graph.name!r}")
+    print(f"  nodes:    {len(graph.nodes)} ({len(lite)} AXI-Lite, {len(stream)} streaming)")
+    print(f"  connects: {len(graph.connects())}, links: {len(graph.links())}")
+    return 0
+
+
+def _load_sources(graph, sources_dir: str) -> dict[str, str]:
+    src_path = Path(sources_dir)
+    sources: dict[str, str] = {}
+    missing: list[str] = []
+    for node in graph.nodes:
+        candidate = src_path / f"{node.name}.c"
+        if candidate.exists():
+            sources[node.name] = candidate.read_text()
+        else:
+            missing.append(str(candidate))
+    if missing:
+        raise ReproError(
+            "missing C sources: " + ", ".join(missing)
+        )
+    return sources
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from repro.dsl import parse_dsl
+    from repro.flow import FlowConfig, materialize, run_flow
+    from repro.tcl.backends import Vivado2014_2, Vivado2015_3
+
+    graph = parse_dsl(Path(args.design).read_text(), filename=args.design)
+    sources = _load_sources(graph, args.sources)
+    backend = Vivado2014_2() if args.backend == "2014.2" else Vivado2015_3()
+    result = run_flow(graph, sources, config=FlowConfig(backend=backend))
+
+    print(result.design.summary())
+    print(result.design.address_map.render())
+    bit = result.bitstream
+    print(f"bitstream: {bit.digest[:16]}...  clock {bit.achieved_clock_mhz} MHz")
+    print(
+        "modeled generation time: "
+        + ", ".join(f"{k}={v}s" for k, v in result.timing.as_row().items())
+    )
+    out = materialize(result, args.out)
+    print(f"workspace written to {out}/")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.dsl import parse_dsl
+    from repro.flow import autosimulate, run_flow
+
+    graph = parse_dsl(Path(args.design).read_text(), filename=args.design)
+    sources = _load_sources(graph, args.sources)
+    flow = run_flow(graph, sources)
+    result = autosimulate(flow, seed=args.seed, wait_mode=args.wait_mode)
+    print(f"simulated {result.report.cycles} cycles "
+          f"({result.report.seconds * 1e6:.1f} us @100MHz)")
+    for name, arr in result.stimuli.items():
+        print(f"  stimulus {name}: {len(arr)} words (seed {args.seed})")
+    for name, arr in result.outputs.items():
+        head = ", ".join(str(v) for v in arr[:8])
+        print(f"  output   {name}: {len(arr)} words  [{head}{', ...' if len(arr) > 8 else ''}]")
+    for name, value in result.lite_returns.items():
+        print(f"  lite core {name}(0, ...) -> {value}")
+    if args.trace:
+        print()
+        print(result.report.trace.render())
+    return 0
+
+
+def _cmd_otsu(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.apps.otsu import build_otsu_app
+    from repro.flow import run_flow
+    from repro.sim import simulate_application
+
+    rgb = None
+    if args.image:
+        from repro.apps.image import read_pgm, read_ppm
+
+        path = Path(args.image)
+        if path.suffix.lower() == ".ppm":
+            rgb = read_ppm(path)
+        else:
+            gray = read_pgm(path)
+            rgb = np.stack([gray, gray, gray], axis=-1)
+        print(f"binarizing {path} ({rgb.shape[1]}x{rgb.shape[0]})")
+    width, _, height = args.size.partition("x")
+    app = build_otsu_app(
+        args.arch, width=int(width), height=int(height or width), rgb=rgb
+    )
+    flow = run_flow(
+        app.dsl_graph(), app.c_sources, extra_directives=app.extra_directives
+    )
+    r = flow.bitstream.utilization
+    print(
+        f"Arch{args.arch}: LUT={r.lut} FF={r.ff} RAMB18={r.bram18} DSP={r.dsp}"
+    )
+    report = simulate_application(
+        app.htg, app.partition, app.behaviors, {}, system=flow.system
+    )
+    ok = np.array_equal(report.of("binImage"), np.asarray(app.golden["binary"]))
+    print(
+        f"simulated: {report.cycles} cycles ({report.seconds * 1e3:.2f} ms "
+        f"@100MHz), output {'bit-exact' if ok else 'WRONG'}, "
+        f"threshold={app.golden['threshold']}"
+    )
+    if args.save:
+        from repro.apps.image import write_pgm
+
+        binary = np.asarray(report.of("binImage"), dtype=np.uint8).reshape(
+            app.height, app.width
+        )
+        write_pgm(args.save, binary)
+        print(f"binarized image written to {args.save}")
+    if args.out:
+        from repro.flow import materialize
+
+        print(f"workspace written to {materialize(flow, args.out)}/")
+    return 0 if ok else 1
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.apps.image import write_pgm
+    from repro.report import (
+        build_all_architectures,
+        compare_code_size,
+        regenerate_fig7,
+        regenerate_fig9,
+        regenerate_fig10,
+        regenerate_table1,
+        regenerate_table2,
+    )
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    builds = build_all_architectures(width=args.width, height=args.width)
+    artifacts = {
+        "table1.txt": regenerate_table1(builds).render(),
+        "table2.txt": regenerate_table2(builds).render(),
+        "fig9.txt": regenerate_fig9(builds).render(),
+        "fig10.txt": regenerate_fig10(builds).render(),
+        "codesize.txt": compare_code_size(builds[4].flow).render(),
+    }
+    fig7 = regenerate_fig7()
+    artifacts["fig7.txt"] = fig7.render()
+    write_pgm(out / "fig7_original.pgm", fig7.gray)
+    write_pgm(out / "fig7_filtered.pgm", fig7.binary)
+    import json
+
+    from repro.report import experiment_summary
+
+    (out / "summary.json").write_text(
+        json.dumps(experiment_summary(builds), indent=2) + "\n"
+    )
+    for arch, dot in regenerate_fig10(builds).diagrams.items():
+        (out / f"fig10_arch{arch}.dot").write_text(dot)
+    for name, text in artifacts.items():
+        (out / name).write_text(text + "\n")
+        print(f"--- {name} ---")
+        print(text)
+        print()
+    print(f"artifacts in {out}/")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DSL-driven accelerator-SoC design flow (IPPS 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_check = sub.add_parser("check", help="parse and validate a .tg description")
+    p_check.add_argument("design", help="path to the .tg file")
+    p_check.set_defaults(func=_cmd_check)
+
+    p_build = sub.add_parser("build", help="run the full flow for a .tg file")
+    p_build.add_argument("design", help="path to the .tg file")
+    p_build.add_argument(
+        "--sources", required=True, help="directory holding <node>.c files"
+    )
+    p_build.add_argument("--out", default="workspace", help="output directory")
+    p_build.add_argument(
+        "--backend", choices=["2014.2", "2015.3"], default="2015.3",
+        help="Vivado tcl backend version",
+    )
+    p_build.set_defaults(func=_cmd_build)
+
+    p_sim = sub.add_parser(
+        "simulate",
+        help="build a .tg design and execute it on the simulated board "
+        "(behaviours come from the compiled C itself)",
+    )
+    p_sim.add_argument("design", help="path to the .tg file")
+    p_sim.add_argument("--sources", required=True, help="directory with <node>.c files")
+    p_sim.add_argument("--seed", type=int, default=1, help="stimulus seed")
+    p_sim.add_argument("--wait-mode", choices=["poll", "irq"], default="poll")
+    p_sim.add_argument("--trace", action="store_true", help="print the timeline")
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_otsu = sub.add_parser("otsu", help="build + simulate a Table-I architecture")
+    p_otsu.add_argument("--arch", type=int, default=4, choices=[1, 2, 3, 4])
+    p_otsu.add_argument("--size", default="64x64", help="synthetic image size, e.g. 64x64")
+    p_otsu.add_argument(
+        "--image", default=None, help="binarize a real .ppm/.pgm instead"
+    )
+    p_otsu.add_argument(
+        "--save", default=None, help="write the binarized result as PGM"
+    )
+    p_otsu.add_argument("--out", default=None, help="materialize the workspace here")
+    p_otsu.set_defaults(func=_cmd_otsu)
+
+    p_exp = sub.add_parser(
+        "experiments", help="regenerate every table and figure of the paper"
+    )
+    p_exp.add_argument("--out", default="experiments_out")
+    p_exp.add_argument("--width", type=int, default=48, help="case-study image width")
+    p_exp.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

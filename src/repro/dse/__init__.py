@@ -1,0 +1,31 @@
+"""Design-space exploration — the paper's declared future work.
+
+Section II-C: "the hardware/software partitioning is provided as input
+and can be manually obtained by the user or with the help of DSE tools
+... we left the integration with DSE tools as a future work."  This
+package closes that loop for the Otsu case study: enumerate the
+buildable partitions (:mod:`space`), evaluate each through the real flow
+and simulator (:mod:`evaluate`), extract the area/performance Pareto
+front (:mod:`pareto`), and compare against a greedy heuristic
+(:mod:`heuristics`).
+"""
+
+from repro.dse.directives import (
+    DirectivePoint,
+    evaluate_directive_config,
+    explore_directives,
+)
+from repro.dse.evaluate import DsePoint, evaluate_hw_set, explore
+from repro.dse.heuristics import greedy_partition
+from repro.dse.pareto import pareto_front
+
+__all__ = [
+    "DirectivePoint",
+    "DsePoint",
+    "evaluate_directive_config",
+    "evaluate_hw_set",
+    "explore",
+    "explore_directives",
+    "greedy_partition",
+    "pareto_front",
+]

@@ -1,0 +1,96 @@
+"""Directive-level design-space exploration.
+
+Partitioning decides *what* goes to hardware; directives decide *how*
+each core is synthesized.  This module sweeps the PIPELINE directive
+over the Otsu Arch4 actors (the float threshold search is excluded —
+its recurrence defeats pipelining) and evaluates each configuration
+through the full flow + simulator, exposing the latency/area trade the
+DSL passes down to HLS per core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.apps.otsu import build_otsu_app
+from repro.flow.orchestrator import FlowConfig, run_flow
+from repro.sim.runtime import simulate_application
+from repro.util.errors import ReproError
+
+#: Actors whose main loop accepts a PIPELINE directive.
+PIPELINEABLE = ("grayScale", "computeHistogram", "segment")
+
+
+@dataclass(frozen=True)
+class DirectivePoint:
+    """One directive configuration of Arch4."""
+
+    pipelined: frozenset[str]
+    lut: int
+    ff: int
+    dsp: int
+    cycles: int
+    correct: bool
+
+    def label(self) -> str:
+        return "+".join(sorted(self.pipelined)) if self.pipelined else "none"
+
+
+def evaluate_directive_config(
+    pipelined: frozenset[str] | set[str],
+    *,
+    width: int = 32,
+    height: int = 32,
+) -> DirectivePoint:
+    """Build Arch4 with PIPELINE only on *pipelined* actors; simulate."""
+    pipelined = frozenset(pipelined)
+    unknown = pipelined - set(PIPELINEABLE)
+    if unknown:
+        raise ReproError(f"not pipelineable: {sorted(unknown)}")
+    app = build_otsu_app(4, width=width, height=height)
+    directives = {}
+    for actor, dirs in app.extra_directives.items():
+        kept = [
+            d
+            for d in dirs
+            if d.kind != "pipeline" or actor in pipelined
+        ]
+        directives[actor] = kept
+    flow = run_flow(
+        app.dsl_graph(),
+        app.c_sources,
+        extra_directives=directives,
+        config=FlowConfig(check_tcl=False),
+    )
+    report = simulate_application(
+        app.htg, app.partition, app.behaviors, {}, system=flow.system
+    )
+    usage = flow.bitstream.utilization
+    correct = bool(
+        np.array_equal(report.of("binImage"), np.asarray(app.golden["binary"]))
+    )
+    return DirectivePoint(
+        pipelined=pipelined,
+        lut=usage.lut,
+        ff=usage.ff,
+        dsp=usage.dsp,
+        cycles=report.cycles,
+        correct=correct,
+    )
+
+
+def explore_directives(*, width: int = 32, height: int = 32) -> list[DirectivePoint]:
+    """Evaluate every PIPELINE subset over the pipelineable actors."""
+    points = []
+    for r in range(len(PIPELINEABLE) + 1):
+        for combo in combinations(PIPELINEABLE, r):
+            points.append(
+                evaluate_directive_config(frozenset(combo), width=width, height=height)
+            )
+    wrong = [p.label() for p in points if not p.correct]
+    if wrong:
+        raise ReproError(f"directive configs produced wrong output: {wrong}")
+    return points

@@ -1,0 +1,84 @@
+"""Candidate evaluation: run the flow + simulator per partition."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.otsu.app import build_otsu_custom, buildable_hw_sets
+from repro.flow.orchestrator import FlowConfig, run_flow
+from repro.sim.runtime import simulate_application
+from repro.util.errors import ReproError
+
+
+@dataclass(frozen=True)
+class DsePoint:
+    """One evaluated partition."""
+
+    hw: frozenset[str]
+    lut: int
+    ff: int
+    bram18: int
+    dsp: int
+    cycles: int
+    correct: bool
+
+    def label(self) -> str:
+        return "+".join(sorted(self.hw)) if self.hw else "all-sw"
+
+
+def evaluate_hw_set(
+    hw: frozenset[str] | set[str],
+    *,
+    width: int = 32,
+    height: int = 32,
+    config: FlowConfig | None = None,
+) -> DsePoint:
+    """Build, synthesize and simulate one candidate partition."""
+    hw = frozenset(hw)
+    app = build_otsu_custom(hw, width=width, height=height)
+    if hw:
+        flow = run_flow(
+            app.dsl_graph(),
+            app.c_sources,
+            extra_directives=app.extra_directives,
+            config=config or FlowConfig(check_tcl=False),
+        )
+        system = flow.system
+        usage = flow.bitstream.utilization
+    else:
+        system = None
+        from repro.hls.resources import ResourceUsage
+
+        usage = ResourceUsage()
+    report = simulate_application(
+        app.htg, app.partition, app.behaviors, {}, system=system
+    )
+    correct = bool(
+        np.array_equal(report.of("binImage"), np.asarray(app.golden["binary"]))
+    )
+    return DsePoint(
+        hw=hw,
+        lut=usage.lut,
+        ff=usage.ff,
+        bram18=usage.bram18,
+        dsp=usage.dsp,
+        cycles=report.cycles,
+        correct=correct,
+    )
+
+
+def explore(
+    *,
+    width: int = 32,
+    height: int = 32,
+    candidates: list[frozenset[str]] | None = None,
+) -> list[DsePoint]:
+    """Evaluate every buildable partition (or the given *candidates*)."""
+    candidates = candidates if candidates is not None else buildable_hw_sets()
+    points = [evaluate_hw_set(hw, width=width, height=height) for hw in candidates]
+    wrong = [p.label() for p in points if not p.correct]
+    if wrong:
+        raise ReproError(f"candidates produced wrong output: {wrong}")
+    return points

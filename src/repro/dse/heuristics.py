@@ -1,0 +1,61 @@
+"""Greedy partitioning heuristic.
+
+A simple hill-climber over the buildable hardware sets: starting from
+all-software, repeatedly move the function whose acceleration buys the
+most cycles per LUT, while the result stays buildable and keeps
+improving.  Benchmarked against the exhaustive Pareto front (the
+exhaustive space is tiny for the case study, which is exactly why it
+makes a good correctness reference).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps.otsu.app import buildable_hw_sets
+from repro.dse.evaluate import DsePoint, evaluate_hw_set
+
+
+def greedy_partition(
+    *,
+    width: int = 32,
+    height: int = 32,
+    lut_budget: int | None = None,
+    evaluator: Callable[[frozenset[str]], DsePoint] | None = None,
+) -> list[DsePoint]:
+    """Greedy trajectory from all-software; returns the visited points.
+
+    The last element is the heuristic's chosen solution.  *evaluator*
+    can replace the full flow+simulation (for tests); *lut_budget* caps
+    the area.
+    """
+    if evaluator is None:
+        def evaluator(hw: frozenset[str]) -> DsePoint:  # noqa: F811
+            return evaluate_hw_set(hw, width=width, height=height)
+
+    buildable = set(buildable_hw_sets())
+    current = evaluator(frozenset())
+    trajectory = [current]
+    remaining = {"grayScale", "histogram", "otsuMethod", "binarization"}
+
+    while remaining:
+        best: DsePoint | None = None
+        best_gain = 0.0
+        for func in sorted(remaining):
+            candidate_set = frozenset(current.hw | {func})
+            if candidate_set not in buildable:
+                continue
+            point = evaluator(candidate_set)
+            if lut_budget is not None and point.lut > lut_budget:
+                continue
+            delta_cycles = current.cycles - point.cycles
+            delta_lut = max(1, point.lut - current.lut)
+            gain = delta_cycles / delta_lut
+            if delta_cycles > 0 and gain > best_gain:
+                best, best_gain = point, gain
+        if best is None:
+            break
+        current = best
+        trajectory.append(current)
+        remaining -= current.hw
+    return trajectory

@@ -1,0 +1,33 @@
+"""Pareto-front extraction over (area, latency)."""
+
+from __future__ import annotations
+
+from repro.dse.evaluate import DsePoint
+
+
+def dominates(a: DsePoint, b: DsePoint) -> bool:
+    """True if *a* is at least as good as *b* everywhere and better somewhere.
+
+    Objectives: minimize LUT (area proxy) and minimize cycles (latency).
+    """
+    no_worse = a.lut <= b.lut and a.cycles <= b.cycles
+    better = a.lut < b.lut or a.cycles < b.cycles
+    return no_worse and better
+
+
+def pareto_front(points: list[DsePoint]) -> list[DsePoint]:
+    """Non-dominated subset, sorted by ascending LUT."""
+    front = [
+        p
+        for p in points
+        if not any(dominates(q, p) for q in points if q is not p)
+    ]
+    # Deduplicate identical objective vectors (keep the first).
+    seen: set[tuple[int, int]] = set()
+    unique = []
+    for p in sorted(front, key=lambda p: (p.lut, p.cycles)):
+        key = (p.lut, p.cycles)
+        if key not in seen:
+            seen.add(key)
+            unique.append(p)
+    return unique

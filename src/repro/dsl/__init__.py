@@ -1,0 +1,56 @@
+"""The task-graph DSL — the paper's primary contribution (Section III).
+
+Two equivalent front-ends are provided:
+
+* a **textual** front-end implementing the EBNF of Listing 1
+  (:func:`parse_dsl`), accepting exactly the concrete syntax shown in the
+  paper's listings (``tg nodes; tg node "MUL" i "A" ... end; ...``);
+* an **embedded** front-end (:class:`TaskGraphBuilder`) where every DSL
+  keyword is an executable method, mirroring the Scala implementation in
+  which "each one of the keywords defined in the DSL is an executable
+  function" (Section IV-B).  Keyword execution fires
+  :class:`ActionHooks` callbacks so a tool-flow can coordinate HLS and
+  system integration *while the description is being executed*.
+
+Both front-ends produce the same :class:`TgGraph` AST, which
+:func:`validate_graph` checks and :func:`emit_dsl` prints back to text
+(round-trip).
+"""
+
+from repro.dsl.actions import ActionHooks, RecordingHooks
+from repro.dsl.ast import (
+    SOC,
+    ConnectEdge,
+    Endpoint,
+    LinkEdge,
+    NodeDecl,
+    PortDecl,
+    PortKind,
+    TgGraph,
+)
+from repro.dsl.builder import TaskGraphBuilder
+from repro.dsl.codegen import emit_dsl
+from repro.dsl.from_htg import graph_from_htg
+from repro.dsl.parser import parse_dsl
+from repro.dsl.serialize import graph_from_dict, graph_to_dict
+from repro.dsl.validate import validate_graph
+
+__all__ = [
+    "SOC",
+    "ActionHooks",
+    "ConnectEdge",
+    "Endpoint",
+    "LinkEdge",
+    "NodeDecl",
+    "PortDecl",
+    "PortKind",
+    "RecordingHooks",
+    "TaskGraphBuilder",
+    "TgGraph",
+    "emit_dsl",
+    "graph_from_dict",
+    "graph_from_htg",
+    "graph_to_dict",
+    "parse_dsl",
+    "validate_graph",
+]

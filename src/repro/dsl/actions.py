@@ -1,0 +1,128 @@
+"""Action hooks fired while a DSL description is parsed or built.
+
+The paper's key implementation idea (Section IV-B) is that every DSL
+keyword is an *executable function*: ``nodes`` creates a new Vivado
+project, ``node`` opens a Vivado HLS project, ``i``/``is`` append
+interface directives, ``end`` runs HLS synthesis, ``connect``/``link``
+emit integration commands and ``end_edges`` executes the project tcl up
+to bitstream generation and then triggers API generation.
+
+:class:`ActionHooks` is the callback surface those keywords fire into.
+The default implementation does nothing (pure parsing);
+:class:`~repro.flow.orchestrator.FlowHooks` implements the full
+tool-flow; :class:`RecordingHooks` records the call sequence for tests.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.dsl.ast import ConnectEdge, Endpoint, LinkEdge, NodeDecl, PortDecl, TgGraph
+
+
+class ActionHooks:
+    """No-op base class; override the callbacks the flow cares about.
+
+    The callback order for a well-formed program is::
+
+        on_graph_begin
+          on_nodes_begin            # step 1: create the Vivado project
+            (on_node_begin          # step 2: create a Vivado HLS project
+             on_interface*          # step 3: add interface directives
+             on_node_end)+          # step 4: run HLS synthesis
+          on_nodes_end
+          on_edges_begin
+            (on_connect             # step 5: attach AXI-Lite to the bus
+             | on_link_begin        # step 6: new Link instance
+               on_link_end)*        # step 7: connect AXI-Stream endpoints
+          on_edges_end              # step 8: run project tcl + API generation
+        on_graph_end
+    """
+
+    def on_graph_begin(self, graph: "TgGraph") -> None:
+        """The program header was seen (``object <name> extends App {``)."""
+
+    def on_nodes_begin(self, graph: "TgGraph") -> None:
+        """``tg nodes`` — the tool creates a new Vivado project."""
+
+    def on_node_begin(self, graph: "TgGraph", name: str) -> None:
+        """``tg node "NAME"`` — a Vivado HLS project is created for NAME."""
+
+    def on_interface(self, graph: "TgGraph", node: str, port: "PortDecl") -> None:
+        """``i "P"`` / ``is "P"`` — an interface directive is appended."""
+
+    def on_node_end(self, graph: "TgGraph", node: "NodeDecl") -> None:
+        """``end`` of a node — HLS synthesis of the core is invoked."""
+
+    def on_nodes_end(self, graph: "TgGraph") -> None:
+        """``tg end_nodes`` — all accelerators are synthesized."""
+
+    def on_edges_begin(self, graph: "TgGraph") -> None:
+        """``tg edges`` — system-integration command stream opens."""
+
+    def on_connect(self, graph: "TgGraph", edge: "ConnectEdge") -> None:
+        """``tg connect "NODE"`` — AXI-Lite attachment command is emitted."""
+
+    def on_link_begin(self, graph: "TgGraph", src: "Endpoint") -> None:
+        """``tg link SRC`` — a new Link instance is created."""
+
+    def on_link_end(self, graph: "TgGraph", edge: "LinkEdge") -> None:
+        """``to DST end`` — the AXI-Stream connection command is emitted."""
+
+    def on_edges_end(self, graph: "TgGraph") -> None:
+        """``tg end_edges`` — the project tcl runs up to bitstream, then
+        API generation starts."""
+
+    def on_graph_end(self, graph: "TgGraph") -> None:
+        """The closing ``}`` of the program was seen."""
+
+
+class RecordingHooks(ActionHooks):
+    """Records every callback as ``(event, detail)`` tuples — test helper."""
+
+    def __init__(self) -> None:
+        self.events: list[tuple[str, object]] = []
+
+    def _rec(self, event: str, detail: object = None) -> None:
+        self.events.append((event, detail))
+
+    def on_graph_begin(self, graph: "TgGraph") -> None:
+        self._rec("graph_begin", graph.name)
+
+    def on_nodes_begin(self, graph: "TgGraph") -> None:
+        self._rec("nodes_begin")
+
+    def on_node_begin(self, graph: "TgGraph", name: str) -> None:
+        self._rec("node_begin", name)
+
+    def on_interface(self, graph: "TgGraph", node: str, port: "PortDecl") -> None:
+        self._rec("interface", (node, port.name, port.kind.value))
+
+    def on_node_end(self, graph: "TgGraph", node: "NodeDecl") -> None:
+        self._rec("node_end", node.name)
+
+    def on_nodes_end(self, graph: "TgGraph") -> None:
+        self._rec("nodes_end")
+
+    def on_edges_begin(self, graph: "TgGraph") -> None:
+        self._rec("edges_begin")
+
+    def on_connect(self, graph: "TgGraph", edge: "ConnectEdge") -> None:
+        self._rec("connect", edge.node)
+
+    def on_link_begin(self, graph: "TgGraph", src: "Endpoint") -> None:
+        self._rec("link_begin", src)
+
+    def on_link_end(self, graph: "TgGraph", edge: "LinkEdge") -> None:
+        self._rec("link_end", (edge.src, edge.dst))
+
+    def on_edges_end(self, graph: "TgGraph") -> None:
+        self._rec("edges_end")
+
+    def on_graph_end(self, graph: "TgGraph") -> None:
+        self._rec("graph_end", graph.name)
+
+    def names(self) -> list[str]:
+        """Just the event names, in order."""
+        return [e for e, _ in self.events]

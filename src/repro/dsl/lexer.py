@@ -1,0 +1,138 @@
+"""Lexer for the textual task-graph DSL (paper Listing 1).
+
+Token kinds:
+
+* ``KEYWORD`` — ``object extends App tg nodes end_nodes edges end_edges
+  node end connect link to i is``
+* ``IDENT``   — a bare word that is not a keyword (the project name in
+  ``object otsu extends App``)
+* ``STRING``  — double-quoted node/port names, e.g. ``"MUL"``
+* ``SYMBOL``  — quoted Scala symbols; only ``'soc`` is legal
+* punctuation — ``{ } ; ( ) ,``
+
+Scala-style line comments (``//``) are skipped so example files can be
+annotated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.util.errors import DslSyntaxError, SourceLocation
+
+KEYWORDS = frozenset(
+    {
+        "object",
+        "extends",
+        "App",
+        "tg",
+        "nodes",
+        "end_nodes",
+        "edges",
+        "end_edges",
+        "node",
+        "end",
+        "connect",
+        "link",
+        "to",
+        "i",
+        "is",
+    }
+)
+
+PUNCT = frozenset("{};(),")
+
+
+class TokKind(Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    STRING = "string"
+    SYMBOL = "symbol"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    value: str
+    loc: SourceLocation
+
+    def is_kw(self, word: str) -> bool:
+        return self.kind is TokKind.KEYWORD and self.value == word
+
+    def is_punct(self, ch: str) -> bool:
+        return self.kind is TokKind.PUNCT and self.value == ch
+
+
+def tokenize(text: str, filename: str = "<dsl>") -> list[Token]:
+    """Tokenize *text*; raises :class:`DslSyntaxError` on illegal input."""
+    tokens: list[Token] = []
+    i, line, col = 0, 1, 1
+    n = len(text)
+
+    def loc() -> SourceLocation:
+        return SourceLocation(line, col, filename)
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if c.isspace():
+            i += 1
+            col += 1
+            continue
+        if text.startswith("//", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if c in PUNCT:
+            tokens.append(Token(TokKind.PUNCT, c, loc()))
+            i += 1
+            col += 1
+            continue
+        if c == '"':
+            start = loc()
+            j = i + 1
+            while j < n and text[j] != '"':
+                if text[j] == "\n":
+                    raise DslSyntaxError("unterminated string literal", start)
+                j += 1
+            if j >= n:
+                raise DslSyntaxError("unterminated string literal", start)
+            value = text[i + 1 : j]
+            tokens.append(Token(TokKind.STRING, value, start))
+            col += j + 1 - i
+            i = j + 1
+            continue
+        if c == "'":
+            start = loc()
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            value = text[i + 1 : j]
+            if not value:
+                raise DslSyntaxError("empty symbol after quote", start)
+            tokens.append(Token(TokKind.SYMBOL, value, start))
+            col += j - i
+            i = j
+            continue
+        if c.isalpha() or c == "_":
+            start = loc()
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            kind = TokKind.KEYWORD if word in KEYWORDS else TokKind.IDENT
+            tokens.append(Token(kind, word, start))
+            col += j - i
+            i = j
+            continue
+        raise DslSyntaxError(f"illegal character {c!r}", loc())
+
+    tokens.append(Token(TokKind.EOF, "", loc()))
+    return tokens

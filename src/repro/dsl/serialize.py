@@ -1,0 +1,66 @@
+"""JSON-friendly (de)serialization of DSL graphs.
+
+Complements the textual form: tools that want a machine-readable
+exchange format (e.g. a DSE driver emitting candidate architectures)
+can round-trip through plain dicts instead of DSL text.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.dsl.ast import SOC, ConnectEdge, Endpoint, LinkEdge, NodeDecl, PortDecl, PortKind, TgGraph
+from repro.util.errors import DslValidationError
+
+
+def _endpoint_to_obj(end: Endpoint) -> Any:
+    if isinstance(end, tuple):
+        return [end[0], end[1]]
+    return "soc"
+
+
+def _endpoint_from_obj(obj: Any) -> Endpoint:
+    if obj == "soc":
+        return SOC
+    if isinstance(obj, (list, tuple)) and len(obj) == 2:
+        return (str(obj[0]), str(obj[1]))
+    raise DslValidationError(f"bad endpoint encoding: {obj!r}")
+
+
+def graph_to_dict(graph: TgGraph) -> dict[str, Any]:
+    """Serialize *graph* to plain dict/list/str values."""
+    return {
+        "name": graph.name,
+        "nodes": [
+            {
+                "name": n.name,
+                "ports": [[p.name, p.kind.value] for p in n.ports],
+            }
+            for n in graph.nodes
+        ],
+        "edges": [
+            {"connect": e.node}
+            if isinstance(e, ConnectEdge)
+            else {"link": [_endpoint_to_obj(e.src), _endpoint_to_obj(e.dst)]}
+            for e in graph.edges
+        ],
+    }
+
+
+def graph_from_dict(data: dict[str, Any]) -> TgGraph:
+    """Rebuild a :class:`TgGraph` from :func:`graph_to_dict` output."""
+    graph = TgGraph(data.get("name", "anonymous"))
+    for nd in data.get("nodes", ()):
+        ports = tuple(
+            PortDecl(str(pname), PortKind(kind)) for pname, kind in nd["ports"]
+        )
+        graph.nodes.append(NodeDecl(str(nd["name"]), ports))
+    for ed in data.get("edges", ()):
+        if "connect" in ed:
+            graph.edges.append(ConnectEdge(str(ed["connect"])))
+        elif "link" in ed:
+            src, dst = ed["link"]
+            graph.edges.append(LinkEdge(_endpoint_from_obj(src), _endpoint_from_obj(dst)))
+        else:
+            raise DslValidationError(f"unknown edge encoding: {ed!r}")
+    return graph

@@ -1,0 +1,34 @@
+"""End-to-end flow orchestration (the paper's executable-DSL tool).
+
+:func:`run_flow` "executes" a task-graph description: the DSL keywords
+fire :class:`FlowHooks` callbacks that create HLS projects, synthesize
+cores, integrate the system, generate tcl, run implementation and emit
+the software layer — the exact step sequence of paper Section IV-B.
+:mod:`timing` models the wall-clock cost of each phase (Fig. 9);
+:mod:`baseline` is the SDSoC-like comparison flow; :mod:`gui_model`
+estimates the manual-GUI alternative from the Discussion section;
+:mod:`workspace` materializes all artifacts to a directory tree.
+"""
+
+from repro.flow.autosim import AutoSimResult, autosimulate, lift_to_htg
+from repro.flow.baseline import SdsocResult, sdsoc_flow
+from repro.flow.gui_model import estimate_gui_seconds
+from repro.flow.orchestrator import CoreBuild, FlowConfig, FlowResult, run_flow
+from repro.flow.timing import FlowTiming, TimingModel
+from repro.flow.workspace import materialize
+
+__all__ = [
+    "AutoSimResult",
+    "CoreBuild",
+    "autosimulate",
+    "lift_to_htg",
+    "FlowConfig",
+    "FlowResult",
+    "FlowTiming",
+    "SdsocResult",
+    "TimingModel",
+    "estimate_gui_seconds",
+    "materialize",
+    "run_flow",
+    "sdsoc_flow",
+]

@@ -1,0 +1,243 @@
+"""Automatic simulation of an arbitrary DSL design.
+
+Given only what the flow already has — the task graph and the
+synthesized cores — this module builds everything
+:func:`~repro.sim.runtime.simulate_application` needs:
+
+* an :class:`~repro.htg.model.HTG` lifted from the DSL graph (all
+  streaming nodes become one dataflow phase; each AXI-Lite node becomes
+  a hardware task driven with caller-supplied or default scalar
+  arguments);
+* behaviours synthesized from the cores' own compiled C via the IR
+  interpreter — the HLS model is the single source of functional truth,
+  so *any* ``.tg`` design can be executed without hand-written golden
+  models;
+* stimulus buffers for every ``'soc`` stream input (caller-supplied or
+  deterministic pseudo-random), sized from the C signatures.
+
+This is what the CLI's ``simulate`` command runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dsl.ast import TgGraph
+from repro.flow.orchestrator import FlowResult
+from repro.hls.interp import dtype_for
+from repro.hls.project import SynthesisResult
+from repro.htg.model import HTG, Actor, Phase, StreamChannel, Task
+from repro.htg.partition import Partition
+from repro.sim.runtime import Behavior, ExecutionReport, simulate_application
+from repro.util.errors import FlowError
+
+
+@dataclass
+class AutoSimResult:
+    """Everything the automatic simulation produced."""
+
+    report: ExecutionReport
+    #: 'soc stream input name -> stimulus array fed in.
+    stimuli: dict[str, np.ndarray] = field(default_factory=dict)
+    #: 'soc stream output name -> captured array.
+    outputs: dict[str, np.ndarray] = field(default_factory=dict)
+    #: AXI-Lite node -> return value (None for void cores).
+    lite_returns: dict[str, int | float | None] = field(default_factory=dict)
+
+
+def _stream_length(core: SynthesisResult, port: str) -> int:
+    atype = core.function.array_params.get(port)
+    if atype is None or atype.size is None:
+        raise FlowError(
+            f"core {core.top!r}: stream port {port!r} needs a sized array "
+            "parameter for automatic simulation"
+        )
+    return atype.size
+
+
+def _interpreter_behavior(core: SynthesisResult) -> Behavior:
+    """Actor behaviour that runs the core's compiled C."""
+    in_ports = [
+        (name, atype)
+        for name, atype in core.function.array_params.items()
+        if core.iface.modes.get(name) is not None
+        and any(s.name == name and s.direction == "in" for s in core.iface.streams)
+    ]
+    out_ports = [
+        (name, atype)
+        for name, atype in core.function.array_params.items()
+        if any(s.name == name and s.direction == "out" for s in core.iface.streams)
+    ]
+
+    def run(*inputs: np.ndarray):
+        args: list[object] = []
+        outs: list[np.ndarray] = []
+        it = iter(inputs)
+        for pname, ptype in core.function.params:
+            if pname in dict(in_ports):
+                args.append(np.asarray(next(it)))
+            elif pname in dict(out_ports):
+                atype = dict(out_ports)[pname]
+                buf = np.zeros(atype.size, dtype=dtype_for(atype.element))
+                args.append(buf)
+                outs.append(buf)
+            else:
+                args.append(0)  # scalar params default to zero
+        core.run(*args)
+        return tuple(outs) if len(outs) != 1 else outs[0]
+
+    return Behavior(run)
+
+
+def lift_to_htg(
+    graph: TgGraph, cores: dict[str, SynthesisResult]
+) -> tuple[HTG, Partition, dict[str, Behavior], dict[str, np.ndarray], list[str]]:
+    """Lift a DSL graph to an HTG + interpreter behaviours.
+
+    Returns ``(htg, partition, behaviors, input_sizes, lite_nodes)``
+    where ``input_sizes`` maps each boundary input name to its element
+    count/dtype prototype (zeros array).
+    """
+    htg = HTG(f"{graph.name}_sim" if graph.name != "anonymous" else "sim")
+    behaviors: dict[str, Behavior] = {}
+    prototypes: dict[str, np.ndarray] = {}
+
+    stream_nodes = [n for n in graph.nodes if n.stream_ports()]
+    lite_nodes = [n.name for n in graph.nodes if not n.stream_ports()]
+    hw_nodes: set[str] = set()
+
+    phase: Phase | None = None
+    if stream_nodes:
+        actors = []
+        channels = []
+        inputs: list[str] = []
+        outputs: list[str] = []
+        for node in stream_nodes:
+            core = cores[node.name]
+            ins = tuple(
+                s.name for s in core.iface.streams if s.direction == "in"
+            )
+            outs = tuple(
+                s.name for s in core.iface.streams if s.direction == "out"
+            )
+            actors.append(
+                Actor(node.name, stream_inputs=ins, stream_outputs=outs,
+                      c_source="(from flow)")
+            )
+            behaviors[f"pipeline.{node.name}"] = _interpreter_behavior(core)
+        for link in graph.links():
+            if link.from_soc():
+                assert isinstance(link.dst, tuple)
+                data = f"in_{link.dst[0]}_{link.dst[1]}"
+                inputs.append(data)
+                channels.append(
+                    StreamChannel(Phase.BOUNDARY, data, link.dst[0], link.dst[1])
+                )
+                core = cores[link.dst[0]]
+                size = _stream_length(core, link.dst[1])
+                elem = core.function.array_params[link.dst[1]].element
+                prototypes[data] = np.zeros(size, dtype=dtype_for(elem))
+            elif link.to_soc():
+                assert isinstance(link.src, tuple)
+                data = f"out_{link.src[0]}_{link.src[1]}"
+                outputs.append(data)
+                channels.append(
+                    StreamChannel(link.src[0], link.src[1], Phase.BOUNDARY, data)
+                )
+            else:
+                assert isinstance(link.src, tuple) and isinstance(link.dst, tuple)
+                channels.append(
+                    StreamChannel(link.src[0], link.src[1], link.dst[0], link.dst[1])
+                )
+        phase = Phase(
+            name="pipeline",
+            actors=actors,
+            channels=channels,
+            inputs=tuple(inputs),
+            outputs=tuple(outputs),
+        )
+        htg.add(phase)
+        hw_nodes.add("pipeline")
+
+        htg.add(
+            Task(
+                "stimulus",
+                outputs=tuple(inputs),
+                io=True,
+                sw_cycles=sum(len(p) for p in prototypes.values()) or 1,
+            )
+        )
+        htg.add(Task("capture", inputs=tuple(outputs), io=True, sw_cycles=1))
+        htg.add_edge("stimulus", "pipeline")
+        htg.add_edge("pipeline", "capture")
+        behaviors["capture"] = Behavior(lambda *a: None)
+
+    partition = Partition.from_hw_set(htg, hw_nodes) if htg.nodes else Partition()
+    return htg, partition, behaviors, prototypes, lite_nodes
+
+
+def autosimulate(
+    flow: FlowResult,
+    *,
+    stimuli: dict[str, np.ndarray] | None = None,
+    lite_args: dict[str, dict[str, int]] | None = None,
+    seed: int = 1,
+    wait_mode: str = "poll",
+) -> AutoSimResult:
+    """Simulate *flow*'s system with interpreter-derived behaviours.
+
+    *stimuli* overrides the generated inputs (keyed
+    ``in_<node>_<port>``); *lite_args* supplies scalar arguments per
+    AXI-Lite node (register name -> value).
+    """
+    cores = {name: build.result for name, build in flow.cores.items()}
+    htg, partition, behaviors, prototypes, lite_nodes = lift_to_htg(
+        flow.graph, cores
+    )
+
+    rng = np.random.default_rng(seed)
+    fed: dict[str, np.ndarray] = {}
+    for name, proto in prototypes.items():
+        if stimuli and name in stimuli:
+            arr = np.asarray(stimuli[name]).astype(proto.dtype)
+            if arr.shape != proto.shape:
+                raise FlowError(
+                    f"stimulus {name!r} has shape {arr.shape}, needs {proto.shape}"
+                )
+            fed[name] = arr
+        else:
+            info_max = 127  # keep values well inside every element type
+            fed[name] = rng.integers(0, info_max, proto.shape).astype(proto.dtype)
+    if prototypes:
+        behaviors["stimulus"] = Behavior(lambda: tuple(fed[n] for n in prototypes))
+
+    result = AutoSimResult(report=None)  # type: ignore[arg-type]
+    outputs: dict[str, np.ndarray] = {}
+    if htg.nodes:
+        report = simulate_application(
+            htg, partition, behaviors, {}, system=flow.system, wait_mode=wait_mode
+        )
+        for node in htg.nodes.values():
+            if isinstance(node, Phase):
+                for out in node.outputs:
+                    outputs[out] = report.of(out)
+        result.report = report
+    else:
+        raise FlowError("nothing to simulate: the design has no stream nodes")
+
+    # Drive the AXI-Lite nodes directly (outside the HTG semantics).
+    lite_returns: dict[str, int | float | None] = {}
+    for name in lite_nodes:
+        core = cores[name]
+        args = []
+        supplied = (lite_args or {}).get(name, {})
+        for pname, ptype in core.function.params:
+            args.append(supplied.get(pname, 0))
+        lite_returns[name] = core.run(*args)
+
+    result.stimuli = fed
+    result.outputs = outputs
+    result.lite_returns = lite_returns
+    return result

@@ -1,0 +1,47 @@
+"""Cost model of the manual GUI alternative (Discussion section).
+
+The paper timed the manual route: 48 seconds after launching Vivado the
+authors "were only able to instantiate the Zynq PS, and still had to add
+the repository for the HLS cores, add all the generated cores, and
+perform the interconnections".  This model charges that measured PS
+cost plus per-action times for the remaining clicks, giving the
+"designer seconds" a GUI session would need for a given design.
+"""
+
+from __future__ import annotations
+
+from repro.soc.blockdesign import BlockDesign
+from repro.soc.ip import PinKind
+
+#: Measured in the paper: project creation + PS instantiation.
+PS_SETUP_S = 48.0
+#: Adding the exported-HLS IP repository to the project.
+IP_REPO_S = 35.0
+#: Per-cell instantiation (search, place, configure).
+PER_CELL_S = 22.0
+#: Per bus connection drawn in the diagram.
+PER_BUS_CONNECTION_S = 9.0
+#: Clock/reset nets are mostly handled by connection automation.
+PER_NET_CONNECTION_S = 2.5
+#: Address editor work per mapped segment.
+PER_SEGMENT_S = 12.0
+
+_BUS_KINDS = {
+    PinKind.AXI_LITE_MASTER,
+    PinKind.AXI_FULL_MASTER,
+    PinKind.AXIS_MASTER,
+}
+
+
+def estimate_gui_seconds(design: BlockDesign) -> float:
+    """Designer time to build *design* manually in the IP-integrator GUI."""
+    total = PS_SETUP_S + IP_REPO_S
+    total += PER_CELL_S * max(0, len(design.cells) - 1)  # PS already counted
+    for conn in design.connections:
+        kind = design.cell(conn.src_cell).pin(conn.src_pin).kind
+        if kind in _BUS_KINDS:
+            total += PER_BUS_CONNECTION_S
+        else:
+            total += PER_NET_CONNECTION_S
+    total += PER_SEGMENT_S * len(design.address_map.ranges)
+    return total

@@ -1,0 +1,231 @@
+"""The flow orchestrator: executing a DSL description runs the tool-chain.
+
+:class:`FlowHooks` implements the paper's Section IV-B semantics — every
+DSL keyword is an executable function:
+
+1. ``tg nodes``     → a new Vivado project is created;
+2. ``tg node``      → a Vivado HLS project opens for that core;
+3. ``i`` / ``is``   → an interface directive is appended;
+4. ``end``          → HLS synthesis of the core runs;
+5. ``tg connect``   → an AXI-Lite attachment is recorded;
+6. ``tg link``      → a Link instance opens;
+7. ``to``/``end``   → the AXI-Stream connection is recorded;
+8. ``tg end_edges`` → integration, tcl generation, the (simulated)
+   implementation up to the bitstream, then API/boot generation.
+
+Cores already synthesized in a previous run can be supplied through
+``core_cache`` — the case study builds Arch4 first and reuses its cores,
+"the generation of the hardware cores is done only once for each
+function" (Section VI-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dsl.actions import ActionHooks
+from repro.dsl.ast import NodeDecl, PortDecl, PortKind, TgGraph
+from repro.dsl.codegen import emit_dsl
+from repro.dsl.parser import parse_dsl
+from repro.dsl.validate import validate_graph
+from repro.hls.interfaces import Directive, InterfaceMode, interface
+from repro.hls.project import HlsProject, SynthesisResult
+from repro.soc.integrator import IntegratedSystem, IntegrationConfig, integrate
+from repro.soc.ip import hls_core
+from repro.soc.synthesis import Bitstream, run_synthesis
+from repro.swgen.petalinux import PetalinuxImage, assemble_image
+from repro.tcl.backends import VivadoBackend, Vivado2015_3
+from repro.tcl.generate import generate_hls_tcl, generate_system_tcl
+from repro.tcl.runner import TclRunner
+from repro.tcl.script import TclScript
+from repro.flow.timing import FlowTiming, TimingModel
+from repro.util.errors import FlowError
+from repro.util.text import count_lines
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """Configuration of one flow execution."""
+
+    backend: VivadoBackend = field(default_factory=Vivado2015_3)
+    integration: IntegrationConfig = field(default_factory=IntegrationConfig)
+    timing_model: TimingModel = field(default_factory=TimingModel)
+    #: Validate the generated tcl by re-executing it and comparing
+    #: bitstream digests (slower but machine-checks the scripts).
+    check_tcl: bool = True
+
+
+@dataclass
+class CoreBuild:
+    """One synthesized core plus its per-core artifacts."""
+
+    name: str
+    result: SynthesisResult
+    hls_tcl: TclScript
+    directives_tcl: str
+    modeled_seconds: float
+    c_source: str = ""
+    reused: bool = False
+
+
+@dataclass
+class FlowResult:
+    """Everything one flow execution produced."""
+
+    graph: TgGraph
+    dsl_text: str
+    cores: dict[str, CoreBuild]
+    system: IntegratedSystem
+    system_tcl: TclScript
+    bitstream: Bitstream
+    image: PetalinuxImage
+    timing: FlowTiming
+
+    @property
+    def design(self):
+        return self.system.design
+
+
+class FlowHooks(ActionHooks):
+    """DSL action hooks that drive the tool-chain while parsing."""
+
+    def __init__(
+        self,
+        c_sources: dict[str, str],
+        *,
+        extra_directives: dict[str, list[Directive]] | None = None,
+        core_cache: dict[str, CoreBuild] | None = None,
+        config: FlowConfig | None = None,
+    ) -> None:
+        self.c_sources = c_sources
+        self.extra_directives = extra_directives or {}
+        self.core_cache = core_cache or {}
+        self.config = config or FlowConfig()
+        self.cores: dict[str, CoreBuild] = {}
+        self.timing = FlowTiming()
+        self._project: HlsProject | None = None
+        self.result: FlowResult | None = None
+
+    # -- nodes section: HLS ------------------------------------------------
+    def on_nodes_begin(self, graph: TgGraph) -> None:
+        # Step 1: "the function nodes creates a new Vivado project".
+        self._vivado_project_open = True
+
+    def on_node_begin(self, graph: TgGraph, name: str) -> None:
+        # Step 2: a Vivado HLS project for this core.
+        if name in self.core_cache:
+            self._project = None  # core reused, no HLS project needed
+            return
+        source = self.c_sources.get(name)
+        if source is None:
+            raise FlowError(f"no C source supplied for node {name!r}")
+        self._project = HlsProject(name).add_files(source).set_top(name)
+        for d in self.extra_directives.get(name, []):
+            self._project.add_directive(d)
+
+    def on_interface(self, graph: TgGraph, node: str, port: PortDecl) -> None:
+        # Step 3: append the interface directive.
+        if self._project is None:
+            return  # cached core: interfaces already baked in
+        mode = (
+            InterfaceMode.AXIS if port.kind is PortKind.STREAM else InterfaceMode.S_AXILITE
+        )
+        self._project.add_directive(interface(node, port.name, mode))
+
+    def on_node_end(self, graph: TgGraph, node: NodeDecl) -> None:
+        # Step 4: invoke HLS synthesis for this core.
+        if node.name in self.core_cache:
+            cached = self.core_cache[node.name]
+            self.cores[node.name] = CoreBuild(
+                name=node.name,
+                result=cached.result,
+                hls_tcl=cached.hls_tcl,
+                directives_tcl=cached.directives_tcl,
+                modeled_seconds=0.0,
+                c_source=cached.c_source,
+                reused=True,
+            )
+            self.timing.hls_cores[node.name] = 0.0
+            return
+        assert self._project is not None
+        result = self._project.csynth()
+        seconds = self.config.timing_model.hls_core_s(result)
+        self.timing.hls_s += seconds
+        self.timing.hls_cores[node.name] = seconds
+        self.cores[node.name] = CoreBuild(
+            name=node.name,
+            result=result,
+            hls_tcl=generate_hls_tcl(node.name, result),
+            directives_tcl=self._project.directives_tcl(),
+            modeled_seconds=seconds,
+            c_source="\n".join(self._project.sources),
+        )
+        self._project = None
+
+    # -- edges section: integration -----------------------------------------------
+    def on_edges_end(self, graph: TgGraph) -> None:
+        # Step 8: execute the project tcl up to the bitstream, then the
+        # software layer.
+        validate_graph(graph)
+        results = {name: build.result for name, build in self.cores.items()}
+        system = integrate(graph, results, self.config.integration)
+        system_tcl = generate_system_tcl(system, self.config.backend)
+        bitstream = run_synthesis(system.design)
+
+        if self.config.check_tcl:
+            runner = TclRunner()
+            for name, build in self.cores.items():
+                runner.register_ip(
+                    f"xilinx.com:hls:{name}",
+                    lambda cell, params, r=build.result, n=name: hls_core(cell, n, r),
+                )
+            rebuilt = runner.execute(system_tcl.render())
+            if rebuilt.bitstream is None or rebuilt.bitstream.digest != bitstream.digest:
+                raise FlowError(
+                    "generated tcl does not reproduce the integrated design"
+                )
+
+        image = assemble_image(system, bitstream)
+
+        model = self.config.timing_model
+        self.timing.scala_s = model.scala_compile_s(count_lines(emit_dsl(graph)))
+        self.timing.project_s = model.project_generation_s(system.design)
+        self.timing.synth_s = model.synthesis_s(system.design)
+
+        self.result = FlowResult(
+            graph=graph,
+            dsl_text=emit_dsl(graph),
+            cores=self.cores,
+            system=system,
+            system_tcl=system_tcl,
+            bitstream=bitstream,
+            image=image,
+            timing=self.timing,
+        )
+
+
+def run_flow(
+    description: str | TgGraph,
+    c_sources: dict[str, str],
+    *,
+    extra_directives: dict[str, list[Directive]] | None = None,
+    core_cache: dict[str, CoreBuild] | None = None,
+    config: FlowConfig | None = None,
+) -> FlowResult:
+    """Execute a task-graph description through the full tool-chain.
+
+    *description* is DSL text (parsed and executed keyword by keyword) or
+    an already-built :class:`TgGraph` (re-emitted and executed, so the
+    hook sequence is identical either way).
+    """
+    hooks = FlowHooks(
+        c_sources,
+        extra_directives=extra_directives,
+        core_cache=core_cache,
+        config=config,
+    )
+    text = description if isinstance(description, str) else emit_dsl(description)
+    parse_dsl(text, hooks=hooks)
+    if hooks.result is None:  # pragma: no cover - parse_dsl raises first
+        raise FlowError("flow did not complete")
+    return hooks.result

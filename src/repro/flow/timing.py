@@ -1,0 +1,89 @@
+"""Deterministic wall-clock model of the flow phases (Fig. 9).
+
+Absolute tool runtimes are testbed-specific, so we model them: the
+constants are anchored to what the paper reports — compiling the Scala
+task graph takes ~6 s, generating the Vivado project ~50 s (vs. 48 s for
+a human just instantiating the PS in the GUI), and generating all four
+Otsu architectures ~42 minutes in total, dominated by HLS and
+synthesis/implementation.  Within an architecture the model scales with
+design size: HLS time with the core's IR size and FU mix, implementation
+time with the post-synthesis LUT count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hls.project import SynthesisResult
+from repro.soc.blockdesign import BlockDesign
+
+#: Phase labels, in the order Fig. 9 stacks them.
+PHASES = ("SCALA", "HLS", "PROJECT", "SYNTH")
+
+
+@dataclass
+class FlowTiming:
+    """Modeled seconds per phase for one architecture build."""
+
+    scala_s: float = 0.0
+    hls_s: float = 0.0
+    project_s: float = 0.0
+    synth_s: float = 0.0
+    #: Per-core HLS breakdown (reused cores appear with 0.0).
+    hls_cores: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_s(self) -> float:
+        return self.scala_s + self.hls_s + self.project_s + self.synth_s
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "SCALA": round(self.scala_s, 1),
+            "HLS": round(self.hls_s, 1),
+            "PROJECT": round(self.project_s, 1),
+            "SYNTH": round(self.synth_s, 1),
+            "TOTAL": round(self.total_s, 1),
+        }
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Calibrated constants; defaults reproduce the paper's anchors."""
+
+    # Scala/DSL compilation: ~6 s for the case-study descriptions.
+    scala_base_s: float = 5.6
+    scala_per_line_s: float = 0.03
+
+    # Vivado HLS: tool start-up plus scheduling/binding effort.
+    hls_base_s: float = 32.0
+    hls_per_op_s: float = 0.35
+    hls_float_core_extra_s: float = 28.0
+
+    # Vivado project generation: ~50 s per architecture.
+    project_base_s: float = 41.0
+    project_per_cell_s: float = 0.9
+    project_per_conn_s: float = 0.12
+
+    # Synthesis + place&route + bitstream.
+    synth_base_s: float = 252.0
+    synth_per_lut_s: float = 0.045
+
+    def scala_compile_s(self, dsl_lines: int) -> float:
+        return self.scala_base_s + self.scala_per_line_s * dsl_lines
+
+    def hls_core_s(self, result: SynthesisResult) -> float:
+        n_ops = sum(len(b.ops) for b in result.function.blocks)
+        t = self.hls_base_s + self.hls_per_op_s * n_ops
+        if any(cls.startswith("f") for cls in result.binding.fu_counts):
+            t += self.hls_float_core_extra_s
+        return t
+
+    def project_generation_s(self, design: BlockDesign) -> float:
+        return (
+            self.project_base_s
+            + self.project_per_cell_s * len(design.cells)
+            + self.project_per_conn_s * len(design.connections)
+        )
+
+    def synthesis_s(self, design: BlockDesign) -> float:
+        return self.synth_base_s + self.synth_per_lut_s * design.total_resources().lut

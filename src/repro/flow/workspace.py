@@ -1,0 +1,122 @@
+"""Materialize a flow result to a directory tree.
+
+Mirrors what the real tool leaves on disk: one Vivado HLS project
+directory per core (C source, script, directives, Verilog, report,
+csim golden vectors), the system-level tcl, the block-design diagram,
+the bitstream metadata, and the ``sdcard/`` + ``sw/`` software layer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.flow.orchestrator import FlowResult
+from repro.hls.interp import dtype_for
+from repro.hls.rtl import library_cells
+
+
+def _csim_vectors(result, seed: int = 1) -> dict | None:
+    """Deterministic stimulus/response vectors for a stream core.
+
+    What an RTL engineer would replay against the generated Verilog:
+    every axis input gets a seeded pseudo-random vector; outputs come
+    from the csim model.  Cores without stream ports return None.
+    """
+    iface = result.iface
+    if not iface.streams:
+        return None
+    rng = np.random.default_rng(seed)
+    args = []
+    record_in: dict[str, list[int]] = {}
+    record_out: dict[str, np.ndarray] = {}
+    for pname, ptype in result.function.params:
+        if pname in result.function.array_params:
+            atype = result.function.array_params[pname]
+            stream = next((s for s in iface.streams if s.name == pname), None)
+            buf = np.zeros(atype.size or 0, dtype=dtype_for(atype.element))
+            if stream is not None and stream.direction == "in":
+                buf[:] = rng.integers(0, 100, len(buf))
+                record_in[pname] = buf.tolist()
+            elif stream is not None:
+                record_out[pname] = buf
+            args.append(buf)
+        else:
+            args.append(1)
+    try:
+        result.run(*args)
+    except Exception:
+        return None  # data-dependent cores may reject random stimulus
+    return {
+        "seed": seed,
+        "inputs": record_in,
+        "outputs": {k: v.tolist() for k, v in record_out.items()},
+    }
+
+
+def materialize(result: FlowResult, root: str | Path) -> Path:
+    """Write every artifact of *result* under *root*; returns the path."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+
+    (root / "taskgraph.tg").write_text(result.dsl_text)
+
+    # Per-core HLS projects (scripts are re-executable: the C source the
+    # script's add_files references sits next to it).
+    for name, build in result.cores.items():
+        core_dir = root / "hls" / name
+        core_dir.mkdir(parents=True, exist_ok=True)
+        (core_dir / "script.tcl").write_text(build.hls_tcl.render())
+        (core_dir / "directives.tcl").write_text(build.directives_tcl)
+        (core_dir / f"{build.result.top}.c").write_text(build.c_source)
+        (core_dir / f"{name}.v").write_text(build.result.verilog)
+        (core_dir / "csynth.rpt").write_text(build.result.report.render())
+        vectors = _csim_vectors(build.result)
+        if vectors is not None:
+            (core_dir / "csim_vectors.json").write_text(
+                json.dumps(vectors, indent=1) + "\n"
+            )
+    (root / "hls" / "repro_cells.v").write_text(library_cells())
+
+    # System integration.
+    sys_dir = root / "vivado"
+    sys_dir.mkdir(parents=True, exist_ok=True)
+    (sys_dir / "system.tcl").write_text(result.system_tcl.render())
+    (sys_dir / "design.dot").write_text(result.design.to_diagram())
+    (sys_dir / "address_map.txt").write_text(result.design.address_map.render() + "\n")
+    (sys_dir / "bitstream.json").write_text(
+        json.dumps(
+            {
+                "design": result.bitstream.design,
+                "part": result.bitstream.part,
+                "digest": result.bitstream.digest,
+                "achieved_clock_mhz": result.bitstream.achieved_clock_mhz,
+                "utilization": {
+                    "LUT": result.bitstream.utilization.lut,
+                    "FF": result.bitstream.utilization.ff,
+                    "RAMB18": result.bitstream.utilization.bram18,
+                    "DSP": result.bitstream.utilization.dsp,
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # Software layer.
+    sw_dir = root / "sw"
+    sw_dir.mkdir(parents=True, exist_ok=True)
+    for name, content in result.image.sources.items():
+        (sw_dir / name).write_text(content)
+    sd_dir = root / "sdcard"
+    sd_dir.mkdir(parents=True, exist_ok=True)
+    (sd_dir / "MANIFEST").write_text(result.image.boot.manifest() + "\n")
+    (sd_dir / "devicetree.dts").write_text(result.image.boot.dts)
+
+    # Timing summary (the Fig. 9 input).
+    (root / "timing.json").write_text(
+        json.dumps(result.timing.as_row(), indent=2) + "\n"
+    )
+    return root

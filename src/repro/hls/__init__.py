@@ -1,0 +1,41 @@
+"""From-scratch High-Level Synthesis engine (the Vivado HLS substitute).
+
+Pipeline: C source → :mod:`clex`/:mod:`cparse` → AST → :mod:`sema` →
+typed AST → :mod:`lower` → three-address IR with a CFG → :mod:`passes`
+(const-fold, copy-prop, strength-reduce, DCE) → :mod:`loops` (trip
+counts, unrolling, pipeline II) → :mod:`schedule` (ASAP/ALAP/list) →
+:mod:`bind` (FU + left-edge register binding) → :mod:`fsm` →
+:mod:`rtl` (Verilog) with :mod:`interfaces` (AXI-Lite register file /
+AXI-Stream) per the directive file, plus :mod:`resources` and
+:mod:`latency` estimation.  :mod:`interp` executes the IR directly — the
+"C simulation" used by tests and by the SoC simulator to compute
+accelerator behaviour.
+
+The public entry point mirrors the Vivado HLS project model the paper
+scripts over: :class:`HlsProject` (add sources, set the top function,
+add directives, ``csynth()``) producing a :class:`SynthesisResult`.
+"""
+
+from repro.hls.interfaces import Directive, InterfaceMode, interface, pipeline, unroll
+from repro.hls.project import (
+    HlsProject,
+    SynthesisResult,
+    estimate_sw_cycles,
+    synthesize_function,
+)
+from repro.hls.report import SynthesisReport
+from repro.hls.resources import ResourceUsage
+
+__all__ = [
+    "Directive",
+    "HlsProject",
+    "InterfaceMode",
+    "ResourceUsage",
+    "SynthesisReport",
+    "SynthesisResult",
+    "estimate_sw_cycles",
+    "interface",
+    "pipeline",
+    "synthesize_function",
+    "unroll",
+]

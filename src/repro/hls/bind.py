@@ -1,0 +1,100 @@
+"""Resource binding: functional-unit allocation and left-edge register
+binding.
+
+Functional units
+----------------
+Blocks execute at different times, so units are shared across blocks for
+free: the allocation per resource class is the *maximum* concurrent use
+in any single block (which the scheduler already capped at the class
+limit).
+
+Registers
+---------
+A value needs a register iff it crosses a cycle boundary: produced by a
+sequential unit, or produced combinationally in an earlier cycle than
+one of its uses.  Lifetimes ``[def_cycle, last_use_cycle]`` within each
+block feed the classic left-edge algorithm (per bit-width class) to
+share registers.  Every variable slot additionally owns one dedicated
+register, since slots live across blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hls.ir import Function
+from repro.hls.schedule import FunctionSchedule, timing_of
+
+
+@dataclass
+class Binding:
+    """Result of FU + register binding for one function."""
+
+    #: Resource class -> number of unit instances.
+    fu_counts: dict[str, int] = field(default_factory=dict)
+    #: Width -> number of shared data registers (from left-edge).
+    registers: dict[int, int] = field(default_factory=dict)
+    #: Width -> number of dedicated slot registers.
+    slot_registers: dict[int, int] = field(default_factory=dict)
+
+    def total_register_bits(self) -> int:
+        bits = sum(w * n for w, n in self.registers.items())
+        bits += sum(w * n for w, n in self.slot_registers.items())
+        return bits
+
+
+def left_edge(intervals: list[tuple[int, int]]) -> int:
+    """Minimum number of registers for the given ``[start, end]`` lifetimes.
+
+    Classic left-edge: sort by start; greedily pack each interval into the
+    first register whose last interval ended before this one starts.
+    Returns the register count (equals the maximum overlap depth).
+    """
+    tracks: list[int] = []  # end cycle of the last interval per register
+    for start, end in sorted(intervals):
+        for i, track_end in enumerate(tracks):
+            if track_end < start:
+                tracks[i] = end
+                break
+        else:
+            tracks.append(end)
+    return len(tracks)
+
+
+def bind_function(fn: Function, schedule: FunctionSchedule) -> Binding:
+    """Allocate functional units and registers for *fn* under *schedule*."""
+    binding = Binding(fu_counts=dict(schedule.fu_peak))
+
+    # --- register lifetimes, per block and width --------------------------------
+    by_width: dict[int, list[tuple[int, int]]] = {}
+    for block in fn.blocks:
+        bs = schedule.block(block.name)
+        # Producer + consumers of every value in this block.
+        last_use: dict[int, int] = {}
+        producer: dict[int, tuple[int, int]] = {}  # vid -> (def_cycle, width)
+        for op in block.ops:
+            sop = bs.of(op)
+            for v in op.operands:
+                if v.vid in producer:
+                    last_use[v.vid] = max(last_use.get(v.vid, 0), sop.start_cycle)
+            if op.result is not None:
+                timing = timing_of(op)
+                if timing.latency > 0:
+                    def_cycle = sop.start_cycle + timing.latency - 1
+                else:
+                    def_cycle = sop.finish_cycle
+                producer[op.result.vid] = (def_cycle, max(1, op.result.type.bits))
+        for vid, (def_cycle, width) in producer.items():
+            use = last_use.get(vid)
+            if use is None or use <= def_cycle:
+                continue  # consumed combinationally in the same cycle
+            by_width.setdefault(width, []).append((def_cycle, use))
+
+    for width, intervals in by_width.items():
+        binding.registers[width] = left_edge(intervals)
+
+    # --- dedicated slot registers -------------------------------------------------
+    for stype in fn.slots.values():
+        width = max(1, stype.bits)
+        binding.slot_registers[width] = binding.slot_registers.get(width, 0) + 1
+    return binding

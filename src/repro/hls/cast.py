@@ -1,0 +1,212 @@
+"""AST of the synthesizable C subset.
+
+Plain dataclasses; every node carries a source location for error
+reporting.  Types are attached by :mod:`repro.hls.sema` (the ``ctype``
+attribute on expressions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hls.types import CType, ScalarType
+from repro.util.errors import SourceLocation
+
+
+@dataclass
+class Node:
+    loc: SourceLocation
+
+
+# --- expressions -----------------------------------------------------------
+@dataclass
+class Expr(Node):
+    #: Filled in by sema.
+    ctype: CType | None = field(default=None, init=False, compare=False)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass
+class Name(Expr):
+    ident: str
+
+
+@dataclass
+class Index(Expr):
+    """``base[index]`` — base is an array name or a partial index chain
+    (multi-dimensional access ``a[i][j]`` parses as nested Index nodes)."""
+
+    base: "Name | Index"
+    index: Expr
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # - ! ~
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str  # + - * / % << >> < <= > >= == != & | ^ && ||
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr
+    then: Expr
+    other: Expr
+
+
+@dataclass
+class Cast(Expr):
+    target: ScalarType
+    operand: Expr
+
+
+@dataclass
+class Call(Expr):
+    """Intrinsic call (``min``, ``max``, ``abs``, ``sqrtf``, ...)."""
+
+    func: str
+    args: list[Expr]
+
+
+# --- statements ---------------------------------------------------------------
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Decl(Stmt):
+    """``int x = e;`` or ``int a[N];`` (optionally const).
+
+    ``init_list`` carries a brace initializer for arrays
+    (``int c[3] = {1, 2, 1};``); unspecified trailing elements are zero,
+    exactly as in C.
+    """
+
+    name: str
+    ctype: CType
+    init: Expr | None
+    const: bool = False
+    init_list: list[Expr] | None = None
+
+
+@dataclass
+class Assign(Stmt):
+    """``target = value`` where target is a Name or Index.
+
+    Compound assignments are desugared by the parser into plain
+    assignments (``x += e`` → ``x = x + e``).
+    """
+
+    target: Name | Index
+    value: Expr
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: "Block"
+    other: "Block | None"
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: "Block"
+    label: str | None = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: "Block"
+    cond: Expr
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None
+    cond: Expr | None
+    step: Stmt | None
+    body: "Block"
+    label: str | None = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt]
+
+
+# --- top level -------------------------------------------------------------
+@dataclass
+class Param(Node):
+    name: str
+    ctype: CType
+
+
+@dataclass
+class FuncDef(Node):
+    name: str
+    ret: ScalarType
+    params: list[Param]
+    body: Block
+
+
+@dataclass
+class GlobalConst(Node):
+    """``const int N = 42;`` at file scope — a compile-time constant."""
+
+    name: str
+    ctype: ScalarType
+    value: Expr
+
+
+@dataclass
+class TranslationUnit(Node):
+    consts: list[GlobalConst]
+    funcs: list[FuncDef]
+
+    def func(self, name: str) -> FuncDef:
+        for f in self.funcs:
+            if f.name == name:
+                return f
+        raise KeyError(f"no function named {name!r}")

@@ -1,0 +1,239 @@
+"""Lexer for the synthesizable C subset.
+
+Produces a flat token list.  Multi-word type spellings (``unsigned
+char``, ``unsigned short``, ``unsigned int``) are fused into a single
+type token so the parser sees one spelling.  ``//`` and ``/* */``
+comments are skipped; ``#`` preprocessor lines are rejected with a
+pointer to use ``const int`` globals instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.util.errors import CSyntaxError, SourceLocation
+
+KEYWORDS = frozenset(
+    {
+        "void",
+        "bool",
+        "char",
+        "short",
+        "int",
+        "unsigned",
+        "float",
+        "uint8",
+        "int16",
+        "uint16",
+        "uint",
+        "const",
+        "if",
+        "else",
+        "for",
+        "while",
+        "do",
+        "switch",
+        "case",
+        "default",
+        "return",
+        "break",
+        "continue",
+        "true",
+        "false",
+    }
+)
+
+# Order matters: longest operators first.
+OPERATORS = [
+    "<<=",
+    ">>=",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "++",
+    "--",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "?",
+    ":",
+    ",",
+    ";",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+]
+
+_TYPE_WORDS = {"char", "short", "int"}
+
+
+class CTokKind(Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    INT = "int"
+    FLOAT = "float"
+    OP = "op"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class CToken:
+    kind: CTokKind
+    value: str
+    loc: SourceLocation
+
+    def is_kw(self, word: str) -> bool:
+        return self.kind is CTokKind.KEYWORD and self.value == word
+
+    def is_op(self, op: str) -> bool:
+        return self.kind is CTokKind.OP and self.value == op
+
+
+def clex(text: str, filename: str = "<c>") -> list[CToken]:
+    """Tokenize C source *text*; raises :class:`CSyntaxError` on bad input."""
+    tokens: list[CToken] = []
+    i, line, col = 0, 1, 1
+    n = len(text)
+
+    def loc() -> SourceLocation:
+        return SourceLocation(line, col, filename)
+
+    def bump(k: int) -> None:
+        nonlocal i, col
+        i += k
+        col += k
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if c.isspace():
+            bump(1)
+            continue
+        if text.startswith("//", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise CSyntaxError("unterminated block comment", loc())
+            skipped = text[i : end + 2]
+            nl = skipped.count("\n")
+            if nl:
+                line += nl
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        if c == "#":
+            raise CSyntaxError(
+                "preprocessor directives are not supported; "
+                "use 'const int NAME = ...;' globals instead",
+                loc(),
+            )
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            start_loc = loc()
+            j = i
+            is_float = False
+            if text.startswith("0x", i) or text.startswith("0X", i):
+                j = i + 2
+                while j < n and (text[j].isdigit() or text[j].lower() in "abcdef"):
+                    j += 1
+                word = text[i:j]
+                tokens.append(CToken(CTokKind.INT, word, start_loc))
+                bump(j - i)
+                continue
+            while j < n and text[j].isdigit():
+                j += 1
+            if j < n and text[j] == ".":
+                is_float = True
+                j += 1
+                while j < n and text[j].isdigit():
+                    j += 1
+            if j < n and text[j] in "eE":
+                k = j + 1
+                if k < n and text[k] in "+-":
+                    k += 1
+                if k < n and text[k].isdigit():
+                    is_float = True
+                    j = k
+                    while j < n and text[j].isdigit():
+                        j += 1
+            if j < n and text[j] in "fF":
+                is_float = True
+                j += 1
+                word = text[i : j - 1]
+            else:
+                word = text[i:j]
+            kind = CTokKind.FLOAT if is_float else CTokKind.INT
+            tokens.append(CToken(kind, word, start_loc))
+            bump(j - i)
+            continue
+        if c.isalpha() or c == "_":
+            start_loc = loc()
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            kind = CTokKind.KEYWORD if word in KEYWORDS else CTokKind.IDENT
+            tokens.append(CToken(kind, word, start_loc))
+            bump(j - i)
+            continue
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(CToken(CTokKind.OP, op, loc()))
+                bump(len(op))
+                break
+        else:
+            raise CSyntaxError(f"illegal character {c!r}", loc())
+
+    tokens.append(CToken(CTokKind.EOF, "", loc()))
+    return _fuse_unsigned(tokens)
+
+
+def _fuse_unsigned(tokens: list[CToken]) -> list[CToken]:
+    """Fuse ``unsigned char|short|int`` into one keyword token."""
+    out: list[CToken] = []
+    i = 0
+    while i < len(tokens):
+        tok = tokens[i]
+        if tok.is_kw("unsigned") and i + 1 < len(tokens) and tokens[i + 1].value in _TYPE_WORDS:
+            fused = f"unsigned_{tokens[i + 1].value}"
+            out.append(CToken(CTokKind.KEYWORD, fused, tok.loc))
+            i += 2
+            continue
+        out.append(tok)
+        i += 1
+    return out

@@ -1,0 +1,89 @@
+"""FSMD (finite-state machine with datapath) construction.
+
+Each basic block contributes ``schedule.length`` sequential states; the
+block terminator selects the successor block's first state.  An extra
+``IDLE`` state implements the ap_ctrl handshake (start/done) the AXI-Lite
+wrapper drives, mirroring Vivado HLS's ``ap_ctrl_hs`` protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hls.ir import Function
+from repro.hls.schedule import FunctionSchedule
+
+IDLE = "S_IDLE"
+
+
+@dataclass(frozen=True)
+class State:
+    name: str
+    block: str | None  # None for IDLE
+    cycle: int  # position within the block
+
+
+@dataclass(frozen=True)
+class Transition:
+    src: str
+    dst: str
+    #: None for unconditional; otherwise ("value-of-branch", taken?) label.
+    condition: str | None = None
+
+
+@dataclass
+class Fsm:
+    states: list[State] = field(default_factory=list)
+    transitions: list[Transition] = field(default_factory=list)
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    def state_bits(self) -> int:
+        """Bits of a one-hot-free binary state register."""
+        n = max(1, self.num_states - 1)
+        return n.bit_length()
+
+    def successors(self, state: str) -> list[str]:
+        return [t.dst for t in self.transitions if t.src == state]
+
+
+def build_fsm(fn: Function, schedule: FunctionSchedule) -> Fsm:
+    """Construct the controller FSM for *fn* under *schedule*."""
+    fsm = Fsm()
+    fsm.states.append(State(IDLE, None, 0))
+    first_state: dict[str, str] = {}
+    for block in fn.blocks:
+        bs = schedule.block(block.name)
+        for cycle in range(bs.length):
+            name = f"S_{block.name}_{cycle}"
+            fsm.states.append(State(name, block.name, cycle))
+            if cycle == 0:
+                first_state[block.name] = name
+
+    # IDLE -> entry on ap_start.
+    fsm.transitions.append(
+        Transition(IDLE, first_state[fn.entry.name], condition="ap_start")
+    )
+    for block in fn.blocks:
+        bs = schedule.block(block.name)
+        # Sequential states within the block.
+        for cycle in range(bs.length - 1):
+            fsm.transitions.append(
+                Transition(f"S_{block.name}_{cycle}", f"S_{block.name}_{cycle + 1}")
+            )
+        last = f"S_{block.name}_{bs.length - 1}"
+        term = block.terminator()
+        if term.opcode == "jmp":
+            fsm.transitions.append(Transition(last, first_state[term.attrs["target"]]))
+        elif term.opcode == "br":
+            fsm.transitions.append(
+                Transition(last, first_state[term.attrs["then"]], condition="br_taken")
+            )
+            fsm.transitions.append(
+                Transition(last, first_state[term.attrs["els"]], condition="!br_taken")
+            )
+        else:  # ret
+            fsm.transitions.append(Transition(last, IDLE, condition="ap_done"))
+    return fsm

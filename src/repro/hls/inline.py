@@ -1,0 +1,504 @@
+"""User-function inlining (the ``set_directive_inline`` behaviour).
+
+Real HLS flows flatten the call tree before scheduling; this pass does
+the same at AST level, so kernels can be written with helper functions::
+
+    int clamp8(int v) { if (v < 0) return 0; if (v > 255) return 255; return v; }
+    void f(int a[64], int out[64]) {
+        for (int i = 0; i < 64; i++) out[i] = clamp8(a[i] * 3);
+    }
+
+Rules (violations raise :class:`CSemanticError`):
+
+* no recursion (direct or mutual);
+* early returns are supported through the classic rewrite — a ``done``
+  flag plus a return-value slot, guards on the statements following a
+  possibly-returning statement, and cascading ``break`` out of loops;
+* scalar arguments are copied into fresh locals; array arguments must be
+  plain array names and are aliased;
+* calls may appear in initializers, assignments, ``if`` conditions,
+  expression statements and ``return`` values — but not in loop
+  conditions or steps (they re-evaluate; hoisting would change
+  semantics).
+
+The pass runs before semantic analysis; after it, only intrinsic calls
+remain and :mod:`repro.hls.sema` proceeds unchanged.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.hls import cast as A
+from repro.hls.cparse import INTRINSICS
+from repro.hls.types import INT32, VOID, ArrayType
+from repro.util.errors import CSemanticError
+
+
+def _collect_calls(expr: A.Expr, defs: dict[str, A.FuncDef], out: list[A.Call]) -> None:
+    """Post-order collection of user calls (innermost first)."""
+    if isinstance(expr, A.Call):
+        for arg in expr.args:
+            _collect_calls(arg, defs, out)
+        if expr.func in defs:
+            out.append(expr)
+    elif isinstance(expr, A.Unary):
+        _collect_calls(expr.operand, defs, out)
+    elif isinstance(expr, A.Binary):
+        _collect_calls(expr.left, defs, out)
+        _collect_calls(expr.right, defs, out)
+    elif isinstance(expr, A.Ternary):
+        _collect_calls(expr.cond, defs, out)
+        _collect_calls(expr.then, defs, out)
+        _collect_calls(expr.other, defs, out)
+    elif isinstance(expr, A.Cast):
+        _collect_calls(expr.operand, defs, out)
+    elif isinstance(expr, A.Index):
+        _collect_calls(expr.base, defs, out)
+        _collect_calls(expr.index, defs, out)
+
+
+def _has_user_call(expr: A.Expr | None, defs: dict[str, A.FuncDef]) -> bool:
+    if expr is None:
+        return False
+    found: list[A.Call] = []
+    _collect_calls(expr, defs, found)
+    return bool(found)
+
+
+def _rename_expr(expr: A.Expr, mapping: dict[str, str]) -> None:
+    if isinstance(expr, A.Name):
+        if expr.ident in mapping:
+            expr.ident = mapping[expr.ident]
+    elif isinstance(expr, A.Index):
+        _rename_expr(expr.base, mapping)
+        _rename_expr(expr.index, mapping)
+    elif isinstance(expr, A.Unary):
+        _rename_expr(expr.operand, mapping)
+    elif isinstance(expr, A.Binary):
+        _rename_expr(expr.left, mapping)
+        _rename_expr(expr.right, mapping)
+    elif isinstance(expr, A.Ternary):
+        _rename_expr(expr.cond, mapping)
+        _rename_expr(expr.then, mapping)
+        _rename_expr(expr.other, mapping)
+    elif isinstance(expr, A.Cast):
+        _rename_expr(expr.operand, mapping)
+    elif isinstance(expr, A.Call):
+        for arg in expr.args:
+            _rename_expr(arg, mapping)
+
+
+def _rename_stmt(stmt: A.Stmt, mapping: dict[str, str]) -> None:
+    if isinstance(stmt, A.Decl):
+        if stmt.name in mapping:
+            stmt.name = mapping[stmt.name]
+        if stmt.init is not None:
+            _rename_expr(stmt.init, mapping)
+        if stmt.init_list is not None:
+            for e in stmt.init_list:
+                _rename_expr(e, mapping)
+    elif isinstance(stmt, A.Assign):
+        _rename_expr(stmt.target, mapping)
+        _rename_expr(stmt.value, mapping)
+    elif isinstance(stmt, A.ExprStmt):
+        _rename_expr(stmt.expr, mapping)
+    elif isinstance(stmt, A.If):
+        _rename_expr(stmt.cond, mapping)
+        _rename_block(stmt.then, mapping)
+        if stmt.other is not None:
+            _rename_block(stmt.other, mapping)
+    elif isinstance(stmt, A.While):
+        _rename_expr(stmt.cond, mapping)
+        _rename_block(stmt.body, mapping)
+    elif isinstance(stmt, A.DoWhile):
+        _rename_block(stmt.body, mapping)
+        _rename_expr(stmt.cond, mapping)
+    elif isinstance(stmt, A.For):
+        if stmt.init is not None:
+            _rename_stmt(stmt.init, mapping)
+        if stmt.cond is not None:
+            _rename_expr(stmt.cond, mapping)
+        if stmt.step is not None:
+            _rename_stmt(stmt.step, mapping)
+        _rename_block(stmt.body, mapping)
+    elif isinstance(stmt, A.Return):
+        if stmt.value is not None:
+            _rename_expr(stmt.value, mapping)
+    elif isinstance(stmt, A.Block):
+        _rename_block(stmt, mapping)
+
+
+def _rename_block(block: A.Block, mapping: dict[str, str]) -> None:
+    for stmt in block.stmts:
+        _rename_stmt(stmt, mapping)
+
+
+def _local_names(block: A.Block, out: set[str]) -> None:
+    for stmt in block.stmts:
+        if isinstance(stmt, A.Decl):
+            out.add(stmt.name)
+        elif isinstance(stmt, A.If):
+            _local_names(stmt.then, out)
+            if stmt.other is not None:
+                _local_names(stmt.other, out)
+        elif isinstance(stmt, (A.While, A.DoWhile)):
+            _local_names(stmt.body, out)
+        elif isinstance(stmt, A.For):
+            if isinstance(stmt.init, A.Decl):
+                out.add(stmt.init.name)
+            _local_names(stmt.body, out)
+        elif isinstance(stmt, A.Block):
+            _local_names(stmt, out)
+
+
+def _contains_return(stmt: A.Stmt) -> bool:
+    if isinstance(stmt, A.Return):
+        return True
+    for sub in _stmt_blocks(stmt):
+        if any(_contains_return(s) for s in sub.stmts):
+            return True
+    return False
+
+
+def _transform_returns(
+    block: A.Block, ret_name: str | None, done_name: str, *, in_loop: bool
+) -> None:
+    """Rewrite every ``return`` in *block* into ret/done assignments.
+
+    Statements following a possibly-returning statement are wrapped in
+    ``if (done == 0) { ... }``; returns inside loops additionally
+    ``break``, and the break cascades outward through enclosing loops.
+    """
+    loc = block.loc
+
+    def done_is_set() -> A.Expr:
+        return A.Binary(loc, "!=", A.Name(loc, done_name), A.IntLit(loc, 0))
+
+    def done_clear() -> A.Expr:
+        return A.Binary(loc, "==", A.Name(loc, done_name), A.IntLit(loc, 0))
+
+    out: list[A.Stmt] = []
+    stmts = list(block.stmts)
+    for i, stmt in enumerate(stmts):
+        if isinstance(stmt, A.Return):
+            if stmt.value is not None:
+                assert ret_name is not None
+                out.append(A.Assign(stmt.loc, A.Name(stmt.loc, ret_name), stmt.value))
+            out.append(
+                A.Assign(stmt.loc, A.Name(stmt.loc, done_name), A.IntLit(stmt.loc, 1))
+            )
+            if in_loop:
+                out.append(A.Break(stmt.loc))
+            block.stmts = out
+            return  # anything after an unconditional return is unreachable
+        if not _contains_return(stmt):
+            out.append(stmt)
+            continue
+        # A statement that may (conditionally) return.
+        if isinstance(stmt, A.If):
+            _transform_returns(stmt.then, ret_name, done_name, in_loop=in_loop)
+            if stmt.other is not None:
+                _transform_returns(stmt.other, ret_name, done_name, in_loop=in_loop)
+            out.append(stmt)
+        elif isinstance(stmt, (A.While, A.DoWhile, A.For)):
+            _transform_returns(stmt.body, ret_name, done_name, in_loop=True)
+            out.append(stmt)
+            if in_loop:
+                out.append(
+                    A.If(stmt.loc, done_is_set(), A.Block(stmt.loc, [A.Break(stmt.loc)]), None)
+                )
+        elif isinstance(stmt, A.Block):
+            _transform_returns(stmt, ret_name, done_name, in_loop=in_loop)
+            out.append(stmt)
+        else:  # pragma: no cover - no other compound statements exist
+            out.append(stmt)
+        rest = stmts[i + 1 :]
+        if rest:
+            rest_block = A.Block(loc, rest)
+            _transform_returns(rest_block, ret_name, done_name, in_loop=in_loop)
+            out.append(A.If(loc, done_clear(), rest_block, None))
+        block.stmts = out
+        return
+    block.stmts = out
+
+
+class _Inliner:
+    def __init__(self, defs: dict[str, A.FuncDef]) -> None:
+        self.defs = defs
+        self.counter = 0
+
+    def expand_call(self, call: A.Call) -> tuple[list[A.Stmt], A.Expr | None]:
+        """Hoisted statements + the replacement expression for *call*."""
+        callee = copy.deepcopy(self.defs[call.func])
+        self.counter += 1
+        prefix = f"__inl{self.counter}_{call.func}_"
+        if len(call.args) != len(callee.params):
+            raise CSemanticError(
+                f"{call.func!r} expects {len(callee.params)} arguments, "
+                f"got {len(call.args)}",
+                call.loc,
+            )
+
+        mapping: dict[str, str] = {}
+        hoisted: list[A.Stmt] = []
+        for param, arg in zip(callee.params, call.args):
+            if isinstance(param.ctype, ArrayType):
+                if not isinstance(arg, A.Name):
+                    raise CSemanticError(
+                        f"array argument to {call.func!r} must be an array name",
+                        arg.loc,
+                    )
+                mapping[param.name] = arg.ident  # alias
+            else:
+                fresh = prefix + param.name
+                mapping[param.name] = fresh
+                hoisted.append(A.Decl(call.loc, fresh, param.ctype, arg))
+        locals_: set[str] = set()
+        _local_names(callee.body, locals_)
+        for name in locals_:
+            mapping.setdefault(name, prefix + name)
+
+        body_block = A.Block(callee.body.loc, list(callee.body.stmts))
+        _rename_block(body_block, mapping)
+
+        done_name = prefix + "done"
+        is_void = callee.ret is VOID
+        ret_name = None if is_void else prefix + "ret"
+        # ret/done live in the caller's scope: the replacement expression
+        # reads ret after the inlined block.
+        if ret_name is not None:
+            zero: A.Expr = (
+                A.FloatLit(call.loc, 0.0)
+                if callee.ret.is_float
+                else A.IntLit(call.loc, 0)
+            )
+            hoisted.append(A.Decl(call.loc, ret_name, callee.ret, zero))
+        hoisted.append(A.Decl(call.loc, done_name, INT32, A.IntLit(call.loc, 0)))
+        _transform_returns(body_block, ret_name, done_name, in_loop=False)
+        hoisted.append(body_block)
+        if ret_name is not None:
+            return hoisted, A.Name(call.loc, ret_name)
+        return hoisted, None
+
+    def _replace_call(self, expr: A.Expr, call: A.Call, new: A.Expr) -> A.Expr:
+        """Return *expr* with *call* (by identity) replaced by *new*."""
+        if expr is call:
+            return new
+        if isinstance(expr, A.Unary):
+            expr.operand = self._replace_call(expr.operand, call, new)
+        elif isinstance(expr, A.Binary):
+            expr.left = self._replace_call(expr.left, call, new)
+            expr.right = self._replace_call(expr.right, call, new)
+        elif isinstance(expr, A.Ternary):
+            expr.cond = self._replace_call(expr.cond, call, new)
+            expr.then = self._replace_call(expr.then, call, new)
+            expr.other = self._replace_call(expr.other, call, new)
+        elif isinstance(expr, A.Cast):
+            expr.operand = self._replace_call(expr.operand, call, new)
+        elif isinstance(expr, A.Index):
+            expr.base = self._replace_call(expr.base, call, new)  # type: ignore[assignment]
+            expr.index = self._replace_call(expr.index, call, new)
+        elif isinstance(expr, A.Call):
+            expr.args = [self._replace_call(a, call, new) for a in expr.args]
+        return expr
+
+    def _expand_in_expr(
+        self, expr: A.Expr | None, hoisted: list[A.Stmt]
+    ) -> A.Expr | None:
+        """Expand every user call inside *expr*; returns the new expr."""
+        if expr is None:
+            return None
+        while True:
+            calls: list[A.Call] = []
+            _collect_calls(expr, self.defs, calls)
+            if not calls:
+                return expr
+            call = calls[0]  # innermost first
+            stmts, replacement = self.expand_call(call)
+            hoisted.extend(stmts)
+            if replacement is None:
+                raise CSemanticError(
+                    f"void function {call.func!r} used as a value", call.loc
+                )
+            expr = self._replace_call(expr, call, replacement)
+
+    def process_block(self, block: A.Block) -> None:
+        new_stmts: list[A.Stmt] = []
+        for stmt in block.stmts:
+            hoisted: list[A.Stmt] = []
+            if isinstance(stmt, A.Decl):
+                stmt.init = self._expand_in_expr(stmt.init, hoisted)
+            elif isinstance(stmt, A.Assign):
+                if isinstance(stmt.target, A.Index):
+                    stmt.target.index = self._expand_in_expr(
+                        stmt.target.index, hoisted
+                    )
+                stmt.value = self._expand_in_expr(stmt.value, hoisted)
+            elif isinstance(stmt, A.ExprStmt):
+                if isinstance(stmt.expr, A.Call) and stmt.expr.func in self.defs:
+                    # Bare call statement: the call's value (if any) is
+                    # discarded, so void callees are fine here.
+                    stmt.expr.args = [
+                        self._expand_in_expr(a, hoisted) for a in stmt.expr.args
+                    ]
+                    stmts, _ = self.expand_call(stmt.expr)
+                    hoisted.extend(stmts)
+                    new_stmts.extend(hoisted)
+                    continue  # the call statement itself disappears
+                stmt.expr = self._expand_in_expr(stmt.expr, hoisted)
+            elif isinstance(stmt, A.If):
+                stmt.cond = self._expand_in_expr(stmt.cond, hoisted)
+                self.process_block(stmt.then)
+                if stmt.other is not None:
+                    self.process_block(stmt.other)
+            elif isinstance(stmt, (A.While, A.DoWhile)):
+                if _has_user_call(stmt.cond, self.defs):
+                    raise CSemanticError(
+                        "function calls in loop conditions cannot be inlined",
+                        stmt.loc,
+                    )
+                self.process_block(stmt.body)
+            elif isinstance(stmt, A.For):
+                for part in (stmt.cond,):
+                    if _has_user_call(part, self.defs):
+                        raise CSemanticError(
+                            "function calls in loop conditions cannot be inlined",
+                            stmt.loc,
+                        )
+                if isinstance(stmt.step, (A.Assign, A.ExprStmt)):
+                    value = stmt.step.value if isinstance(stmt.step, A.Assign) else stmt.step.expr
+                    if _has_user_call(value, self.defs):
+                        raise CSemanticError(
+                            "function calls in loop steps cannot be inlined",
+                            stmt.loc,
+                        )
+                if isinstance(stmt.init, A.Decl):
+                    stmt.init.init = self._expand_in_expr(stmt.init.init, hoisted)
+                elif isinstance(stmt.init, A.Assign):
+                    stmt.init.value = self._expand_in_expr(stmt.init.value, hoisted)
+                self.process_block(stmt.body)
+            elif isinstance(stmt, A.Return):
+                stmt.value = self._expand_in_expr(stmt.value, hoisted)
+            elif isinstance(stmt, A.Block):
+                self.process_block(stmt)
+            new_stmts.extend(hoisted)
+            new_stmts.append(stmt)
+        block.stmts = new_stmts
+
+
+def _call_graph(unit: A.TranslationUnit) -> dict[str, set[str]]:
+    graph: dict[str, set[str]] = {}
+
+    def scan_expr(expr: A.Expr, callees: set[str]) -> None:
+        if isinstance(expr, A.Call) and expr.func not in INTRINSICS:
+            callees.add(expr.func)
+        for child in _expr_children(expr):
+            scan_expr(child, callees)
+
+    def scan_block(block: A.Block, callees: set[str]) -> None:
+        for stmt in block.stmts:
+            for expr in _stmt_exprs(stmt):
+                scan_expr(expr, callees)
+            for sub in _stmt_blocks(stmt):
+                scan_block(sub, callees)
+
+    for func in unit.funcs:
+        callees: set[str] = set()
+        scan_block(func.body, callees)
+        graph[func.name] = callees
+    return graph
+
+
+def _expr_children(expr: A.Expr) -> list[A.Expr]:
+    if isinstance(expr, A.Unary):
+        return [expr.operand]
+    if isinstance(expr, A.Binary):
+        return [expr.left, expr.right]
+    if isinstance(expr, A.Ternary):
+        return [expr.cond, expr.then, expr.other]
+    if isinstance(expr, A.Cast):
+        return [expr.operand]
+    if isinstance(expr, A.Index):
+        return [expr.base, expr.index]
+    if isinstance(expr, A.Call):
+        return list(expr.args)
+    return []
+
+
+def _stmt_exprs(stmt: A.Stmt) -> list[A.Expr]:
+    if isinstance(stmt, A.Decl):
+        return [stmt.init] if stmt.init is not None else []
+    if isinstance(stmt, A.Assign):
+        out: list[A.Expr] = [stmt.value]
+        if isinstance(stmt.target, A.Index):
+            out.append(stmt.target.index)
+        return out
+    if isinstance(stmt, A.ExprStmt):
+        return [stmt.expr]
+    if isinstance(stmt, A.If):
+        return [stmt.cond]
+    if isinstance(stmt, (A.While, A.DoWhile)):
+        return [stmt.cond]
+    if isinstance(stmt, A.For):
+        out = []
+        if stmt.cond is not None:
+            out.append(stmt.cond)
+        for part in (stmt.init, stmt.step):
+            if part is not None:
+                out.extend(_stmt_exprs(part))
+        return out
+    if isinstance(stmt, A.Return):
+        return [stmt.value] if stmt.value is not None else []
+    return []
+
+
+def _stmt_blocks(stmt: A.Stmt) -> list[A.Block]:
+    if isinstance(stmt, A.If):
+        return [stmt.then] + ([stmt.other] if stmt.other is not None else [])
+    if isinstance(stmt, (A.While, A.DoWhile, A.For)):
+        return [stmt.body]
+    if isinstance(stmt, A.Block):
+        return [stmt]
+    return []
+
+
+def inline_functions(unit: A.TranslationUnit) -> A.TranslationUnit:
+    """Inline every user-function call in *unit*, in place.
+
+    Functions are processed callees-first so nested helpers flatten in
+    one pass; recursion (any call-graph cycle) is rejected.
+    """
+    defs = {f.name: f for f in unit.funcs}
+    graph = _call_graph(unit)
+
+    for caller, callees in graph.items():
+        for callee in callees:
+            if callee not in defs:
+                raise CSemanticError(
+                    f"{caller!r} calls unknown function {callee!r}"
+                )
+
+    # Topological order of the call graph (callees first); cycle -> recursion.
+    order: list[str] = []
+    state: dict[str, int] = {}
+
+    def visit(name: str, stack: tuple[str, ...]) -> None:
+        if state.get(name) == 2:
+            return
+        if state.get(name) == 1:
+            cycle = " -> ".join((*stack[stack.index(name):], name))
+            raise CSemanticError(f"recursion is not synthesizable: {cycle}")
+        state[name] = 1
+        for callee in sorted(graph[name]):
+            visit(callee, (*stack, name))
+        state[name] = 2
+        order.append(name)
+
+    for name in defs:
+        visit(name, ())
+
+    inliner = _Inliner(defs)
+    for name in order:
+        inliner.process_block(defs[name].body)
+    return unit

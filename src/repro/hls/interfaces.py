@@ -1,0 +1,361 @@
+"""Interface directives and AXI wrapper resolution.
+
+Mirrors the Vivado HLS directive mechanism the paper drives from the DSL
+keywords: an ``i`` port in the DSL becomes ``set_directive_interface
+-mode s_axilite``, an ``is`` port becomes ``-mode axis``; the tool writes
+these into the per-core *directives* file (Section IV-B step 3).
+
+Resolution rules
+----------------
+* scalar parameters and the return value ride the AXI-Lite register file
+  (Vivado-HLS-compatible layout: ``0x00 CTRL``, ``0x04 GIE``, ``0x08
+  IER``, ``0x0C ISR``, arguments from ``0x10`` in 8-byte strides);
+* an array parameter with an ``axis`` directive becomes an AXI-Stream
+  port whose direction is inferred from the IR (read-only → slave /
+  input, write-only → master / output; both → rejected);
+* an array parameter without an ``axis`` directive on an AXI-Lite core
+  is accessed in shared DRAM through an AXI master (``m_axi``) adapter,
+  with its base address exposed as an extra AXI-Lite register — the
+  "data exchange through shared memory" of paper Section II-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.hls.ir import Function
+from repro.hls.types import ArrayType
+from repro.util.errors import CSemanticError, HlsError
+
+
+class InterfaceMode(Enum):
+    S_AXILITE = "s_axilite"
+    AXIS = "axis"
+    M_AXI = "m_axi"
+
+
+@dataclass(frozen=True)
+class Directive:
+    """One line of the directives file.
+
+    kind is ``interface`` (options: ``mode``), ``pipeline`` (options:
+    ``ii`` optionally) or ``unroll`` (options: ``factor``); ``target`` is
+    a port name for interface directives and a loop label (the induction
+    variable name) for loop directives.
+    """
+
+    kind: str
+    function: str
+    target: str
+    options: tuple[tuple[str, str], ...] = ()
+
+    def option(self, name: str, default: str | None = None) -> str | None:
+        for k, v in self.options:
+            if k == name:
+                return v
+        return default
+
+    def to_tcl(self) -> str:
+        if self.kind == "interface":
+            mode = self.option("mode", "s_axilite")
+            return (
+                f"set_directive_interface -mode {mode} "
+                f'"{self.function}" {self.target}'
+            )
+        if self.kind == "pipeline":
+            ii = self.option("ii")
+            flag = f" -II {ii}" if ii else ""
+            return f'set_directive_pipeline{flag} "{self.function}/{self.target}"'
+        if self.kind == "unroll":
+            factor = self.option("factor", "2")
+            return (
+                f"set_directive_unroll -factor {factor} "
+                f'"{self.function}/{self.target}"'
+            )
+        if self.kind == "allocation":
+            limit = self.option("limit", "1")
+            return (
+                f"set_directive_allocation -limit {limit} -type operation "
+                f'"{self.function}" {self.target}'
+            )
+        if self.kind == "array_partition":
+            kind = self.option("kind", "complete")
+            factor = self.option("factor", "2")
+            extra = "" if kind == "complete" else f" -factor {factor}"
+            return (
+                f"set_directive_array_partition -type {kind}{extra} "
+                f'"{self.function}" {self.target}'
+            )
+        raise HlsError(f"unknown directive kind {self.kind!r}")
+
+
+def interface(function: str, port: str, mode: InterfaceMode) -> Directive:
+    """Convenience constructor for an interface directive."""
+    return Directive("interface", function, port, (("mode", mode.value),))
+
+
+def pipeline(function: str, loop_label: str, ii: int | None = None) -> Directive:
+    opts = (("ii", str(ii)),) if ii is not None else ()
+    return Directive("pipeline", function, loop_label, opts)
+
+
+def unroll(function: str, loop_label: str, factor: int) -> Directive:
+    return Directive("unroll", function, loop_label, (("factor", str(factor)),))
+
+
+def allocation(function: str, resource: str, limit: int) -> Directive:
+    """Cap the instances of a resource class (e.g. ``mul_small``) — the
+    ``set_directive_allocation`` analogue."""
+    return Directive("allocation", function, resource, (("limit", str(limit)),))
+
+
+def array_partition(
+    function: str, array: str, *, kind: str = "complete", factor: int = 2
+) -> Directive:
+    """Split a local array across memories — ``set_directive_array_partition``.
+
+    ``complete`` dissolves the array into registers (every element
+    addressable every cycle, no BRAM); ``cyclic``/``block`` with a
+    *factor* multiply the available ports by that factor.
+    """
+    if kind not in ("complete", "cyclic", "block"):
+        raise HlsError(f"unknown array_partition kind {kind!r}")
+    opts = (("kind", kind), ("factor", str(factor)))
+    return Directive("array_partition", function, array, opts)
+
+
+def partition_specs(
+    fn_name: str, directives: list[Directive]
+) -> dict[str, tuple[str, int]]:
+    """array name -> (kind, factor) from array_partition directives."""
+    specs: dict[str, tuple[str, int]] = {}
+    for d in directives:
+        if d.kind == "array_partition" and d.function == fn_name:
+            specs[d.target] = (
+                d.option("kind", "complete") or "complete",
+                int(d.option("factor", "2") or 2),
+            )
+    return specs
+
+
+def allocation_limits(fn_name: str, directives: list[Directive]) -> dict[str, int]:
+    """Collect allocation directives for *fn_name* into a limits dict."""
+    limits: dict[str, int] = {}
+    for d in directives:
+        if d.kind == "allocation" and d.function == fn_name:
+            limits[d.target] = int(d.option("limit", "1"))
+    return limits
+
+
+@dataclass(frozen=True)
+class RegEntry:
+    """One register of the AXI-Lite map."""
+
+    name: str
+    offset: int
+    width: int
+    direction: str  # "in", "out" (return), or "ctrl"
+
+
+@dataclass(frozen=True)
+class StreamPort:
+    name: str
+    width: int  # TDATA bits (rounded up to a byte multiple)
+    direction: str  # "in" (slave) or "out" (master)
+
+
+@dataclass
+class InterfaceSpec:
+    """Resolved interface of one synthesized core."""
+
+    function: str
+    modes: dict[str, InterfaceMode] = field(default_factory=dict)
+    registers: list[RegEntry] = field(default_factory=list)
+    streams: list[StreamPort] = field(default_factory=list)
+    #: Array params routed through the AXI master (name -> element bits).
+    m_axi_ports: dict[str, int] = field(default_factory=dict)
+
+    def has_lite(self) -> bool:
+        return bool(self.registers)
+
+    def register(self, name: str) -> RegEntry:
+        for r in self.registers:
+            if r.name == name:
+                return r
+        raise HlsError(f"{self.function}: no AXI-Lite register {name!r}")
+
+    def stream(self, name: str) -> StreamPort:
+        for s in self.streams:
+            if s.name == name:
+                return s
+        raise HlsError(f"{self.function}: no stream port {name!r}")
+
+
+def _array_access_direction(fn: Function, name: str) -> str:
+    """'in', 'out', or 'inout' depending on load/store usage of *name*."""
+    reads = writes = False
+    for block in fn.blocks:
+        for op in block.ops:
+            if op.opcode == "load" and op.attrs["array"] == name:
+                reads = True
+            elif op.opcode == "store" and op.attrs["array"] == name:
+                writes = True
+    if reads and writes:
+        return "inout"
+    return "out" if writes else "in"
+
+
+def _stream_width(bits: int) -> int:
+    """Round a data width up to the AXI-Stream byte granularity."""
+    return max(8, ((bits + 7) // 8) * 8)
+
+
+def resolve_interfaces(fn: Function, directives: list[Directive]) -> InterfaceSpec:
+    """Resolve *directives* against *fn*; raises on inconsistent specs."""
+    spec = InterfaceSpec(fn.name)
+    wanted: dict[str, InterfaceMode] = {}
+    for d in directives:
+        if d.kind != "interface" or d.function != fn.name:
+            continue
+        mode = InterfaceMode(d.option("mode", "s_axilite"))
+        if d.target in wanted and wanted[d.target] is not mode:
+            raise HlsError(
+                f"{fn.name}: conflicting interface modes for port {d.target!r}"
+            )
+        wanted[d.target] = mode
+
+    param_names = {name for name, _ in fn.params}
+    for target in wanted:
+        if target not in param_names and target != "return":
+            raise HlsError(f"{fn.name}: interface directive for unknown port {target!r}")
+
+    offset = 0x10
+    spec.registers.append(RegEntry("CTRL", 0x00, 32, "ctrl"))
+    spec.registers.append(RegEntry("GIE", 0x04, 32, "ctrl"))
+    spec.registers.append(RegEntry("IER", 0x08, 32, "ctrl"))
+    spec.registers.append(RegEntry("ISR", 0x0C, 32, "ctrl"))
+
+    for name, ctype in fn.params:
+        mode = wanted.get(name)
+        if isinstance(ctype, ArrayType):
+            if mode is InterfaceMode.AXIS:
+                direction = _array_access_direction(fn, name)
+                if direction == "inout":
+                    raise CSemanticError(
+                        f"{fn.name}: stream port {name!r} is both read and "
+                        "written; streams are unidirectional"
+                    )
+                spec.modes[name] = InterfaceMode.AXIS
+                spec.streams.append(
+                    StreamPort(name, _stream_width(ctype.element.bits), direction)
+                )
+            elif mode in (None, InterfaceMode.M_AXI):
+                spec.modes[name] = InterfaceMode.M_AXI
+                spec.m_axi_ports[name] = ctype.element.bits
+                # Base-address register for the master port.
+                spec.registers.append(RegEntry(name, offset, 32, "in"))
+                offset += 8
+            else:
+                raise HlsError(
+                    f"{fn.name}: array port {name!r} cannot use mode {mode.value}"
+                )
+        else:
+            if mode is InterfaceMode.AXIS:
+                raise HlsError(
+                    f"{fn.name}: scalar port {name!r} cannot be a stream"
+                )
+            spec.modes[name] = InterfaceMode.S_AXILITE
+            spec.registers.append(RegEntry(name, offset, max(32, ctype.bits), "in"))
+            offset += 8
+    if fn.ret.bits > 0:
+        mode = wanted.get("return")
+        if mode is InterfaceMode.AXIS:
+            raise HlsError(f"{fn.name}: return value cannot be a stream")
+        spec.modes["return"] = InterfaceMode.S_AXILITE
+        spec.registers.append(RegEntry("return", offset, max(32, fn.ret.bits), "out"))
+    return spec
+
+
+def loop_directives(fn: Function, directives: list[Directive]) -> None:
+    """Apply pipeline/unroll directives onto ``fn.loops`` in place.
+
+    Loops are addressed by explicit source label (``L1: for (...)``)
+    when present, else by induction-variable name or header block name;
+    unknown labels raise.  An explicit label matches exactly one loop;
+    an ivar name matches every loop using that variable.
+    """
+    for d in directives:
+        if d.function != fn.name or d.kind not in ("pipeline", "unroll"):
+            continue
+        matches = [lp for lp in fn.loops if lp.label == d.target]
+        if not matches:
+            matches = [
+                lp for lp in fn.loops if lp.ivar == d.target or lp.header == d.target
+            ]
+        if not matches:
+            raise HlsError(
+                f"{fn.name}: no loop labelled {d.target!r} for {d.kind} directive"
+            )
+        for lp in matches:
+            if d.kind == "pipeline":
+                lp.pipeline = True
+            else:
+                factor = int(d.option("factor", "2"))
+                if factor < 1:
+                    raise HlsError(f"{fn.name}: unroll factor must be >= 1")
+                lp.unroll = factor
+
+
+def directive_from_tcl(line: str) -> Directive:
+    """Parse one ``set_directive_*`` tcl line back into a Directive.
+
+    Inverse of :meth:`Directive.to_tcl`; the HLS tcl runner uses it to
+    re-execute generated scripts.
+    """
+    words = line.split()
+    if not words or not words[0].startswith("set_directive_"):
+        raise HlsError(f"not a directive line: {line!r}")
+    kind_word = words[0][len("set_directive_") :]
+
+    def unquote(w: str) -> str:
+        return w.strip('"')
+
+    if kind_word == "interface":
+        # set_directive_interface -mode MODE "FN" PORT
+        mode = words[words.index("-mode") + 1]
+        fn = unquote(words[-2])
+        port = words[-1]
+        return interface(fn, port, InterfaceMode(mode))
+    if kind_word == "pipeline":
+        # set_directive_pipeline [-II n] "FN/LOOP"
+        ii = None
+        if "-II" in words:
+            ii = int(words[words.index("-II") + 1])
+        fn, _, loop = unquote(words[-1]).partition("/")
+        return pipeline(fn, loop, ii)
+    if kind_word == "unroll":
+        factor = int(words[words.index("-factor") + 1])
+        fn, _, loop = unquote(words[-1]).partition("/")
+        return unroll(fn, loop, factor)
+    if kind_word == "allocation":
+        limit = int(words[words.index("-limit") + 1])
+        fn = unquote(words[-2])
+        resource = words[-1]
+        return allocation(fn, resource, limit)
+    if kind_word == "array_partition":
+        kind = words[words.index("-type") + 1]
+        factor = 2
+        if "-factor" in words:
+            factor = int(words[words.index("-factor") + 1])
+        fn = unquote(words[-2])
+        arr = words[-1]
+        return array_partition(fn, arr, kind=kind, factor=factor)
+    raise HlsError(f"unknown directive line: {line!r}")
+
+
+def directives_file(directives: list[Directive]) -> str:
+    """Render the per-core ``directives.tcl`` artifact."""
+    lines = ["# Auto-generated directives file"]
+    lines.extend(d.to_tcl() for d in directives)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,299 @@
+"""IR interpreter — the engine behind "C simulation" (csim).
+
+Executes a lowered :class:`~repro.hls.ir.Function` with concrete
+arguments, mutating array arguments in place and returning the function
+result.  Float arithmetic goes through ``numpy.float32`` so results
+match what a single-precision FPGA datapath computes; integer arithmetic
+wraps to the declared bit width.
+
+The interpreter is used three ways:
+
+* unit tests compare compiled kernels against NumPy references,
+* the SoC simulator calls it to produce accelerator output data,
+* the DSE cost model uses its op-count statistics as a software-cycles
+  proxy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hls.ir import Function, Op
+from repro.hls.types import ArrayType, ScalarType, wrap_int
+from repro.util.errors import HlsError
+
+#: numpy dtypes for array storage, keyed by scalar type name.
+_DTYPES = {
+    "uint8": np.uint8,
+    "int16": np.int16,
+    "uint16": np.uint16,
+    "int": np.int32,
+    "uint": np.uint32,
+    "float": np.float32,
+    "bool": np.uint8,
+}
+
+
+def dtype_for(t: ScalarType) -> type:
+    """numpy dtype used to store values of scalar type *t*."""
+    try:
+        return _DTYPES[t.name]
+    except KeyError:
+        raise HlsError(f"no storage dtype for type {t}") from None
+
+
+@dataclass
+class ExecStats:
+    """Dynamic op counts (and array access order) from one execution."""
+
+    steps: int = 0
+    by_opcode: dict[str, int] = field(default_factory=dict)
+    #: array name -> indices in access order, split by kind.
+    reads: dict[str, list[int]] = field(default_factory=dict)
+    writes: dict[str, list[int]] = field(default_factory=dict)
+
+    def count(self, opcode: str) -> None:
+        self.steps += 1
+        self.by_opcode[opcode] = self.by_opcode.get(opcode, 0) + 1
+
+    def record_access(self, kind: str, array: str, index: int) -> None:
+        target = self.reads if kind == "load" else self.writes
+        target.setdefault(array, []).append(index)
+
+
+class Interpreter:
+    """Executes one function; construct once, call :meth:`run` per call."""
+
+    def __init__(self, fn: Function, *, max_steps: int = 50_000_000) -> None:
+        self.fn = fn
+        self.max_steps = max_steps
+        self._blocks = {b.name: b for b in fn.blocks}
+
+    def run(
+        self, *args: object, collect_stats: bool = False, track_access: bool = False
+    ):
+        """Execute with positional *args* matching the C signature.
+
+        Scalars are passed by value; arrays as numpy arrays (or anything
+        convertible) and are mutated in place.  Returns the function's
+        return value (None for void), or ``(value, ExecStats)`` when
+        *collect_stats* is true.  *track_access* additionally records
+        every array access index (used by the stream-discipline check).
+        """
+        if len(args) != len(self.fn.params):
+            raise HlsError(
+                f"{self.fn.name} expects {len(self.fn.params)} arguments, got {len(args)}"
+            )
+        slots: dict[str, int | float] = {}
+        arrays: dict[str, np.ndarray] = {}
+        for (name, ctype), arg in zip(self.fn.params, args):
+            if isinstance(ctype, ArrayType):
+                arr = np.asarray(arg)
+                if arr.ndim != 1:
+                    arr = arr.reshape(-1)
+                if ctype.size is not None and len(arr) < ctype.size:
+                    raise HlsError(
+                        f"argument {name!r} has {len(arr)} elements, "
+                        f"needs {ctype.size}"
+                    )
+                arrays[name] = arr
+            else:
+                slots[name] = self._coerce_scalar(arg, ctype)
+        for name, atype in self.fn.arrays.items():
+            assert atype.size is not None
+            arr = np.zeros(atype.size, dtype=dtype_for(atype.element))
+            init = self.fn.array_init.get(name)
+            if init:
+                arr[: len(init)] = init
+            arrays[name] = arr
+        for name, stype in self.fn.slots.items():
+            slots.setdefault(name, 0.0 if stype.is_float else 0)
+
+        stats = ExecStats()
+        result = self._exec(slots, arrays, stats, track_access)
+        if collect_stats or track_access:
+            return result, stats
+        return result
+
+    # -- core loop ---------------------------------------------------------
+    def _exec(self, slots, arrays, stats: ExecStats, track_access: bool = False):
+        values: dict[int, int | float] = {}
+        block = self.fn.entry
+        steps = 0
+        while True:
+            jumped = False
+            for op in block.ops:
+                steps += 1
+                if steps > self.max_steps:
+                    raise HlsError(
+                        f"{self.fn.name}: exceeded {self.max_steps} steps "
+                        "(runaway loop?)"
+                    )
+                stats.count(op.opcode)
+                opcode = op.opcode
+                if opcode == "jmp":
+                    block = self._blocks[op.attrs["target"]]
+                    jumped = True
+                    break
+                if opcode == "br":
+                    taken = values[op.operands[0].vid] != 0
+                    block = self._blocks[op.attrs["then" if taken else "els"]]
+                    jumped = True
+                    break
+                if opcode == "ret":
+                    if op.operands:
+                        return values[op.operands[0].vid]
+                    return None
+                self._eval(op, values, slots, arrays, stats if track_access else None)
+            if not jumped:  # pragma: no cover - verify() forbids this
+                raise HlsError(f"block {block.name!r} fell through")
+
+    def _eval(self, op: Op, values, slots, arrays, stats: ExecStats | None = None) -> None:
+        opcode = op.opcode
+        if opcode == "const":
+            values[op.result.vid] = op.attrs["value"]
+            return
+        if opcode == "vread":
+            values[op.result.vid] = slots[op.attrs["var"]]
+            return
+        if opcode == "vwrite":
+            slots[op.attrs["var"]] = values[op.operands[0].vid]
+            return
+        if opcode == "load":
+            arr = arrays[op.attrs["array"]]
+            idx = values[op.operands[0].vid]
+            self._check_bounds(op.attrs["array"], idx, len(arr))
+            if stats is not None:
+                stats.record_access("load", op.attrs["array"], int(idx))
+            raw = arr[idx]
+            values[op.result.vid] = (
+                float(np.float32(raw)) if op.result.type.is_float else int(raw)
+            )
+            return
+        if opcode == "store":
+            arr = arrays[op.attrs["array"]]
+            idx = values[op.operands[0].vid]
+            self._check_bounds(op.attrs["array"], idx, len(arr))
+            if stats is not None:
+                stats.record_access("store", op.attrs["array"], int(idx))
+            arr[idx] = values[op.operands[1].vid]
+            return
+        # Pure scalar ops share one evaluator with the constant folder.
+        args = tuple(values[v.vid] for v in op.operands)
+        values[op.result.vid] = eval_pure(opcode, op.attrs, args, op.result.type)
+
+    # -- helpers --------------------------------------------------------------
+    def _check_bounds(self, array: str, idx: int, size: int) -> None:
+        if not (0 <= idx < size):
+            raise HlsError(
+                f"{self.fn.name}: index {idx} out of bounds for array "
+                f"{array!r} of size {size}"
+            )
+
+    @staticmethod
+    def _coerce_scalar(value: object, t: ScalarType) -> int | float:
+        if t.is_float:
+            return float(np.float32(value))
+        return wrap_int(int(value), t)
+
+
+def eval_pure(
+    opcode: str,
+    attrs: dict,
+    args: tuple,
+    result_type: ScalarType,
+) -> int | float:
+    """Evaluate a side-effect-free scalar op on concrete values.
+
+    Shared between the interpreter and the constant-folding pass so both
+    agree bit-for-bit on arithmetic semantics.
+    """
+    t = result_type
+    if opcode == "cast":
+        to = attrs["to"]
+        if to.is_float:
+            return float(np.float32(args[0]))
+        return wrap_int(int(args[0]), to)
+    if opcode == "cmp":
+        a, b = args
+        pred = attrs["pred"]
+        return int(
+            {
+                "lt": a < b,
+                "le": a <= b,
+                "gt": a > b,
+                "ge": a >= b,
+                "eq": a == b,
+                "ne": a != b,
+            }[pred]
+        )
+    if opcode == "select":
+        return args[1] if args[0] else args[2]
+    if opcode == "neg":
+        return _wrap_to(-args[0], t)
+    if opcode == "not":
+        return _wrap_to(~int(args[0]), t)
+    if opcode == "lnot":
+        return int(not args[0])
+    if opcode == "sqrt":
+        if args[0] < 0:
+            raise HlsError(f"sqrt of negative value {args[0]}")
+        return float(np.sqrt(np.float32(args[0])))
+
+    a, b = args
+    if t.is_float:
+        fa, fb = np.float32(a), np.float32(b)
+        if opcode == "add":
+            out = fa + fb
+        elif opcode == "sub":
+            out = fa - fb
+        elif opcode == "mul":
+            out = fa * fb
+        elif opcode == "div":
+            if fb == 0:
+                raise HlsError("float division by zero")
+            out = fa / fb
+        else:
+            raise HlsError(f"float op {opcode!r} unsupported")
+        return float(np.float32(out))
+    ia, ib = int(a), int(b)
+    if opcode == "add":
+        out = ia + ib
+    elif opcode == "sub":
+        out = ia - ib
+    elif opcode == "mul":
+        out = ia * ib
+    elif opcode == "div":
+        if ib == 0:
+            raise HlsError("integer division by zero")
+        out = int(ia / ib)  # C semantics: truncate toward zero
+    elif opcode == "mod":
+        if ib == 0:
+            raise HlsError("modulo by zero")
+        out = ia - int(ia / ib) * ib
+    elif opcode == "shl":
+        out = ia << (ib & 31)
+    elif opcode == "shr":
+        out = ia >> (ib & 31) if t.signed else (ia & 0xFFFFFFFF) >> (ib & 31)
+    elif opcode == "and":
+        out = ia & ib
+    elif opcode == "or":
+        out = ia | ib
+    elif opcode == "xor":
+        out = ia ^ ib
+    else:
+        raise HlsError(f"unknown opcode {opcode!r}")
+    return wrap_int(out, t)
+
+
+def _wrap_to(value: int | float, t: ScalarType) -> int | float:
+    if t.is_float:
+        return float(np.float32(value))
+    return wrap_int(int(value), t)
+
+
+def run_function(fn: Function, *args: object):
+    """One-shot convenience wrapper around :class:`Interpreter`."""
+    return Interpreter(fn).run(*args)

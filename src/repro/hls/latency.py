@@ -1,0 +1,222 @@
+"""Latency estimation: cycle counts from the schedule + loop structure.
+
+The CFG produced by the structured lowering lets us collapse every loop
+into a super-node whose cost is ``iterations × per-iteration cost`` (or
+the software-pipelined form ``depth + (iterations-1) × II`` when the
+loop carries a PIPELINE directive).  The function latency is then the
+longest path through the collapsed DAG — a worst-case figure, exactly
+what Vivado HLS reports as ``max`` latency.  ``break`` paths (edges
+jumping straight to a loop exit) only shorten execution and are ignored
+for the worst case.
+
+Loops whose trip count is not a compile-time constant are charged
+``default_trip`` iterations and the result is flagged inexact.
+
+The initiation interval combines the resource-constrained bound
+(ops per limited unit class, memory ports per array) with a recurrence
+bound derived from loop-carried variable slots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hls.ir import Function, LoopInfo
+from repro.hls.schedule import (
+    ARRAY_PORTS,
+    DEFAULT_LIMITS,
+    FunctionSchedule,
+    timing_of,
+)
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Worst-case latency of one function."""
+
+    cycles: int
+    exact: bool  # False if any loop trip count was assumed
+    #: Per-loop detail: header -> (iterations, per-iteration cycles, II or None)
+    loops: dict[str, tuple[int, int, int | None]]
+
+
+def initiation_interval(
+    fn: Function,
+    schedule: FunctionSchedule,
+    loop: LoopInfo,
+    *,
+    limits: dict[str, int] | None = None,
+) -> int:
+    """II = max(resource MII, recurrence MII) for *loop*."""
+    limits = {**DEFAULT_LIMITS, **(limits or {})}
+    # --- resource MII ----------------------------------------------------
+    class_ops: dict[str, int] = {}
+    array_ops: dict[str, int] = {}
+    for bname in loop.blocks:
+        block = fn.block(bname)
+        for op in block.ops:
+            timing = timing_of(op)
+            if timing.resource == "mem":
+                arr = op.attrs["array"]
+                array_ops[arr] = array_ops.get(arr, 0) + 1
+            elif timing.resource is not None:
+                # An iterative (non-pipelined) unit blocks for unit_ii cycles.
+                class_ops[timing.resource] = (
+                    class_ops.get(timing.resource, 0) + timing.unit_ii
+                )
+    res_mii = 1
+    for cls, weight in class_ops.items():
+        cap = limits.get(cls, 1 << 30)
+        res_mii = max(res_mii, math.ceil(weight / cap))
+    for arr, n in array_ops.items():
+        ports = limits.get(f"mem:{arr}", ARRAY_PORTS)
+        res_mii = max(res_mii, math.ceil(n / ports))
+
+    # --- recurrence MII ----------------------------------------------------
+    rec_mii = 1
+    for bname in loop.blocks:
+        block = fn.block(bname)
+        bs = schedule.block(bname)
+        first_read: dict[str, int] = {}
+        last_write: dict[str, int] = {}
+        for op in block.ops:
+            if op.opcode == "vread":
+                var = op.attrs["var"]
+                first_read.setdefault(var, bs.of(op).start_cycle)
+            elif op.opcode == "vwrite":
+                last_write[op.attrs["var"]] = bs.of(op).finish_cycle
+        for var, wcycle in last_write.items():
+            if var in first_read:
+                rec_mii = max(rec_mii, wcycle - first_read[var] + 1)
+    return max(res_mii, rec_mii)
+
+
+def _direct_children(fn: Function) -> dict[int, list[LoopInfo]]:
+    """Direct-nesting map: index in ``fn.loops`` -> directly nested loops."""
+    children: dict[int, list[LoopInfo]] = {i: [] for i in range(len(fn.loops))}
+    parent_of: dict[int, int | None] = {}
+    for i, inner in enumerate(fn.loops):
+        parent: int | None = None
+        for j, outer in enumerate(fn.loops):
+            if i == j:
+                continue
+            if inner.header in outer.blocks and set(inner.blocks) < set(outer.blocks):
+                if parent is None or set(outer.blocks) < set(fn.loops[parent].blocks):
+                    parent = j
+        parent_of[i] = parent
+    for i, parent in parent_of.items():
+        if parent is not None:
+            children[parent].append(fn.loops[i])
+    return children
+
+
+def function_latency(
+    fn: Function,
+    schedule: FunctionSchedule,
+    *,
+    default_trip: int = 256,
+    limits: dict[str, int] | None = None,
+) -> LatencyReport:
+    """Worst-case latency of *fn*; see module docstring for the model."""
+    exact = True
+    loop_detail: dict[str, tuple[int, int, int | None]] = {}
+    children = _direct_children(fn)
+    loop_index = {id(lp): i for i, lp in enumerate(fn.loops)}
+    block_names = {b.name for b in fn.blocks}
+
+    def block_cost(name: str) -> int:
+        return schedule.block(name).length
+
+    def region_longest(
+        entry: str,
+        region: set[str],
+        child_by_header: dict[str, LoopInfo],
+        *,
+        back_target: str | None,
+        exit_target: str | None,
+    ) -> int:
+        """Longest path from *entry* over *region* with child loops collapsed.
+
+        Edges to *back_target* (the enclosing loop's header) and
+        *exit_target* (its break destination) are dropped.
+        """
+        memo: dict[str, int] = {}
+
+        def go(bname: str) -> int:
+            if bname in memo:
+                return memo[bname]
+            memo[bname] = 0  # guard; region graph is acyclic after drops
+            if bname in child_by_header:
+                child = child_by_header[bname]
+                cost = loop_cost(child)
+                nxt = child.exit
+                if nxt in region or nxt in child_by_header:
+                    cost += go(nxt)
+                memo[bname] = cost
+                return cost
+            total = block_cost(bname)
+            best = 0
+            for succ in fn.block(bname).successors():
+                if succ == back_target or succ == exit_target:
+                    continue
+                if succ in region or succ in child_by_header:
+                    best = max(best, go(succ))
+            memo[bname] = total + best
+            return memo[bname]
+
+        return go(entry)
+
+    def loop_cost(loop: LoopInfo) -> int:
+        nonlocal exact
+        trips = loop.trip_count
+        if trips is None:
+            trips = default_trip
+            exact = False
+        if loop.unroll > 1:
+            trips = math.ceil(trips / loop.unroll)
+
+        kids = children[loop_index[id(loop)]]
+        child_by_header = {c.header: c for c in kids}
+        nested: set[str] = set()
+        for c in kids:
+            nested.update(c.blocks)
+        region = (set(loop.blocks) - nested) & block_names
+
+        iter_cost = region_longest(
+            loop.header,
+            region,
+            child_by_header,
+            back_target=loop.header,
+            exit_target=loop.exit,
+        )
+
+        ii: int | None = None
+        if loop.pipeline and trips > 0:
+            ii = initiation_interval(fn, schedule, loop, limits=limits)
+            total = iter_cost + max(0, trips - 1) * ii
+        else:
+            if loop.unroll > 1:
+                # Unrolled bodies serialize on shared resources; charge the
+                # replicated work at the resource-bound rate.
+                rate = initiation_interval(fn, schedule, loop, limits=limits)
+                iter_cost = iter_cost + (loop.unroll - 1) * rate
+            total = trips * iter_cost
+        loop_detail[loop.header] = (trips, iter_cost, ii)
+        return total
+
+    top = [
+        lp
+        for i, lp in enumerate(fn.loops)
+        if not any(lp in kids for kids in children.values())
+    ]
+    top_by_header = {lp.header: lp for lp in top}
+    top_blocks: set[str] = set()
+    for lp in top:
+        top_blocks.update(lp.blocks)
+    region = block_names - top_blocks
+
+    total = region_longest(
+        fn.entry.name, region, top_by_header, back_target=None, exit_target=None
+    )
+    return LatencyReport(cycles=total, exact=exact, loops=loop_detail)

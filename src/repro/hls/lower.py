@@ -1,0 +1,730 @@
+"""AST → IR lowering.
+
+Implements structured control flow (if/while/do-while/for with
+break/continue), implicit C conversions (inserting ``cast`` ops), and
+intrinsic expansion (``min``/``max``/``abs``/``fabsf`` become
+compare+select; ``sqrtf`` becomes the ``sqrt`` op).
+
+``&&``/``||`` and ``?:`` are speculated into flat dataflow (and/or/
+``select``) when every guarded operand is *speculatable* — pure and
+trap-free — which is what HLS datapaths do anyway.  When a guarded side
+could fault (division/modulo by a variable, ``sqrtf``, an array access
+whose index the guard protects), the C short-circuit semantics is
+honoured with real control flow through a temporary slot, so idioms
+like ``b != 0 && a / b > 2`` and ``i < n ? a[i] : 0`` behave exactly as
+in C.
+
+Affine ``for`` loops (``for (i = C0; i </<= C1; i += C2)`` with
+compile-time bounds) get their trip count recorded in
+:class:`~repro.hls.ir.LoopInfo` for the latency model and the
+unroll/pipeline directives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hls import cast as A
+from repro.hls.ir import Block, Function, LoopInfo, Op, Value
+from repro.hls.sema import SemaResult
+from repro.hls.types import (
+    BOOL,
+    FLOAT,
+    INT32,
+    VOID,
+    ArrayType,
+    ScalarType,
+    promote,
+    usual_arith,
+    wrap_int,
+)
+from repro.util.errors import CSemanticError
+
+_CMP_PRED = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge", "==": "eq", "!=": "ne"}
+_BIN_OPCODE = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "div",
+    "%": "mod",
+    "<<": "shl",
+    ">>": "shr",
+    "&": "and",
+    "|": "or",
+    "^": "xor",
+}
+
+
+@dataclass
+class _LoopCtx:
+    latch: str  # continue target
+    exit: str  # break target
+
+
+def _is_speculatable(expr: A.Expr) -> bool:
+    """True if *expr* can be evaluated unconditionally (pure, trap-free)."""
+    if isinstance(expr, (A.IntLit, A.FloatLit, A.BoolLit, A.Name)):
+        return True
+    if isinstance(expr, A.Index):
+        return False  # the guard may be a bounds check
+    if isinstance(expr, A.Unary):
+        return _is_speculatable(expr.operand)
+    if isinstance(expr, A.Binary):
+        if expr.op in ("/", "%") and not isinstance(expr.right, (A.IntLit, A.FloatLit)):
+            return False  # variable divisor: the guard may exclude zero
+        if expr.op in ("/", "%") and isinstance(expr.right, (A.IntLit, A.FloatLit)):
+            if expr.right.value == 0:
+                return False
+        return _is_speculatable(expr.left) and _is_speculatable(expr.right)
+    if isinstance(expr, A.Ternary):
+        return (
+            _is_speculatable(expr.cond)
+            and _is_speculatable(expr.then)
+            and _is_speculatable(expr.other)
+        )
+    if isinstance(expr, A.Cast):
+        return _is_speculatable(expr.operand)
+    if isinstance(expr, A.Call):
+        if expr.func == "sqrtf":
+            return False  # negative-argument trap
+        return all(_is_speculatable(a) for a in expr.args)
+    return False
+
+
+class _Lowerer:
+    def __init__(self, sema: SemaResult, func: A.FuncDef) -> None:
+        self.sema = sema
+        self.finfo = sema.info(func.name)
+        self.ast = func
+        self.fn = Function(func.name, func.ret, [(p.name, p.ctype) for p in func.params])
+        self._block_counter = 0
+        self._slot_counter = 0
+        self.current: Block | None = None
+        self.loop_stack: list[_LoopCtx] = []
+
+        for p in func.params:
+            if isinstance(p.ctype, ArrayType):
+                self.fn.array_params[p.name] = p.ctype
+            else:
+                self.fn.slots[p.name] = p.ctype
+        for name, ctype in self.finfo.symbols.items():
+            if name in self.fn.slots or name in self.fn.array_params:
+                continue
+            if isinstance(ctype, ArrayType):
+                self.fn.arrays[name] = ctype
+            else:
+                self.fn.slots[name] = ctype
+
+    # -- block plumbing --------------------------------------------------
+    def new_block(self, stem: str) -> Block:
+        name = f"{stem}{self._block_counter}"
+        self._block_counter += 1
+        b = Block(name)
+        self.fn.blocks.append(b)
+        return b
+
+    def emit(self, op: Op) -> Value | None:
+        assert self.current is not None, "emitting outside a block"
+        self.current.ops.append(op)
+        return op.result
+
+    def is_open(self) -> bool:
+        """True if the current block still needs a terminator."""
+        return (
+            self.current is not None
+            and (not self.current.ops or not self.current.ops[-1].is_terminator())
+        )
+
+    def seal_jmp(self, target: str) -> None:
+        if self.is_open():
+            self.emit(Op("jmp", attrs={"target": target}))
+
+    # -- value helpers -----------------------------------------------------------
+    def const(self, value: int | float, type_: ScalarType) -> Value:
+        v = self.fn.new_value(type_)
+        if type_.is_float:
+            value = float(value)
+        else:
+            value = wrap_int(int(value), type_)
+        self.emit(Op("const", v, (), {"value": value}))
+        return v
+
+    def coerce(self, val: Value, target: ScalarType) -> Value:
+        """Insert a cast if *val* is not already of *target* type."""
+        if val.type == target:
+            return val
+        res = self.fn.new_value(target)
+        self.emit(Op("cast", res, (val,), {"to": target}))
+        return res
+
+    def _fresh_slot(self, stem: str, type_: ScalarType) -> str:
+        """A compiler-introduced scalar slot (short-circuit temporaries)."""
+        name = f"__{stem}{self._slot_counter}"
+        self._slot_counter += 1
+        self.fn.slots[name] = type_
+        return name
+
+    def to_bool(self, val: Value) -> Value:
+        if val.type is BOOL:
+            return val
+        zero = self.const(0, val.type)
+        res = self.fn.new_value(BOOL)
+        self.emit(Op("cmp", res, (val, zero), {"pred": "ne"}))
+        return res
+
+    # -- entry ---------------------------------------------------------------
+    def run(self) -> Function:
+        self.current = self.new_block("entry")
+        self.lower_block(self.ast.body)
+        if self.is_open():
+            assert self.current is not None
+            if self.fn.ret is VOID:
+                self.emit(Op("ret"))
+            elif not self._is_reachable(self.current):
+                # A dead join block (e.g. after an exhaustive switch whose
+                # arms all return); seal it — pruning removes it next.
+                dummy = self.const(0, self.fn.ret)
+                self.emit(Op("ret", operands=(dummy,)))
+            else:
+                raise CSemanticError(
+                    f"control reaches end of non-void function {self.fn.name!r}",
+                    self.ast.loc,
+                )
+        self._prune_unreachable()
+        self.fn.verify()
+        return self.fn
+
+    def _is_reachable(self, block: Block) -> bool:
+        """Is *block* reachable from entry through existing terminators?
+
+        Every non-current block is already sealed, so following their
+        successors is a complete walk; *block* itself may be open.
+        """
+        by_name = {b.name: b for b in self.fn.blocks}
+        seen: set[str] = set()
+        work = [self.fn.blocks[0].name]
+        while work:
+            name = work.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            if name == block.name:
+                return True
+            blk = by_name[name]
+            if blk.ops and blk.ops[-1].is_terminator():
+                work.extend(blk.successors())
+        return False
+
+    def _prune_unreachable(self) -> None:
+        """Drop blocks not reachable from entry (e.g. code after return)."""
+        reachable: set[str] = set()
+        work = [self.fn.blocks[0].name]
+        by_name = {b.name: b for b in self.fn.blocks}
+        while work:
+            name = work.pop()
+            if name in reachable:
+                continue
+            reachable.add(name)
+            blk = by_name[name]
+            if blk.ops and blk.ops[-1].is_terminator():
+                work.extend(blk.successors())
+        self.fn.blocks = [b for b in self.fn.blocks if b.name in reachable]
+        for loop in self.fn.loops:
+            loop.blocks = [n for n in loop.blocks if n in reachable]
+        self.fn.loops = [lp for lp in self.fn.loops if lp.header in reachable]
+
+    # -- statements ------------------------------------------------------------
+    def lower_block(self, block: A.Block) -> None:
+        for stmt in block.stmts:
+            if not self.is_open():
+                return  # dead code after return/break/continue
+            self.lower_stmt(stmt)
+
+    def lower_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.Block):
+            self.lower_block(stmt)
+        elif isinstance(stmt, A.Decl):
+            self.lower_decl(stmt)
+        elif isinstance(stmt, A.Assign):
+            self.lower_assign(stmt)
+        elif isinstance(stmt, A.ExprStmt):
+            self.lower_expr(stmt.expr)  # value dropped; DCE cleans up
+        elif isinstance(stmt, A.If):
+            self.lower_if(stmt)
+        elif isinstance(stmt, A.While):
+            self.lower_while(stmt)
+        elif isinstance(stmt, A.DoWhile):
+            self.lower_do_while(stmt)
+        elif isinstance(stmt, A.For):
+            self.lower_for(stmt)
+        elif isinstance(stmt, A.Return):
+            if stmt.value is not None:
+                val = self.lower_expr(stmt.value)
+                val = self.coerce(val, self.fn.ret)
+                self.emit(Op("ret", operands=(val,)))
+            else:
+                self.emit(Op("ret"))
+        elif isinstance(stmt, A.Break):
+            self.emit(Op("jmp", attrs={"target": self.loop_stack[-1].exit}))
+        elif isinstance(stmt, A.Continue):
+            self.emit(Op("jmp", attrs={"target": self.loop_stack[-1].latch}))
+        else:  # pragma: no cover - defensive
+            raise CSemanticError(f"cannot lower {type(stmt).__name__}", stmt.loc)
+
+    def lower_decl(self, decl: A.Decl) -> None:
+        if isinstance(decl.ctype, ArrayType):
+            if decl.init_list is not None:
+                from repro.hls.sema import _eval_const_expr
+
+                values = []
+                for e in decl.init_list:
+                    v = _eval_const_expr(e, self.sema.global_consts)
+                    if decl.ctype.element.is_float:
+                        values.append(float(v))
+                    else:
+                        values.append(wrap_int(int(v), decl.ctype.element))
+                self.fn.array_init[decl.name] = values
+            return  # array storage is declared on the Function
+        if decl.init is not None:
+            val = self.lower_expr(decl.init)
+            val = self.coerce(val, decl.ctype)
+            self.emit(Op("vwrite", operands=(val,), attrs={"var": decl.name}))
+
+    def lower_assign(self, stmt: A.Assign) -> None:
+        val = self.lower_expr(stmt.value)
+        if isinstance(stmt.target, A.Name):
+            target_t = self.fn.slots[stmt.target.ident]
+            val = self.coerce(val, target_t)
+            self.emit(Op("vwrite", operands=(val,), attrs={"var": stmt.target.ident}))
+        else:
+            array, idx = self._flatten_index(stmt.target)
+            elem = self._array_type(array).element
+            val = self.coerce(val, elem)
+            self.emit(Op("store", operands=(idx, val), attrs={"array": array}))
+
+    def _array_type(self, name: str) -> ArrayType:
+        if name in self.fn.arrays:
+            return self.fn.arrays[name]
+        return self.fn.array_params[name]
+
+    def _flatten_index(self, expr: A.Index) -> tuple[str, Value]:
+        """Row-major flattening of a (possibly multi-dim) index chain."""
+        chain: list[A.Index] = []
+        node: A.Expr = expr
+        while isinstance(node, A.Index):
+            chain.append(node)
+            node = node.base
+        assert isinstance(node, A.Name)
+        name = node.ident
+        atype = self._array_type(name)
+        chain.reverse()  # first (outer-dimension) index first
+        linear = self.coerce(self.lower_expr(chain[0].index), INT32)
+        dims = atype.dims or (atype.size,)
+        for k in range(1, len(chain)):
+            stride = self.const(dims[k], INT32)
+            scaled = self.fn.new_value(INT32)
+            self.emit(Op("mul", scaled, (linear, stride)))
+            idx_k = self.coerce(self.lower_expr(chain[k].index), INT32)
+            summed = self.fn.new_value(INT32)
+            self.emit(Op("add", summed, (scaled, idx_k)))
+            linear = summed
+        return name, linear
+
+    def lower_if(self, stmt: A.If) -> None:
+        cond = self.to_bool(self.lower_expr(stmt.cond))
+        then_b = self.new_block("then")
+        else_b = self.new_block("else") if stmt.other is not None else None
+        join = self.new_block("join")
+        self.emit(
+            Op(
+                "br",
+                operands=(cond,),
+                attrs={"then": then_b.name, "els": (else_b or join).name},
+            )
+        )
+        self.current = then_b
+        self.lower_block(stmt.then)
+        self.seal_jmp(join.name)
+        if else_b is not None:
+            self.current = else_b
+            assert stmt.other is not None
+            self.lower_block(stmt.other)
+            self.seal_jmp(join.name)
+        self.current = join
+
+    def lower_while(self, stmt: A.While) -> None:
+        header = self.new_block("while_head")
+        body = self.new_block("while_body")
+        exit_b = self.new_block("while_exit")
+        self.seal_jmp(header.name)
+        # Capture from here: condition lowering may create blocks
+        # (short-circuit &&/||) that belong to the loop region.
+        first_new = len(self.fn.blocks)
+
+        self.current = header
+        cond = self.to_bool(self.lower_expr(stmt.cond))
+        self.emit(Op("br", operands=(cond,), attrs={"then": body.name, "els": exit_b.name}))
+
+        loop = LoopInfo(
+            header.name,
+            [header.name, body.name],
+            header.name,
+            exit_b.name,
+            label=stmt.label,
+        )
+        self.fn.loops.append(loop)
+
+        self.loop_stack.append(_LoopCtx(latch=header.name, exit=exit_b.name))
+        self.current = body
+        self.lower_block(stmt.body)
+        self.seal_jmp(header.name)
+        self.loop_stack.pop()
+
+        loop.blocks.extend(b.name for b in self.fn.blocks[first_new:] if b.name != exit_b.name)
+        self.current = exit_b
+
+    def lower_do_while(self, stmt: A.DoWhile) -> None:
+        body = self.new_block("do_body")
+        latch = self.new_block("do_latch")
+        exit_b = self.new_block("do_exit")
+        self.seal_jmp(body.name)
+
+        loop = LoopInfo(body.name, [body.name, latch.name], latch.name, exit_b.name)
+        self.fn.loops.append(loop)
+        first_new = len(self.fn.blocks)
+
+        self.loop_stack.append(_LoopCtx(latch=latch.name, exit=exit_b.name))
+        self.current = body
+        self.lower_block(stmt.body)
+        self.seal_jmp(latch.name)
+        self.loop_stack.pop()
+
+        self.current = latch
+        cond = self.to_bool(self.lower_expr(stmt.cond))
+        self.emit(Op("br", operands=(cond,), attrs={"then": body.name, "els": exit_b.name}))
+
+        loop.blocks.extend(b.name for b in self.fn.blocks[first_new:] if b.name != exit_b.name)
+        self.current = exit_b
+
+    def lower_for(self, stmt: A.For) -> None:
+        if stmt.init is not None:
+            self.lower_stmt(stmt.init)
+        header = self.new_block("for_head")
+        body = self.new_block("for_body")
+        latch = self.new_block("for_latch")
+        exit_b = self.new_block("for_exit")
+        self.seal_jmp(header.name)
+        # Capture from here: condition lowering may create short-circuit
+        # blocks that belong to the loop region.
+        first_new = len(self.fn.blocks)
+
+        self.current = header
+        if stmt.cond is not None:
+            cond = self.to_bool(self.lower_expr(stmt.cond))
+            self.emit(
+                Op("br", operands=(cond,), attrs={"then": body.name, "els": exit_b.name})
+            )
+        else:
+            self.seal_jmp(body.name)
+
+        trip, ivar = self._affine_trip_count(stmt)
+        loop = LoopInfo(
+            header.name,
+            [header.name, body.name, latch.name],
+            latch.name,
+            exit_b.name,
+            trip_count=trip,
+            ivar=ivar,
+            label=stmt.label,
+        )
+        self.fn.loops.append(loop)
+
+        self.loop_stack.append(_LoopCtx(latch=latch.name, exit=exit_b.name))
+        self.current = body
+        self.lower_block(stmt.body)
+        self.seal_jmp(latch.name)
+        self.loop_stack.pop()
+
+        self.current = latch
+        if stmt.step is not None:
+            self.lower_stmt(stmt.step)
+        self.seal_jmp(header.name)
+
+        loop.blocks.extend(b.name for b in self.fn.blocks[first_new:] if b.name != exit_b.name)
+        self.current = exit_b
+
+    # -- trip-count pattern matching ------------------------------------------
+    def _const_of(self, expr: A.Expr) -> int | None:
+        """Compile-time integer value of *expr*, if it has one."""
+        if isinstance(expr, A.IntLit):
+            return expr.value
+        if isinstance(expr, A.Unary) and expr.op == "-":
+            inner = self._const_of(expr.operand)
+            return None if inner is None else -inner
+        if isinstance(expr, A.Name) and expr.ident in self.sema.global_consts:
+            _, value = self.sema.global_consts[expr.ident]
+            return int(value) if isinstance(value, int) else None
+        return None
+
+    def _affine_trip_count(self, stmt: A.For) -> tuple[int | None, str | None]:
+        """Match ``for (i = C0; i </<=/!= C1; i += C2)`` and compute trips."""
+        # init: Decl with init, or Assign to a Name.
+        if isinstance(stmt.init, A.Decl) and stmt.init.init is not None:
+            ivar = stmt.init.name
+            start = self._const_of(stmt.init.init)
+        elif isinstance(stmt.init, A.Assign) and isinstance(stmt.init.target, A.Name):
+            ivar = stmt.init.target.ident
+            start = self._const_of(stmt.init.value)
+        else:
+            return None, None
+        if start is None:
+            return None, ivar
+
+        # cond: ivar OP bound.
+        if not (
+            isinstance(stmt.cond, A.Binary)
+            and isinstance(stmt.cond.left, A.Name)
+            and stmt.cond.left.ident == ivar
+            and stmt.cond.op in ("<", "<=", ">", ">=", "!=")
+        ):
+            return None, ivar
+        bound = self._const_of(stmt.cond.right)
+        if bound is None:
+            return None, ivar
+
+        # step: ivar = ivar +/- C (from ++/--/+=/-=/explicit form).
+        if not (
+            isinstance(stmt.step, A.Assign)
+            and isinstance(stmt.step.target, A.Name)
+            and stmt.step.target.ident == ivar
+            and isinstance(stmt.step.value, A.Binary)
+            and stmt.step.value.op in ("+", "-")
+            and isinstance(stmt.step.value.left, A.Name)
+            and stmt.step.value.left.ident == ivar
+        ):
+            return None, ivar
+        delta = self._const_of(stmt.step.value.right)
+        if delta is None or delta == 0:
+            return None, ivar
+        if stmt.step.value.op == "-":
+            delta = -delta
+
+        op = stmt.cond.op
+        if op == "<" and delta > 0:
+            trips = max(0, -(-(bound - start) // delta))
+        elif op == "<=" and delta > 0:
+            trips = max(0, -(-(bound - start + 1) // delta))
+        elif op == ">" and delta < 0:
+            trips = max(0, -(-(start - bound) // -delta))
+        elif op == ">=" and delta < 0:
+            trips = max(0, -(-(start - bound + 1) // -delta))
+        elif op == "!=" and (bound - start) % delta == 0 and (bound - start) // delta >= 0:
+            trips = (bound - start) // delta
+        else:
+            return None, ivar
+
+        # The body must not write the induction variable (or the count lies).
+        if _writes_var(stmt.body, ivar):
+            return None, ivar
+        return trips, ivar
+
+    # -- expressions -----------------------------------------------------------
+    def lower_expr(self, expr: A.Expr) -> Value:
+        if isinstance(expr, A.IntLit):
+            return self.const(expr.value, INT32)
+        if isinstance(expr, A.FloatLit):
+            return self.const(expr.value, FLOAT)
+        if isinstance(expr, A.BoolLit):
+            return self.const(int(expr.value), BOOL)
+        if isinstance(expr, A.Name):
+            if expr.ident in self.sema.global_consts:
+                ctype, value = self.sema.global_consts[expr.ident]
+                return self.const(value, ctype)
+            res = self.fn.new_value(self.fn.slots[expr.ident])
+            self.emit(Op("vread", res, (), {"var": expr.ident}))
+            return res
+        if isinstance(expr, A.Index):
+            array, idx = self._flatten_index(expr)
+            elem = self._array_type(array).element
+            res = self.fn.new_value(elem)
+            self.emit(Op("load", res, (idx,), {"array": array}))
+            return res
+        if isinstance(expr, A.Unary):
+            return self.lower_unary(expr)
+        if isinstance(expr, A.Binary):
+            return self.lower_binary(expr)
+        if isinstance(expr, A.Ternary):
+            if _is_speculatable(expr.then) and _is_speculatable(expr.other):
+                cond = self.to_bool(self.lower_expr(expr.cond))
+                a = self.lower_expr(expr.then)
+                b = self.lower_expr(expr.other)
+                t = usual_arith(a.type, b.type)
+                a, b = self.coerce(a, t), self.coerce(b, t)
+                res = self.fn.new_value(t)
+                self.emit(Op("select", res, (cond, a, b)))
+                return res
+            return self._lower_guarded_ternary(expr)
+        if isinstance(expr, A.Cast):
+            val = self.lower_expr(expr.operand)
+            return self.coerce(val, expr.target)
+        if isinstance(expr, A.Call):
+            return self.lower_call(expr)
+        raise CSemanticError(f"cannot lower {type(expr).__name__}", expr.loc)
+
+    def lower_unary(self, expr: A.Unary) -> Value:
+        val = self.lower_expr(expr.operand)
+        if expr.op == "-":
+            t = promote(val.type)
+            val = self.coerce(val, t)
+            res = self.fn.new_value(t)
+            self.emit(Op("neg", res, (val,)))
+            return res
+        if expr.op == "~":
+            t = promote(val.type)
+            val = self.coerce(val, t)
+            res = self.fn.new_value(t)
+            self.emit(Op("not", res, (val,)))
+            return res
+        if expr.op == "!":
+            b = self.to_bool(val)
+            res = self.fn.new_value(BOOL)
+            self.emit(Op("lnot", res, (b,)))
+            return res
+        raise CSemanticError(f"unknown unary op {expr.op!r}", expr.loc)
+
+    def _lower_guarded_ternary(self, expr: A.Ternary) -> Value:
+        """``?:`` with a potentially trapping side: real control flow."""
+        result_t = expr.ctype
+        assert isinstance(result_t, ScalarType)
+        slot = self._fresh_slot("sel", result_t)
+        cond = self.to_bool(self.lower_expr(expr.cond))
+        then_b = self.new_block("sel_then")
+        else_b = self.new_block("sel_else")
+        join = self.new_block("sel_join")
+        self.emit(Op("br", operands=(cond,), attrs={"then": then_b.name, "els": else_b.name}))
+        self.current = then_b
+        val = self.coerce(self.lower_expr(expr.then), result_t)
+        self.emit(Op("vwrite", operands=(val,), attrs={"var": slot}))
+        self.seal_jmp(join.name)
+        self.current = else_b
+        val = self.coerce(self.lower_expr(expr.other), result_t)
+        self.emit(Op("vwrite", operands=(val,), attrs={"var": slot}))
+        self.seal_jmp(join.name)
+        self.current = join
+        res = self.fn.new_value(result_t)
+        self.emit(Op("vread", res, (), {"var": slot}))
+        return res
+
+    def _lower_short_circuit(self, expr: A.Binary) -> Value:
+        """C short-circuit ``&&``/``||`` via control flow."""
+        slot = self._fresh_slot("sc", BOOL)
+        lhs = self.to_bool(self.lower_expr(expr.left))
+        rhs_b = self.new_block("sc_rhs")
+        join = self.new_block("sc_join")
+        default = self.const(0 if expr.op == "&&" else 1, BOOL)
+        self.emit(Op("vwrite", operands=(default,), attrs={"var": slot}))
+        if expr.op == "&&":
+            attrs = {"then": rhs_b.name, "els": join.name}
+        else:
+            attrs = {"then": join.name, "els": rhs_b.name}
+        self.emit(Op("br", operands=(lhs,), attrs=attrs))
+        self.current = rhs_b
+        rhs = self.to_bool(self.lower_expr(expr.right))
+        self.emit(Op("vwrite", operands=(rhs,), attrs={"var": slot}))
+        self.seal_jmp(join.name)
+        self.current = join
+        res = self.fn.new_value(BOOL)
+        self.emit(Op("vread", res, (), {"var": slot}))
+        return res
+
+    def lower_binary(self, expr: A.Binary) -> Value:
+        op = expr.op
+        if op in ("&&", "||"):
+            if not _is_speculatable(expr.right):
+                return self._lower_short_circuit(expr)
+            lhs = self.to_bool(self.lower_expr(expr.left))
+            rhs = self.to_bool(self.lower_expr(expr.right))
+            res = self.fn.new_value(BOOL)
+            self.emit(Op("and" if op == "&&" else "or", res, (lhs, rhs)))
+            return res
+        lhs = self.lower_expr(expr.left)
+        rhs = self.lower_expr(expr.right)
+        if op in _CMP_PRED:
+            t = usual_arith(lhs.type, rhs.type)
+            lhs, rhs = self.coerce(lhs, t), self.coerce(rhs, t)
+            res = self.fn.new_value(BOOL)
+            self.emit(Op("cmp", res, (lhs, rhs), {"pred": _CMP_PRED[op]}))
+            return res
+        if op in ("<<", ">>"):
+            t = promote(lhs.type)
+            lhs = self.coerce(lhs, t)
+            rhs = self.coerce(rhs, INT32)
+            res = self.fn.new_value(t)
+            self.emit(Op(_BIN_OPCODE[op], res, (lhs, rhs)))
+            return res
+        t = usual_arith(lhs.type, rhs.type)
+        lhs, rhs = self.coerce(lhs, t), self.coerce(rhs, t)
+        res = self.fn.new_value(t)
+        self.emit(Op(_BIN_OPCODE[op], res, (lhs, rhs)))
+        return res
+
+    def lower_call(self, expr: A.Call) -> Value:
+        args = [self.lower_expr(a) for a in expr.args]
+        name = expr.func
+        if name in ("min", "max"):
+            t = usual_arith(args[0].type, args[1].type)
+            a, b = self.coerce(args[0], t), self.coerce(args[1], t)
+            cond = self.fn.new_value(BOOL)
+            pred = "lt" if name == "min" else "gt"
+            self.emit(Op("cmp", cond, (a, b), {"pred": pred}))
+            res = self.fn.new_value(t)
+            self.emit(Op("select", res, (cond, a, b)))
+            return res
+        if name in ("abs", "fabsf"):
+            t = FLOAT if (name == "fabsf" or args[0].type.is_float) else promote(args[0].type)
+            a = self.coerce(args[0], t)
+            zero = self.const(0, t)
+            neg = self.fn.new_value(t)
+            self.emit(Op("neg", neg, (a,)))
+            cond = self.fn.new_value(BOOL)
+            self.emit(Op("cmp", cond, (a, zero), {"pred": "lt"}))
+            res = self.fn.new_value(t)
+            self.emit(Op("select", res, (cond, neg, a)))
+            return res
+        if name == "sqrtf":
+            a = self.coerce(args[0], FLOAT)
+            res = self.fn.new_value(FLOAT)
+            self.emit(Op("sqrt", res, (a,)))
+            return res
+        raise CSemanticError(f"unknown intrinsic {name!r}", expr.loc)
+
+
+def _writes_var(block: A.Block, name: str) -> bool:
+    """Does any statement in *block* assign to scalar *name*?"""
+    for stmt in block.stmts:
+        if isinstance(stmt, A.Assign) and isinstance(stmt.target, A.Name):
+            if stmt.target.ident == name:
+                return True
+        elif isinstance(stmt, A.Decl) and stmt.name == name:
+            return True
+        elif isinstance(stmt, A.If):
+            if _writes_var(stmt.then, name):
+                return True
+            if stmt.other is not None and _writes_var(stmt.other, name):
+                return True
+        elif isinstance(stmt, (A.While, A.DoWhile)):
+            if _writes_var(stmt.body, name):
+                return True
+        elif isinstance(stmt, A.For):
+            inner: list[A.Stmt] = [s for s in (stmt.init, stmt.step) if s is not None]
+            if _writes_var(A.Block(stmt.loc, inner + list(stmt.body.stmts)), name):
+                return True
+        elif isinstance(stmt, A.Block):
+            if _writes_var(stmt, name):
+                return True
+    return False
+
+
+def lower_function(sema: SemaResult, name: str) -> Function:
+    """Lower function *name* from an analyzed translation unit to IR."""
+    return _Lowerer(sema, sema.unit.func(name)).run()

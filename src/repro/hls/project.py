@@ -1,0 +1,310 @@
+"""The Vivado-HLS-like project front door.
+
+:class:`HlsProject` mirrors the tcl workflow the paper's tool generates
+(Section IV-B steps 2-4): create a project, add sources, set the top
+function, append interface/loop directives, then ``csynth()``.  It also
+renders the two tcl artifacts the real flow would feed Vivado HLS — the
+project script and the directives file.
+
+:func:`synthesize_function` is the one-call variant used throughout the
+tests and the flow orchestrator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hls.bind import Binding, bind_function
+from repro.hls.cparse import parse_c
+from repro.hls.inline import inline_functions
+from repro.hls.fsm import Fsm, build_fsm
+from repro.hls.interfaces import (
+    Directive,
+    InterfaceMode,
+    InterfaceSpec,
+    allocation_limits,
+    directives_file,
+    interface,
+    loop_directives,
+    partition_specs,
+    resolve_interfaces,
+)
+from repro.hls.interp import ExecStats, Interpreter
+from repro.hls.ir import Function
+from repro.hls.latency import LatencyReport, function_latency
+from repro.hls.lower import lower_function
+from repro.hls.passes import run_default_pipeline, tag_const_muls
+from repro.hls.report import SynthesisReport
+from repro.hls.resources import ResourceUsage, estimate_core
+from repro.hls.rtl import emit_core
+from repro.hls.schedule import CLOCK_NS, FunctionSchedule, schedule_function
+from repro.hls.sema import analyze
+from repro.util.errors import HlsError
+
+
+@dataclass
+class SynthesisResult:
+    """Everything produced by one ``csynth`` run of one core."""
+
+    top: str
+    function: Function
+    schedule: FunctionSchedule
+    binding: Binding
+    fsm: Fsm
+    iface: InterfaceSpec
+    resources: ResourceUsage
+    latency: LatencyReport
+    verilog: str
+    directives: list[Directive]
+    report: SynthesisReport
+
+    def interpreter(self) -> Interpreter:
+        """Executable model of the core (used by csim and the simulator)."""
+        return Interpreter(self.function)
+
+    def run(self, *args):
+        """Execute the core's behaviour on concrete arguments."""
+        return self.interpreter().run(*args)
+
+
+def synthesize_function(
+    source: str,
+    top: str,
+    directives: list[Directive] | tuple[Directive, ...] = (),
+    *,
+    limits: dict[str, int] | None = None,
+    default_trip: int = 256,
+    optimize: bool = True,
+) -> SynthesisResult:
+    """Full HLS pipeline for one C function; see module docstring."""
+    unit = parse_c(source)
+    inline_functions(unit)
+    sema = analyze(unit)
+    fn = lower_function(sema, top)
+    if optimize:
+        run_default_pipeline(fn)
+    dir_list = list(directives)
+    loop_directives(fn, dir_list)
+    tag_const_muls(fn)
+    limits = {**allocation_limits(top, dir_list), **(limits or {})}
+    partitions = partition_specs(top, dir_list)
+    for array, (kind, factor) in partitions.items():
+        if array not in fn.arrays and array not in fn.array_params:
+            raise HlsError(f"{top}: array_partition on unknown array {array!r}")
+        if kind == "complete":
+            size = fn.arrays.get(array, fn.array_params.get(array)).size or 1024
+            limits.setdefault(f"mem:{array}", 2 * size)
+        else:
+            limits.setdefault(f"mem:{array}", 2 * factor)
+    schedule = schedule_function(fn, limits=limits)
+    binding = bind_function(fn, schedule)
+    fsm = build_fsm(fn, schedule)
+    iface = resolve_interfaces(fn, dir_list)
+    latency = function_latency(fn, schedule, default_trip=default_trip, limits=limits)
+    resources = estimate_core(
+        fn,
+        schedule,
+        binding,
+        iface,
+        fsm.num_states,
+        partitioned={a for a, (k, _) in partitions.items() if k == "complete"},
+    )
+    verilog = emit_core(fn, schedule, binding, fsm, iface)
+    report = SynthesisReport(
+        core=top,
+        clock_ns=CLOCK_NS,
+        states=fsm.num_states,
+        latency=latency,
+        resources=resources,
+        registers=binding.total_register_bits(),
+        fu_counts=dict(binding.fu_counts),
+    )
+    return SynthesisResult(
+        top=top,
+        function=fn,
+        schedule=schedule,
+        binding=binding,
+        fsm=fsm,
+        iface=iface,
+        resources=resources,
+        latency=latency,
+        verilog=verilog,
+        directives=dir_list,
+        report=report,
+    )
+
+
+@dataclass
+class HlsProject:
+    """A Vivado-HLS-style project: sources + top + directives.
+
+    The method names follow the tcl commands the paper's tool emits:
+    ``add_files``, ``set_top``, ``csynth_design`` (as :meth:`csynth`).
+    """
+
+    name: str
+    sources: list[str] = field(default_factory=list)
+    top: str | None = None
+    directives: list[Directive] = field(default_factory=list)
+    clock_ns: float = CLOCK_NS
+    part: str = "xc7z020clg484-1"  # the Zedboard device
+    _result: SynthesisResult | None = None
+
+    # -- tcl-like API ------------------------------------------------------
+    def add_files(self, source: str) -> "HlsProject":
+        self.sources.append(source)
+        return self
+
+    def set_top(self, top: str) -> "HlsProject":
+        self.top = top
+        return self
+
+    def add_directive(self, directive: Directive) -> "HlsProject":
+        self.directives.append(directive)
+        return self
+
+    def stream_port(self, port: str) -> "HlsProject":
+        """Declare *port* as AXI-Stream (the DSL's ``is`` keyword)."""
+        if self.top is None:
+            raise HlsError("set_top before declaring interfaces")
+        return self.add_directive(interface(self.top, port, InterfaceMode.AXIS))
+
+    def lite_port(self, port: str) -> "HlsProject":
+        """Declare *port* as AXI-Lite (the DSL's ``i`` keyword)."""
+        if self.top is None:
+            raise HlsError("set_top before declaring interfaces")
+        return self.add_directive(interface(self.top, port, InterfaceMode.S_AXILITE))
+
+    # -- synthesis -----------------------------------------------------------
+    def csynth(
+        self,
+        *,
+        limits: dict[str, int] | None = None,
+        default_trip: int = 256,
+    ) -> SynthesisResult:
+        if self.top is None:
+            raise HlsError(f"project {self.name!r}: no top function set")
+        if not self.sources:
+            raise HlsError(f"project {self.name!r}: no sources added")
+        self._result = synthesize_function(
+            "\n".join(self.sources),
+            self.top,
+            self.directives,
+            limits=limits,
+            default_trip=default_trip,
+        )
+        return self._result
+
+    @property
+    def result(self) -> SynthesisResult:
+        if self._result is None:
+            raise HlsError(f"project {self.name!r}: csynth has not run")
+        return self._result
+
+    def csim(self, *args):
+        """C-simulation: execute the synthesized behaviour on *args*."""
+        return self.result.run(*args)
+
+    # -- artifacts ---------------------------------------------------------------
+    def script_tcl(self) -> str:
+        """The Vivado HLS project script the paper's tool generates."""
+        lines = [
+            f"open_project {self.name}",
+            f"set_top {self.top}",
+            f"add_files {self.name}/{self.top}.c",
+            "open_solution solution1",
+            f"set_part {{{self.part}}}",
+            f"create_clock -period {self.clock_ns:g} -name default",
+            f"source {self.name}/directives.tcl",
+            "csynth_design",
+            "export_design -format ip_catalog",
+            "exit",
+        ]
+        return "\n".join(lines) + "\n"
+
+    def directives_tcl(self) -> str:
+        return directives_file(self.directives)
+
+
+def verify_stream_discipline(result: SynthesisResult, *args) -> None:
+    """Check every AXI-Stream port is accessed strictly sequentially.
+
+    Runs the core's behaviour on *args* with access tracking and raises
+    :class:`HlsError` if a stream input is not read exactly
+    ``0, 1, ..., n-1`` (or an output not written in that order) — the
+    discipline a real axis interface physically enforces.  Local arrays
+    and ``m_axi`` ports may be accessed randomly.
+    """
+    _, stats = result.interpreter().run(*args, track_access=True)
+    for stream in result.iface.streams:
+        atype = result.function.array_params[stream.name]
+        expected = list(range(atype.size or 0))
+        if stream.direction == "in":
+            accesses = stats.reads.get(stream.name, [])
+            kind = "read"
+            if stats.writes.get(stream.name):
+                raise HlsError(
+                    f"{result.top}: stream input {stream.name!r} is written"
+                )
+        else:
+            accesses = stats.writes.get(stream.name, [])
+            kind = "written"
+            if stats.reads.get(stream.name):
+                raise HlsError(
+                    f"{result.top}: stream output {stream.name!r} is read back"
+                )
+        if accesses != expected:
+            preview = accesses[:8]
+            raise HlsError(
+                f"{result.top}: stream port {stream.name!r} must be {kind} "
+                f"sequentially 0..{len(expected) - 1}; observed order starts "
+                f"{preview}"
+            )
+
+
+#: Approximate ARM Cortex-A9 cycles per executed IR op, by class.  Loads
+#: hit the L1 most of the time; integer division and every float op go
+#: through multi-cycle units (the A9 FPU is not single-cycle).
+_SW_OP_CYCLES = {
+    "div": 12.0,
+    "mod": 12.0,
+    "mul": 2.0,
+    "load": 3.0,
+    "store": 2.0,
+    "sqrt": 16.0,
+    "br": 2.0,  # branch misprediction amortized
+}
+_SW_DEFAULT_OP_CYCLES = 1.0
+_SW_FLOAT_EXTRA = 3.0  # fadd/fmul/fdiv executed on the VFP
+
+
+def estimate_sw_cycles(result: SynthesisResult, *args, scale: float = 1.0) -> int:
+    """Software-execution cost proxy: per-opcode-weighted dynamic count.
+
+    Runs the core's behaviour on *args* and converts the executed IR ops
+    into an estimated ARM Cortex-A9 cycle count using a per-class CPI
+    table (divisions, float ops and memory accesses cost more than ALU
+    ops).  Used by the DSE cost model when no measured ``sw_cycles`` is
+    available.
+    """
+    _, stats = result.interpreter().run(*args, collect_stats=True)
+    assert isinstance(stats, ExecStats)
+    total = 0.0
+    has_float = any(cls.startswith("f") for cls in result.binding.fu_counts)
+    for opcode, n in stats.by_opcode.items():
+        cost = _SW_OP_CYCLES.get(opcode, _SW_DEFAULT_OP_CYCLES)
+        if has_float and opcode in ("add", "sub", "mul", "div"):
+            cost += _SW_FLOAT_EXTRA
+        total += n * cost
+    return int(total * scale)
+
+
+__all__ = [
+    "HlsProject",
+    "SynthesisResult",
+    "estimate_sw_cycles",
+    "synthesize_function",
+    "verify_stream_discipline",
+]

@@ -1,0 +1,56 @@
+"""Synthesis report rendering (the ``csynth.rpt`` analogue)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hls.latency import LatencyReport
+from repro.hls.resources import ResourceUsage
+from repro.util.text import format_table
+
+
+@dataclass(frozen=True)
+class SynthesisReport:
+    """Human-readable summary of one core's synthesis run."""
+
+    core: str
+    clock_ns: float
+    states: int
+    latency: LatencyReport
+    resources: ResourceUsage
+    registers: int
+    fu_counts: dict[str, int]
+
+    def render(self) -> str:
+        lines = [
+            f"== Synthesis report: {self.core} ==",
+            f"Target clock: {self.clock_ns:.1f} ns",
+            f"FSM states:   {self.states}",
+            (
+                f"Latency:      {self.latency.cycles} cycles "
+                f"({'exact' if self.latency.exact else 'worst-case estimate'})"
+            ),
+        ]
+        if self.latency.loops:
+            rows = [
+                (header, trips, iter_cost, ii if ii is not None else "-")
+                for header, (trips, iter_cost, ii) in self.latency.loops.items()
+            ]
+            lines.append(
+                format_table(
+                    ["loop", "trips", "iter cycles", "II"], rows, title="Loops:"
+                )
+            )
+        if self.fu_counts:
+            rows = sorted(self.fu_counts.items())
+            lines.append(format_table(["unit", "count"], rows, title="Functional units:"))
+        r = self.resources
+        lines.append(
+            format_table(
+                ["LUT", "FF", "RAMB18", "DSP"],
+                [[r.lut, r.ff, r.bram18, r.dsp]],
+                title="Utilization estimate:",
+            )
+        )
+        lines.append(f"Data registers bound: {self.registers} bits")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,190 @@
+"""FPGA resource estimation (LUT / FF / RAMB18 / DSP48).
+
+The model is calibrated against the xc7z020 (Zedboard) numbers reported
+in the paper's Table II; EXPERIMENTS.md records measured-vs-paper for
+every architecture.  Cost structure:
+
+* **functional units** — fixed per-instance costs (an fdiv is ~800 LUT,
+  an int32 multiplier 3 DSP, a constant multiplier 1 DSP, ...);
+* **combinational logic** — per-opcode costs scaled by bit width,
+  charged at the *peak concurrent use in any cycle* (the datapath shares
+  operators across states through multiplexers);
+* **registers** — one FF per bound register bit, plus input muxes;
+* **memories** — local arrays above 1 Kbit map to RAMB18 blocks
+  (``ceil(bits / 18 Kbit)``), smaller ones to distributed LUT-RAM;
+* **interface adapters** — AXI-Lite register file, AXI-Stream ports,
+  AXI master.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hls.bind import Binding
+from repro.hls.interfaces import InterfaceSpec
+from repro.hls.ir import Function
+from repro.hls.schedule import FunctionSchedule, timing_of
+
+BRAM18_BITS = 18 * 1024
+#: Arrays at or below this size map to distributed LUT-RAM (Vivado keeps
+#: small memories out of block RAM; 4 Kbit matches its behaviour on the
+#: case study's 256x16-bit buffers).
+LUTRAM_THRESHOLD_BITS = 4096
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """LUT/FF/RAMB18/DSP quadruple with arithmetic helpers."""
+
+    lut: int = 0
+    ff: int = 0
+    bram18: int = 0
+    dsp: int = 0
+
+    def __add__(self, other: "ResourceUsage") -> "ResourceUsage":
+        return ResourceUsage(
+            self.lut + other.lut,
+            self.ff + other.ff,
+            self.bram18 + other.bram18,
+            self.dsp + other.dsp,
+        )
+
+    def scaled(self, k: int) -> "ResourceUsage":
+        return ResourceUsage(self.lut * k, self.ff * k, self.bram18 * k, self.dsp * k)
+
+    def as_row(self) -> tuple[int, int, int, int]:
+        return (self.lut, self.ff, self.bram18, self.dsp)
+
+
+#: Per-instance cost of sequential functional units, by resource class.
+FU_COSTS: dict[str, ResourceUsage] = {
+    "mul": ResourceUsage(lut=45, ff=90, dsp=3),
+    "mul_small": ResourceUsage(lut=25, ff=45, dsp=1),
+    "div": ResourceUsage(lut=1080, ff=1240),
+    "fadd": ResourceUsage(lut=390, ff=510),
+    "fmul": ResourceUsage(lut=135, ff=210, dsp=2),
+    "fdiv": ResourceUsage(lut=790, ff=950),
+    "fsqrt": ResourceUsage(lut=460, ff=610),
+    "cast_if": ResourceUsage(lut=125, ff=175),
+}
+
+#: Per-instance LUT cost of combinational operators, by opcode, for a
+#: 32-bit datapath (scaled by width/32 at estimation time).
+COMB_LUT: dict[str, int] = {
+    "add": 32,
+    "sub": 32,
+    "neg": 32,
+    "cmp": 18,
+    "select": 16,
+    "shl": 28,
+    "shr": 28,
+    "and": 11,
+    "or": 11,
+    "xor": 11,
+    "not": 6,
+    "lnot": 2,
+    "cast_ii": 0,
+}
+
+#: Interface adapter costs.
+AXILITE_BASE = ResourceUsage(lut=240, ff=310)
+AXILITE_PER_REG = ResourceUsage(lut=28, ff=34)
+AXIS_PER_PORT = ResourceUsage(lut=55, ff=85)
+M_AXI_ADAPTER = ResourceUsage(lut=880, ff=1090)
+
+#: Controller overhead per FSM state / per state bit.
+FSM_LUT_PER_STATE = 2
+FSM_BASE = ResourceUsage(lut=60, ff=40)
+
+
+def _comb_peaks(fn: Function, schedule: FunctionSchedule) -> dict[str, float]:
+    """Peak concurrent combinational logic per opcode, width-weighted.
+
+    Each op contributes ``width/32`` of a full-width operator (an 8-bit
+    comparator is a quarter of a 32-bit one); the peak is taken over
+    cycles, since operators are time-multiplexed across states.
+    """
+    peaks: dict[str, float] = {}
+    for block in fn.blocks:
+        bs = schedule.block(block.name)
+        per_cycle: dict[tuple[str, int], float] = {}
+        for op in block.ops:
+            timing = timing_of(op)
+            if timing.latency != 0 or timing.resource is not None:
+                continue
+            key = op.opcode
+            if key == "cast":
+                key = "cast_ii"
+            if key not in COMB_LUT:
+                continue
+            if op.opcode == "cmp" and op.operands:
+                width = max(1, op.operands[0].type.bits)
+            elif op.result is not None:
+                width = max(1, op.result.type.bits)
+            else:
+                width = 32
+            cyc = bs.of(op).start_cycle
+            per_cycle[(key, cyc)] = per_cycle.get((key, cyc), 0.0) + width / 32.0
+        for (key, _), n in per_cycle.items():
+            peaks[key] = max(peaks.get(key, 0.0), n)
+    return peaks
+
+
+def estimate_core(
+    fn: Function,
+    schedule: FunctionSchedule,
+    binding: Binding,
+    iface: InterfaceSpec,
+    num_states: int,
+    *,
+    partitioned: set[str] | frozenset[str] = frozenset(),
+) -> ResourceUsage:
+    """Estimate post-synthesis resources of one accelerator core.
+
+    Arrays in *partitioned* are completely partitioned (array_partition
+    directive): they cost registers + addressing muxes instead of BRAM.
+    """
+    total = ResourceUsage()
+
+    # Functional units.
+    for cls, count in binding.fu_counts.items():
+        cost = FU_COSTS.get(cls)
+        if cost is not None:
+            total = total + cost.scaled(count)
+
+    # Combinational datapath (width-weighted operator shares).
+    comb_lut = 0.0
+    for key, peak in _comb_peaks(fn, schedule).items():
+        comb_lut += COMB_LUT[key] * peak
+    total = total + ResourceUsage(lut=int(round(comb_lut)))
+
+    # Registers: 1 FF/bit, plus an input mux (~0.5 LUT/bit) on shared regs.
+    reg_bits = binding.total_register_bits()
+    shared_bits = sum(w * n for w, n in binding.registers.items())
+    total = total + ResourceUsage(lut=shared_bits // 2, ff=reg_bits)
+
+    # Local memories.
+    for name, atype in fn.arrays.items():
+        assert atype.size is not None
+        bits = atype.size * atype.element.bits
+        if name in partitioned:
+            # Dissolved into registers + per-element access muxes.
+            total = total + ResourceUsage(lut=bits // 2 + atype.size, ff=bits)
+        elif bits <= LUTRAM_THRESHOLD_BITS:
+            total = total + ResourceUsage(lut=-(-bits // 64) * 4)
+        else:
+            total = total + ResourceUsage(bram18=-(-bits // BRAM18_BITS))
+
+    # Controller.
+    state_bits = max(1, (max(1, num_states - 1)).bit_length())
+    total = total + FSM_BASE + ResourceUsage(
+        lut=FSM_LUT_PER_STATE * num_states, ff=state_bits
+    )
+
+    # Interface adapters.
+    if iface.has_lite():
+        total = total + AXILITE_BASE + AXILITE_PER_REG.scaled(len(iface.registers))
+    total = total + AXIS_PER_PORT.scaled(len(iface.streams))
+    if iface.m_axi_ports:
+        total = total + M_AXI_ADAPTER
+    return total

@@ -1,0 +1,254 @@
+"""Verilog emission for synthesized cores.
+
+Produces one self-contained module per core: clock/reset, the
+``ap_ctrl_hs`` handshake, the resolved AXI-Lite / AXI-Stream / AXI-master
+ports, a binary-encoded FSM implementing the schedule, registered
+updates for sequential results and variable slots, and combinational
+assigns for chained logic.  Iterative units (divider, square root,
+floating point) are instantiated as ``repro_*`` library cells, emitted
+once per file by :func:`library_cells`.
+
+The RTL is an inspectable artifact of the flow (what Vivado HLS's
+``syn/verilog`` output is to the paper); behavioural correctness is
+owned by the IR interpreter, and tests check structural properties of
+this text (ports, state count, instance counts).
+"""
+
+from __future__ import annotations
+
+from repro.hls.bind import Binding
+from repro.hls.fsm import Fsm
+from repro.hls.interfaces import InterfaceSpec
+from repro.hls.ir import Function, Op
+from repro.hls.schedule import FunctionSchedule, timing_of
+
+_LIBRARY_CELLS = {
+    "div": "repro_sdiv32",
+    "fadd": "repro_fadd",
+    "fmul": "repro_fmul",
+    "fdiv": "repro_fdiv",
+    "fsqrt": "repro_fsqrt",
+    "cast_if": "repro_cvt_if",
+    "mul": "repro_mul32",
+    "mul_small": "repro_mulk",
+}
+
+
+def _ports(iface: InterfaceSpec) -> list[str]:
+    ports = [
+        "input  wire        ap_clk",
+        "input  wire        ap_rst_n",
+    ]
+    if iface.has_lite():
+        ports += [
+            "input  wire [11:0] s_axi_ctrl_awaddr",
+            "input  wire        s_axi_ctrl_awvalid",
+            "output wire        s_axi_ctrl_awready",
+            "input  wire [31:0] s_axi_ctrl_wdata",
+            "input  wire        s_axi_ctrl_wvalid",
+            "output wire        s_axi_ctrl_wready",
+            "output wire [1:0]  s_axi_ctrl_bresp",
+            "output wire        s_axi_ctrl_bvalid",
+            "input  wire        s_axi_ctrl_bready",
+            "input  wire [11:0] s_axi_ctrl_araddr",
+            "input  wire        s_axi_ctrl_arvalid",
+            "output wire        s_axi_ctrl_arready",
+            "output wire [31:0] s_axi_ctrl_rdata",
+            "output wire [1:0]  s_axi_ctrl_rresp",
+            "output wire        s_axi_ctrl_rvalid",
+            "input  wire        s_axi_ctrl_rready",
+        ]
+    else:
+        ports += [
+            "input  wire        ap_start",
+            "output reg         ap_done",
+            "output wire        ap_idle",
+        ]
+    for s in iface.streams:
+        hi = s.width - 1
+        if s.direction == "in":
+            ports += [
+                f"input  wire [{hi}:0] {s.name}_tdata",
+                f"input  wire        {s.name}_tvalid",
+                f"output wire        {s.name}_tready",
+                f"input  wire        {s.name}_tlast",
+            ]
+        else:
+            ports += [
+                f"output wire [{hi}:0] {s.name}_tdata",
+                f"output wire        {s.name}_tvalid",
+                f"input  wire        {s.name}_tready",
+                f"output wire        {s.name}_tlast",
+            ]
+    for name in iface.m_axi_ports:
+        ports += [
+            f"output wire [31:0] m_axi_{name}_araddr",
+            f"output wire        m_axi_{name}_arvalid",
+            f"input  wire        m_axi_{name}_arready",
+            f"input  wire [31:0] m_axi_{name}_rdata",
+            f"input  wire        m_axi_{name}_rvalid",
+            f"output wire        m_axi_{name}_rready",
+            f"output wire [31:0] m_axi_{name}_awaddr",
+            f"output wire        m_axi_{name}_awvalid",
+            f"input  wire        m_axi_{name}_awready",
+            f"output wire [31:0] m_axi_{name}_wdata",
+            f"output wire        m_axi_{name}_wvalid",
+            f"input  wire        m_axi_{name}_wready",
+        ]
+    return ports
+
+
+def _expr_of(op: Op) -> str:
+    """Combinational Verilog expression for a chained op."""
+    def v(val) -> str:
+        return f"v{val.vid}"
+
+    oc = op.opcode
+    if oc == "const":
+        return str(op.attrs["value"]) if not isinstance(op.attrs["value"], float) else (
+            f"/* f32 */ 32'h{_f32_bits(op.attrs['value']):08x}"
+        )
+    if oc == "vread":
+        return f"slot_{op.attrs['var']}"
+    if oc == "cmp":
+        sym = {"lt": "<", "le": "<=", "gt": ">", "ge": ">=", "eq": "==", "ne": "!="}[
+            op.attrs["pred"]
+        ]
+        return f"($signed({v(op.operands[0])}) {sym} $signed({v(op.operands[1])}))"
+    if oc == "select":
+        return f"({v(op.operands[0])} ? {v(op.operands[1])} : {v(op.operands[2])})"
+    if oc in ("add", "sub", "and", "or", "xor", "shl", "shr"):
+        sym = {
+            "add": "+",
+            "sub": "-",
+            "and": "&",
+            "or": "|",
+            "xor": "^",
+            "shl": "<<",
+            "shr": ">>>",
+        }[oc]
+        return f"({v(op.operands[0])} {sym} {v(op.operands[1])})"
+    if oc == "neg":
+        return f"(-{v(op.operands[0])})"
+    if oc == "not":
+        return f"(~{v(op.operands[0])})"
+    if oc == "lnot":
+        return f"(!{v(op.operands[0])})"
+    if oc == "cast":
+        return v(op.operands[0])
+    return "/* unit output */"
+
+
+def _f32_bits(value: float) -> int:
+    import struct
+
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def emit_core(
+    fn: Function,
+    schedule: FunctionSchedule,
+    binding: Binding,
+    fsm: Fsm,
+    iface: InterfaceSpec,
+) -> str:
+    """Emit the Verilog for one core (module name = function name)."""
+    lines: list[str] = []
+    lines.append("`timescale 1ns / 1ps")
+    lines.append(f"// Generated by repro-hls from C function {fn.name!r}")
+    lines.append(f"module {fn.name} (")
+    ports = _ports(iface)
+    lines.extend(
+        f"    {p}," if i < len(ports) - 1 else f"    {p}" for i, p in enumerate(ports)
+    )
+    lines.append(");")
+    lines.append("")
+
+    # State encoding.
+    bits = fsm.state_bits()
+    lines.append(f"  // FSM: {fsm.num_states} states, binary encoded")
+    for i, st in enumerate(fsm.states):
+        lines.append(f"  localparam [{bits - 1}:0] {st.name} = {i};")
+    lines.append(f"  reg [{bits - 1}:0] state;")
+    lines.append("")
+
+    # Variable slots.
+    for name, stype in fn.slots.items():
+        width = max(1, stype.bits)
+        lines.append(f"  reg [{width - 1}:0] slot_{name};")
+    # Local memories.
+    for name, atype in fn.arrays.items():
+        w = atype.element.bits
+        lines.append(
+            f"  reg [{w - 1}:0] mem_{name} [0:{(atype.size or 1) - 1}];  // "
+            f"{'BRAM' if (atype.size or 0) * w > 1024 else 'LUTRAM'}"
+        )
+    lines.append("")
+
+    # Functional-unit instances.
+    for cls, count in sorted(binding.fu_counts.items()):
+        cell = _LIBRARY_CELLS.get(cls)
+        if cell is None:
+            continue
+        for k in range(count):
+            lines.append(
+                f"  {cell} u_{cls}_{k} (.clk(ap_clk), .a(), .b(), .q());"
+            )
+    lines.append("")
+
+    # Datapath wires for combinational values.
+    for block in fn.blocks:
+        bs = schedule.block(block.name)
+        for op in block.ops:
+            if op.result is None or op.is_terminator():
+                continue
+            timing = timing_of(op)
+            width = max(1, op.result.type.bits)
+            if timing.latency == 0:
+                lines.append(
+                    f"  wire [{width - 1}:0] v{op.result.vid} = "
+                    f"{_expr_of(op)};  // {block.name} c{bs.of(op).start_cycle}"
+                )
+            else:
+                lines.append(
+                    f"  reg  [{width - 1}:0] v{op.result.vid};"
+                    f"  // {timing.resource} result, {block.name} "
+                    f"c{bs.of(op).start_cycle}+{timing.latency}"
+                )
+    lines.append("")
+
+    # Controller.
+    lines.append("  always @(posedge ap_clk) begin")
+    lines.append("    if (!ap_rst_n) begin")
+    lines.append(f"      state <= {fsm.states[0].name};")
+    lines.append("    end else begin")
+    lines.append("      case (state)")
+    for st in fsm.states:
+        succs = [t for t in fsm.transitions if t.src == st.name]
+        lines.append(f"        {st.name}: begin")
+        for t in succs:
+            if t.condition is None:
+                lines.append(f"          state <= {t.dst};")
+            else:
+                cond = t.condition.replace("!", "~")
+                lines.append(f"          if ({cond}) state <= {t.dst};")
+        lines.append("        end")
+    lines.append("        default: state <= S_IDLE;")
+    lines.append("      endcase")
+    lines.append("    end")
+    lines.append("  end")
+    lines.append("")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def library_cells() -> str:
+    """Stub definitions of the iterative/pipelined unit library."""
+    out = ["`timescale 1ns / 1ps", "// repro-hls functional unit library"]
+    for cls, cell in sorted(_LIBRARY_CELLS.items()):
+        out.append(f"module {cell} (input wire clk, input wire [31:0] a,")
+        out.append("                input wire [31:0] b, output reg [31:0] q);")
+        out.append(f"  // behavioural model of the {cls} unit")
+        out.append("endmodule")
+        out.append("")
+    return "\n".join(out)

@@ -1,0 +1,299 @@
+"""Operation scheduling: ASAP with operator chaining + resource-constrained
+list scheduling, per basic block.
+
+Timing model
+------------
+Each opcode is either *combinational* (latency 0 cycles, a propagation
+delay in ns that chains within a clock period) or *sequential* (a
+registered unit with a pipeline latency in cycles).  The default clock
+is 10 ns (100 MHz — the Zynq PL clock the paper's systems use).
+
+Sequential units belong to a *resource class* with a per-function
+instance limit (e.g. one integer divider); a unit is busy for
+``unit_ii`` cycles per operation (1 for pipelined units, = latency for
+the iterative divider and square root).
+
+Dependences
+-----------
+Data edges come from operand production; storage hazards order
+``vread``/``vwrite`` on the same variable slot and ``load``/``store`` on
+the same array (RAW, WAR, WAW; loads may reorder with loads).  The block
+terminator is scheduled after every other op.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.hls.ir import Block, Function, Op
+from repro.util.errors import ScheduleError
+
+CLOCK_NS = 10.0
+#: Register setup margin: a sequential unit can consume a combinational
+#: result produced in the same cycle if it lands this early (ns).
+SETUP_NS = 1.0
+
+
+@dataclass(frozen=True)
+class OpTiming:
+    """Latency model of one opcode."""
+
+    latency: int  # cycles; 0 = combinational
+    delay_ns: float = 0.0  # propagation delay when combinational
+    resource: str | None = None  # resource class for limited units
+    unit_ii: int = 1  # cycles the unit stays busy per op
+
+
+#: Default per-opcode timing.  Float ops are looked up with an ``f``
+#: prefix (``fadd``, ``fmul``, ...) by :func:`timing_of`.
+TIMINGS: dict[str, OpTiming] = {
+    "const": OpTiming(0, 0.0),
+    "vread": OpTiming(0, 0.0),
+    "vwrite": OpTiming(0, 0.0),
+    "and": OpTiming(0, 0.7),
+    "or": OpTiming(0, 0.7),
+    "xor": OpTiming(0, 0.7),
+    "not": OpTiming(0, 0.5),
+    "lnot": OpTiming(0, 0.5),
+    "shl": OpTiming(0, 1.0),
+    "shr": OpTiming(0, 1.0),
+    "cmp": OpTiming(0, 1.8),
+    "select": OpTiming(0, 1.2),
+    "neg": OpTiming(0, 1.6),
+    "add": OpTiming(0, 2.4),
+    "sub": OpTiming(0, 2.4),
+    "mul": OpTiming(3, resource="mul"),
+    # Multiplications with a small constant operand fit one DSP48 slice;
+    # tagged by repro.hls.passes.tag_const_muls before scheduling.
+    "mul_small": OpTiming(3, resource="mul_small"),
+    "div": OpTiming(34, resource="div", unit_ii=34),
+    "mod": OpTiming(34, resource="div", unit_ii=34),
+    "fadd": OpTiming(4, resource="fadd"),
+    "fsub": OpTiming(4, resource="fadd"),
+    "fmul": OpTiming(4, resource="fmul"),
+    "fdiv": OpTiming(14, resource="fdiv", unit_ii=14),
+    "sqrt": OpTiming(16, resource="fsqrt", unit_ii=16),
+    "cast_if": OpTiming(3, resource="cast_if"),  # int <-> float converters
+    "cast_ii": OpTiming(0, 0.3),  # width-only casts are wiring
+    "load": OpTiming(2, resource="mem"),
+    "store": OpTiming(1, resource="mem"),
+    "br": OpTiming(0, 0.5),
+    "jmp": OpTiming(0, 0.0),
+    "ret": OpTiming(0, 0.0),
+}
+
+#: Default number of instances per limited resource class.
+DEFAULT_LIMITS: dict[str, int] = {
+    "mul": 2,
+    "mul_small": 2,
+    "div": 1,
+    "fadd": 2,
+    "fmul": 2,
+    "fdiv": 1,
+    "fsqrt": 1,
+    "cast_if": 2,
+}
+#: BRAM ports per array (true dual port).
+ARRAY_PORTS = 2
+
+
+def timing_of(op: Op) -> OpTiming:
+    """Timing entry for *op*, resolving float/cast variants."""
+    opcode = op.opcode
+    if opcode == "cast":
+        src = op.operands[0].type
+        dst = op.attrs["to"]
+        key = "cast_if" if (src.is_float != dst.is_float) else "cast_ii"
+        return TIMINGS[key]
+    if opcode in ("add", "sub", "mul", "div") and op.result is not None and op.result.type.is_float:
+        return TIMINGS["f" + opcode]
+    if opcode == "mul" and op.attrs.get("const_operand"):
+        return TIMINGS["mul_small"]
+    try:
+        return TIMINGS[opcode]
+    except KeyError:  # pragma: no cover - defensive
+        raise ScheduleError(f"no timing model for opcode {opcode!r}") from None
+
+
+@dataclass
+class ScheduledOp:
+    op: Op
+    start_cycle: int
+    finish_ns: float  # absolute time the result is available
+
+    @property
+    def finish_cycle(self) -> int:
+        """Last cycle this op (or its result latch) occupies."""
+        return max(self.start_cycle, int(math.ceil(self.finish_ns / CLOCK_NS)) - 1)
+
+
+@dataclass
+class BlockSchedule:
+    block: Block
+    ops: dict[int, ScheduledOp] = field(default_factory=dict)  # keyed by id(op)
+    length: int = 1  # cycles (states) the block occupies
+
+    def of(self, op: Op) -> ScheduledOp:
+        return self.ops[id(op)]
+
+
+@dataclass
+class FunctionSchedule:
+    fn: Function
+    blocks: dict[str, BlockSchedule] = field(default_factory=dict)
+    #: Per resource class: maximum simultaneously-busy units in any block.
+    fu_peak: dict[str, int] = field(default_factory=dict)
+
+    def block(self, name: str) -> BlockSchedule:
+        return self.blocks[name]
+
+
+def _dependences(block: Block) -> dict[int, list[Op]]:
+    """Predecessor map: id(op) -> ops that must complete first."""
+    producers: dict[int, Op] = {}
+    last_var_write: dict[str, Op] = {}
+    var_reads_since_write: dict[str, list[Op]] = {}
+    last_array_store: dict[str, Op] = {}
+    array_loads_since_store: dict[str, list[Op]] = {}
+    preds: dict[int, list[Op]] = {}
+    non_terminators: list[Op] = []
+
+    for op in block.ops:
+        p: list[Op] = []
+        for v in op.operands:
+            producer = producers.get(v.vid)
+            if producer is not None:
+                p.append(producer)
+        if op.opcode == "vread":
+            var = op.attrs["var"]
+            w = last_var_write.get(var)
+            if w is not None:
+                p.append(w)  # RAW
+            var_reads_since_write.setdefault(var, []).append(op)
+        elif op.opcode == "vwrite":
+            var = op.attrs["var"]
+            w = last_var_write.get(var)
+            if w is not None:
+                p.append(w)  # WAW
+            p.extend(var_reads_since_write.get(var, ()))  # WAR
+            last_var_write[var] = op
+            var_reads_since_write[var] = []
+        elif op.opcode == "load":
+            arr = op.attrs["array"]
+            s = last_array_store.get(arr)
+            if s is not None:
+                p.append(s)  # RAW
+            array_loads_since_store.setdefault(arr, []).append(op)
+        elif op.opcode == "store":
+            arr = op.attrs["array"]
+            s = last_array_store.get(arr)
+            if s is not None:
+                p.append(s)  # WAW
+            p.extend(array_loads_since_store.get(arr, ()))  # WAR
+            last_array_store[arr] = op
+            array_loads_since_store[arr] = []
+        if op.is_terminator():
+            p.extend(non_terminators)  # control: terminator goes last
+        else:
+            non_terminators.append(op)
+        preds[id(op)] = p
+        if op.result is not None:
+            producers[op.result.vid] = op
+    return preds
+
+
+def schedule_block(
+    block: Block,
+    limits: dict[str, int],
+) -> BlockSchedule:
+    """Resource-constrained list scheduling of one block.
+
+    Ops are visited in program order (already a topological order of the
+    dependence graph); each is placed at the earliest cycle where its
+    operands are ready and a unit of its resource class is free.
+    """
+    preds = _dependences(block)
+    sched = BlockSchedule(block)
+    # busy[resource][cycle] = units in use; arrays get one class per array.
+    busy: dict[str, dict[int, int]] = {}
+
+    def resource_key(op: Op, timing: OpTiming) -> str | None:
+        if timing.resource == "mem":
+            return f"mem:{op.attrs['array']}"
+        return timing.resource
+
+    def limit_of(key: str) -> int:
+        if key.startswith("mem:"):
+            return limits.get(key, ARRAY_PORTS)
+        return limits.get(key, DEFAULT_LIMITS.get(key, 1 << 30))
+
+    for op in block.ops:
+        timing = timing_of(op)
+        ready_ns = 0.0
+        for pred in preds[id(op)]:
+            ready_ns = max(ready_ns, sched.of(pred).finish_ns)
+
+        if timing.latency == 0:
+            # Combinational: chain within the cycle if the delay fits.
+            finish = ready_ns + timing.delay_ns
+            cycle_start = math.floor(ready_ns / CLOCK_NS) * CLOCK_NS
+            if finish - cycle_start > CLOCK_NS:
+                # Start fresh at the next cycle boundary.
+                start_cycle = int(ready_ns // CLOCK_NS) + 1
+                finish = start_cycle * CLOCK_NS + timing.delay_ns
+            else:
+                start_cycle = int(ready_ns // CLOCK_NS)
+            sched.ops[id(op)] = ScheduledOp(op, start_cycle, finish)
+            continue
+
+        # Sequential: the unit samples its operands at the end of its
+        # start cycle, so the operands must land SETUP_NS before that
+        # edge: earliest start c satisfies (c+1)*CLOCK - SETUP >= ready.
+        earliest = max(0, int(math.ceil((ready_ns + SETUP_NS) / CLOCK_NS)) - 1)
+        key = resource_key(op, timing)
+        start_cycle = earliest
+        if key is not None:
+            cap = limit_of(key)
+            usage = busy.setdefault(key, {})
+            while any(
+                usage.get(c, 0) >= cap
+                for c in range(start_cycle, start_cycle + timing.unit_ii)
+            ):
+                start_cycle += 1
+            for c in range(start_cycle, start_cycle + timing.unit_ii):
+                usage[c] = usage.get(c, 0) + 1
+        finish = (start_cycle + timing.latency) * CLOCK_NS
+        sched.ops[id(op)] = ScheduledOp(op, start_cycle, finish)
+
+    length = 1
+    for sop in sched.ops.values():
+        length = max(length, sop.finish_cycle + 1)
+    sched.length = length
+    return sched
+
+
+def schedule_function(
+    fn: Function, *, limits: dict[str, int] | None = None
+) -> FunctionSchedule:
+    """Schedule every block of *fn*; returns the full schedule."""
+    limits = dict(limits or {})
+    result = FunctionSchedule(fn)
+    for block in fn.blocks:
+        bs = schedule_block(block, limits)
+        result.blocks[block.name] = bs
+        # Track peak concurrent units per class for binding.
+        peak: dict[str, dict[int, int]] = {}
+        for sop in bs.ops.values():
+            timing = timing_of(sop.op)
+            if timing.resource is None or timing.resource == "mem":
+                continue
+            cls = timing.resource
+            per_cycle = peak.setdefault(cls, {})
+            for c in range(sop.start_cycle, sop.start_cycle + timing.unit_ii):
+                per_cycle[c] = per_cycle.get(c, 0) + 1
+        for cls, per_cycle in peak.items():
+            m = max(per_cycle.values())
+            if m > result.fu_peak.get(cls, 0):
+                result.fu_peak[cls] = m
+    return result

@@ -1,0 +1,423 @@
+"""Semantic analysis for the synthesizable C subset.
+
+Performs name resolution, type checking (annotating every expression's
+``ctype``), and the synthesizability checks Vivado HLS would enforce:
+no recursion (no user calls at all — only intrinsics), compile-time
+array sizes, no assignment to ``const``, ``break``/``continue`` only
+inside loops.  Global ``const`` declarations are evaluated to values and
+usable wherever a constant is expected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hls import cast as A
+from repro.hls.types import (
+    BOOL,
+    FLOAT,
+    INT32,
+    VOID,
+    ArrayType,
+    CType,
+    ScalarType,
+    is_arith,
+    is_array,
+    is_float,
+    is_integer,
+    promote,
+    usual_arith,
+    wrap_int,
+)
+from repro.util.errors import CSemanticError
+
+
+@dataclass
+class FunctionInfo:
+    """Per-function results of semantic analysis."""
+
+    func: A.FuncDef
+    #: Declared type of every parameter and local, by name.
+    symbols: dict[str, CType] = field(default_factory=dict)
+    #: Names declared const (locals) — assignment is rejected.
+    consts: set[str] = field(default_factory=set)
+    #: Parameter names in declaration order.
+    param_names: list[str] = field(default_factory=list)
+
+
+@dataclass
+class SemaResult:
+    unit: A.TranslationUnit
+    #: Global const values: name -> (type, python value).
+    global_consts: dict[str, tuple[ScalarType, int | float]] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+
+    def info(self, name: str) -> FunctionInfo:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise CSemanticError(f"no function named {name!r}") from None
+
+
+class _FuncChecker:
+    def __init__(self, unit_consts: dict[str, tuple[ScalarType, int | float]], func: A.FuncDef):
+        self.globals = unit_consts
+        self.func = func
+        self.info = FunctionInfo(func)
+        self.scopes: list[dict[str, CType]] = [{}]
+        self.loop_depth = 0
+
+    # -- scope helpers ------------------------------------------------------
+    def declare(self, name: str, ctype: CType, loc, *, const: bool = False) -> None:
+        scope = self.scopes[-1]
+        if name in scope:
+            raise CSemanticError(f"redeclaration of {name!r}", loc)
+        if name in self.globals:
+            raise CSemanticError(f"{name!r} shadows a global const", loc)
+        scope[name] = ctype
+        if name in self.info.symbols and self.info.symbols[name] != ctype:
+            # Same name reused in sibling scopes with different types would
+            # break the flat symbol table the IR uses; reject it.
+            raise CSemanticError(
+                f"{name!r} redeclared with a different type in a sibling scope", loc
+            )
+        self.info.symbols[name] = ctype
+        if const:
+            self.info.consts.add(name)
+
+    def lookup(self, name: str, loc) -> CType:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        if name in self.globals:
+            return self.globals[name][0]
+        raise CSemanticError(f"use of undeclared identifier {name!r}", loc)
+
+    # -- entry ---------------------------------------------------------------
+    def run(self) -> FunctionInfo:
+        seen = set()
+        for p in self.func.params:
+            if p.name in seen:
+                raise CSemanticError(f"duplicate parameter {p.name!r}", p.loc)
+            seen.add(p.name)
+            if isinstance(p.ctype, ArrayType) and p.ctype.size is not None and p.ctype.size <= 0:
+                raise CSemanticError(f"parameter array {p.name!r} has non-positive size", p.loc)
+            self.declare(p.name, p.ctype, p.loc)
+            self.info.param_names.append(p.name)
+        self.check_block(self.func.body, new_scope=False)
+        return self.info
+
+    # -- statements ------------------------------------------------------------
+    def check_block(self, block: A.Block, *, new_scope: bool = True) -> None:
+        if new_scope:
+            self.scopes.append({})
+        for stmt in block.stmts:
+            self.check_stmt(stmt)
+        if new_scope:
+            self.scopes.pop()
+
+    def check_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.Block):
+            self.check_block(stmt)
+        elif isinstance(stmt, A.Decl):
+            self.check_decl(stmt)
+        elif isinstance(stmt, A.Assign):
+            self.check_assign(stmt)
+        elif isinstance(stmt, A.ExprStmt):
+            self.check_expr(stmt.expr)
+        elif isinstance(stmt, A.If):
+            self.require_arith(self.check_expr(stmt.cond), stmt.cond.loc, "if condition")
+            self.check_block(stmt.then)
+            if stmt.other is not None:
+                self.check_block(stmt.other)
+        elif isinstance(stmt, A.While):
+            self.require_arith(self.check_expr(stmt.cond), stmt.cond.loc, "while condition")
+            self.loop_depth += 1
+            self.check_block(stmt.body)
+            self.loop_depth -= 1
+        elif isinstance(stmt, A.DoWhile):
+            self.loop_depth += 1
+            self.check_block(stmt.body)
+            self.loop_depth -= 1
+            self.require_arith(self.check_expr(stmt.cond), stmt.cond.loc, "do-while condition")
+        elif isinstance(stmt, A.For):
+            self.scopes.append({})
+            if stmt.init is not None:
+                self.check_stmt(stmt.init)
+            if stmt.cond is not None:
+                self.require_arith(self.check_expr(stmt.cond), stmt.cond.loc, "for condition")
+            if stmt.step is not None:
+                self.check_stmt(stmt.step)
+            self.loop_depth += 1
+            self.check_block(stmt.body)
+            self.loop_depth -= 1
+            self.scopes.pop()
+        elif isinstance(stmt, A.Return):
+            self.check_return(stmt)
+        elif isinstance(stmt, (A.Break, A.Continue)):
+            if self.loop_depth == 0:
+                kw = "break" if isinstance(stmt, A.Break) else "continue"
+                raise CSemanticError(f"{kw!r} outside of a loop", stmt.loc)
+        else:  # pragma: no cover - defensive
+            raise CSemanticError(f"unknown statement {type(stmt).__name__}", stmt.loc)
+
+    def check_decl(self, decl: A.Decl) -> None:
+        if isinstance(decl.ctype, ArrayType):
+            if decl.ctype.size is None or decl.ctype.size <= 0:
+                raise CSemanticError(
+                    f"local array {decl.name!r} needs a positive compile-time size",
+                    decl.loc,
+                )
+            if decl.init_list is not None:
+                if len(decl.init_list) > decl.ctype.size:
+                    raise CSemanticError(
+                        f"array {decl.name!r}: {len(decl.init_list)} initializers "
+                        f"for {decl.ctype.size} elements",
+                        decl.loc,
+                    )
+                for e in decl.init_list:
+                    try:
+                        _eval_const_expr(e, self.globals)
+                    except CSemanticError:
+                        raise CSemanticError(
+                            f"array {decl.name!r}: initializer elements must be "
+                            "compile-time constants",
+                            e.loc,
+                        ) from None
+                    self.check_expr(e)
+        else:
+            if decl.ctype is VOID:
+                raise CSemanticError(f"variable {decl.name!r} cannot be void", decl.loc)
+            if decl.init is not None:
+                t = self.check_expr(decl.init)
+                self.require_arith(t, decl.init.loc, "initializer")
+            elif decl.const:
+                raise CSemanticError(f"const {decl.name!r} needs an initializer", decl.loc)
+        self.declare(decl.name, decl.ctype, decl.loc, const=decl.const)
+
+    def check_assign(self, stmt: A.Assign) -> None:
+        value_t = self.check_expr(stmt.value)
+        self.require_arith(value_t, stmt.value.loc, "assigned value")
+        if isinstance(stmt.target, A.Name):
+            t = self.lookup(stmt.target.ident, stmt.target.loc)
+            if stmt.target.ident in self.info.consts or stmt.target.ident in self.globals:
+                raise CSemanticError(
+                    f"assignment to const {stmt.target.ident!r}", stmt.target.loc
+                )
+            if is_array(t):
+                raise CSemanticError(
+                    f"cannot assign to array {stmt.target.ident!r}", stmt.target.loc
+                )
+            stmt.target.ctype = t
+        else:
+            self.check_index(stmt.target)
+
+    def check_return(self, stmt: A.Return) -> None:
+        if self.func.ret is VOID:
+            if stmt.value is not None:
+                raise CSemanticError("void function returns a value", stmt.loc)
+            return
+        if stmt.value is None:
+            raise CSemanticError(
+                f"non-void function {self.func.name!r} returns nothing", stmt.loc
+            )
+        t = self.check_expr(stmt.value)
+        self.require_arith(t, stmt.value.loc, "return value")
+
+    # -- expressions -----------------------------------------------------------
+    def require_arith(self, t: CType, loc, what: str) -> None:
+        if not is_arith(t) and t is not BOOL:
+            raise CSemanticError(f"{what} must be arithmetic, got {t}", loc)
+
+    def check_expr(self, expr: A.Expr) -> CType:
+        t = self._check_expr(expr)
+        expr.ctype = t
+        return t
+
+    def _check_expr(self, expr: A.Expr) -> CType:
+        if isinstance(expr, A.IntLit):
+            return INT32
+        if isinstance(expr, A.FloatLit):
+            return FLOAT
+        if isinstance(expr, A.BoolLit):
+            return BOOL
+        if isinstance(expr, A.Name):
+            t = self.lookup(expr.ident, expr.loc)
+            return t
+        if isinstance(expr, A.Index):
+            return self.check_index(expr)
+        if isinstance(expr, A.Unary):
+            return self.check_unary(expr)
+        if isinstance(expr, A.Binary):
+            return self.check_binary(expr)
+        if isinstance(expr, A.Ternary):
+            self.require_arith(self.check_expr(expr.cond), expr.cond.loc, "?: condition")
+            a = self.check_expr(expr.then)
+            b = self.check_expr(expr.other)
+            self.require_arith(a, expr.then.loc, "?: branch")
+            self.require_arith(b, expr.other.loc, "?: branch")
+            return usual_arith(self._scalar(a), self._scalar(b))
+        if isinstance(expr, A.Cast):
+            t = self.check_expr(expr.operand)
+            self.require_arith(t, expr.operand.loc, "cast operand")
+            if expr.target is VOID:
+                raise CSemanticError("cannot cast to void", expr.loc)
+            return expr.target
+        if isinstance(expr, A.Call):
+            return self.check_call(expr)
+        raise CSemanticError(f"unknown expression {type(expr).__name__}", expr.loc)
+
+    @staticmethod
+    def _scalar(t: CType) -> ScalarType:
+        assert isinstance(t, ScalarType)
+        return t
+
+    def check_index(self, expr: A.Index) -> ScalarType:
+        """Type-check a (possibly multi-dimensional) index chain."""
+        # Unwind to the base array name, outermost index last.
+        chain: list[A.Index] = []
+        node: A.Expr = expr
+        while isinstance(node, A.Index):
+            chain.append(node)
+            node = node.base
+        assert isinstance(node, A.Name)
+        base_t = self.lookup(node.ident, node.loc)
+        if not is_array(base_t):
+            raise CSemanticError(f"{node.ident!r} is not an array", node.loc)
+        assert isinstance(base_t, ArrayType)
+        node.ctype = base_t
+        rank = base_t.rank
+        if len(chain) != rank:
+            raise CSemanticError(
+                f"array {node.ident!r} has rank {rank}; "
+                f"{len(chain)} indices supplied",
+                expr.loc,
+            )
+        for link in chain:
+            idx_t = self.check_expr(link.index)
+            if not is_integer(idx_t) and idx_t is not BOOL:
+                raise CSemanticError("array index must be an integer", link.index.loc)
+            link.ctype = base_t.element  # partial chains are never values
+        return base_t.element
+
+    def check_unary(self, expr: A.Unary) -> ScalarType:
+        t = self.check_expr(expr.operand)
+        self.require_arith(t, expr.operand.loc, f"operand of {expr.op!r}")
+        st = self._scalar(t)
+        if expr.op == "-":
+            return promote(st)
+        if expr.op == "!":
+            return BOOL
+        if expr.op == "~":
+            if st.is_float:
+                raise CSemanticError("~ requires an integer operand", expr.loc)
+            return promote(st)
+        raise CSemanticError(f"unknown unary operator {expr.op!r}", expr.loc)
+
+    def check_binary(self, expr: A.Binary) -> ScalarType:
+        lt = self.check_expr(expr.left)
+        rt = self.check_expr(expr.right)
+        self.require_arith(lt, expr.left.loc, f"operand of {expr.op!r}")
+        self.require_arith(rt, expr.right.loc, f"operand of {expr.op!r}")
+        ls, rs = self._scalar(lt), self._scalar(rt)
+        op = expr.op
+        if op in ("&&", "||"):
+            return BOOL
+        if op in ("<", "<=", ">", ">=", "==", "!="):
+            return BOOL
+        if op in ("<<", ">>"):
+            if ls.is_float or rs.is_float:
+                raise CSemanticError("shift requires integer operands", expr.loc)
+            return promote(ls)
+        if op in ("&", "|", "^", "%"):
+            if ls.is_float or rs.is_float:
+                raise CSemanticError(f"{op!r} requires integer operands", expr.loc)
+            return usual_arith(ls, rs)
+        if op in ("+", "-", "*", "/"):
+            return usual_arith(ls, rs)
+        raise CSemanticError(f"unknown binary operator {op!r}", expr.loc)
+
+    def check_call(self, expr: A.Call) -> ScalarType:
+        arg_ts = [self._scalar(self.check_expr(a)) for a in expr.args]
+        for a, t in zip(expr.args, arg_ts):
+            self.require_arith(t, a.loc, f"argument of {expr.func!r}")
+        name = expr.func
+        if name in ("min", "max"):
+            if len(expr.args) != 2:
+                raise CSemanticError(f"{name} takes 2 arguments", expr.loc)
+            return usual_arith(arg_ts[0], arg_ts[1])
+        if name == "abs":
+            if len(expr.args) != 1:
+                raise CSemanticError("abs takes 1 argument", expr.loc)
+            return promote(arg_ts[0])
+        if name in ("sqrtf", "fabsf"):
+            if len(expr.args) != 1:
+                raise CSemanticError(f"{name} takes 1 argument", expr.loc)
+            return FLOAT
+        raise CSemanticError(f"unknown intrinsic {name!r}", expr.loc)
+
+
+def _eval_const_expr(
+    expr: A.Expr, consts: dict[str, tuple[ScalarType, int | float]]
+) -> int | float:
+    """Evaluate a global-const initializer at compile time."""
+    if isinstance(expr, A.IntLit):
+        return expr.value
+    if isinstance(expr, A.FloatLit):
+        return expr.value
+    if isinstance(expr, A.BoolLit):
+        return int(expr.value)
+    if isinstance(expr, A.Name):
+        if expr.ident in consts:
+            return consts[expr.ident][1]
+        raise CSemanticError(f"{expr.ident!r} is not a known constant", expr.loc)
+    if isinstance(expr, A.Unary):
+        v = _eval_const_expr(expr.operand, consts)
+        if expr.op == "-":
+            return -v
+        if expr.op == "~":
+            return ~int(v)
+        if expr.op == "!":
+            return int(not v)
+    if isinstance(expr, A.Binary):
+        a = _eval_const_expr(expr.left, consts)
+        b = _eval_const_expr(expr.right, consts)
+        try:
+            return {
+                "+": lambda: a + b,
+                "-": lambda: a - b,
+                "*": lambda: a * b,
+                "/": lambda: a // b if isinstance(a, int) and isinstance(b, int) else a / b,
+                "%": lambda: a % b,
+                "<<": lambda: int(a) << int(b),
+                ">>": lambda: int(a) >> int(b),
+            }[expr.op]()
+        except KeyError:
+            pass
+        except ZeroDivisionError:
+            raise CSemanticError("division by zero in constant expression", expr.loc) from None
+    raise CSemanticError("initializer is not a constant expression", expr.loc)
+
+
+def analyze(unit: A.TranslationUnit) -> SemaResult:
+    """Run semantic analysis over a translation unit."""
+    result = SemaResult(unit)
+    for gc in unit.consts:
+        if gc.name in result.global_consts:
+            raise CSemanticError(f"duplicate global const {gc.name!r}", gc.loc)
+        value = _eval_const_expr(gc.value, result.global_consts)
+        if not gc.ctype.is_float:
+            value = wrap_int(int(value), gc.ctype)
+        else:
+            value = float(value)
+        result.global_consts[gc.name] = (gc.ctype, value)
+        gc.value.ctype = gc.ctype
+
+    seen = set()
+    for func in unit.funcs:
+        if func.name in seen:
+            raise CSemanticError(f"duplicate function {func.name!r}", func.loc)
+        seen.add(func.name)
+        checker = _FuncChecker(result.global_consts, func)
+        result.functions[func.name] = checker.run()
+    return result

@@ -1,0 +1,154 @@
+"""Type system of the synthesizable C subset.
+
+Scalar types carry a bit width and signedness (used by the resource
+model: a 8-bit adder costs fewer LUTs than a 32-bit one).  Arrays are
+element type + optional compile-time size; unsized arrays are only legal
+as function parameters (their extent comes from the caller).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import CSemanticError
+
+
+@dataclass(frozen=True)
+class ScalarType:
+    """An integer or floating-point scalar.
+
+    Instances are immutable singletons; identity comparisons (``t is
+    INT32``) are used throughout, so ``deepcopy`` preserves identity.
+    """
+
+    name: str
+    bits: int
+    signed: bool
+    is_float: bool = False
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __deepcopy__(self, memo: dict) -> "ScalarType":
+        return self
+
+
+#: The scalar types the frontend accepts, keyed by source spelling.
+VOID = ScalarType("void", 0, False)
+BOOL = ScalarType("bool", 1, False)
+UINT8 = ScalarType("uint8", 8, False)
+INT16 = ScalarType("int16", 16, True)
+UINT16 = ScalarType("uint16", 16, False)
+INT32 = ScalarType("int", 32, True)
+UINT32 = ScalarType("uint", 32, False)
+FLOAT = ScalarType("float", 32, True, is_float=True)
+
+#: Source spellings → types ("unsigned char" is normalized by the lexer).
+SPELLINGS: dict[str, ScalarType] = {
+    "void": VOID,
+    "bool": BOOL,
+    "uint8": UINT8,
+    "unsigned_char": UINT8,
+    "char": UINT8,  # chars are pixels here; treat as unsigned bytes
+    "short": INT16,
+    "int16": INT16,
+    "uint16": UINT16,
+    "unsigned_short": UINT16,
+    "int": INT32,
+    "uint": UINT32,
+    "unsigned_int": UINT32,
+    "unsigned": UINT32,
+    "float": FLOAT,
+}
+
+
+@dataclass(frozen=True)
+class ArrayType:
+    """An array of scalars, stored flat.
+
+    ``size`` is the total element count (None for unsized parameters).
+    Multi-dimensional declarations (``int a[4][8]``) keep their shape in
+    ``dims``; indexing flattens row-major at lowering time, exactly as
+    the hardware memory is laid out.
+    """
+
+    element: ScalarType
+    size: int | None = None
+    dims: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.dims is not None:
+            prod = 1
+            for d in self.dims:
+                prod *= d
+            if self.size is not None and prod != self.size:
+                raise CSemanticError(
+                    f"array dims {self.dims} disagree with size {self.size}"
+                )
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims) if self.dims is not None else 1
+
+    def __str__(self) -> str:
+        if self.dims is not None and len(self.dims) > 1:
+            return f"{self.element}" + "".join(f"[{d}]" for d in self.dims)
+        return f"{self.element}[{self.size if self.size is not None else ''}]"
+
+    def __deepcopy__(self, memo: dict) -> "ArrayType":
+        return self  # immutable
+
+
+CType = ScalarType | ArrayType
+
+
+def is_integer(t: CType) -> bool:
+    return isinstance(t, ScalarType) and not t.is_float and t.bits > 0
+
+
+def is_float(t: CType) -> bool:
+    return isinstance(t, ScalarType) and t.is_float
+
+
+def is_arith(t: CType) -> bool:
+    return is_integer(t) or is_float(t)
+
+
+def is_array(t: CType) -> bool:
+    return isinstance(t, ArrayType)
+
+
+def usual_arith(a: ScalarType, b: ScalarType) -> ScalarType:
+    """Simplified C usual-arithmetic-conversions.
+
+    Any float operand makes the result float; otherwise both sides are
+    promoted to a 32-bit integer, signed unless either side is an
+    unsigned 32-bit type.
+    """
+    if not (is_arith(a) and is_arith(b)):
+        raise CSemanticError(f"cannot combine types {a} and {b}")
+    if a.is_float or b.is_float:
+        return FLOAT
+    if (a is UINT32) or (b is UINT32):
+        return UINT32
+    return INT32
+
+
+def promote(t: ScalarType) -> ScalarType:
+    """Integer promotion: every integer narrower than 32 bits becomes int."""
+    if t.is_float:
+        return FLOAT
+    if t.bits < 32:
+        return INT32
+    return t
+
+
+def wrap_int(value: int, t: ScalarType) -> int:
+    """Wrap *value* to the representable range of integer type *t*."""
+    if t.is_float or t.bits <= 0:
+        raise CSemanticError(f"wrap_int on non-integer type {t}")
+    mask = (1 << t.bits) - 1
+    value &= mask
+    if t.signed and value >= (1 << (t.bits - 1)):
+        value -= 1 << t.bits
+    return value

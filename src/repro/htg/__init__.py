@@ -1,0 +1,41 @@
+"""Two-level Hierarchical Task Graph (HTG) application model.
+
+This is the input representation of the paper's flow (Section II-A,
+Fig. 1): the top level is a precedence DAG whose nodes are either simple
+*tasks* or *phases*; each phase is a dataflow graph of *actors* connected
+by stream channels.  Hardware/software partitioning happens only at the
+top level; a phase is mapped entirely to hardware or entirely to
+software.
+"""
+
+from repro.htg.analysis import (
+    acceleration_candidates,
+    critical_path,
+    parallelism_profile,
+    to_networkx,
+)
+from repro.htg.model import HTG, Actor, Phase, StreamChannel, Task
+from repro.htg.partition import Mapping, Partition
+from repro.htg.schedule import makespan, phase_firing_order, topological_order
+from repro.htg.serialize import htg_from_dict, htg_to_dict
+from repro.htg.validate import validate_htg
+
+__all__ = [
+    "HTG",
+    "Actor",
+    "Mapping",
+    "Partition",
+    "Phase",
+    "StreamChannel",
+    "Task",
+    "acceleration_candidates",
+    "critical_path",
+    "htg_from_dict",
+    "htg_to_dict",
+    "makespan",
+    "parallelism_profile",
+    "phase_firing_order",
+    "to_networkx",
+    "topological_order",
+    "validate_htg",
+]

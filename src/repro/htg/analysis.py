@@ -1,0 +1,105 @@
+"""Graph analytics over hierarchical task graphs (networkx-backed).
+
+Optional helpers the DSE and reporting layers use: critical path,
+parallelism profile, and acceleration-candidate ranking.  These are the
+analyses the paper defers to external DSE tools (Section II-C references
+[6], [8], [12]); having them in-library supports the partitioning
+heuristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.htg.model import HTG, Phase, Task
+from repro.htg.schedule import topological_order
+from repro.util.errors import HtgError
+
+
+def to_networkx(htg: HTG, cost: dict[str, int] | None = None) -> "nx.DiGraph":
+    """The top-level precedence DAG as a networkx DiGraph.
+
+    Node attribute ``cost`` carries the per-node cycle cost (overridable
+    via *cost*), ``kind`` is ``task``/``phase``/``io``.
+    """
+    g = nx.DiGraph(name=htg.name)
+    for name, node in htg.nodes.items():
+        if isinstance(node, Task):
+            c = node.sw_cycles
+            kind = "io" if node.io else "task"
+        else:
+            c = sum(a.sw_cycles for a in node.actors)
+            kind = "phase"
+        if cost is not None and name in cost:
+            c = cost[name]
+        g.add_node(name, cost=c, kind=kind)
+    g.add_edges_from(htg.edges)
+    return g
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    nodes: tuple[str, ...]
+    length: int  # total cycles along the path
+
+
+def critical_path(htg: HTG, cost: dict[str, int] | None = None) -> CriticalPath:
+    """Longest (cost-weighted) path through the top-level DAG."""
+    g = to_networkx(htg, cost)
+    if not nx.is_directed_acyclic_graph(g):
+        raise HtgError(f"graph {htg.name!r} is not acyclic")
+    best_end: dict[str, tuple[int, list[str]]] = {}
+    for name in topological_order(htg):
+        c = g.nodes[name]["cost"]
+        preds = list(g.predecessors(name))
+        if preds:
+            plen, ppath = max((best_end[p] for p in preds), key=lambda t: t[0])
+            best_end[name] = (plen + c, ppath + [name])
+        else:
+            best_end[name] = (c, [name])
+    length, path = max(best_end.values(), key=lambda t: t[0])
+    return CriticalPath(tuple(path), length)
+
+
+def parallelism_profile(htg: HTG) -> dict[int, int]:
+    """Nodes per precedence level (how wide the graph can execute)."""
+    g = to_networkx(htg)
+    level: dict[str, int] = {}
+    for name in topological_order(htg):
+        preds = list(g.predecessors(name))
+        level[name] = 1 + max((level[p] for p in preds), default=-1)
+    profile: dict[int, int] = {}
+    for lv in level.values():
+        profile[lv] = profile.get(lv, 0) + 1
+    return profile
+
+
+def acceleration_candidates(
+    htg: HTG, cost: dict[str, int] | None = None
+) -> list[tuple[str, float]]:
+    """Rank accelerable nodes by criticality × cost share.
+
+    A node is a candidate if it is a non-I/O task with a C source or a
+    phase.  The score is its cost share of the graph total, doubled when
+    it lies on the critical path — the standard what-to-accelerate-first
+    signal a DSE tool starts from.
+    """
+    g = to_networkx(htg, cost)
+    cp = set(critical_path(htg, cost).nodes)
+    total = sum(d["cost"] for _, d in g.nodes(data=True)) or 1
+    ranked: list[tuple[str, float]] = []
+    for name, data in g.nodes(data=True):
+        node = htg.node(name)
+        accelerable = isinstance(node, Phase) or (
+            isinstance(node, Task) and not node.io and node.c_source is not None
+        )
+        if not accelerable:
+            continue
+        score = data["cost"] / total
+        if name in cp:
+            score *= 2.0
+        ranked.append((name, score))
+    ranked.sort(key=lambda t: (-t[1], t[0]))
+    return ranked

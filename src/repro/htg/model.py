@@ -1,0 +1,222 @@
+"""Data model for the two-level Hierarchical Task Graph.
+
+Terminology (paper Section II-A):
+
+* **Task** — a simple top-level node.  When mapped to hardware it becomes
+  one accelerator with an AXI-Lite control interface; data moves through
+  shared memory (DRAM).
+* **Phase** — a top-level node that is internally a dataflow graph of
+  **actors** exchanging data over stream channels; a hardware phase
+  becomes a set of accelerators linked by AXI-Stream, with DMA cores at
+  the boundary to/from the processing system.
+* Top-level **edges** are pure precedence constraints: a node runs only
+  after all its predecessors completed and stored results in shared
+  memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import HtgError
+from repro.util.ids import is_identifier
+
+
+def _check_name(name: str, what: str) -> str:
+    if not is_identifier(name):
+        raise HtgError(f"{what} name {name!r} is not a legal identifier")
+    return name
+
+
+@dataclass(frozen=True)
+class Task:
+    """A simple top-level task.
+
+    Parameters
+    ----------
+    name:
+        Unique node name; becomes the accelerator/core name if mapped to HW.
+    inputs, outputs:
+        Named data items read from / written to shared memory.
+    c_source:
+        Synthesizable C source implementing the task (required to map the
+        task to hardware).
+    sw_cycles:
+        Estimated cycles when executed on the GPP (cost-model input).
+    io:
+        True for host-I/O tasks (e.g. ``readImage``/``writeImage``) which
+        can never be mapped to hardware.
+    """
+
+    name: str
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+    c_source: str | None = None
+    sw_cycles: int = 0
+    io: bool = False
+
+    def __post_init__(self) -> None:
+        _check_name(self.name, "task")
+        for p in (*self.inputs, *self.outputs):
+            _check_name(p, "port")
+        dup = set(self.inputs) & set(self.outputs)
+        if dup:
+            raise HtgError(f"task {self.name!r}: ports both input and output: {sorted(dup)}")
+        if self.sw_cycles < 0:
+            raise HtgError(f"task {self.name!r}: negative sw_cycles")
+
+    @property
+    def ports(self) -> tuple[str, ...]:
+        return self.inputs + self.outputs
+
+
+@dataclass(frozen=True)
+class Actor:
+    """A dataflow actor inside a phase.
+
+    Actors fire as soon as the minimum amount of data is available on
+    their input streams and repeat until the whole stream is consumed.
+    """
+
+    name: str
+    stream_inputs: tuple[str, ...] = ()
+    stream_outputs: tuple[str, ...] = ()
+    c_source: str | None = None
+    sw_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        _check_name(self.name, "actor")
+        for p in (*self.stream_inputs, *self.stream_outputs):
+            _check_name(p, "stream port")
+        dup = set(self.stream_inputs) & set(self.stream_outputs)
+        if dup:
+            raise HtgError(f"actor {self.name!r}: ports both input and output: {sorted(dup)}")
+
+    @property
+    def ports(self) -> tuple[str, ...]:
+        return self.stream_inputs + self.stream_outputs
+
+
+@dataclass(frozen=True)
+class StreamChannel:
+    """A stream edge inside a phase: ``(src actor, out port) -> (dst actor, in port)``.
+
+    The special endpoint name :data:`Phase.BOUNDARY` (``"@soc"``) denotes
+    the phase boundary, i.e. data entering from / leaving to the
+    processing system through DMA.
+    """
+
+    src_actor: str
+    src_port: str
+    dst_actor: str
+    dst_port: str
+
+    def describes_input(self) -> bool:
+        return self.src_actor == Phase.BOUNDARY
+
+    def describes_output(self) -> bool:
+        return self.dst_actor == Phase.BOUNDARY
+
+
+@dataclass
+class Phase:
+    """A top-level node holding a dataflow graph of actors.
+
+    The whole phase is mapped either to hardware or to software during
+    partitioning; partitioning never splits a phase.
+    """
+
+    BOUNDARY = "@soc"
+
+    name: str
+    actors: list[Actor] = field(default_factory=list)
+    channels: list[StreamChannel] = field(default_factory=list)
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        _check_name(self.name, "phase")
+
+    def actor(self, name: str) -> Actor:
+        for a in self.actors:
+            if a.name == name:
+                return a
+        raise HtgError(f"phase {self.name!r}: no actor named {name!r}")
+
+    def has_actor(self, name: str) -> bool:
+        return any(a.name == name for a in self.actors)
+
+    @property
+    def ports(self) -> tuple[str, ...]:
+        return self.inputs + self.outputs
+
+    def internal_channels(self) -> list[StreamChannel]:
+        return [c for c in self.channels if not c.describes_input() and not c.describes_output()]
+
+    def boundary_inputs(self) -> list[StreamChannel]:
+        return [c for c in self.channels if c.describes_input()]
+
+    def boundary_outputs(self) -> list[StreamChannel]:
+        return [c for c in self.channels if c.describes_output()]
+
+
+@dataclass
+class HTG:
+    """The top-level hierarchical task graph.
+
+    ``nodes`` maps node name to :class:`Task` or :class:`Phase`;
+    ``edges`` is a list of ``(producer, consumer)`` precedence pairs.
+    """
+
+    name: str
+    nodes: dict[str, Task | Phase] = field(default_factory=dict)
+    edges: list[tuple[str, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        _check_name(self.name, "graph")
+
+    # -- construction ---------------------------------------------------
+    def add(self, node: Task | Phase) -> Task | Phase:
+        if node.name in self.nodes:
+            raise HtgError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        return node
+
+    def add_edge(self, src: str, dst: str) -> None:
+        for end in (src, dst):
+            if end not in self.nodes:
+                raise HtgError(f"edge endpoint {end!r} is not a node of {self.name!r}")
+        if src == dst:
+            raise HtgError(f"self-edge on node {src!r}")
+        if (src, dst) in self.edges:
+            raise HtgError(f"duplicate edge {src!r} -> {dst!r}")
+        self.edges.append((src, dst))
+
+    # -- queries ----------------------------------------------------------
+    def node(self, name: str) -> Task | Phase:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise HtgError(f"no node named {name!r} in graph {self.name!r}") from None
+
+    def tasks(self) -> list[Task]:
+        return [n for n in self.nodes.values() if isinstance(n, Task)]
+
+    def phases(self) -> list[Phase]:
+        return [n for n in self.nodes.values() if isinstance(n, Phase)]
+
+    def predecessors(self, name: str) -> list[str]:
+        return [s for s, d in self.edges if d == name]
+
+    def successors(self, name: str) -> list[str]:
+        return [d for s, d in self.edges if s == name]
+
+    def sources(self) -> list[str]:
+        """Nodes with no predecessors."""
+        dsts = {d for _, d in self.edges}
+        return [n for n in self.nodes if n not in dsts]
+
+    def sinks(self) -> list[str]:
+        """Nodes with no successors."""
+        srcs = {s for s, _ in self.edges}
+        return [n for n in self.nodes if n not in srcs]

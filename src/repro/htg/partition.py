@@ -1,0 +1,93 @@
+"""Hardware/software partitioning of a hierarchical task graph.
+
+The paper performs partitioning manually (Section II-C); a partition is
+therefore a first-class, user-supplied object.  The :mod:`repro.dse`
+package enumerates partitions automatically as the paper's declared
+future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.htg.model import HTG, Phase, Task
+from repro.util.errors import HtgError
+
+
+class Mapping(Enum):
+    """Where a top-level node executes."""
+
+    SW = "sw"
+    HW = "hw"
+
+
+@dataclass
+class Partition:
+    """Assignment of every top-level node to hardware or software.
+
+    Phases are mapped as a whole (the paper partitions only at the top
+    level).  I/O tasks (``Task.io``) must stay in software.
+    """
+
+    assignment: dict[str, Mapping] = field(default_factory=dict)
+
+    def assign(self, node: str, where: Mapping | str) -> "Partition":
+        self.assignment[node] = Mapping(where)
+        return self
+
+    def mapping(self, node: str) -> Mapping:
+        try:
+            return self.assignment[node]
+        except KeyError:
+            raise HtgError(f"partition does not cover node {node!r}") from None
+
+    def is_hw(self, node: str) -> bool:
+        return self.mapping(node) is Mapping.HW
+
+    def hw_nodes(self) -> list[str]:
+        return sorted(n for n, m in self.assignment.items() if m is Mapping.HW)
+
+    def sw_nodes(self) -> list[str]:
+        return sorted(n for n, m in self.assignment.items() if m is Mapping.SW)
+
+    # -- validation -------------------------------------------------------
+    def validate(self, htg: HTG) -> None:
+        """Check the partition is total, consistent and synthesizable."""
+        for name in htg.nodes:
+            if name not in self.assignment:
+                raise HtgError(f"partition does not cover node {name!r}")
+        for name in self.assignment:
+            if name not in htg.nodes:
+                raise HtgError(f"partition names unknown node {name!r}")
+        for name, where in self.assignment.items():
+            node = htg.node(name)
+            if where is not Mapping.HW:
+                continue
+            if isinstance(node, Task):
+                if node.io:
+                    raise HtgError(f"I/O task {name!r} cannot be mapped to hardware")
+                if node.c_source is None:
+                    raise HtgError(f"task {name!r} mapped to HW but has no C source")
+            elif isinstance(node, Phase):
+                for actor in node.actors:
+                    if actor.c_source is None:
+                        raise HtgError(
+                            f"phase {name!r} mapped to HW but actor "
+                            f"{actor.name!r} has no C source"
+                        )
+
+    @classmethod
+    def all_software(cls, htg: HTG) -> "Partition":
+        """The trivial partition: everything runs on the GPP."""
+        return cls({name: Mapping.SW for name in htg.nodes})
+
+    @classmethod
+    def from_hw_set(cls, htg: HTG, hw: set[str] | frozenset[str]) -> "Partition":
+        """Build a partition mapping exactly the nodes in *hw* to hardware."""
+        unknown = set(hw) - set(htg.nodes)
+        if unknown:
+            raise HtgError(f"hw set names unknown nodes: {sorted(unknown)}")
+        return cls(
+            {name: (Mapping.HW if name in hw else Mapping.SW) for name in htg.nodes}
+        )

@@ -1,0 +1,101 @@
+"""JSON-friendly (de)serialization of hierarchical task graphs.
+
+``htg_to_dict``/``htg_from_dict`` round-trip every field of the model so
+applications can be stored alongside their C sources in a workspace.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.htg.model import HTG, Actor, Phase, StreamChannel, Task
+from repro.util.errors import HtgError
+
+
+def _task_to_dict(t: Task) -> dict[str, Any]:
+    return {
+        "kind": "task",
+        "name": t.name,
+        "inputs": list(t.inputs),
+        "outputs": list(t.outputs),
+        "c_source": t.c_source,
+        "sw_cycles": t.sw_cycles,
+        "io": t.io,
+    }
+
+
+def _phase_to_dict(p: Phase) -> dict[str, Any]:
+    return {
+        "kind": "phase",
+        "name": p.name,
+        "inputs": list(p.inputs),
+        "outputs": list(p.outputs),
+        "actors": [
+            {
+                "name": a.name,
+                "stream_inputs": list(a.stream_inputs),
+                "stream_outputs": list(a.stream_outputs),
+                "c_source": a.c_source,
+                "sw_cycles": a.sw_cycles,
+            }
+            for a in p.actors
+        ],
+        "channels": [
+            [c.src_actor, c.src_port, c.dst_actor, c.dst_port] for c in p.channels
+        ],
+    }
+
+
+def htg_to_dict(htg: HTG) -> dict[str, Any]:
+    """Serialize *htg* to plain dict/list/str/int values."""
+    nodes = []
+    for node in htg.nodes.values():
+        if isinstance(node, Task):
+            nodes.append(_task_to_dict(node))
+        else:
+            nodes.append(_phase_to_dict(node))
+    return {"name": htg.name, "nodes": nodes, "edges": [list(e) for e in htg.edges]}
+
+
+def htg_from_dict(data: dict[str, Any]) -> HTG:
+    """Rebuild an :class:`HTG` from :func:`htg_to_dict` output."""
+    htg = HTG(data["name"])
+    for nd in data["nodes"]:
+        kind = nd.get("kind")
+        if kind == "task":
+            htg.add(
+                Task(
+                    name=nd["name"],
+                    inputs=tuple(nd.get("inputs", ())),
+                    outputs=tuple(nd.get("outputs", ())),
+                    c_source=nd.get("c_source"),
+                    sw_cycles=nd.get("sw_cycles", 0),
+                    io=nd.get("io", False),
+                )
+            )
+        elif kind == "phase":
+            actors = [
+                Actor(
+                    name=a["name"],
+                    stream_inputs=tuple(a.get("stream_inputs", ())),
+                    stream_outputs=tuple(a.get("stream_outputs", ())),
+                    c_source=a.get("c_source"),
+                    sw_cycles=a.get("sw_cycles", 0),
+                )
+                for a in nd.get("actors", ())
+            ]
+            channels = [StreamChannel(*c) for c in nd.get("channels", ())]
+            htg.add(
+                Phase(
+                    name=nd["name"],
+                    actors=actors,
+                    channels=channels,
+                    inputs=tuple(nd.get("inputs", ())),
+                    outputs=tuple(nd.get("outputs", ())),
+                )
+            )
+        else:
+            raise HtgError(f"unknown node kind {kind!r}")
+    for s, d in data.get("edges", ()):
+        htg.add_edge(s, d)
+    return htg

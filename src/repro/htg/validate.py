@@ -1,0 +1,135 @@
+"""Structural validation of hierarchical task graphs.
+
+Checks performed (raising :class:`~repro.util.errors.HtgError`):
+
+* the top-level precedence graph is acyclic;
+* every phase's dataflow graph is acyclic;
+* every stream channel references existing actors and ports with the
+  correct direction;
+* every actor stream port is connected exactly once (dataflow actors have
+  point-to-point streams — fan-out must be made explicit with duplicated
+  output ports, exactly as the Otsu case study does with
+  ``imageOutCH``/``imageOutSEG``);
+* phase boundary ports are all bound to a channel.  A boundary *input*
+  may feed several actors (each binding becomes its own DMA read of the
+  same shared-memory buffer); a boundary *output* has exactly one
+  producer.
+"""
+
+from __future__ import annotations
+
+from repro.htg.model import HTG, Phase, Task
+from repro.util.errors import HtgError
+
+
+def _check_acyclic(nodes: list[str], edges: list[tuple[str, str]], what: str) -> None:
+    indeg = {n: 0 for n in nodes}
+    for _, d in edges:
+        indeg[d] += 1
+    ready = [n for n, k in indeg.items() if k == 0]
+    seen = 0
+    succ: dict[str, list[str]] = {n: [] for n in nodes}
+    for s, d in edges:
+        succ[s].append(d)
+    while ready:
+        n = ready.pop()
+        seen += 1
+        for d in succ[n]:
+            indeg[d] -= 1
+            if indeg[d] == 0:
+                ready.append(d)
+    if seen != len(nodes):
+        stuck = sorted(n for n, k in indeg.items() if k > 0)
+        raise HtgError(f"cycle detected in {what} involving {stuck}")
+
+
+def validate_phase(phase: Phase) -> None:
+    """Validate one phase's dataflow graph."""
+    names = [a.name for a in phase.actors]
+    if len(set(names)) != len(names):
+        raise HtgError(f"phase {phase.name!r}: duplicate actor names")
+
+    used_in: set[tuple[str, str]] = set()
+    used_out: set[tuple[str, str]] = set()
+    bound_boundary_in: set[str] = set()
+    bound_boundary_out: set[str] = set()
+
+    for ch in phase.channels:
+        # Source endpoint.
+        if ch.describes_input():
+            if ch.src_port not in phase.inputs:
+                raise HtgError(
+                    f"phase {phase.name!r}: channel reads unknown boundary input {ch.src_port!r}"
+                )
+            bound_boundary_in.add(ch.src_port)
+        else:
+            actor = phase.actor(ch.src_actor)
+            if ch.src_port not in actor.stream_outputs:
+                raise HtgError(
+                    f"phase {phase.name!r}: {ch.src_actor!r} has no output port {ch.src_port!r}"
+                )
+            key = (ch.src_actor, ch.src_port)
+            if key in used_out:
+                raise HtgError(f"phase {phase.name!r}: output {key} connected twice")
+            used_out.add(key)
+
+        # Destination endpoint.
+        if ch.describes_output():
+            if ch.dst_port not in phase.outputs:
+                raise HtgError(
+                    f"phase {phase.name!r}: channel writes unknown boundary output {ch.dst_port!r}"
+                )
+            if ch.dst_port in bound_boundary_out:
+                raise HtgError(
+                    f"phase {phase.name!r}: boundary output {ch.dst_port!r} bound twice"
+                )
+            bound_boundary_out.add(ch.dst_port)
+        else:
+            actor = phase.actor(ch.dst_actor)
+            if ch.dst_port not in actor.stream_inputs:
+                raise HtgError(
+                    f"phase {phase.name!r}: {ch.dst_actor!r} has no input port {ch.dst_port!r}"
+                )
+            key = (ch.dst_actor, ch.dst_port)
+            if key in used_in:
+                raise HtgError(f"phase {phase.name!r}: input {key} connected twice")
+            used_in.add(key)
+
+    # Every actor port must be connected exactly once.
+    for a in phase.actors:
+        for p in a.stream_inputs:
+            if (a.name, p) not in used_in:
+                raise HtgError(f"phase {phase.name!r}: input {(a.name, p)} is unconnected")
+        for p in a.stream_outputs:
+            if (a.name, p) not in used_out:
+                raise HtgError(f"phase {phase.name!r}: output {(a.name, p)} is unconnected")
+    for p in phase.inputs:
+        if p not in bound_boundary_in:
+            raise HtgError(f"phase {phase.name!r}: boundary input {p!r} is unconnected")
+    for p in phase.outputs:
+        if p not in bound_boundary_out:
+            raise HtgError(f"phase {phase.name!r}: boundary output {p!r} is unconnected")
+
+    # Acyclicity of the internal dataflow.
+    internal = [
+        (c.src_actor, c.dst_actor) for c in phase.internal_channels() if c.src_actor != c.dst_actor
+    ]
+    for c in phase.internal_channels():
+        if c.src_actor == c.dst_actor:
+            raise HtgError(f"phase {phase.name!r}: self-loop on actor {c.src_actor!r}")
+    # Deduplicate parallel channels for the cycle check.
+    _check_acyclic(names, sorted(set(internal)), f"phase {phase.name!r}")
+
+
+def validate_htg(htg: HTG) -> None:
+    """Validate the whole two-level graph; raises :class:`HtgError`."""
+    if not htg.nodes:
+        raise HtgError(f"graph {htg.name!r} has no nodes")
+    _check_acyclic(list(htg.nodes), htg.edges, f"graph {htg.name!r}")
+    for node in htg.nodes.values():
+        if isinstance(node, Phase):
+            validate_phase(node)
+        elif isinstance(node, Task):
+            pass  # Tasks are validated at construction time.
+        else:  # pragma: no cover - defensive
+            raise HtgError(f"unknown node type {type(node).__name__}")

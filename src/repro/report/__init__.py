@@ -1,0 +1,41 @@
+"""Experiment drivers: regenerate every table and figure of the paper.
+
+One function per artifact (see DESIGN.md's per-experiment index); each
+returns a structured result object with a ``render()`` text form, which
+the benchmark harness prints next to the paper's reported numbers.
+"""
+
+from repro.report.codesize import CodeSizeComparison, compare_code_size
+from repro.report.summary import experiment_summary
+from repro.report.experiments import (
+    OTSU_ARCHS,
+    Fig7Result,
+    Fig9Result,
+    Fig10Result,
+    Table1Result,
+    Table2Result,
+    build_all_architectures,
+    regenerate_fig7,
+    regenerate_fig9,
+    regenerate_fig10,
+    regenerate_table1,
+    regenerate_table2,
+)
+
+__all__ = [
+    "CodeSizeComparison",
+    "Fig7Result",
+    "Fig9Result",
+    "Fig10Result",
+    "OTSU_ARCHS",
+    "Table1Result",
+    "Table2Result",
+    "build_all_architectures",
+    "compare_code_size",
+    "experiment_summary",
+    "regenerate_fig7",
+    "regenerate_fig9",
+    "regenerate_fig10",
+    "regenerate_table1",
+    "regenerate_table2",
+]

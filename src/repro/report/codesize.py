@@ -1,0 +1,50 @@
+"""Code-size comparison: DSL source vs generated tcl (Discussion section).
+
+The paper reports that for the case study the generated tcl script has
+~4× the lines of the Scala task-graph description and 4-10× the
+characters.  We measure the same two ratios on the re-emitted DSL text
+and the generated system tcl.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dsl.codegen import emit_dsl
+from repro.flow.orchestrator import FlowResult
+from repro.util.text import count_chars, count_lines
+
+
+@dataclass(frozen=True)
+class CodeSizeComparison:
+    dsl_lines: int
+    dsl_chars: int
+    tcl_lines: int
+    tcl_chars: int
+
+    @property
+    def line_ratio(self) -> float:
+        return self.tcl_lines / self.dsl_lines
+
+    @property
+    def char_ratio(self) -> float:
+        return self.tcl_chars / self.dsl_chars
+
+    def render(self) -> str:
+        return (
+            f"DSL:  {self.dsl_lines} LoC, {self.dsl_chars} chars\n"
+            f"tcl:  {self.tcl_lines} LoC, {self.tcl_chars} chars\n"
+            f"ratio: {self.line_ratio:.1f}x lines, {self.char_ratio:.1f}x chars\n"
+            f"paper: ~4x lines, 4-10x chars"
+        )
+
+
+def compare_code_size(result: FlowResult) -> CodeSizeComparison:
+    """Measure the Discussion-section ratios for one flow result."""
+    dsl_text = emit_dsl(result.graph)
+    return CodeSizeComparison(
+        dsl_lines=count_lines(dsl_text),
+        dsl_chars=count_chars(dsl_text),
+        tcl_lines=result.system_tcl.lines_of_code(),
+        tcl_chars=result.system_tcl.characters(),
+    )

@@ -1,0 +1,102 @@
+"""GPP (dual-core ARM Cortex-A9) model.
+
+The CPU executes software tasks as busy time on one of ``num_cores``
+cores (the Zynq-7000 PS has two A9s): when more software tasks are
+ready than cores exist, they queue — independent HTG branches only
+overlap up to the core count.  It also drives hardware through the
+AXI-Lite bus: writing argument registers, setting ``ap_start``, and
+polling ``ap_done`` or taking the interrupt — the control pattern the
+paper's generated API wraps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.sim.axi import AxiLiteBus
+from repro.sim.kernel import Environment, Event
+from repro.sim.accel import CTRL_DONE, CTRL_START
+
+#: Cycles between ap_done polls.
+POLL_INTERVAL = 20
+#: CPU-side cost of a driver call (context switch + setup).
+DRIVER_CALL_OVERHEAD = 150
+#: Interrupt service overhead (entry + handler + return).
+IRQ_OVERHEAD = 60
+
+
+class CpuModel:
+    """The ARM processing system (``num_cores`` hardware threads)."""
+
+    def __init__(self, env: Environment, bus: AxiLiteBus, *, num_cores: int = 2) -> None:
+        self.env = env
+        self.bus = bus
+        self.num_cores = max(1, num_cores)
+        self.busy_cycles = 0
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    # -- core arbitration ------------------------------------------------
+    def _acquire_core(self):
+        if self._in_use < self.num_cores:
+            self._in_use += 1
+            return
+        evt = Event(self.env)
+        self._waiters.append(evt)
+        yield evt
+        self._in_use += 1
+
+    def _release_core(self) -> None:
+        self._in_use -= 1
+        if self._waiters:
+            self._waiters.popleft().trigger(None)
+
+    def run_software(self, cycles: int):
+        """Process: execute a software task for *cycles* on a free core."""
+        cycles = max(1, int(cycles))
+        yield from self._acquire_core()
+        try:
+            self.busy_cycles += cycles
+            yield self.env.timeout(cycles)
+        finally:
+            self._release_core()
+
+    def call_driver(self):
+        """Process: the fixed cost of entering a device driver."""
+        self.busy_cycles += DRIVER_CALL_OVERHEAD
+        yield self.env.timeout(DRIVER_CALL_OVERHEAD)
+
+    def run_lite_core(
+        self,
+        base: int,
+        scalar_args: dict[int, int],
+        *,
+        return_offset: int | None = None,
+        irq=None,
+    ):
+        """Process: program an AXI-Lite core and wait for completion.
+
+        *scalar_args* maps register offsets to values.  With *irq* (an
+        event from the core's interrupt line) the CPU blocks on the
+        interrupt instead of polling ``ap_done`` — the mode the generated
+        Linux driver would use.  Returns the value of the return
+        register if *return_offset* is given.
+        """
+        for offset, value in sorted(scalar_args.items()):
+            yield from self.bus.write(base + offset, value)
+        yield from self.bus.write(base + 0x00, CTRL_START)
+        if irq is not None:
+            yield irq
+            self.busy_cycles += IRQ_OVERHEAD
+            yield self.env.timeout(IRQ_OVERHEAD)
+            yield from self.bus.read(base + 0x00)  # acknowledge/read status
+        else:
+            while True:
+                status = yield from self.bus.read(base + 0x00)
+                if status & CTRL_DONE:
+                    break
+                yield self.env.timeout(POLL_INTERVAL)
+        if return_offset is not None:
+            value = yield from self.bus.read(base + return_offset)
+            return value
+        return None

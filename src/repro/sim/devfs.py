@@ -1,0 +1,72 @@
+"""The /dev surface: device nodes + the readDMA/writeDMA driver calls.
+
+Section V of the paper: the customized device tree makes Linux create a
+device file per DMA core under ``/dev``, and a pre-compiled driver
+exposes ``readDMA``/``writeDMA`` to move data between the ARM and the
+reconfigurable logic.  This module models exactly that call surface on
+top of the simulated DMA engines, so the runtime's code reads like the
+generated user-space application would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.dma_engine import DmaEngine
+from repro.sim.kernel import Process
+from repro.util.errors import SimError
+
+
+@dataclass(frozen=True)
+class DeviceNode:
+    """One /dev entry."""
+
+    path: str
+    kind: str  # "dma" or "hls"
+    target: str  # engine / core cell name
+
+
+class DmaHandle:
+    """An opened DMA device file."""
+
+    def __init__(self, node: DeviceNode, engine: DmaEngine) -> None:
+        self.node = node
+        self.engine = engine
+
+    def writeDMA(self, addr: int, nbytes: int) -> Process:  # noqa: N802 (paper API)
+        """Push *nbytes* from DRAM at *addr* into the fabric (MM2S)."""
+        return self.engine.mm2s_transfer(addr, nbytes)
+
+    def readDMA(self, addr: int, nbytes: int) -> Process:  # noqa: N802 (paper API)
+        """Pull *nbytes* from the fabric into DRAM at *addr* (S2MM)."""
+        return self.engine.s2mm_transfer(addr, nbytes)
+
+
+class DevFs:
+    """Registry of device nodes created at 'boot'."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, DeviceNode] = {}
+        self._engines: dict[str, DmaEngine] = {}
+
+    def register_dma(self, index: int, engine: DmaEngine) -> DeviceNode:
+        node = DeviceNode(f"/dev/axidma{index}", "dma", engine.name)
+        self._nodes[node.path] = node
+        self._engines[node.path] = engine
+        return node
+
+    def register_core(self, cell_name: str) -> DeviceNode:
+        node = DeviceNode(f"/dev/uio_{cell_name}", "hls", cell_name)
+        self._nodes[node.path] = node
+        return node
+
+    def listdir(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def open(self, path: str) -> DmaHandle:
+        node = self._nodes.get(path)
+        if node is None:
+            raise SimError(f"no such device: {path}")
+        if node.kind != "dma":
+            raise SimError(f"{path} is not a DMA device")
+        return DmaHandle(node, self._engines[path])

@@ -1,0 +1,171 @@
+"""DMA engine: moves data between DRAM buffers and stream channels.
+
+Register layout follows the real AXI DMA (simple mode): MM2S control at
+``0x00``, source address ``0x18``, length ``0x28`` (writing length kicks
+the transfer); S2MM mirrors at ``0x30``/``0x48``/``0x58``.  The runtime
+normally drives the engine through the driver-call API
+(:meth:`mm2s_transfer` / :meth:`s2mm_transfer` — what ``writeDMA`` and
+``readDMA`` invoke), but the register path is exercised by tests too.
+"""
+
+from __future__ import annotations
+
+from repro.sim.axi import AxiLiteDevice, StreamChannel
+from repro.sim.kernel import Environment, Event, Process
+from repro.sim.memory import CYCLES_PER_WORD, Memory, READ_LATENCY, WRITE_LATENCY
+from repro.util.errors import SimError
+
+
+class HpPort:
+    """Shared-bandwidth model of one PS7 HP port.
+
+    All DMA masters behind ``S_AXI_HP0`` share its bandwidth
+    (*words_per_cycle*, 2 for the 64-bit port moving 32-bit words).
+    Each beat acquires a slot; when several transfers are in flight they
+    serialize here — which is why SDSoC's one-DMA-per-parameter policy
+    buys no extra throughput on a single port.
+    """
+
+    def __init__(self, env: Environment, *, words_per_cycle: int = 2) -> None:
+        if words_per_cycle < 1:
+            raise SimError("HP port needs at least one word per cycle")
+        self.env = env
+        self.words_per_cycle = words_per_cycle
+        self._slot_time = 0  # next cycle with free slots
+        self._slot_used = 0
+        self.total_words = 0
+
+    def acquire(self) -> Event:
+        """Event triggering when one beat's worth of bandwidth is granted."""
+        now = self.env.now
+        if self._slot_time < now:
+            self._slot_time = now
+            self._slot_used = 0
+        if self._slot_used >= self.words_per_cycle:
+            self._slot_time += 1
+            self._slot_used = 0
+        grant_at = self._slot_time
+        self._slot_used += 1
+        self.total_words += 1
+        return self.env.timeout(max(0, grant_at - now))
+
+MM2S_DMACR = 0x00
+MM2S_DMASR = 0x04
+MM2S_SA = 0x18
+MM2S_LENGTH = 0x28
+S2MM_DMACR = 0x30
+S2MM_DMASR = 0x34
+S2MM_DA = 0x48
+S2MM_LENGTH = 0x58
+
+_SR_IDLE = 0x2
+
+
+class DmaEngine(AxiLiteDevice):
+    """One AXI DMA instance (up to two channels)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        memory: Memory,
+        *,
+        mm2s: StreamChannel | None = None,
+        s2mm: StreamChannel | None = None,
+        hp_port: HpPort | None = None,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.memory = memory
+        self.mm2s = mm2s
+        self.s2mm = s2mm
+        self.hp_port = hp_port
+        self.regs: dict[int, int] = {MM2S_DMASR: _SR_IDLE, S2MM_DMASR: _SR_IDLE}
+        self._mm2s_busy: Process | None = None
+        self._s2mm_busy: Process | None = None
+        #: Totals for reporting.
+        self.bytes_mm2s = 0
+        self.bytes_s2mm = 0
+
+    # -- driver-call API (readDMA / writeDMA) -------------------------------
+    def mm2s_transfer(self, addr: int, nbytes: int) -> Process:
+        """Memory -> stream; returns the completion process (writeDMA)."""
+        if self.mm2s is None:
+            raise SimError(f"DMA {self.name!r} has no MM2S channel")
+        if self._mm2s_busy is not None and not self._mm2s_busy.triggered:
+            raise SimError(f"DMA {self.name!r}: MM2S transfer already in flight")
+        self._check_window(addr, nbytes, "MM2S")
+        self._mm2s_busy = self.env.process(
+            self._run_mm2s(addr, nbytes), name=f"{self.name}.mm2s"
+        )
+        return self._mm2s_busy
+
+    def _check_window(self, addr: int, nbytes: int, what: str) -> None:
+        buf = self.memory.at(addr)
+        if addr + nbytes > buf.end:
+            raise SimError(
+                f"DMA {self.name!r}: {what} transfer past end of {buf.name!r}"
+            )
+
+    def s2mm_transfer(self, addr: int, nbytes: int) -> Process:
+        """Stream -> memory; returns the completion process (readDMA)."""
+        if self.s2mm is None:
+            raise SimError(f"DMA {self.name!r} has no S2MM channel")
+        if self._s2mm_busy is not None and not self._s2mm_busy.triggered:
+            raise SimError(f"DMA {self.name!r}: S2MM transfer already in flight")
+        self._check_window(addr, nbytes, "S2MM")
+        self._s2mm_busy = self.env.process(
+            self._run_s2mm(addr, nbytes), name=f"{self.name}.s2mm"
+        )
+        return self._s2mm_busy
+
+    # -- transfer processes -----------------------------------------------------
+    def _run_mm2s(self, addr: int, nbytes: int):
+        buf = self.memory.at(addr)
+        start = (addr - buf.base) // buf.data.itemsize
+        count = nbytes // buf.data.itemsize
+        if start + count > len(buf.data.reshape(-1)):
+            raise SimError(f"DMA {self.name!r}: MM2S transfer past end of {buf.name!r}")
+        flat = buf.data.reshape(-1)
+        self.regs[MM2S_DMASR] = 0x0  # busy
+        yield self.env.timeout(READ_LATENCY)
+        for i in range(count):
+            if self.hp_port is not None:
+                yield self.hp_port.acquire()
+            else:
+                yield self.env.timeout(CYCLES_PER_WORD)
+            yield self.mm2s.put(flat[start + i].item())
+        self.bytes_mm2s += nbytes
+        self.regs[MM2S_DMASR] = _SR_IDLE | 0x1000  # IOC_Irq
+        return count
+
+    def _run_s2mm(self, addr: int, nbytes: int):
+        buf = self.memory.at(addr)
+        start = (addr - buf.base) // buf.data.itemsize
+        count = nbytes // buf.data.itemsize
+        flat = buf.data.reshape(-1)
+        if start + count > len(flat):
+            raise SimError(f"DMA {self.name!r}: S2MM transfer past end of {buf.name!r}")
+        self.regs[S2MM_DMASR] = 0x0
+        yield self.env.timeout(WRITE_LATENCY)
+        for i in range(count):
+            item = yield self.s2mm.get()
+            flat[start + i] = item
+            if self.hp_port is not None:
+                yield self.hp_port.acquire()
+            else:
+                yield self.env.timeout(CYCLES_PER_WORD)
+        self.bytes_s2mm += nbytes
+        self.regs[S2MM_DMASR] = _SR_IDLE | 0x1000
+        return count
+
+    # -- register interface ---------------------------------------------------------
+    def reg_read(self, offset: int) -> int:
+        return self.regs.get(offset, 0)
+
+    def reg_write(self, offset: int, value: int) -> None:
+        self.regs[offset] = value
+        if offset == MM2S_LENGTH:
+            self.mm2s_transfer(self.regs.get(MM2S_SA, 0), value)
+        elif offset == S2MM_LENGTH:
+            self.s2mm_transfer(self.regs.get(S2MM_DA, 0), value)

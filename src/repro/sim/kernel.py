@@ -1,0 +1,152 @@
+"""Minimal generator-based discrete-event kernel.
+
+Processes are Python generators that ``yield`` :class:`Event` objects;
+a process resumes when the yielded event triggers.  ``env.timeout(n)``
+produces an event triggering *n* cycles later; a :class:`Process` is
+itself an event that triggers when its generator finishes, so processes
+compose (``yield env.process(child())``).
+
+The design is a deliberately small subset of SimPy — enough for FIFOs,
+DMA engines and CPU/accelerator processes — with deterministic FIFO
+ordering of same-cycle events so simulations are reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Generator
+
+from repro.util.errors import SimError
+
+
+class Event:
+    """A one-shot occurrence processes can wait on."""
+
+    __slots__ = ("env", "triggered", "value", "_callbacks")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.triggered = False
+        self.value: object = None
+        self._callbacks: list[Callable[[Event], None]] = []
+
+    def trigger(self, value: object = None) -> None:
+        """Mark the event triggered and schedule its callbacks *now*.
+
+        Callbacks are deferred through the event queue (not run on the
+        triggering call stack): long put/get hand-off chains would
+        otherwise recurse one stack frame per token.
+        """
+        if self.triggered:
+            raise SimError("event triggered twice")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self.env._immediate(lambda cb=cb: cb(self))
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        if self.triggered:
+            self.env._immediate(lambda: cb(self))
+        else:
+            self._callbacks.append(cb)
+
+
+class Process(Event):
+    """A running generator; triggers (with its return value) on exit."""
+
+    __slots__ = ("generator", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = "?") -> None:
+        super().__init__(env)
+        self.generator = generator
+        self.name = name
+        env._immediate(self._step)
+
+    def _step(self, _evt: Event | None = None) -> None:
+        try:
+            value = self.generator.send(_evt.value if _evt is not None else None)
+        except StopIteration as stop:
+            self.trigger(stop.value)
+            return
+        if not isinstance(value, Event):
+            raise SimError(
+                f"process {self.name!r} yielded {type(value).__name__}; "
+                "processes must yield Event objects"
+            )
+        value.add_callback(self._step)
+
+
+class Environment:
+    """The event queue + simulated clock (in cycles)."""
+
+    def __init__(self) -> None:
+        self.now = 0
+        self._queue: list[tuple[int, int, Callable[[], None]]] = []
+        self._seq = 0
+
+    # -- scheduling -------------------------------------------------------
+    def _push(self, delay: int, fn: Callable[[], None]) -> None:
+        if delay < 0:
+            raise SimError("cannot schedule into the past")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, fn))
+
+    def _immediate(self, fn: Callable) -> None:
+        self._push(0, fn)
+
+    def timeout(self, delay: int, value: object = None) -> Event:
+        """An event that triggers *delay* cycles from now."""
+        evt = Event(self)
+        self._push(int(delay), lambda: evt.trigger(value))
+        return evt
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(self, generator: Generator, name: str = "?") -> Process:
+        """Start a generator as a process."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: list[Event]) -> Event:
+        """An event triggering when every event in *events* has triggered."""
+        done = Event(self)
+        remaining = len(events)
+        if remaining == 0:
+            self._immediate(lambda: done.trigger([]))
+            return done
+        values: list[object] = [None] * remaining
+
+        def make_cb(i: int):
+            def cb(evt: Event) -> None:
+                nonlocal remaining
+                values[i] = evt.value
+                remaining -= 1
+                if remaining == 0:
+                    done.trigger(values)
+
+            return cb
+
+        for i, evt in enumerate(events):
+            evt.add_callback(make_cb(i))
+        return done
+
+    # -- main loop -----------------------------------------------------------
+    def run(self, until: int | None = None, *, max_events: int = 50_000_000) -> int:
+        """Process events until the queue drains (or *until* cycles).
+
+        Returns the final simulation time.
+        """
+        count = 0
+        while self._queue:
+            time, _, fn = self._queue[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = time
+            fn()
+            count += 1
+            if count > max_events:
+                raise SimError(f"simulation exceeded {max_events} events (livelock?)")
+        return self.now

@@ -1,0 +1,520 @@
+"""Application runtime: execute a partitioned HTG on a simulated platform.
+
+Top-level semantics follow the paper (Section II-A): a node starts only
+when all its predecessors finished and their results sit in shared
+memory; independent branches may overlap.  Node execution depends on its
+mapping:
+
+* **software task/phase** — the CPU is busy for the task's cycle cost
+  while the golden behaviour computes the data;
+* **hardware task** (AXI-Lite core) — the CPU writes buffer base
+  addresses into the core's argument registers, sets ``ap_start`` and
+  polls ``ap_done``; the core charges AXI-master traffic + its HLS
+  latency and runs the compiled C behaviour against simulated DRAM;
+* **hardware phase** (AXI-Stream pipeline) — the CPU issues
+  ``writeDMA``/``readDMA`` driver calls; DMA engines stream real data
+  through the FIFO network where each actor consumes/produces tokens at
+  its II.  Transfers and computation overlap — the benefit the paper's
+  stream interfaces exist to deliver.
+
+Every node's behaviour is supplied by a :class:`Behavior` registry entry
+(the golden software implementation, also used for output allocation);
+hardware data is produced by the HLS-compiled C via the IR interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.htg.model import HTG, Phase, Task
+from repro.htg.partition import Partition
+from repro.htg.schedule import phase_firing_order, topological_order
+from repro.htg.validate import validate_htg
+from repro.sim.accel import ActorTiming, LiteAccelSim, StreamActorSim, StreamEndpoint
+from repro.sim.axi import AxiLiteBus, StreamChannel
+from repro.sim.cpu import CpuModel
+from repro.sim.devfs import DevFs
+from repro.sim.dma_engine import DmaEngine, HpPort
+from repro.sim.kernel import Environment, Event
+from repro.sim.memory import Memory
+from repro.sim.trace import Trace
+from repro.soc.address_map import AddressMap
+from repro.soc.integrator import IntegratedSystem
+from repro.util.errors import SimError
+
+#: Default CPI-like scale from interpreter op counts to ARM cycles.
+SW_CYCLES_PER_OP = 1.6
+
+
+@dataclass
+class Behavior:
+    """Golden software behaviour of one task or actor.
+
+    ``func(*input_arrays)`` returns the output arrays (a tuple in
+    declared output order, or a single array).  ``sw_cycles`` optionally
+    overrides the software cost model.
+    """
+
+    func: Callable[..., object]
+    sw_cycles: Callable[..., int] | None = None
+
+    def outputs(self, inputs: list[np.ndarray]) -> list[np.ndarray]:
+        out = self.func(*inputs)
+        if out is None:
+            return []
+        if isinstance(out, tuple):
+            return [np.asarray(o) for o in out]
+        return [np.asarray(out)]
+
+
+@dataclass
+class ExecutionReport:
+    """Everything a simulation run produced."""
+
+    cycles: int
+    data: dict[str, np.ndarray]
+    trace: Trace
+    node_spans: dict[str, tuple[int, int]] = field(default_factory=dict)
+    fclk_mhz: float = 100.0
+    #: Stream FIFO statistics: name -> (tokens moved, peak occupancy).
+    channel_stats: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: Total 32-bit words that crossed the HP port (0 without DMA).
+    hp_words: int = 0
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / (self.fclk_mhz * 1e6)
+
+    def of(self, name: str) -> np.ndarray:
+        try:
+            return self.data[name]
+        except KeyError:
+            raise SimError(f"no data item named {name!r} was produced") from None
+
+    def summary(self) -> str:
+        """Human-readable run summary: totals + per-node spans."""
+        lines = [
+            f"execution: {self.cycles} cycles "
+            f"({self.seconds * 1e3:.3f} ms @ {self.fclk_mhz:g} MHz)"
+        ]
+        for name, (start, end) in sorted(self.node_spans.items(), key=lambda kv: kv[1]):
+            share = (end - start) / self.cycles if self.cycles else 0.0
+            lines.append(f"  {name:<18} {start:>8} .. {end:<8} ({share:5.1%})")
+        return "\n".join(lines)
+
+
+class SimPlatform:
+    """Simulated board: env + DRAM + (optionally) the integrated fabric."""
+
+    def __init__(
+        self,
+        system: IntegratedSystem | None = None,
+        *,
+        hp_words_per_cycle: int = 2,
+        wait_mode: str = "poll",
+        cpu_cores: int = 2,
+    ) -> None:
+        if wait_mode not in ("poll", "irq"):
+            raise SimError(f"unknown wait mode {wait_mode!r}")
+        self.env = Environment()
+        self.memory = Memory()
+        self.trace = Trace()
+        self.system = system
+        self.devfs = DevFs()
+        self.wait_mode = wait_mode
+        self.channels: dict[object, StreamChannel] = {}
+        self.dma_engines: dict[str, DmaEngine] = {}
+        self.lite_cores: dict[str, LiteAccelSim] = {}
+        self.bus: AxiLiteBus | None = None
+        self.cpu: CpuModel | None = None
+        self.hp_port: HpPort | None = None
+        self.cpu_cores = cpu_cores
+        if system is not None:
+            self._build_fabric(system, hp_words_per_cycle)
+
+    def _build_fabric(self, system: IntegratedSystem, hp_words_per_cycle: int) -> None:
+        self.bus = AxiLiteBus(self.env, system.design.address_map)
+        self.cpu = CpuModel(self.env, self.bus, num_cores=self.cpu_cores)
+        any_m_axi = any(core.iface.m_axi_ports for core in system.cores.values())
+        if system.dmas or any_m_axi:
+            # Every PL master funnels into one HP port (S_AXI_HP0).
+            self.hp_port = HpPort(self.env, words_per_cycle=hp_words_per_cycle)
+        for link in system.graph.links():
+            width = 32
+            if isinstance(link.dst, tuple):
+                width = system.cores[link.dst[0]].iface.stream(link.dst[1]).width
+            elif isinstance(link.src, tuple):
+                width = system.cores[link.src[0]].iface.stream(link.src[1]).width
+            self.channels[link] = StreamChannel(
+                self.env, _link_name(link), width_bits=width
+            )
+        for i, binding in enumerate(system.dmas):
+            mm2s = self.channels.get(binding.mm2s_link) if binding.mm2s_link else None
+            s2mm = self.channels.get(binding.s2mm_link) if binding.s2mm_link else None
+            engine = DmaEngine(
+                self.env,
+                binding.cell,
+                self.memory,
+                mm2s=mm2s,
+                s2mm=s2mm,
+                hp_port=self.hp_port,
+            )
+            self.dma_engines[binding.cell] = engine
+            self.devfs.register_dma(i, engine)
+            self.bus.attach(binding.cell, engine)
+        for edge in system.graph.connects():
+            cell = system.cell_of[edge.node]
+            sim = LiteAccelSim(
+                self.env,
+                edge.node,
+                system.cores[edge.node],
+                self.memory,
+                hp_port=self.hp_port,
+            )
+            self.lite_cores[edge.node] = sim
+            self.bus.attach(cell, sim)
+            self.devfs.register_core(cell)
+
+
+def _link_name(link) -> str:
+    def end(e):
+        return "soc" if not isinstance(e, tuple) else f"{e[0]}.{e[1]}"
+
+    return f"{end(link.src)}->{end(link.dst)}"
+
+
+class _Runtime:
+    def __init__(
+        self,
+        htg: HTG,
+        partition: Partition,
+        behaviors: dict[str, Behavior],
+        platform: SimPlatform,
+        inputs: dict[str, np.ndarray],
+    ) -> None:
+        self.htg = htg
+        self.partition = partition
+        self.behaviors = behaviors
+        self.p = platform
+        self.data: dict[str, np.ndarray] = {k: np.asarray(v) for k, v in inputs.items()}
+        self.node_spans: dict[str, tuple[int, int]] = {}
+
+    # -- helpers --------------------------------------------------------
+    def behavior_of(self, key: str) -> Behavior:
+        b = self.behaviors.get(key)
+        if b is None:
+            raise SimError(f"no behaviour registered for {key!r}")
+        return b
+
+    def gather_inputs(self, names: tuple[str, ...]) -> list[np.ndarray]:
+        missing = [n for n in names if n not in self.data]
+        if missing:
+            raise SimError(f"data items {missing} not yet produced")
+        return [self.data[n] for n in names]
+
+    def sw_cost(self, node: Task, behavior: Behavior, inputs: list[np.ndarray]) -> int:
+        if behavior.sw_cycles is not None:
+            return behavior.sw_cycles(*inputs)
+        if node.sw_cycles > 0:
+            return node.sw_cycles
+        total = sum(int(np.asarray(a).size) for a in inputs) or 1
+        return int(total * 12)  # rough per-element software cost
+
+    # -- node executors ---------------------------------------------------------
+    def run_sw_task(self, node: Task):
+        inputs = self.gather_inputs(node.inputs)
+        behavior = self.behavior_of(node.name)
+        outputs = behavior.outputs(inputs)
+        if len(outputs) != len(node.outputs):
+            raise SimError(
+                f"{node.name}: behaviour produced {len(outputs)} outputs, "
+                f"declared {len(node.outputs)}"
+            )
+        cost = self.sw_cost(node, behavior, inputs)
+        start = self.p.env.now
+        if self.p.cpu is not None:
+            yield from self.p.cpu.run_software(cost)
+        else:
+            yield self.p.env.timeout(max(1, cost))
+        for name, arr in zip(node.outputs, outputs):
+            self.data[name] = arr
+        self.p.trace.record(f"cpu:{node.name}", "sw", start, self.p.env.now)
+
+    def run_hw_task(self, node: Task):
+        assert self.p.system is not None and self.p.cpu is not None and self.p.bus
+        system = self.p.system
+        core = system.cores[node.name]
+        sim = self.p.lite_cores[node.name]
+        behavior = self.behavior_of(node.name)
+        inputs = self.gather_inputs(node.inputs)
+        golden = behavior.outputs(inputs)
+
+        # Stage inputs into DRAM; allocate zeroed outputs.
+        start = self.p.env.now
+        scalar_args: dict[int, int] = {}
+        for pname, arr in zip(node.inputs, inputs):
+            buf = self._ensure_buffer(f"{node.name}.{pname}", arr)
+            scalar_args[core.iface.register(pname).offset] = buf.base
+        out_bufs = []
+        for pname, ref in zip(node.outputs, golden):
+            buf = self._ensure_buffer(
+                f"{node.name}.{pname}", np.zeros_like(np.asarray(ref))
+            )
+            scalar_args[core.iface.register(pname).offset] = buf.base
+            out_bufs.append((pname, buf))
+
+        base = system.design.address_map.of(system.cell_of[node.name]).base
+        irq = sim.done_irq() if self.p.wait_mode == "irq" else None
+        yield from self.p.cpu.run_lite_core(base, scalar_args, irq=irq)
+        for pname, buf in out_bufs:
+            self.data[pname] = buf.data.copy()
+        self.p.trace.record(f"hw:{node.name}", "accel", start, self.p.env.now)
+
+    def _ensure_buffer(self, name: str, arr: np.ndarray):
+        mem = self.p.memory
+        if name in mem.buffers:
+            buf = mem.buffers[name]
+            if buf.data.shape != arr.shape or buf.data.dtype != arr.dtype:
+                raise SimError(f"buffer {name!r} reused with a different shape")
+            buf.data[...] = arr
+            return buf
+        return mem.allocate(name, arr)
+
+    def run_sw_phase(self, phase: Phase):
+        start = self.p.env.now
+        channel_data = self._dataflow_outputs(phase)
+        total = 0
+        for actor in phase.actors:
+            b = self.behaviors.get(f"{phase.name}.{actor.name}")
+            if b is not None and b.sw_cycles is not None:
+                ins = [
+                    channel_data[_feeding_channel(phase, actor.name, p)]
+                    for p in actor.stream_inputs
+                ]
+                total += b.sw_cycles(*ins)
+            elif actor.sw_cycles > 0:
+                total += actor.sw_cycles
+            else:
+                size = sum(
+                    channel_data[_feeding_channel(phase, actor.name, p)].size
+                    for p in actor.stream_inputs
+                )
+                total += int(max(1, size) * 12)
+        if self.p.cpu is not None:
+            yield from self.p.cpu.run_software(total)
+        else:
+            yield self.p.env.timeout(max(1, total))
+        self._store_phase_outputs(phase, channel_data)
+        self.p.trace.record(f"cpu:{phase.name}", "sw-phase", start, self.p.env.now)
+
+    def run_hw_phase(self, phase: Phase):
+        assert self.p.system is not None and self.p.cpu is not None
+        system = self.p.system
+        start = self.p.env.now
+        channel_data = self._dataflow_outputs(phase)
+
+        # Map phase channels onto the system's stream links/FIFOs.
+        actors: list[StreamActorSim] = []
+        pending: list[Event] = []
+        for actor in phase.actors:
+            ins, outs = [], []
+            for port in actor.stream_inputs:
+                ch_key = _feeding_channel(phase, actor.name, port)
+                link = self._find_link(dst=(actor.name, port))
+                ins.append(
+                    StreamEndpoint(port, self.p.channels[link], channel_data[ch_key])
+                )
+            for port in actor.stream_outputs:
+                ch_key = (actor.name, port)
+                link = self._find_link(src=(actor.name, port))
+                outs.append(
+                    StreamEndpoint(port, self.p.channels[link], channel_data[ch_key])
+                )
+            firings = max([len(e.data) for e in (*ins, *outs)] or [1])
+            # An actor stalled on a bulk (reduction) input — e.g. `segment`
+            # waiting for the Otsu threshold — must be able to buffer its
+            # full-rate inputs meanwhile, or the pipeline deadlocks.  Real
+            # designs size that FIFO to the whole stream; mirror that.
+            if any(len(e.data) != firings for e in ins):
+                for e in ins:
+                    if len(e.data) == firings:
+                        e.channel.capacity = max(e.channel.capacity, firings)
+            timing = ActorTiming.from_synthesis(system.cores[actor.name], firings)
+            sim = StreamActorSim(
+                self.p.env, actor.name, inputs=ins, outputs=outs, timing=timing
+            )
+            actors.append(sim)
+            pending.append(sim.start())
+
+        # Driver calls: one writeDMA per boundary input, one readDMA per
+        # boundary output (through /dev exactly like the generated app).
+        for ch in phase.boundary_inputs():
+            arr = self.data[ch.src_port]
+            buf = self._ensure_buffer(f"{phase.name}.{ch.src_port}", arr)
+            link = self._find_link(dst=(ch.dst_actor, ch.dst_port))
+            binding = system.dma_for_input(link)
+            handle = self._dma_handle(binding.cell)
+            yield from self.p.cpu.call_driver()
+            pending.append(handle.writeDMA(buf.base, buf.nbytes))
+        out_bufs = []
+        for ch in phase.boundary_outputs():
+            ref = channel_data[(ch.src_actor, ch.src_port)]
+            buf = self._ensure_buffer(
+                f"{phase.name}.{ch.dst_port}", np.zeros_like(ref)
+            )
+            link = self._find_link(src=(ch.src_actor, ch.src_port))
+            binding = system.dma_for_output(link)
+            handle = self._dma_handle(binding.cell)
+            yield from self.p.cpu.call_driver()
+            pending.append(handle.readDMA(buf.base, buf.nbytes))
+            out_bufs.append((ch.dst_port, buf))
+
+        yield self.p.env.all_of(pending)
+        for name, buf in out_bufs:
+            self.data[name] = buf.data.copy()
+        for sim in actors:
+            if sim.started_at is not None and sim.finished_at is not None:
+                self.p.trace.record(
+                    f"hw:{sim.name}", "stream", sim.started_at, sim.finished_at
+                )
+        self.p.trace.record(f"phase:{phase.name}", "hw-phase", start, self.p.env.now)
+
+    def _dma_handle(self, cell: str):
+        for path in self.p.devfs.listdir():
+            node = self.p.devfs._nodes[path]
+            if node.kind == "dma" and node.target == cell:
+                return self.p.devfs.open(path)
+        raise SimError(f"no /dev node for DMA {cell!r}")
+
+    def _find_link(self, *, src=None, dst=None):
+        assert self.p.system is not None
+        for link in self.p.system.graph.links():
+            if src is not None and link.src == src:
+                return link
+            if dst is not None and link.dst == dst:
+                return link
+        raise SimError(f"no stream link matching src={src} dst={dst}")
+
+    # -- functional dataflow execution ----------------------------------------------
+    def _dataflow_outputs(self, phase: Phase) -> dict[tuple[str, str], np.ndarray]:
+        """Compute every channel's data: key = (producer actor, port);
+        boundary inputs use (BOUNDARY, data name)."""
+        out: dict[tuple[str, str], np.ndarray] = {}
+        for name in phase.inputs:
+            out[(Phase.BOUNDARY, name)] = self.data[name]
+        for actor_name in phase_firing_order(phase):
+            actor = phase.actor(actor_name)
+            ins = [
+                out[_feeding_channel(phase, actor_name, p)]
+                for p in actor.stream_inputs
+            ]
+            behavior = self.behaviors.get(f"{phase.name}.{actor_name}")
+            if behavior is None:
+                behavior = self.behaviors.get(actor_name)
+            if behavior is None:
+                raise SimError(
+                    f"no behaviour registered for actor "
+                    f"{phase.name}.{actor_name}"
+                )
+            results = behavior.outputs(ins)
+            if len(results) != len(actor.stream_outputs):
+                raise SimError(
+                    f"{actor_name}: behaviour produced {len(results)} outputs, "
+                    f"declared {len(actor.stream_outputs)}"
+                )
+            for port, arr in zip(actor.stream_outputs, results):
+                out[(actor_name, port)] = arr
+        return out
+
+    def _store_phase_outputs(self, phase: Phase, channel_data) -> None:
+        for ch in phase.boundary_outputs():
+            self.data[ch.dst_port] = channel_data[(ch.src_actor, ch.src_port)]
+
+    # -- top level -------------------------------------------------------------------
+    def launch(self) -> None:
+        done: dict[str, Event] = {}
+
+        def node_process(name: str):
+            preds = [done[p] for p in self.htg.predecessors(name)]
+            yield self.p.env.all_of(preds)
+            node = self.htg.node(name)
+            start = self.p.env.now
+            if isinstance(node, Task):
+                if self.partition.is_hw(name):
+                    yield from self.run_hw_task(node)
+                else:
+                    yield from self.run_sw_task(node)
+            else:
+                if self.partition.is_hw(name):
+                    yield from self.run_hw_phase(node)
+                else:
+                    yield from self.run_sw_phase(node)
+            self.node_spans[name] = (start, self.p.env.now)
+
+        for name in topological_order(self.htg):
+            done[name] = self.p.env.process(node_process(name), name=f"node.{name}")
+
+
+def simulate_application(
+    htg: HTG,
+    partition: Partition,
+    behaviors: dict[str, Behavior],
+    inputs: dict[str, np.ndarray],
+    *,
+    system: IntegratedSystem | None = None,
+    fclk_mhz: float = 100.0,
+    hp_words_per_cycle: int = 2,
+    wait_mode: str = "poll",
+    cpu_cores: int = 2,
+) -> ExecutionReport:
+    """Run *htg* under *partition* and return the execution report.
+
+    *system* is required when the partition maps anything to hardware;
+    an all-software partition runs on a bare platform (CPU only).
+    *hp_words_per_cycle* sets the shared HP-port bandwidth all DMA
+    engines contend for; *wait_mode* selects polling or interrupt-driven
+    completion for AXI-Lite cores; *cpu_cores* bounds how many software
+    tasks overlap (the Zedboard's A9 is dual-core).
+    """
+    validate_htg(htg)
+    partition.validate(htg)
+    if partition.hw_nodes() and system is None:
+        raise SimError("hardware nodes in the partition but no integrated system given")
+    platform = SimPlatform(
+        system,
+        hp_words_per_cycle=hp_words_per_cycle,
+        wait_mode=wait_mode,
+        cpu_cores=cpu_cores,
+    )
+    if platform.cpu is None:
+        platform.cpu = CpuModel(
+            platform.env, AxiLiteBus(platform.env, AddressMap()), num_cores=cpu_cores
+        )
+    runtime = _Runtime(htg, partition, behaviors, platform, inputs)
+    runtime.launch()
+    cycles = platform.env.run()
+    return ExecutionReport(
+        cycles=cycles,
+        data=runtime.data,
+        trace=platform.trace,
+        node_spans=runtime.node_spans,
+        fclk_mhz=fclk_mhz,
+        channel_stats={
+            ch.name: (ch.total_got, ch.high_water)
+            for ch in platform.channels.values()
+        },
+        hp_words=platform.hp_port.total_words if platform.hp_port else 0,
+    )
+
+
+def _feeding_channel(phase: Phase, actor: str, port: str) -> tuple[str, str]:
+    """Key of the channel feeding (actor, port): (producer, producer port)."""
+    for ch in phase.channels:
+        if ch.dst_actor == actor and ch.dst_port == port:
+            if ch.describes_input():
+                return (Phase.BOUNDARY, ch.src_port)
+            return (ch.src_actor, ch.src_port)
+    raise SimError(f"phase {phase.name!r}: nothing feeds {actor}.{port}")

@@ -1,0 +1,39 @@
+"""System-integration substrate (the Vivado IP-integrator substitute).
+
+Models the block design the paper's tool assembles on the Zynq
+(Section IV-A): the PS7 processing system with HP ports, AXI DMA cores,
+AXI interconnects, processor reset, and the HLS-generated accelerator
+cores; an address-map allocator for the GP0 AXI-Lite space; design-rule
+checks; and a simulated synthesis / place-&-route / bitstream step that
+aggregates resources against the xc7z020 budget.
+"""
+
+from repro.soc.address_map import AddressMap, AddressRange
+from repro.soc.blockdesign import BlockDesign, Connection
+from repro.soc.integrator import IntegrationConfig, integrate
+from repro.soc.ip import InterfacePin, IpCore, PinKind
+from repro.soc.serialize import design_from_dict, design_to_dict
+from repro.soc.synthesis import Bitstream, DeviceBudget, XC7Z020, run_synthesis
+from repro.soc.validate import run_drc
+from repro.soc.zynq import ZynqConfig, zynq_ps7
+
+__all__ = [
+    "AddressMap",
+    "AddressRange",
+    "Bitstream",
+    "BlockDesign",
+    "Connection",
+    "DeviceBudget",
+    "IntegrationConfig",
+    "InterfacePin",
+    "IpCore",
+    "PinKind",
+    "XC7Z020",
+    "ZynqConfig",
+    "design_from_dict",
+    "design_to_dict",
+    "integrate",
+    "run_drc",
+    "run_synthesis",
+    "zynq_ps7",
+]

@@ -1,0 +1,123 @@
+"""AXI address-map allocation for the GP0 control space.
+
+Vivado's address editor assigns each AXI-Lite slave a 64 KiB-aligned
+segment of the M_AXI_GP0 window; we follow the conventional Zynq layout:
+HLS accelerators from ``0x43C0_0000``, AXI DMA cores from
+``0x4040_0000``.  PL masters (DMA) see the DDR through the HP ports at
+``0x0000_0000``.
+
+Invariants enforced (and property-tested): segments are power-of-two
+sized, aligned to their size, within the GP window, and pairwise
+disjoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import AddressMapError
+
+GP0_BASE = 0x4000_0000
+GP0_END = 0x7FFF_FFFF
+HLS_BASE = 0x43C0_0000
+DMA_BASE = 0x4040_0000
+SEGMENT_SIZE = 0x1_0000  # 64 KiB
+
+
+@dataclass(frozen=True)
+class AddressRange:
+    """One allocated segment: [base, base+size)."""
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size - 1
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.size
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        return self.base <= other.end and other.base <= self.end
+
+
+@dataclass
+class AddressMap:
+    """Allocator + lookup table for AXI-Lite slave segments."""
+
+    ranges: list[AddressRange] = field(default_factory=list)
+    _next_hls: int = HLS_BASE
+    _next_dma: int = DMA_BASE
+
+    def assign(self, name: str, *, kind: str = "hls", size: int = SEGMENT_SIZE) -> AddressRange:
+        """Allocate the next free segment of the given *kind* pool."""
+        if size <= 0 or (size & (size - 1)) != 0:
+            raise AddressMapError(f"segment size {size:#x} is not a power of two")
+        if any(r.name == name for r in self.ranges):
+            raise AddressMapError(f"segment for {name!r} already assigned")
+        if kind == "hls":
+            base = self._align(self._next_hls, size)
+            self._next_hls = base + size
+        elif kind == "dma":
+            base = self._align(self._next_dma, size)
+            self._next_dma = base + size
+            if base + size > HLS_BASE and self._next_hls == HLS_BASE:
+                pass  # DMA pool growing into the HLS pool is caught below
+        else:
+            raise AddressMapError(f"unknown segment kind {kind!r}")
+        rng = AddressRange(name, base, size)
+        self._check(rng)
+        self.ranges.append(rng)
+        return rng
+
+    def assign_fixed(self, name: str, base: int, size: int = SEGMENT_SIZE) -> AddressRange:
+        """Register a segment at an explicit base (tcl-runner path).
+
+        The same invariants as :meth:`assign` are enforced.
+        """
+        if size <= 0 or (size & (size - 1)) != 0:
+            raise AddressMapError(f"segment size {size:#x} is not a power of two")
+        if any(r.name == name for r in self.ranges):
+            raise AddressMapError(f"segment for {name!r} already assigned")
+        rng = AddressRange(name, base, size)
+        self._check(rng)
+        self.ranges.append(rng)
+        return rng
+
+    @staticmethod
+    def _align(addr: int, size: int) -> int:
+        return (addr + size - 1) & ~(size - 1)
+
+    def _check(self, rng: AddressRange) -> None:
+        if rng.base < GP0_BASE or rng.end > GP0_END:
+            raise AddressMapError(
+                f"segment {rng.name!r} [{rng.base:#x}, {rng.end:#x}] outside GP0 window"
+            )
+        if rng.base % rng.size != 0:
+            raise AddressMapError(f"segment {rng.name!r} not aligned to its size")
+        for other in self.ranges:
+            if rng.overlaps(other):
+                raise AddressMapError(
+                    f"segment {rng.name!r} overlaps {other.name!r}"
+                )
+
+    # -- lookups -----------------------------------------------------------
+    def of(self, name: str) -> AddressRange:
+        for r in self.ranges:
+            if r.name == name:
+                return r
+        raise AddressMapError(f"no segment assigned to {name!r}")
+
+    def resolve(self, addr: int) -> AddressRange:
+        for r in self.ranges:
+            if r.contains(addr):
+                return r
+        raise AddressMapError(f"address {addr:#x} maps to no segment")
+
+    def render(self) -> str:
+        lines = ["Offset       Range        Segment"]
+        for r in sorted(self.ranges, key=lambda r: r.base):
+            lines.append(f"{r.base:#010x}  {r.size // 1024:>5} KiB   {r.name}")
+        return "\n".join(lines)

@@ -1,0 +1,255 @@
+"""The integrator: a validated DSL graph + synthesized cores → block design.
+
+Implements the automated steps of paper Section IV-A:
+
+1. add the Zynq PS7 and configure it (GP0 always; HP0 when the design
+   has AXI-Stream traffic);
+2. add a processor reset block;
+3. add AXI DMA cores for the stream boundary: with the paper's policy
+   (the Related-Work advantage over SDSoC) ``'soc`` input *k* and
+   ``'soc`` output *k* share one dual-channel DMA; the SDSoC-like
+   baseline (``one_dma_per_stream=True``) instantiates one DMA per
+   boundary stream;
+4. add every accelerator cell, wire AXI-Stream links point-to-point,
+   attach AXI-Lite slaves (connected cores + DMA control) behind a GP
+   interconnect, funnel DMA masters into S_AXI_HP0 behind a memory
+   interconnect;
+5. wire clocks, resets and interrupts; assign the address map; run DRC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dsl.ast import LinkEdge, TgGraph
+from repro.dsl.validate import validate_graph
+from repro.hls.project import SynthesisResult
+from repro.soc.blockdesign import BlockDesign
+from repro.soc.dma import axi_dma
+from repro.soc.interconnect import axi_interconnect, axis_interrupt_concat
+from repro.soc.ip import PinKind, hls_core, proc_sys_reset
+from repro.soc.validate import run_drc
+from repro.soc.zynq import ZynqConfig, zynq_ps7
+from repro.util.errors import IntegrationError
+
+
+@dataclass(frozen=True)
+class IntegrationConfig:
+    """Knobs of the integration step."""
+
+    fclk_mhz: float = 100.0
+    #: SDSoC-like baseline: one DMA per boundary stream instead of
+    #: pairing an input and an output on one dual-channel core.
+    one_dma_per_stream: bool = False
+    design_name: str | None = None
+
+
+@dataclass
+class DmaBinding:
+    """Which boundary links a DMA cell serves."""
+
+    cell: str
+    mm2s_link: LinkEdge | None = None  # 'soc -> accelerator
+    s2mm_link: LinkEdge | None = None  # accelerator -> 'soc
+
+
+@dataclass
+class IntegratedSystem:
+    """The integrator's output: design + the metadata later stages need."""
+
+    design: BlockDesign
+    graph: TgGraph
+    cores: dict[str, SynthesisResult]
+    dmas: list[DmaBinding] = field(default_factory=list)
+    cell_of: dict[str, str] = field(default_factory=dict)  # node -> cell name
+
+    def dma_for_input(self, link: LinkEdge) -> DmaBinding:
+        for b in self.dmas:
+            if b.mm2s_link is link:
+                return b
+        raise IntegrationError("no DMA bound to that input link")
+
+    def dma_for_output(self, link: LinkEdge) -> DmaBinding:
+        for b in self.dmas:
+            if b.s2mm_link is link:
+                return b
+        raise IntegrationError("no DMA bound to that output link")
+
+
+def _check_cores(graph: TgGraph, cores: dict[str, SynthesisResult]) -> None:
+    for node in graph.nodes:
+        if node.name not in cores:
+            raise IntegrationError(f"no synthesized core supplied for node {node.name!r}")
+        core = cores[node.name]
+        for p in node.stream_ports():
+            try:
+                core.iface.stream(p.name)
+            except Exception:
+                raise IntegrationError(
+                    f"node {node.name!r}: DSL stream port {p.name!r} does not "
+                    "exist on the synthesized core (check the C signature "
+                    "and axis directives)"
+                ) from None
+        if node.lite_ports() and not core.iface.has_lite():
+            raise IntegrationError(
+                f"node {node.name!r} declares AXI-Lite ports but the core "
+                "has no register file"
+            )
+
+
+def _port_width(cores: dict[str, SynthesisResult], end: tuple[str, str]) -> int:
+    return cores[end[0]].iface.stream(end[1]).width
+
+
+def integrate(
+    graph: TgGraph,
+    cores: dict[str, SynthesisResult],
+    config: IntegrationConfig = IntegrationConfig(),
+) -> IntegratedSystem:
+    """Build the complete block design for *graph*; see module docstring."""
+    validate_graph(graph)
+    _check_cores(graph, cores)
+
+    bd = BlockDesign(config.design_name or f"{graph.name}_bd")
+    system = IntegratedSystem(bd, graph, dict(cores))
+
+    links = graph.links()
+    soc_inputs = [e for e in links if e.from_soc()]
+    soc_outputs = [e for e in links if e.to_soc()]
+    # The HP data port is needed by DMA traffic (streams) and by the AXI
+    # masters of shared-memory task cores (m_axi array parameters).
+    has_m_axi = any(cores[n.name].iface.m_axi_ports for n in graph.nodes)
+    needs_hp = bool(links) or has_m_axi
+
+    # --- step 1-2: PS7 + reset ------------------------------------------------
+    ps_cfg = ZynqConfig(
+        gp_masters=1, hp_slaves=1 if needs_hp else 0, fclk_mhz=config.fclk_mhz
+    )
+    ps = bd.add_cell(zynq_ps7(ps_cfg))
+    rst = bd.add_cell(proc_sys_reset())
+
+    # --- step 3: DMA allocation --------------------------------------------------
+    dma_bindings: list[DmaBinding] = []
+    if config.one_dma_per_stream:
+        for i, link in enumerate(soc_inputs):
+            w = _port_width(cores, link.dst)  # type: ignore[arg-type]
+            cell = bd.add_cell(
+                axi_dma(f"axi_dma_{len(dma_bindings)}", mm2s=True, s2mm=False, mm2s_width=w)
+            )
+            dma_bindings.append(DmaBinding(cell.name, mm2s_link=link))
+        for link in soc_outputs:
+            w = _port_width(cores, link.src)  # type: ignore[arg-type]
+            cell = bd.add_cell(
+                axi_dma(f"axi_dma_{len(dma_bindings)}", mm2s=False, s2mm=True, s2mm_width=w)
+            )
+            dma_bindings.append(DmaBinding(cell.name, s2mm_link=link))
+    else:
+        n = max(len(soc_inputs), len(soc_outputs))
+        for i in range(n):
+            in_link = soc_inputs[i] if i < len(soc_inputs) else None
+            out_link = soc_outputs[i] if i < len(soc_outputs) else None
+            mm2s_w = _port_width(cores, in_link.dst) if in_link else 32  # type: ignore[arg-type]
+            s2mm_w = _port_width(cores, out_link.src) if out_link else 32  # type: ignore[arg-type]
+            cell = bd.add_cell(
+                axi_dma(
+                    f"axi_dma_{i}",
+                    mm2s=in_link is not None,
+                    s2mm=out_link is not None,
+                    mm2s_width=mm2s_w,
+                    s2mm_width=s2mm_w,
+                )
+            )
+            dma_bindings.append(DmaBinding(cell.name, in_link, out_link))
+    system.dmas = dma_bindings
+
+    # --- step 4a: accelerator cells --------------------------------------------
+    for node in graph.nodes:
+        cell = bd.add_cell(hls_core(f"{node.name}_0", node.name, cores[node.name]))
+        system.cell_of[node.name] = cell.name
+
+    # --- step 4b: AXI-Lite control plane -------------------------------------------
+    lite_slaves: list[tuple[str, str, str]] = []  # (cell, pin, addr kind)
+    for edge in graph.connects():
+        lite_slaves.append((system.cell_of[edge.node], "s_axi_ctrl", "hls"))
+    for binding in dma_bindings:
+        lite_slaves.append((binding.cell, "S_AXI_LITE", "dma"))
+    if lite_slaves:
+        periph = bd.add_cell(
+            axi_interconnect(
+                "ps7_0_axi_periph",
+                num_masters_in=1,
+                num_slaves_out=len(lite_slaves),
+                lite=True,
+            )
+        )
+        bd.connect(ps.name, "M_AXI_GP0", periph.name, "S00_AXI")
+        for i, (cell, pin, kind) in enumerate(lite_slaves):
+            bd.connect(periph.name, f"M{i:02d}_AXI", cell, pin)
+            bd.address_map.assign(cell, kind=kind)
+
+    # --- step 4c: AXI-Stream links -----------------------------------------------
+    for link in links:
+        if link.from_soc():
+            binding = system.dma_for_input(link)
+            dst_cell = system.cell_of[link.dst[0]]  # type: ignore[index]
+            bd.connect(binding.cell, "M_AXIS_MM2S", dst_cell, link.dst[1])  # type: ignore[index]
+        elif link.to_soc():
+            binding = system.dma_for_output(link)
+            src_cell = system.cell_of[link.src[0]]  # type: ignore[index]
+            bd.connect(src_cell, link.src[1], binding.cell, "S_AXIS_S2MM")  # type: ignore[index]
+        else:
+            src_cell = system.cell_of[link.src[0]]  # type: ignore[index]
+            dst_cell = system.cell_of[link.dst[0]]  # type: ignore[index]
+            bd.connect(src_cell, link.src[1], dst_cell, link.dst[1])  # type: ignore[index]
+
+    # --- step 4d: memory plane ----------------------------------------------------
+    masters: list[tuple[str, str]] = []
+    for binding in dma_bindings:
+        cell = bd.cell(binding.cell)
+        if cell.has_pin("M_AXI_MM2S"):
+            masters.append((binding.cell, "M_AXI_MM2S"))
+        if cell.has_pin("M_AXI_S2MM"):
+            masters.append((binding.cell, "M_AXI_S2MM"))
+    for node in graph.nodes:
+        cell_name = system.cell_of[node.name]
+        for pin in bd.cell(cell_name).pins_of_kind(PinKind.AXI_FULL_MASTER):
+            masters.append((cell_name, pin.name))
+    if masters:
+        mem_ic = bd.add_cell(
+            axi_interconnect(
+                "axi_mem_intercon",
+                num_masters_in=len(masters),
+                num_slaves_out=1,
+                lite=False,
+            )
+        )
+        for i, (cell, pin) in enumerate(masters):
+            bd.connect(cell, pin, mem_ic.name, f"S{i:02d}_AXI")
+        bd.connect(mem_ic.name, "M00_AXI", ps.name, "S_AXI_HP0")
+
+    # --- step 5a: clocks and resets -------------------------------------------------
+    bd.connect(ps.name, "FCLK_RESET0_N", rst.name, "ext_reset_in")
+    for cell in list(bd.cells.values()):
+        for pin in cell.pins_of_kind(PinKind.CLOCK_IN):
+            bd.connect(ps.name, "FCLK_CLK0", cell.name, pin.name)
+        if cell.name == rst.name:
+            continue
+        for pin in cell.pins_of_kind(PinKind.RESET_IN):
+            bd.connect(rst.name, "peripheral_aresetn", cell.name, pin.name)
+
+    # --- step 5b: interrupts ------------------------------------------------------
+    irq_sources: list[tuple[str, str]] = []
+    for cell in bd.cells.values():
+        if cell.is_hard or cell.name == rst.name:
+            continue
+        for pin in cell.pins_of_kind(PinKind.INTERRUPT_OUT):
+            irq_sources.append((cell.name, pin.name))
+    if irq_sources:
+        concat = bd.add_cell(axis_interrupt_concat("xlconcat_0", len(irq_sources)))
+        # xlconcat inputs are modelled as INTERRUPT_IN sinks.
+        for i, (cell, pin) in enumerate(irq_sources):
+            bd.connect(cell, pin, concat.name, f"In{i}")
+        bd.connect(concat.name, "dout", ps.name, "IRQ_F2P")
+
+    run_drc(bd)
+    return system

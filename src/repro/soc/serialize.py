@@ -1,0 +1,70 @@
+"""Block-design (de)serialization — the ``.bd``-file analogue.
+
+Exports the complete design (cells with pins/resources/params,
+connections, address map) to plain JSON-able dicts and rebuilds it
+exactly: the round-tripped design produces the same bitstream digest,
+which the tests assert.  Unlike the tcl path, no IP factories are
+needed — cells are reconstructed field by field.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.hls.resources import ResourceUsage
+from repro.soc.blockdesign import BlockDesign
+from repro.soc.ip import InterfacePin, IpCore, PinKind
+from repro.util.errors import SocError
+
+
+def design_to_dict(bd: BlockDesign) -> dict[str, Any]:
+    """Serialize *bd* to plain dict/list/str/int values."""
+    return {
+        "name": bd.name,
+        "part": bd.part,
+        "cells": [
+            {
+                "name": cell.name,
+                "vlnv": cell.vlnv,
+                "is_hard": cell.is_hard,
+                "pins": [
+                    [p.name, p.kind.value, p.data_width] for p in cell.pins
+                ],
+                "resources": list(cell.resources.as_row()),
+                "params": dict(cell.params),
+            }
+            for cell in bd.cells.values()
+        ],
+        "connections": [list(c.key()) for c in bd.connections],
+        "address_map": [
+            {"name": r.name, "base": r.base, "size": r.size}
+            for r in bd.address_map.ranges
+        ],
+    }
+
+
+def design_from_dict(data: dict[str, Any]) -> BlockDesign:
+    """Rebuild a :class:`BlockDesign` from :func:`design_to_dict` output."""
+    bd = BlockDesign(data["name"], part=data.get("part", "xc7z020clg484-1"))
+    for cd in data.get("cells", ()):
+        lut, ff, bram, dsp = cd.get("resources", (0, 0, 0, 0))
+        bd.add_cell(
+            IpCore(
+                name=cd["name"],
+                vlnv=cd["vlnv"],
+                pins=[
+                    InterfacePin(str(n), PinKind(k), int(w))
+                    for n, k, w in cd.get("pins", ())
+                ],
+                resources=ResourceUsage(lut, ff, bram, dsp),
+                params=dict(cd.get("params", {})),
+                is_hard=bool(cd.get("is_hard", False)),
+            )
+        )
+    for key in data.get("connections", ()):
+        if len(key) != 4:
+            raise SocError(f"bad connection encoding: {key!r}")
+        bd.connect(*key)
+    for rd in data.get("address_map", ()):
+        bd.address_map.assign_fixed(rd["name"], int(rd["base"]), int(rd["size"]))
+    return bd

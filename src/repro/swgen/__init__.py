@@ -1,0 +1,25 @@
+"""Software-layer generation (paper Section V).
+
+Generates the artifacts the paper's tool produces after the bitstream:
+the C API for configuring and invoking AXI-Lite accelerators
+(:mod:`api`), the DMA driver interface (:mod:`driver`), the customized
+device tree (:mod:`devicetree`), the boot files (:mod:`boot`) and the
+assembled PetaLinux image manifest (:mod:`petalinux`).
+"""
+
+from repro.swgen.api import generate_api_header, generate_api_source
+from repro.swgen.boot import BootImage, generate_boot_files
+from repro.swgen.devicetree import generate_device_tree
+from repro.swgen.driver import generate_dma_api_header
+from repro.swgen.petalinux import PetalinuxImage, assemble_image
+
+__all__ = [
+    "BootImage",
+    "PetalinuxImage",
+    "assemble_image",
+    "generate_api_header",
+    "generate_api_source",
+    "generate_boot_files",
+    "generate_device_tree",
+    "generate_dma_api_header",
+]

@@ -1,0 +1,111 @@
+"""C API generation for AXI-Lite accelerators.
+
+For each ``connect``-ed core the tool emits a header/source pair
+wrapping the register protocol: set each argument register, pulse
+``ap_start``, poll ``ap_done``, fetch the return register.  This is the
+"API to configure and invoke the accelerators from a software
+application" of Section V.
+"""
+
+from __future__ import annotations
+
+from repro.hls.project import SynthesisResult
+from repro.soc.address_map import AddressRange
+
+_CTRL_NAMES = {"CTRL", "GIE", "IER", "ISR"}
+
+
+def _arg_registers(result: SynthesisResult):
+    return [r for r in result.iface.registers if r.name not in _CTRL_NAMES]
+
+
+def generate_api_header(core: str, result: SynthesisResult, rng: AddressRange) -> str:
+    """The ``<core>_accel.h`` artifact."""
+    guard = f"{core.upper()}_ACCEL_H"
+    lines = [
+        f"/* Auto-generated API for accelerator {core!r}. */",
+        f"#ifndef {guard}",
+        f"#define {guard}",
+        "",
+        "#include <stdint.h>",
+        "",
+        f"#define {core.upper()}_BASE_ADDR 0x{rng.base:08X}u",
+        f"#define {core.upper()}_ADDR_RANGE 0x{rng.size:X}u",
+        "",
+        "/* Register map (Vivado HLS ap_ctrl_hs layout). */",
+    ]
+    for reg in result.iface.registers:
+        lines.append(
+            f"#define {core.upper()}_REG_{reg.name.upper()} 0x{reg.offset:02X}u"
+        )
+    lines.append("")
+    for reg in _arg_registers(result):
+        if reg.direction == "in":
+            lines.append(f"void {core}_set_{reg.name}(uint32_t value);")
+    if any(r.name == "return" for r in result.iface.registers):
+        lines.append(f"uint32_t {core}_get_return(void);")
+    lines += [
+        f"void {core}_start(void);",
+        f"int {core}_is_done(void);",
+        f"void {core}_wait(void);",
+        "",
+        f"#endif /* {guard} */",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def generate_api_source(core: str, result: SynthesisResult, rng: AddressRange) -> str:
+    """The ``<core>_accel.c`` artifact (mmap-based userspace access)."""
+    up = core.upper()
+    lines = [
+        f'#include "{core}_accel.h"',
+        "",
+        "#include <fcntl.h>",
+        "#include <sys/mman.h>",
+        "#include <unistd.h>",
+        "",
+        "static volatile uint32_t *regs;",
+        "",
+        "static void ensure_mapped(void) {",
+        "    if (regs) return;",
+        '    int fd = open("/dev/mem", O_RDWR | O_SYNC);',
+        "    regs = (volatile uint32_t *)mmap(0, "
+        f"{up}_ADDR_RANGE, PROT_READ | PROT_WRITE, MAP_SHARED, fd, "
+        f"{up}_BASE_ADDR);",
+        "    close(fd);",
+        "}",
+        "",
+    ]
+    for reg in _arg_registers(result):
+        if reg.direction == "in":
+            lines += [
+                f"void {core}_set_{reg.name}(uint32_t value) {{",
+                "    ensure_mapped();",
+                f"    regs[{up}_REG_{reg.name.upper()} / 4] = value;",
+                "}",
+                "",
+            ]
+    if any(r.name == "return" for r in result.iface.registers):
+        lines += [
+            f"uint32_t {core}_get_return(void) {{",
+            "    ensure_mapped();",
+            f"    return regs[{up}_REG_RETURN / 4];",
+            "}",
+            "",
+        ]
+    lines += [
+        f"void {core}_start(void) {{",
+        "    ensure_mapped();",
+        f"    regs[{up}_REG_CTRL / 4] = 0x1u; /* ap_start */",
+        "}",
+        "",
+        f"int {core}_is_done(void) {{",
+        "    ensure_mapped();",
+        f"    return (regs[{up}_REG_CTRL / 4] & 0x2u) != 0; /* ap_done */",
+        "}",
+        "",
+        f"void {core}_wait(void) {{",
+        f"    while (!{core}_is_done()) {{ /* spin */ }}",
+        "}",
+    ]
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,87 @@
+"""Boot-file generation.
+
+"The boot file generation process first produces the files needed to
+start the board with Linux and then customizes the device-tree"
+(Section V).  The output is the SD-card file set for a Zedboard
+PetaLinux boot: ``BOOT.BIN`` (FSBL + bitstream + u-boot), ``uImage``
+(pre-built kernel), ``devicetree.dtb`` and ``uramdisk.image.gz``.  File
+contents are deterministic digests of their inputs, so two builds of the
+same design produce byte-identical boot sets.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.soc.integrator import IntegratedSystem
+from repro.soc.synthesis import Bitstream
+from repro.swgen.devicetree import generate_device_tree
+from repro.util.errors import FlowError
+
+#: The pre-compiled artifacts the flow ships (paper: "a pre-compiled
+#: version of the PetaLinux Operating System").
+PREBUILT_KERNEL_ID = "petalinux-2015.3-zynq-uImage"
+PREBUILT_RAMDISK_ID = "petalinux-2015.3-zynq-uramdisk"
+PREBUILT_FSBL_ID = "zedboard-fsbl-2015.3"
+PREBUILT_UBOOT_ID = "zedboard-u-boot-2015.3"
+
+
+@dataclass(frozen=True)
+class BootFile:
+    name: str
+    digest: str
+    description: str
+
+
+@dataclass
+class BootImage:
+    """The SD-card file set."""
+
+    files: dict[str, BootFile] = field(default_factory=dict)
+    dts: str = ""
+
+    def file(self, name: str) -> BootFile:
+        try:
+            return self.files[name]
+        except KeyError:
+            raise FlowError(f"boot image has no file {name!r}") from None
+
+    def manifest(self) -> str:
+        lines = ["SD card contents:"]
+        for name in sorted(self.files):
+            f = self.files[name]
+            lines.append(f"  {name:<22} {f.digest[:12]}  {f.description}")
+        return "\n".join(lines)
+
+
+def _digest(*parts: str) -> str:
+    h = hashlib.sha256()
+    for p in parts:
+        h.update(p.encode())
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+def generate_boot_files(system: IntegratedSystem, bitstream: Bitstream) -> BootImage:
+    """Produce the boot file set for *system* + *bitstream*."""
+    image = BootImage()
+    dts = generate_device_tree(system)
+    image.dts = dts
+    image.files["BOOT.BIN"] = BootFile(
+        "BOOT.BIN",
+        _digest(PREBUILT_FSBL_ID, bitstream.digest, PREBUILT_UBOOT_ID),
+        "FSBL + PL bitstream + u-boot",
+    )
+    image.files["uImage"] = BootFile(
+        "uImage", _digest(PREBUILT_KERNEL_ID), "pre-built PetaLinux kernel"
+    )
+    image.files["devicetree.dtb"] = BootFile(
+        "devicetree.dtb", _digest(dts), "customized device tree"
+    )
+    image.files["uramdisk.image.gz"] = BootFile(
+        "uramdisk.image.gz",
+        _digest(PREBUILT_RAMDISK_ID, "zedboard_axidma.ko"),
+        "root fs with the pre-compiled DMA driver",
+    )
+    return image

@@ -1,0 +1,58 @@
+"""Device-tree customization.
+
+The boot-file generation "customizes the device-tree used by Linux" so
+the kernel "automatically recognizes the new hardware accelerators and
+the corresponding DMA cores" (Section V).  We emit a DTS overlay for the
+``amba_pl`` bus with one node per AXI-Lite-mapped peripheral, carrying
+``reg`` (from the address map), ``compatible`` strings and interrupt
+properties.
+"""
+
+from __future__ import annotations
+
+from repro.soc.integrator import IntegratedSystem
+
+#: Shared-peripheral interrupt numbers for PL->PS IRQs on the Zynq
+#: (IRQ_F2P[0] maps to SPI 61; the DT encodes SPI number - 32 ... the
+#: conventional "0 29 4" style triplets start at 29 for SPI 61).
+_FIRST_PL_IRQ = 29
+
+
+def _compatible_of(vlnv: str) -> str:
+    vendor, _lib, name, version = vlnv.split(":")
+    return f"{vendor.split('.')[0]},{name.replace('_', '-')}-{version}"
+
+
+def generate_device_tree(system: IntegratedSystem) -> str:
+    """Render the ``pl.dtsi`` overlay for *system*."""
+    bd = system.design
+    lines = [
+        "/* Auto-generated programmable-logic device tree overlay. */",
+        "/ {",
+        "\tamba_pl: amba_pl {",
+        '\t\t#address-cells = <1>;',
+        '\t\t#size-cells = <1>;',
+        '\t\tcompatible = "simple-bus";',
+        "\t\tranges;",
+    ]
+    irq = _FIRST_PL_IRQ
+    for rng in sorted(bd.address_map.ranges, key=lambda r: r.base):
+        cell = bd.cell(rng.name)
+        label = rng.name.lower()
+        lines.append(f"\t\t{label}: {label}@{rng.base:08x} {{")
+        lines.append(f'\t\t\tcompatible = "{_compatible_of(cell.vlnv)}";')
+        lines.append(f"\t\t\treg = <0x{rng.base:08x} 0x{rng.size:x}>;")
+        n_irqs = len(
+            [p for p in cell.pins if p.kind.value == "interrupt_out"]
+        )
+        if n_irqs:
+            triplets = " ".join(f"0 {irq + k} 4" for k in range(n_irqs))
+            lines.append(f"\t\t\tinterrupt-parent = <&intc>;")
+            lines.append(f"\t\t\tinterrupts = <{triplets}>;")
+            irq += n_irqs
+        if "axi_dma" in cell.vlnv:
+            lines.append('\t\t\tdevice_type = "dma";')
+        lines.append("\t\t};")
+    lines.append("\t};")
+    lines.append("};")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,53 @@
+"""PetaLinux image assembly: boot files + generated software layer.
+
+Bundles everything the flow produced on the software side: the boot
+file set, one API header/source pair per AXI-Lite core, the DMA API
+header, and the ``/dev`` nodes the booted kernel will create (derived
+from the device tree, exactly as Section V describes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.soc.integrator import IntegratedSystem
+from repro.soc.synthesis import Bitstream
+from repro.swgen.api import generate_api_header, generate_api_source
+from repro.swgen.boot import BootImage, generate_boot_files
+from repro.swgen.driver import device_nodes, generate_dma_api_header
+from repro.swgen.mainapp import generate_main_c
+
+
+@dataclass
+class PetalinuxImage:
+    """The complete deployable software bundle."""
+
+    boot: BootImage
+    #: Source files for the application developer: name -> content.
+    sources: dict[str, str] = field(default_factory=dict)
+    #: /dev entries present after boot.
+    dev_nodes: list[str] = field(default_factory=list)
+
+    def listing(self) -> str:
+        lines = [self.boot.manifest(), "", "Generated API sources:"]
+        lines += [f"  {name}" for name in sorted(self.sources)]
+        lines.append("")
+        lines.append("Device nodes after boot:")
+        lines += [f"  {node}" for node in self.dev_nodes]
+        return "\n".join(lines)
+
+
+def assemble_image(system: IntegratedSystem, bitstream: Bitstream) -> PetalinuxImage:
+    """Build the full software bundle for *system*."""
+    image = PetalinuxImage(boot=generate_boot_files(system, bitstream))
+    for edge in system.graph.connects():
+        core = edge.node
+        result = system.cores[core]
+        rng = system.design.address_map.of(system.cell_of[core])
+        image.sources[f"{core}_accel.h"] = generate_api_header(core, result, rng)
+        image.sources[f"{core}_accel.c"] = generate_api_source(core, result, rng)
+    if system.dmas:
+        image.sources["dma_api.h"] = generate_dma_api_header(system)
+    image.sources["main.c"] = generate_main_c(system)
+    image.dev_nodes = device_nodes(system)
+    return image

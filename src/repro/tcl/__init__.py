@@ -1,0 +1,36 @@
+"""tcl generation and interpretation.
+
+The paper's tool ultimately *is* a tcl generator: the Scala program
+emits the scripts Vivado HLS and Vivado Design Suite execute.  This
+package provides
+
+* :class:`TclScript` — a command-list model with code-size metrics (the
+  Discussion-section comparison is LoC/characters of this text vs the DSL);
+* versioned backends (:class:`Vivado2014_2`, :class:`Vivado2015_3`)
+  reproducing the paper's claim that porting across Vivado versions only
+  touches the backend (core versions + a few command changes);
+* :func:`generate_system_tcl` — block-design script for an integrated
+  system; :func:`generate_hls_tcl` — the per-core Vivado HLS script;
+* :class:`TclRunner` — a mini tcl interpreter that executes a generated
+  script against the :mod:`repro.soc` model, validating the scripts
+  end-to-end (the rebuilt design's bitstream digest must equal the
+  integrator's).
+"""
+
+from repro.tcl.backends import Vivado2014_2, Vivado2015_3, VivadoBackend
+from repro.tcl.generate import generate_hls_tcl, generate_system_tcl
+from repro.tcl.hls_runner import HlsTclRunner
+from repro.tcl.runner import TclRunner
+from repro.tcl.script import TclCommand, TclScript
+
+__all__ = [
+    "HlsTclRunner",
+    "TclCommand",
+    "TclRunner",
+    "TclScript",
+    "Vivado2014_2",
+    "Vivado2015_3",
+    "VivadoBackend",
+    "generate_hls_tcl",
+    "generate_system_tcl",
+]

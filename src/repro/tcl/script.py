@@ -1,0 +1,61 @@
+"""tcl script model: an ordered command list with code-size metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.text import count_chars, count_lines
+
+
+@dataclass(frozen=True)
+class TclCommand:
+    """One tcl command; args are pre-rendered words (may contain ``[...]``)."""
+
+    name: str
+    args: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        return " ".join((self.name, *self.args)) if self.args else self.name
+
+
+@dataclass
+class TclScript:
+    """An ordered list of commands plus optional comment lines."""
+
+    commands: list[TclCommand] = field(default_factory=list)
+    header: str = ""
+
+    def add(self, name: str, *args: str) -> "TclScript":
+        self.commands.append(TclCommand(name, tuple(args)))
+        return self
+
+    def comment(self, text: str) -> "TclScript":
+        self.commands.append(TclCommand(f"# {text}"))
+        return self
+
+    def render(self) -> str:
+        lines = []
+        if self.header:
+            lines.extend(f"# {ln}" for ln in self.header.splitlines())
+        lines.extend(c.render() for c in self.commands)
+        return "\n".join(lines) + "\n"
+
+    # -- code-size metrics (Discussion-section comparison) -----------------
+    def lines_of_code(self) -> int:
+        """Non-blank, non-comment lines."""
+        return sum(
+            1
+            for ln in self.render().splitlines()
+            if ln.strip() and not ln.lstrip().startswith("#")
+        )
+
+    def characters(self) -> int:
+        """Non-whitespace characters of non-comment lines."""
+        return sum(
+            count_chars(ln)
+            for ln in self.render().splitlines()
+            if ln.strip() and not ln.lstrip().startswith("#")
+        )
+
+    def total_lines(self) -> int:
+        return count_lines(self.render())

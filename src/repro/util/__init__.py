@@ -1,0 +1,50 @@
+"""Shared utilities: error hierarchy, identifier handling, text helpers.
+
+These are deliberately dependency-free; every other subpackage of
+:mod:`repro` may import from here.
+"""
+
+from repro.util.errors import (
+    AddressMapError,
+    CSemanticError,
+    CSyntaxError,
+    DrcError,
+    DslError,
+    DslSyntaxError,
+    DslValidationError,
+    FlowError,
+    HlsError,
+    HtgError,
+    IntegrationError,
+    ReproError,
+    ScheduleError,
+    SimError,
+    TclError,
+)
+from repro.util.ids import NameRegistry, is_identifier, sanitize_identifier
+from repro.util.text import count_chars, count_lines, format_table, indent_block
+
+__all__ = [
+    "AddressMapError",
+    "CSemanticError",
+    "CSyntaxError",
+    "DrcError",
+    "DslError",
+    "DslSyntaxError",
+    "DslValidationError",
+    "FlowError",
+    "HlsError",
+    "HtgError",
+    "IntegrationError",
+    "NameRegistry",
+    "ReproError",
+    "ScheduleError",
+    "SimError",
+    "TclError",
+    "count_chars",
+    "count_lines",
+    "format_table",
+    "indent_block",
+    "is_identifier",
+    "sanitize_identifier",
+]

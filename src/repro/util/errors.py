@@ -1,0 +1,122 @@
+"""Exception hierarchy for the whole library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch one type at the flow boundary.  Subpackages raise the
+most specific subclass available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class SourceLocation:
+    """A (line, column) position inside a source text, 1-based.
+
+    Used by both the DSL parser and the mini-C frontend so error messages
+    can point at the offending token.
+    """
+
+    __slots__ = ("line", "column", "filename")
+
+    def __init__(self, line: int, column: int, filename: str = "<input>") -> None:
+        self.line = line
+        self.column = column
+        self.filename = filename
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+    def __repr__(self) -> str:
+        return f"SourceLocation({self.line}, {self.column}, {self.filename!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SourceLocation):
+            return NotImplemented
+        return (self.line, self.column, self.filename) == (
+            other.line,
+            other.column,
+            other.filename,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.line, self.column, self.filename))
+
+
+class LocatedError(ReproError):
+    """An error that carries an optional :class:`SourceLocation`."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None) -> None:
+        self.location = location
+        if location is not None:
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+# --- DSL ---------------------------------------------------------------
+class DslError(LocatedError):
+    """Base class for task-graph DSL errors."""
+
+
+class DslSyntaxError(DslError):
+    """The textual DSL did not match the Listing-1 grammar."""
+
+
+class DslValidationError(DslError):
+    """The DSL parsed but describes an inconsistent system."""
+
+
+# --- HTG ---------------------------------------------------------------
+class HtgError(ReproError):
+    """Hierarchical task graph model violation (cycles, bad references)."""
+
+
+# --- HLS ---------------------------------------------------------------
+class HlsError(LocatedError):
+    """Base class for high-level-synthesis errors."""
+
+
+class CSyntaxError(HlsError):
+    """The C source did not parse."""
+
+
+class CSemanticError(HlsError):
+    """The C source parsed but is not synthesizable / not well-typed."""
+
+
+class ScheduleError(HlsError):
+    """Operation scheduling failed (infeasible constraints)."""
+
+
+# --- SoC integration ----------------------------------------------------
+class SocError(ReproError):
+    """Base class for system-integration errors."""
+
+
+class IntegrationError(SocError):
+    """Block-design construction failed (unknown ports, bad connection)."""
+
+
+class AddressMapError(SocError):
+    """AXI address allocation failed (overlap, exhaustion, alignment)."""
+
+
+class DrcError(SocError):
+    """A design-rule check failed on the final block design."""
+
+
+# --- tcl ----------------------------------------------------------------
+class TclError(ReproError):
+    """Generation or interpretation of tcl scripts failed."""
+
+
+# --- simulation ---------------------------------------------------------
+class SimError(ReproError):
+    """The SoC simulator hit an inconsistent state (deadlock, bad access)."""
+
+
+# --- flow ---------------------------------------------------------------
+class FlowError(ReproError):
+    """End-to-end flow orchestration failed."""

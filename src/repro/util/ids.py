@@ -1,0 +1,71 @@
+"""Identifier validation and unique-name registries.
+
+Node and port names flow from the DSL into generated tcl, Verilog, C and
+device-tree text, so they must stay within the intersection of all those
+languages' identifier rules: ``[A-Za-z_][A-Za-z0-9_]*``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.util.errors import ReproError
+
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def is_identifier(name: str) -> bool:
+    """Return True if *name* is a legal cross-language identifier."""
+    return bool(_IDENT_RE.match(name))
+
+
+def sanitize_identifier(name: str, *, fallback: str = "x") -> str:
+    """Rewrite *name* into a legal identifier.
+
+    Illegal characters become underscores; a leading digit gets an
+    underscore prefix; an empty result falls back to *fallback*.
+    """
+    out = re.sub(r"[^A-Za-z0-9_]", "_", name)
+    if not out:
+        out = fallback
+    if out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+class NameRegistry:
+    """Allocates names unique within one namespace.
+
+    ``register`` claims an exact name (raising on collision) while
+    ``fresh`` derives an unused name from a stem by appending ``_0``,
+    ``_1``, ... as needed.
+    """
+
+    def __init__(self) -> None:
+        self._used: set[str] = set()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._used
+
+    def __len__(self) -> int:
+        return len(self._used)
+
+    def register(self, name: str) -> str:
+        if not is_identifier(name):
+            raise ReproError(f"illegal identifier: {name!r}")
+        if name in self._used:
+            raise ReproError(f"duplicate name: {name!r}")
+        self._used.add(name)
+        return name
+
+    def fresh(self, stem: str) -> str:
+        stem = sanitize_identifier(stem)
+        if stem not in self._used:
+            self._used.add(stem)
+            return stem
+        i = 0
+        while f"{stem}_{i}" in self._used:
+            i += 1
+        name = f"{stem}_{i}"
+        self._used.add(name)
+        return name

@@ -1,0 +1,71 @@
+"""Shared fixtures: the Fig-4 example architecture and its cores."""
+
+import pytest
+
+from repro.dsl import parse_dsl
+from repro.hls import InterfaceMode, interface, synthesize_function
+
+FIG4_DSL = """
+object fig4 extends App {
+  tg nodes;
+    tg node "MUL" i "A" i "B" i "return" end;
+    tg node "ADD" i "A" i "B" i "return" end;
+    tg node "GAUSS" is "in" is "out" end;
+    tg node "EDGE" is "in" is "out" end;
+  tg end_nodes;
+  tg edges;
+    tg connect "MUL";
+    tg connect "ADD";
+    tg link 'soc to ("GAUSS", "in") end;
+    tg link ("GAUSS", "out") to ("EDGE", "in") end;
+    tg link ("EDGE", "out") to 'soc end;
+  tg end_edges;
+}
+"""
+
+_FILTER_SRC = """
+void {name}(int in[64], int out[64]) {{
+    for (int i = 0; i < 64; i++) out[i] = {expr};
+}}
+"""
+
+
+def make_fig4_cores():
+    """Synthesize the four cores of the Fig-4 architecture."""
+    return {
+        "MUL": synthesize_function("int MUL(int A, int B) { return A * B; }", "MUL"),
+        "ADD": synthesize_function("int ADD(int A, int B) { return A + B; }", "ADD"),
+        "GAUSS": synthesize_function(
+            _FILTER_SRC.format(name="GAUSS", expr="(in[i] * 3) / 4"),
+            "GAUSS",
+            [
+                interface("GAUSS", "in", InterfaceMode.AXIS),
+                interface("GAUSS", "out", InterfaceMode.AXIS),
+            ],
+        ),
+        "EDGE": synthesize_function(
+            _FILTER_SRC.format(name="EDGE", expr="in[i] > 40 ? 255 : 0"),
+            "EDGE",
+            [
+                interface("EDGE", "in", InterfaceMode.AXIS),
+                interface("EDGE", "out", InterfaceMode.AXIS),
+            ],
+        ),
+    }
+
+
+@pytest.fixture(scope="session")
+def fig4_graph():
+    return parse_dsl(FIG4_DSL)
+
+
+@pytest.fixture(scope="session")
+def fig4_cores():
+    return make_fig4_cores()
+
+
+@pytest.fixture(scope="session")
+def fig4_system(fig4_graph, fig4_cores):
+    from repro.soc import integrate
+
+    return integrate(fig4_graph, fig4_cores)

@@ -1,0 +1,102 @@
+"""Tests for automatic simulation of arbitrary DSL designs."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kernels import build_fig4_flow_inputs, edge_reference, gauss_reference
+from repro.flow import autosimulate, lift_to_htg, run_flow
+from repro.util.errors import FlowError
+
+
+@pytest.fixture(scope="module")
+def fig4_flow():
+    graph, sources, directives = build_fig4_flow_inputs(64)
+    return run_flow(graph, sources, extra_directives=directives)
+
+
+class TestLift:
+    def test_structure(self, fig4_flow):
+        cores = {n: b.result for n, b in fig4_flow.cores.items()}
+        htg, partition, behaviors, prototypes, lite = lift_to_htg(
+            fig4_flow.graph, cores
+        )
+        assert set(lite) == {"MUL", "ADD"}
+        assert "pipeline" in htg.nodes
+        assert partition.is_hw("pipeline")
+        assert list(prototypes) == ["in_GAUSS_in"]
+        assert prototypes["in_GAUSS_in"].shape == (64,)
+
+    def test_htg_valid(self, fig4_flow):
+        from repro.htg import validate_htg
+
+        cores = {n: b.result for n, b in fig4_flow.cores.items()}
+        htg, partition, *_ = lift_to_htg(fig4_flow.graph, cores)
+        validate_htg(htg)
+        partition.validate(htg)
+
+
+class TestAutoSim:
+    def test_outputs_match_compiled_semantics(self, fig4_flow):
+        result = autosimulate(fig4_flow, seed=3)
+        stim = result.stimuli["in_GAUSS_in"]
+        expected = edge_reference(gauss_reference(stim))
+        assert np.array_equal(result.outputs["out_EDGE_out"], expected)
+
+    def test_custom_stimulus(self, fig4_flow):
+        data = np.arange(64, dtype=np.int32) * 2
+        result = autosimulate(fig4_flow, stimuli={"in_GAUSS_in": data})
+        expected = edge_reference(gauss_reference(data))
+        assert np.array_equal(result.outputs["out_EDGE_out"], expected)
+
+    def test_bad_stimulus_shape(self, fig4_flow):
+        with pytest.raises(FlowError, match="shape"):
+            autosimulate(
+                fig4_flow, stimuli={"in_GAUSS_in": np.zeros(3, dtype=np.int32)}
+            )
+
+    def test_lite_cores_driven(self, fig4_flow):
+        result = autosimulate(
+            fig4_flow, lite_args={"MUL": {"A": 6, "B": 7}, "ADD": {"A": 2, "B": 3}}
+        )
+        assert result.lite_returns["MUL"] == 42
+        assert result.lite_returns["ADD"] == 5
+
+    def test_deterministic_per_seed(self, fig4_flow):
+        a = autosimulate(fig4_flow, seed=9)
+        b = autosimulate(fig4_flow, seed=9)
+        c = autosimulate(fig4_flow, seed=10)
+        assert np.array_equal(a.stimuli["in_GAUSS_in"], b.stimuli["in_GAUSS_in"])
+        assert not np.array_equal(a.stimuli["in_GAUSS_in"], c.stimuli["in_GAUSS_in"])
+
+    def test_irq_mode(self, fig4_flow):
+        result = autosimulate(fig4_flow, wait_mode="irq")
+        assert result.report.cycles > 0
+
+
+class TestCliSimulate:
+    def test_simulate_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        design = tmp_path / "d.tg"
+        design.write_text(
+            "tg nodes;\n"
+            '  tg node "NEG" is "in" is "out" end;\n'
+            "tg end_nodes;\n"
+            "tg edges;\n"
+            "  tg link 'soc to (\"NEG\", \"in\") end;\n"
+            "  tg link (\"NEG\", \"out\") to 'soc end;\n"
+            "tg end_edges;\n"
+        )
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "NEG.c").write_text(
+            "void NEG(int in[16], int out[16])"
+            " { for (int i = 0; i < 16; i++) out[i] = -in[i]; }"
+        )
+        code = main(
+            ["simulate", str(design), "--sources", str(src), "--trace"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulated" in out
+        assert "output   out_NEG_out" in out

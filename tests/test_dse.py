@@ -1,0 +1,112 @@
+"""Tests for the design-space exploration extension."""
+
+import pytest
+
+from repro.apps.otsu.app import buildable_hw_sets
+from repro.dse import DsePoint, evaluate_hw_set, explore, greedy_partition, pareto_front
+from repro.dse.pareto import dominates
+
+
+def P(hw, lut, cycles):
+    return DsePoint(
+        hw=frozenset(hw), lut=lut, ff=0, bram18=0, dsp=0, cycles=cycles, correct=True
+    )
+
+
+class TestPareto:
+    def test_dominates(self):
+        a = P({"x"}, 100, 100)
+        b = P({"y"}, 200, 200)
+        c = P({"z"}, 100, 200)
+        assert dominates(a, b)
+        assert dominates(a, c)
+        assert not dominates(c, a)
+        assert not dominates(a, a)
+
+    def test_front_extraction(self):
+        pts = [
+            P({"a"}, 0, 100),
+            P({"b"}, 50, 50),
+            P({"c"}, 100, 10),
+            P({"d"}, 60, 60),  # dominated by b
+            P({"e"}, 120, 10),  # dominated by c
+        ]
+        front = pareto_front(pts)
+        labels = {p.label() for p in front}
+        assert labels == {"a", "b", "c"}
+
+    def test_front_sorted_and_deduped(self):
+        pts = [P({"a"}, 10, 5), P({"b"}, 10, 5), P({"c"}, 5, 10)]
+        front = pareto_front(pts)
+        assert [p.lut for p in front] == [5, 10]
+
+
+class TestEvaluate:
+    def test_all_sw_point(self):
+        point = evaluate_hw_set(frozenset(), width=8, height=8)
+        assert point.lut == 0 and point.dsp == 0
+        assert point.correct
+        assert point.label() == "all-sw"
+
+    def test_hw_point(self):
+        point = evaluate_hw_set(frozenset({"histogram"}), width=8, height=8)
+        assert point.lut > 0
+        assert point.correct
+        assert point.label() == "histogram"
+
+    def test_explore_small_space(self):
+        candidates = [
+            frozenset(),
+            frozenset({"histogram"}),
+            frozenset({"histogram", "otsuMethod"}),
+        ]
+        points = explore(width=8, height=8, candidates=candidates)
+        assert len(points) == 3
+        assert all(p.correct for p in points)
+        # More hardware -> more area.
+        by_label = {p.label(): p for p in points}
+        assert by_label["histogram+otsuMethod"].lut > by_label["histogram"].lut
+
+
+class TestGreedy:
+    def make_evaluator(self):
+        """Synthetic cost surface: each function buys cycles for LUTs."""
+        lut_cost = {"grayScale": 700, "histogram": 600, "otsuMethod": 2500,
+                    "binarization": 400}
+        cycle_gain = {"grayScale": 50_000, "histogram": 25_000,
+                      "otsuMethod": 12_000, "binarization": 18_000}
+        base = 120_000
+
+        def evaluator(hw):
+            lut = sum(lut_cost[f] for f in hw)
+            cycles = base - sum(cycle_gain[f] for f in hw)
+            return DsePoint(hw=frozenset(hw), lut=lut, ff=0, bram18=0, dsp=0,
+                            cycles=cycles, correct=True)
+
+        return evaluator
+
+    def test_trajectory_improves(self):
+        traj = greedy_partition(evaluator=self.make_evaluator())
+        assert len(traj) >= 2
+        cycles = [p.cycles for p in traj]
+        assert all(a > b for a, b in zip(cycles, cycles[1:]))
+
+    def test_respects_contiguity(self):
+        traj = greedy_partition(evaluator=self.make_evaluator())
+        buildable = set(buildable_hw_sets())
+        for p in traj:
+            assert p.hw in buildable
+
+    def test_budget_limits_growth(self):
+        unlimited = greedy_partition(evaluator=self.make_evaluator())
+        tight = greedy_partition(evaluator=self.make_evaluator(), lut_budget=1500)
+        assert tight[-1].lut <= 1500
+        assert tight[-1].lut <= unlimited[-1].lut
+
+    def test_greedy_point_not_dominated_in_synthetic_space(self):
+        evaluator = self.make_evaluator()
+        traj = greedy_partition(evaluator=evaluator)
+        all_points = [evaluator(hw) for hw in buildable_hw_sets()]
+        front = pareto_front(all_points)
+        final = traj[-1]
+        assert not any(dominates(q, final) for q in front)

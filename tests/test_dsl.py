@@ -1,0 +1,450 @@
+"""Unit tests for the DSL: lexer, parser, builder, validation, codegen."""
+
+import pytest
+
+from repro.dsl import (
+    SOC,
+    ConnectEdge,
+    LinkEdge,
+    PortKind,
+    RecordingHooks,
+    TaskGraphBuilder,
+    emit_dsl,
+    parse_dsl,
+    validate_graph,
+)
+from repro.dsl.lexer import TokKind, tokenize
+from repro.util.errors import DslSyntaxError, DslValidationError
+
+# Listing 2/3 example from the paper (Fig. 4 architecture).
+FIG4_DSL = """
+object fig4 extends App {
+  tg nodes;
+    tg node "MUL" i "A" i "B" i "return" end;
+    tg node "ADD" i "A" i "B" i "return" end;
+    tg node "GAUSS" is "in" is "out" end;
+    tg node "EDGE" is "in" is "out" end;
+  tg end_nodes;
+  tg edges;
+    tg connect "MUL";
+    tg connect "ADD";
+    tg link 'soc to ("GAUSS", "in") end;
+    tg link ("GAUSS", "out") to ("EDGE", "in") end;
+    tg link ("EDGE", "out") to 'soc end;
+  tg end_edges;
+}
+"""
+
+# Listing 4 from the paper (Arch4 of the Otsu case study).
+ARCH4_DSL = """
+object otsu extends App {
+  tg nodes;
+    tg node "grayScale" is "imageIn" is "imageOutCH" is "imageOutSEG" end;
+    tg node "computeHistogram" is "grayScaleImage" is "histogram" end;
+    tg node "halfProbability" is "histogram" is "probability" end;
+    tg node "segment" is "grayScaleImage" is "otsuThreshold" is "segmentedGrayImage" end;
+  tg end_nodes;
+  tg edges;
+    tg link 'soc to ("grayScale", "imageIn") end;
+    tg link ("grayScale", "imageOutCH") to ("computeHistogram", "grayScaleImage") end;
+    tg link ("grayScale", "imageOutSEG") to ("segment", "grayScaleImage") end;
+    tg link ("computeHistogram", "histogram") to ("halfProbability", "histogram") end;
+    tg link ("halfProbability", "probability") to ("segment", "otsuThreshold") end;
+    tg link ("segment", "segmentedGrayImage") to 'soc end;
+  tg end_edges;
+}
+"""
+
+
+class TestLexer:
+    def test_keywords_and_strings(self):
+        toks = tokenize('tg node "MUL" end;')
+        kinds = [t.kind for t in toks]
+        assert kinds == [
+            TokKind.KEYWORD,
+            TokKind.KEYWORD,
+            TokKind.STRING,
+            TokKind.KEYWORD,
+            TokKind.PUNCT,
+            TokKind.EOF,
+        ]
+        assert toks[2].value == "MUL"
+
+    def test_symbol(self):
+        toks = tokenize("'soc")
+        assert toks[0].kind is TokKind.SYMBOL
+        assert toks[0].value == "soc"
+
+    def test_ident(self):
+        toks = tokenize("object otsu")
+        assert toks[1].kind is TokKind.IDENT
+
+    def test_comment_skipped(self):
+        toks = tokenize("tg // hello\nnodes")
+        assert [t.value for t in toks[:-1]] == ["tg", "nodes"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(DslSyntaxError, match="unterminated"):
+            tokenize('tg node "MUL')
+
+    def test_string_with_newline(self):
+        with pytest.raises(DslSyntaxError):
+            tokenize('"a\nb"')
+
+    def test_empty_symbol(self):
+        with pytest.raises(DslSyntaxError, match="symbol"):
+            tokenize("' foo")
+
+    def test_illegal_char(self):
+        with pytest.raises(DslSyntaxError, match="illegal"):
+            tokenize("tg @")
+
+    def test_locations(self):
+        toks = tokenize("tg\n  node")
+        assert toks[0].loc.line == 1
+        assert toks[1].loc.line == 2
+        assert toks[1].loc.column == 3
+
+
+class TestParser:
+    def test_parse_fig4(self):
+        g = parse_dsl(FIG4_DSL)
+        assert g.name == "fig4"
+        assert [n.name for n in g.nodes] == ["MUL", "ADD", "GAUSS", "EDGE"]
+        assert len(g.connects()) == 2
+        assert len(g.links()) == 3
+        validate_graph(g)
+
+    def test_parse_arch4(self):
+        g = parse_dsl(ARCH4_DSL)
+        assert g.name == "otsu"
+        assert len(g.nodes) == 4
+        assert len(g.links()) == 6
+        assert all(p.kind is PortKind.STREAM for n in g.nodes for p in n.ports)
+        validate_graph(g)
+
+    def test_parse_fragment_without_object(self):
+        g = parse_dsl(
+            'tg nodes; tg node "X" i "a" end; tg end_nodes;'
+            ' tg edges; tg connect "X"; tg end_edges;'
+        )
+        assert g.name == "anonymous"
+        assert g.node("X").port("a").kind is PortKind.LITE
+
+    def test_link_endpoints(self):
+        g = parse_dsl(FIG4_DSL)
+        first = g.links()[0]
+        assert first.from_soc()
+        assert first.dst == ("GAUSS", "in")
+
+    def test_hooks_fire_in_order(self):
+        hooks = RecordingHooks()
+        parse_dsl(FIG4_DSL, hooks=hooks)
+        names = hooks.names()
+        assert names[0] == "graph_begin"
+        assert names[-1] == "graph_end"
+        assert names.index("nodes_begin") < names.index("node_begin")
+        assert names.index("nodes_end") < names.index("edges_begin")
+        assert names.count("node_end") == 4
+        assert names.count("interface") == 10
+        assert names.count("connect") == 2
+        assert names.count("link_end") == 3
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(DslSyntaxError, match="empty"):
+            parse_dsl("tg nodes; tg end_nodes; tg edges; tg end_edges;")
+
+    def test_node_without_interface_rejected(self):
+        with pytest.raises(DslSyntaxError, match="interface"):
+            parse_dsl('tg nodes; tg node "X" end; tg end_nodes; tg edges; tg end_edges;')
+
+    def test_unknown_symbol(self):
+        with pytest.raises(DslSyntaxError, match="soc"):
+            parse_dsl(
+                'tg nodes; tg node "X" is "a" end; tg end_nodes;'
+                ' tg edges; tg link \'bus to ("X", "a") end; tg end_edges;'
+            )
+
+    def test_trailing_garbage(self):
+        with pytest.raises(DslSyntaxError, match="trailing"):
+            parse_dsl(FIG4_DSL + " tg")
+
+    def test_missing_to(self):
+        with pytest.raises(DslSyntaxError):
+            parse_dsl(
+                'tg nodes; tg node "X" is "a" end; tg end_nodes;'
+                " tg edges; tg link 'soc ('X', 'a') end; tg end_edges;"
+            )
+
+    def test_object_name_must_be_word(self):
+        with pytest.raises(DslSyntaxError, match="project name"):
+            parse_dsl("object { }")
+
+    def test_edges_bad_keyword(self):
+        with pytest.raises(DslSyntaxError, match="connect.*link|link.*connect"):
+            parse_dsl(
+                'tg nodes; tg node "X" i "a" end; tg end_nodes;'
+                ' tg edges; tg node "Y" i "b" end; tg end_edges;'
+            )
+
+
+class TestBuilder:
+    def build_fig4(self, hooks=None):
+        tg = TaskGraphBuilder("fig4", hooks=hooks)
+        tg.nodes()
+        tg.node("MUL").i("A").i("B").i("return").end()
+        tg.node("ADD").i("A").i("B").i("return").end()
+        tg.node("GAUSS").is_("in").is_("out").end()
+        tg.node("EDGE").is_("in").is_("out").end()
+        tg.end_nodes()
+        tg.edges()
+        tg.connect("MUL")
+        tg.connect("ADD")
+        tg.link(SOC).to(("GAUSS", "in")).end()
+        tg.link(("GAUSS", "out")).to(("EDGE", "in")).end()
+        tg.link(("EDGE", "out")).to(SOC).end()
+        tg.end_edges()
+        return tg.graph()
+
+    def test_builder_equals_parser(self):
+        assert self.build_fig4() == parse_dsl(FIG4_DSL)
+
+    def test_builder_hook_order_matches_parser(self):
+        hb = RecordingHooks()
+        self.build_fig4(hooks=hb)
+        hp = RecordingHooks()
+        parse_dsl(FIG4_DSL, hooks=hp)
+        assert hb.events == hp.events
+
+    def test_stream_alias(self):
+        tg = TaskGraphBuilder()
+        tg.nodes()
+        tg.node("X").stream("a").lite("c").end()
+        tg.end_nodes()
+        tg.edges()
+        tg.connect("X")
+        tg.link(SOC).to(("X", "a")).end()
+        tg.end_edges()
+        g = tg.graph()
+        assert g.node("X").port("a").kind is PortKind.STREAM
+        assert g.node("X").port("c").kind is PortKind.LITE
+
+    def test_out_of_order_keyword(self):
+        tg = TaskGraphBuilder()
+        with pytest.raises(DslSyntaxError):
+            tg.node("X")  # nodes() not called
+
+    def test_end_without_open(self):
+        tg = TaskGraphBuilder()
+        tg.nodes()
+        with pytest.raises(DslSyntaxError, match="no open"):
+            tg.end()
+
+    def test_incomplete_graph(self):
+        tg = TaskGraphBuilder()
+        tg.nodes()
+        with pytest.raises(DslSyntaxError, match="incomplete"):
+            tg.graph()
+
+    def test_node_needs_interface(self):
+        tg = TaskGraphBuilder()
+        tg.nodes()
+        tg.node("X")
+        with pytest.raises(DslSyntaxError, match="interface"):
+            tg.end()
+
+    def test_empty_node_list(self):
+        tg = TaskGraphBuilder()
+        tg.nodes()
+        with pytest.raises(DslSyntaxError, match="empty"):
+            tg.end_nodes()
+
+
+class TestValidation:
+    def make(self, text):
+        return parse_dsl(text)
+
+    def wrap(self, nodes, edges):
+        return f"tg nodes; {nodes} tg end_nodes; tg edges; {edges} tg end_edges;"
+
+    def test_duplicate_node_name(self):
+        g = self.make(
+            self.wrap('tg node "X" i "a" end; tg node "X" i "a" end;', 'tg connect "X";')
+        )
+        with pytest.raises(DslValidationError, match="duplicate node"):
+            validate_graph(g)
+
+    def test_duplicate_port_name(self):
+        g = self.make(self.wrap('tg node "X" i "a" i "a" end;', 'tg connect "X";'))
+        with pytest.raises(DslValidationError, match="duplicate port"):
+            validate_graph(g)
+
+    def test_connect_unknown_node(self):
+        g = self.make(self.wrap('tg node "X" i "a" end;', 'tg connect "Y";'))
+        with pytest.raises(DslValidationError, match="unknown node"):
+            validate_graph(g)
+
+    def test_connect_without_lite_port(self):
+        g = self.make(
+            self.wrap(
+                'tg node "X" is "a" end;',
+                "tg connect \"X\"; tg link 'soc to (\"X\", \"a\") end;",
+            )
+        )
+        with pytest.raises(DslValidationError, match="no AXI-Lite"):
+            validate_graph(g)
+
+    def test_connect_twice(self):
+        g = self.make(
+            self.wrap('tg node "X" i "a" end;', 'tg connect "X"; tg connect "X";')
+        )
+        with pytest.raises(DslValidationError, match="twice"):
+            validate_graph(g)
+
+    def test_link_lite_port_rejected(self):
+        g = self.make(
+            self.wrap(
+                'tg node "X" i "a" end;',
+                "tg connect \"X\"; tg link 'soc to (\"X\", \"a\") end;",
+            )
+        )
+        with pytest.raises(DslValidationError, match="AXI-Lite port"):
+            validate_graph(g)
+
+    def test_link_unknown_port(self):
+        g = self.make(
+            self.wrap(
+                'tg node "X" is "a" end;',
+                "tg link 'soc to (\"X\", \"zz\") end; tg link (\"X\", \"a\") to 'soc end;",
+            )
+        )
+        with pytest.raises(DslValidationError, match="unknown port"):
+            validate_graph(g)
+
+    def test_soc_to_soc(self):
+        g = self.make(
+            self.wrap(
+                'tg node "X" is "a" is "b" end;',
+                "tg link 'soc to 'soc end;"
+                " tg link 'soc to (\"X\", \"a\") end;"
+                " tg link (\"X\", \"b\") to 'soc end;",
+            )
+        )
+        with pytest.raises(DslValidationError, match="meaningless"):
+            validate_graph(g)
+
+    def test_self_link(self):
+        g = self.make(
+            self.wrap(
+                'tg node "X" is "a" is "b" end;',
+                'tg link ("X", "b") to ("X", "a") end;',
+            )
+        )
+        with pytest.raises(DslValidationError, match="self-link"):
+            validate_graph(g)
+
+    def test_port_linked_twice(self):
+        g = self.make(
+            self.wrap(
+                'tg node "X" is "a" end; tg node "Y" is "b" end; tg node "Z" is "c" end;',
+                'tg link ("X", "a") to ("Y", "b") end;'
+                ' tg link ("X", "a") to ("Z", "c") end;',
+            )
+        )
+        with pytest.raises(DslValidationError, match="linked twice"):
+            validate_graph(g)
+
+    def test_port_in_both_directions(self):
+        g = self.make(
+            self.wrap(
+                'tg node "X" is "a" end; tg node "Y" is "b" end;',
+                "tg link 'soc to (\"X\", \"a\") end;"
+                ' tg link ("X", "a") to ("Y", "b") end;',
+            )
+        )
+        with pytest.raises(DslValidationError, match="linked twice|both"):
+            validate_graph(g)
+
+    def test_dangling_stream_port(self):
+        g = self.make(
+            self.wrap(
+                'tg node "X" is "a" is "b" end;',
+                "tg link 'soc to (\"X\", \"a\") end;",
+            )
+        )
+        with pytest.raises(DslValidationError, match="never linked"):
+            validate_graph(g)
+
+    def test_lite_node_unreachable(self):
+        g = self.make(self.wrap('tg node "X" i "a" end;', ""))
+        # need at least one edge for the grammarless wrap; build manually
+        g.edges.clear()
+        with pytest.raises(DslValidationError, match="never reach|no connect"):
+            validate_graph(g)
+
+    def test_stream_cycle(self):
+        g = self.make(
+            self.wrap(
+                'tg node "X" is "a" is "b" end; tg node "Y" is "c" is "d" end;',
+                'tg link ("X", "b") to ("Y", "c") end;'
+                ' tg link ("Y", "d") to ("X", "a") end;',
+            )
+        )
+        with pytest.raises(DslValidationError, match="cycle"):
+            validate_graph(g)
+
+    def test_component_without_soc(self):
+        g = self.make(
+            self.wrap(
+                'tg node "X" is "b" end; tg node "Y" is "c" end;',
+                'tg link ("X", "b") to ("Y", "c") end;',
+            )
+        )
+        with pytest.raises(DslValidationError, match="soc"):
+            validate_graph(g)
+
+    def test_fig4_valid(self):
+        validate_graph(parse_dsl(FIG4_DSL))
+
+
+class TestCodegen:
+    def test_round_trip_fig4(self):
+        g = parse_dsl(FIG4_DSL)
+        assert parse_dsl(emit_dsl(g)) == g
+
+    def test_round_trip_arch4(self):
+        g = parse_dsl(ARCH4_DSL)
+        assert parse_dsl(emit_dsl(g)) == g
+
+    def test_fragment_emission(self):
+        g = parse_dsl(FIG4_DSL)
+        text = emit_dsl(g, wrap_object=False)
+        assert "object" not in text
+        g2 = parse_dsl(text)
+        assert g2.nodes == g.nodes
+        assert g2.edges == g.edges
+
+    def test_emitted_shape(self):
+        g = parse_dsl(ARCH4_DSL)
+        text = emit_dsl(g)
+        assert text.startswith("object otsu extends App {")
+        assert text.rstrip().endswith("}")
+        assert 'tg node "grayScale" is "imageIn"' in text
+
+
+class TestGraphQueries:
+    def test_stream_io_of(self):
+        g = parse_dsl(ARCH4_DSL)
+        assert g.stream_inputs_of("segment") == ["grayScaleImage", "otsuThreshold"]
+        assert g.stream_outputs_of("segment") == ["segmentedGrayImage"]
+
+    def test_links_of(self):
+        g = parse_dsl(ARCH4_DSL)
+        assert len(g.links_of("grayScale")) == 3
+
+    def test_node_lookup_error(self):
+        g = parse_dsl(FIG4_DSL)
+        with pytest.raises(KeyError):
+            g.node("nope")
+        with pytest.raises(KeyError):
+            g.node("MUL").port("nope")

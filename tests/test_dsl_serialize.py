@@ -1,0 +1,72 @@
+"""Tests for DSL graph JSON serialization + error-location quality."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.dsl import graph_from_dict, graph_to_dict, parse_dsl
+from repro.util.errors import DslSyntaxError, DslValidationError
+
+from tests.test_dsl import ARCH4_DSL, FIG4_DSL
+from tests.test_properties import tg_graphs
+
+
+class TestJsonRoundTrip:
+    def test_fig4(self):
+        g = parse_dsl(FIG4_DSL)
+        data = graph_to_dict(g)
+        json.dumps(data)  # actually JSON-able
+        assert graph_from_dict(data) == g
+
+    def test_arch4(self):
+        g = parse_dsl(ARCH4_DSL)
+        assert graph_from_dict(graph_to_dict(g)) == g
+
+    @given(tg_graphs())
+    @settings(max_examples=40)
+    def test_property_round_trip(self, graph):
+        assert graph_from_dict(graph_to_dict(graph)) == graph
+
+    def test_bad_endpoint(self):
+        with pytest.raises(DslValidationError, match="endpoint"):
+            graph_from_dict(
+                {"name": "g", "nodes": [], "edges": [{"link": [42, "soc"]}]}
+            )
+
+    def test_bad_edge(self):
+        with pytest.raises(DslValidationError, match="edge"):
+            graph_from_dict({"name": "g", "nodes": [], "edges": [{"weird": 1}]})
+
+
+class TestErrorLocations:
+    """Parse errors carry file:line:column pointing at the offence."""
+
+    def test_syntax_error_location(self):
+        text = 'tg nodes;\n  tg node "X" i "a" end;\ntg end_nodes;\ntg edges\n'
+        with pytest.raises(DslSyntaxError) as exc:
+            parse_dsl(text, filename="bad.tg")
+        msg = str(exc.value)
+        assert "bad.tg:" in msg
+
+    def test_lexer_error_line_column(self):
+        with pytest.raises(DslSyntaxError) as exc:
+            parse_dsl('tg nodes;\n  tg node @ end;', filename="f.tg")
+        assert "f.tg:2:" in str(exc.value)
+
+    def test_c_error_location(self):
+        from repro.hls.cparse import parse_c
+        from repro.util.errors import CSyntaxError
+
+        with pytest.raises(CSyntaxError) as exc:
+            parse_c("int f(int a) {\n  return a +;\n}", filename="k.c")
+        assert "k.c:2:" in str(exc.value)
+
+    def test_c_sema_location(self):
+        from repro.hls.cparse import parse_c
+        from repro.hls.sema import analyze
+        from repro.util.errors import CSemanticError
+
+        with pytest.raises(CSemanticError) as exc:
+            analyze(parse_c("int f(int a) {\n  return zz;\n}", filename="k.c"))
+        assert "k.c:2:" in str(exc.value)

@@ -1,0 +1,71 @@
+"""Fuzzing: the front-ends fail only with their own typed errors.
+
+Whatever bytes arrive, the DSL and C parsers must either succeed or
+raise their documented exception types — never IndexError/KeyError/
+RecursionError — so callers can rely on one except clause.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl import parse_dsl
+from repro.hls.cparse import parse_c
+from repro.hls.inline import inline_functions
+from repro.hls.sema import analyze
+from repro.util.errors import ReproError
+
+# Token soup biased toward the languages' own vocabulary.
+_dsl_tokens = st.sampled_from(
+    [
+        "tg", "nodes;", "end_nodes;", "edges;", "end_edges;", "node", "end;",
+        "connect", "link", "to", "i", "is", "'soc", '"A"', '"B"', "(", ")",
+        ",", "{", "}", "object", "extends", "App", '"N0"', "//x\n", ";",
+    ]
+)
+
+_c_tokens = st.sampled_from(
+    [
+        "int", "float", "void", "uint", "const", "if", "else", "for",
+        "while", "return", "break", "{", "}", "(", ")", "[", "]", ";",
+        ",", "=", "+", "-", "*", "/", "%", "<", ">", "<<", ">>", "==",
+        "a", "b", "f", "g", "x", "0", "1", "42", "3.5", "min", "sqrtf",
+    ]
+)
+
+
+class TestDslFuzz:
+    @given(st.lists(_dsl_tokens, max_size=40).map(" ".join))
+    @settings(max_examples=150, deadline=None)
+    def test_token_soup_fails_cleanly(self, text):
+        try:
+            parse_dsl(text)
+        except ReproError:
+            pass  # typed failure is the contract
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_text_fails_cleanly(self, text):
+        try:
+            parse_dsl(text)
+        except ReproError:
+            pass
+
+
+class TestCFuzz:
+    @given(st.lists(_c_tokens, max_size=50).map(" ".join))
+    @settings(max_examples=150, deadline=None)
+    def test_token_soup_fails_cleanly(self, text):
+        try:
+            unit = parse_c(text)
+            inline_functions(unit)
+            analyze(unit)
+        except ReproError:
+            pass
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_text_fails_cleanly(self, text):
+        try:
+            analyze(parse_c(text))
+        except ReproError:
+            pass

@@ -1,0 +1,499 @@
+"""Tests for passes, scheduling, binding, FSM, latency, resources, RTL."""
+
+import numpy as np
+import pytest
+
+from repro.hls import (
+    HlsProject,
+    InterfaceMode,
+    interface,
+    pipeline,
+    synthesize_function,
+    unroll,
+)
+from repro.hls.bind import left_edge
+from repro.hls.cparse import parse_c
+from repro.hls.interp import run_function
+from repro.hls.lower import lower_function
+from repro.hls.passes import (
+    constant_fold,
+    dce,
+    forward_slots,
+    run_default_pipeline,
+    strength_reduce,
+    tag_const_muls,
+)
+from repro.hls.schedule import schedule_function, timing_of
+from repro.hls.sema import analyze
+from repro.util.errors import CSemanticError, HlsError
+
+
+def compile_fn(src, name):
+    return lower_function(analyze(parse_c(src)), name)
+
+
+def count_ops(fn, opcode):
+    return sum(1 for b in fn.blocks for op in b.ops if op.opcode == opcode)
+
+
+class TestPasses:
+    def test_constant_fold(self):
+        fn = compile_fn("int f() { return 3 * 4 + 2; }", "f")
+        constant_fold(fn)
+        dce(fn)
+        assert count_ops(fn, "mul") == 0
+        assert count_ops(fn, "add") == 0
+        assert run_function(fn) == 14
+
+    def test_strength_reduce_mul_pow2(self):
+        fn = compile_fn("int f(int a) { return a * 8; }", "f")
+        run_default_pipeline(fn)
+        assert count_ops(fn, "mul") == 0
+        assert count_ops(fn, "shl") == 1
+        assert run_function(fn, 5) == 40
+
+    def test_strength_reduce_unsigned_div(self):
+        fn = compile_fn("uint f(uint a) { return a / 4; }", "f")
+        run_default_pipeline(fn)
+        assert count_ops(fn, "div") == 0
+        assert count_ops(fn, "shr") == 1
+
+    def test_signed_div_not_reduced(self):
+        # Signed division by a power of two is NOT a plain shift in C.
+        fn = compile_fn("int f(int a) { return a / 4; }", "f")
+        run_default_pipeline(fn)
+        assert count_ops(fn, "div") == 1
+        assert run_function(fn, -7) == -1
+
+    def test_unsigned_mod_becomes_mask(self):
+        fn = compile_fn("uint f(uint a) { return a % 16; }", "f")
+        run_default_pipeline(fn)
+        assert count_ops(fn, "mod") == 0
+        assert count_ops(fn, "and") == 1
+
+    def test_mul_by_one_vanishes(self):
+        fn = compile_fn("int f(int a) { return a * 1; }", "f")
+        run_default_pipeline(fn)
+        assert count_ops(fn, "mul") == 0
+        assert count_ops(fn, "shl") == 0
+        assert run_function(fn, 42) == 42
+
+    def test_add_zero_vanishes(self):
+        fn = compile_fn("int f(int a) { return a + 0; }", "f")
+        run_default_pipeline(fn)
+        assert count_ops(fn, "add") == 0
+
+    def test_forward_slots_removes_reads(self):
+        fn = compile_fn("int f() { int x = 5; int y = x; return y; }", "f")
+        forward_slots(fn)
+        dce(fn)
+        assert count_ops(fn, "vread") == 0
+
+    def test_dead_write_eliminated(self):
+        fn = compile_fn("int f(int a) { int x = 1; x = 2; return x + a; }", "f")
+        before = count_ops(fn, "vwrite")
+        forward_slots(fn)
+        assert count_ops(fn, "vwrite") < before
+        assert run_function(fn, 1) == 3
+
+    def test_dce_removes_unused(self):
+        fn = compile_fn("int f(int a) { int unused = a * 37; return a; }", "f")
+        run_default_pipeline(fn)
+        assert count_ops(fn, "mul") == 0
+
+    def test_tag_const_muls(self):
+        fn = compile_fn("int f(int a) { return a * 77; }", "f")
+        run_default_pipeline(fn)
+        assert tag_const_muls(fn) == 1
+        op = next(op for b in fn.blocks for op in b.ops if op.opcode == "mul")
+        assert timing_of(op).resource == "mul_small"
+
+    def test_tag_large_const_not_tagged(self):
+        fn = compile_fn("int f(int a) { return a * 1000000; }", "f")
+        run_default_pipeline(fn)
+        assert tag_const_muls(fn) == 0
+
+    def test_verify_after_pipeline(self):
+        fn = compile_fn(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }",
+            "f",
+        )
+        run_default_pipeline(fn)
+        fn.verify()  # must not raise
+
+
+class TestScheduling:
+    def test_dependences_respected(self):
+        src = "int f(int a, int b) { return (a + b) * (a - b); }"
+        fn = compile_fn(src, "f")
+        run_default_pipeline(fn)
+        sched = schedule_function(fn)
+        for block in fn.blocks:
+            bs = sched.block(block.name)
+            producers = {}
+            for op in block.ops:
+                sop = bs.of(op)
+                for v in op.operands:
+                    if v.vid in producers:
+                        # consumer cannot start before producer's result exists
+                        assert sop.finish_ns >= producers[v.vid].finish_ns or (
+                            sop.start_cycle >= producers[v.vid].start_cycle
+                        )
+                if op.result is not None:
+                    producers[op.result.vid] = sop
+
+    def test_div_longer_than_add(self):
+        fa = compile_fn("int f(int a, int b) { return a + b; }", "f")
+        fd = compile_fn("int f(int a, int b) { return a / b; }", "f")
+        sa = schedule_function(fa)
+        sd = schedule_function(fd)
+        assert sd.block(fd.entry.name).length > sa.block(fa.entry.name).length
+
+    def test_chaining_packs_combinational_ops(self):
+        # Four chained additions fit in ~1-2 cycles, far fewer than 4.
+        fn = compile_fn("int f(int a) { return a + a + a + a + a; }", "f")
+        sched = schedule_function(fn)
+        assert sched.block(fn.entry.name).length <= 2
+
+    def test_resource_limit_serializes(self):
+        src = """
+        int f(int a, int b, int c, int d, int e, int g) {
+            return a / b + c / d + e / g;
+        }
+        """
+        fn = compile_fn(src, "f")
+        free = schedule_function(fn, limits={"div": 3})
+        tight = schedule_function(fn, limits={"div": 1})
+        assert tight.block(fn.entry.name).length > free.block(fn.entry.name).length
+
+    def test_memory_port_limit(self):
+        src = """
+        int f(int a[8]) {
+            return a[0] + a[1] + a[2] + a[3] + a[4] + a[5];
+        }
+        """
+        fn = compile_fn(src, "f")
+        sched = schedule_function(fn)
+        # 6 loads over 2 ports: at least 3 issue slots for loads.
+        loads = [
+            sched.block(fn.entry.name).of(op)
+            for op in fn.entry.ops
+            if op.opcode == "load"
+        ]
+        start_cycles = sorted(s.start_cycle for s in loads)
+        from collections import Counter
+
+        assert max(Counter(start_cycles).values()) <= 2
+
+    def test_fu_peak_tracked(self):
+        fn = compile_fn("int f(int a, int b) { return a * b + a * 3; }", "f")
+        run_default_pipeline(fn)
+        tag_const_muls(fn)
+        sched = schedule_function(fn)
+        assert sched.fu_peak.get("mul", 0) >= 1
+        assert sched.fu_peak.get("mul_small", 0) >= 1
+
+
+class TestBinding:
+    def test_left_edge_depth(self):
+        assert left_edge([(0, 2), (3, 5)]) == 1  # disjoint share one register
+        assert left_edge([(0, 2), (1, 3), (2, 4)]) == 3  # all overlap at 2
+        assert left_edge([]) == 0
+
+    def test_left_edge_matches_max_overlap(self):
+        intervals = [(0, 4), (1, 2), (3, 6), (5, 8), (7, 9)]
+        regs = left_edge(intervals)
+        # max overlap depth:
+        depth = max(
+            sum(1 for s, e in intervals if s <= t <= e) for t in range(10)
+        )
+        assert regs == depth
+
+    def test_slot_registers_counted(self):
+        res = synthesize_function("int f(int a) { int x = a + 1; return x; }", "f")
+        assert res.binding.slot_registers.get(32, 0) >= 2  # a and x
+
+
+class TestLatency:
+    def test_loop_latency_scales_with_trips(self):
+        def lat(n):
+            res = synthesize_function(
+                f"int f(int a[{n}]) {{ int s = 0; "
+                f"for (int i = 0; i < {n}; i++) s += a[i]; return s; }}",
+                "f",
+            )
+            return res.latency.cycles
+
+        assert lat(64) > lat(16) > lat(4)
+        assert lat(64) == pytest.approx(4 * lat(16), rel=0.35)
+
+    def test_pipeline_reduces_latency(self):
+        src = """
+        void f(int a[64], int out[64]) {
+            for (int i = 0; i < 64; i++) out[i] = a[i] * a[i] + 3;
+        }
+        """
+        base = synthesize_function(src, "f")
+        piped = synthesize_function(src, "f", [pipeline("f", "i")])
+        assert piped.latency.cycles < base.latency.cycles
+        header, (trips, _, ii) = next(iter(piped.latency.loops.items()))
+        assert trips == 64 and ii is not None and ii >= 1
+
+    def test_unknown_trip_flagged(self):
+        res = synthesize_function(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s++; return s; }",
+            "f",
+        )
+        assert not res.latency.exact
+
+    def test_known_trip_exact(self):
+        res = synthesize_function(
+            "int f() { int s = 0; for (int i = 0; i < 10; i++) s++; return s; }",
+            "f",
+        )
+        assert res.latency.exact
+
+    def test_nested_loop_latency_multiplies(self):
+        res = synthesize_function(
+            """
+            int f() {
+                int s = 0;
+                for (int i = 0; i < 8; i++)
+                    for (int j = 0; j < 8; j++)
+                        s += i * j;
+                return s;
+            }
+            """,
+            "f",
+        )
+        inner = [d for d in res.latency.loops.values() if d[0] == 8]
+        assert len(inner) == 2
+        assert res.latency.cycles >= 64  # at least one cycle per inner iteration
+
+    def test_unroll_reduces_trips(self):
+        src = """
+        void f(int a[64], int out[64]) {
+            for (int i = 0; i < 64; i++) out[i] = a[i] + 1;
+        }
+        """
+        base = synthesize_function(src, "f")
+        unrolled = synthesize_function(src, "f", [unroll("f", "i", 4)])
+        (trips_u, _, _) = next(iter(unrolled.latency.loops.values()))
+        assert trips_u == 16
+        assert unrolled.latency.cycles < base.latency.cycles
+
+
+class TestInterfaces:
+    STREAM_SRC = """
+    void copy(int in[32], int out[32]) {
+        for (int i = 0; i < 32; i++) out[i] = in[i];
+    }
+    """
+
+    def test_stream_directions_inferred(self):
+        res = synthesize_function(
+            self.STREAM_SRC,
+            "copy",
+            [
+                interface("copy", "in", InterfaceMode.AXIS),
+                interface("copy", "out", InterfaceMode.AXIS),
+            ],
+        )
+        assert res.iface.stream("in").direction == "in"
+        assert res.iface.stream("out").direction == "out"
+
+    def test_inout_stream_rejected(self):
+        src = "void f(int a[8]) { for (int i = 0; i < 8; i++) a[i] = a[i] + 1; }"
+        with pytest.raises(CSemanticError, match="unidirectional"):
+            synthesize_function(src, "f", [interface("f", "a", InterfaceMode.AXIS)])
+
+    def test_scalar_stream_rejected(self):
+        with pytest.raises(HlsError, match="scalar"):
+            synthesize_function(
+                "int f(int a) { return a; }",
+                "f",
+                [interface("f", "a", InterfaceMode.AXIS)],
+            )
+
+    def test_register_map_layout(self):
+        res = synthesize_function("int f(int a, int b) { return a + b; }", "f")
+        regs = {r.name: r.offset for r in res.iface.registers}
+        assert regs["CTRL"] == 0x00
+        assert regs["a"] == 0x10
+        assert regs["b"] == 0x18
+        assert regs["return"] == 0x20
+
+    def test_array_defaults_to_m_axi(self):
+        res = synthesize_function(
+            "int f(int a[16]) { return a[0]; }",
+            "f",
+        )
+        assert "a" in res.iface.m_axi_ports
+        assert res.iface.register("a").offset == 0x10  # base-address register
+
+    def test_unknown_port_rejected(self):
+        with pytest.raises(HlsError, match="unknown port"):
+            synthesize_function(
+                "int f(int a) { return a; }",
+                "f",
+                [interface("f", "zz", InterfaceMode.S_AXILITE)],
+            )
+
+    def test_conflicting_modes_rejected(self):
+        with pytest.raises(HlsError, match="conflicting"):
+            synthesize_function(
+                self.STREAM_SRC,
+                "copy",
+                [
+                    interface("copy", "in", InterfaceMode.AXIS),
+                    interface("copy", "in", InterfaceMode.M_AXI),
+                ],
+            )
+
+    def test_stream_width_byte_rounded(self):
+        src = "void f(unsigned char in[8], unsigned char out[8]) { for (int i = 0; i < 8; i++) out[i] = in[i]; }"
+        res = synthesize_function(
+            src,
+            "f",
+            [
+                interface("f", "in", InterfaceMode.AXIS),
+                interface("f", "out", InterfaceMode.AXIS),
+            ],
+        )
+        assert res.iface.stream("in").width == 8
+
+    def test_directive_tcl_rendering(self):
+        d = interface("f", "in", InterfaceMode.AXIS)
+        assert d.to_tcl() == 'set_directive_interface -mode axis "f" in'
+        p = pipeline("f", "L1", ii=2)
+        assert "-II 2" in p.to_tcl()
+
+    def test_unknown_loop_directive(self):
+        with pytest.raises(HlsError, match="no loop"):
+            synthesize_function(
+                "int f(int a) { return a; }", "f", [pipeline("f", "i")]
+            )
+
+
+class TestResources:
+    def test_float_div_is_expensive(self):
+        fadd = synthesize_function("float f(float a, float b) { return a + b; }", "f")
+        fdiv = synthesize_function("float f(float a, float b) { return a / b; }", "f")
+        assert fdiv.resources.lut > fadd.resources.lut
+
+    def test_const_mul_uses_one_dsp(self):
+        res = synthesize_function("int f(int a) { return a * 77; }", "f")
+        assert res.resources.dsp == 1
+
+    def test_general_mul_uses_three_dsp(self):
+        res = synthesize_function("int f(int a, int b) { return a * b; }", "f")
+        assert res.resources.dsp == 3
+
+    def test_float_mul_uses_two_dsp(self):
+        res = synthesize_function("float f(float a, float b) { return a * b; }", "f")
+        assert res.resources.dsp == 2
+
+    def test_histogram_array_maps_to_bram(self):
+        src = """
+        void h(unsigned char img[1024], int hist[256]) {
+            int local[256];
+            for (int i = 0; i < 256; i++) local[i] = 0;
+            for (int i = 0; i < 1024; i++) local[img[i]] += 1;
+            for (int i = 0; i < 256; i++) hist[i] = local[i];
+        }
+        """
+        res = synthesize_function(
+            src,
+            "h",
+            [
+                interface("h", "img", InterfaceMode.AXIS),
+                interface("h", "hist", InterfaceMode.AXIS),
+            ],
+        )
+        assert res.resources.bram18 == 1  # 256 x 32 bits = 8 Kbit -> one RAMB18
+        assert res.resources.dsp == 0
+
+    def test_small_array_stays_in_lutram(self):
+        src = """
+        int f(int idx) {
+            int lut[16];
+            for (int i = 0; i < 16; i++) lut[i] = i * i;
+            return lut[idx & 15];
+        }
+        """
+        res = synthesize_function(src, "f")
+        assert res.resources.bram18 == 0
+
+    def test_resource_addition(self):
+        from repro.hls.resources import ResourceUsage
+
+        a = ResourceUsage(1, 2, 3, 4)
+        b = ResourceUsage(10, 20, 30, 40)
+        assert (a + b).as_row() == (11, 22, 33, 44)
+        assert a.scaled(3).as_row() == (3, 6, 9, 12)
+
+
+class TestRtl:
+    def test_module_structure(self):
+        res = synthesize_function("int f(int a, int b) { return a + b; }", "f")
+        v = res.verilog
+        assert "module f (" in v
+        assert "endmodule" in v
+        assert "s_axi_ctrl_awaddr" in v  # AXI-Lite slave present
+        assert f"// FSM: {res.fsm.num_states} states" in v
+
+    def test_stream_ports_in_rtl(self):
+        src = "void c(int in[4], int out[4]) { for (int i = 0; i < 4; i++) out[i] = in[i]; }"
+        res = synthesize_function(
+            src,
+            "c",
+            [
+                interface("c", "in", InterfaceMode.AXIS),
+                interface("c", "out", InterfaceMode.AXIS),
+            ],
+        )
+        assert "in_tdata" in res.verilog
+        assert "out_tvalid" in res.verilog
+
+    def test_library_cells_render(self):
+        from repro.hls.rtl import library_cells
+
+        text = library_cells()
+        assert "repro_fdiv" in text
+        assert text.count("endmodule") >= 6
+
+
+class TestProject:
+    def test_project_workflow(self):
+        prj = HlsProject("histprj")
+        prj.add_files(
+            "void h(int a[8], int out[8]) { for (int i = 0; i < 8; i++) out[i] = a[i] * 2; }"
+        )
+        prj.set_top("h").stream_port("a").stream_port("out")
+        res = prj.csynth()
+        a = np.arange(8, dtype=np.int32)
+        out = np.zeros(8, dtype=np.int32)
+        prj.csim(a, out)
+        assert (out == a * 2).all()
+        assert "csynth_design" in prj.script_tcl()
+        assert "set_directive_interface" in prj.directives_tcl()
+        assert res.resources.lut > 0
+
+    def test_csynth_requires_top(self):
+        with pytest.raises(HlsError, match="top"):
+            HlsProject("p").add_files("void f() {}").csynth()
+
+    def test_result_before_csynth(self):
+        with pytest.raises(HlsError, match="csynth"):
+            HlsProject("p").result
+
+    def test_estimate_sw_cycles(self):
+        from repro.hls import estimate_sw_cycles
+
+        res = synthesize_function(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }",
+            "f",
+        )
+        c10 = estimate_sw_cycles(res, 10)
+        c100 = estimate_sw_cycles(res, 100)
+        assert c100 > c10 * 5

@@ -1,0 +1,341 @@
+"""Tests for the mini-C lexer, parser and semantic analysis."""
+
+import pytest
+
+from repro.hls import cast as A
+from repro.hls.clex import CTokKind, clex
+from repro.hls.cparse import parse_c
+from repro.hls.sema import analyze
+from repro.hls.types import ArrayType, FLOAT, INT32, UINT8, UINT32
+from repro.util.errors import CSemanticError, CSyntaxError
+
+
+def sema_of(src):
+    return analyze(parse_c(src))
+
+
+class TestLexer:
+    def test_kinds(self):
+        toks = clex("int x = 42;")
+        assert [t.kind for t in toks] == [
+            CTokKind.KEYWORD,
+            CTokKind.IDENT,
+            CTokKind.OP,
+            CTokKind.INT,
+            CTokKind.OP,
+            CTokKind.EOF,
+        ]
+
+    def test_float_literals(self):
+        toks = clex("1.5 2e3 7.0f .25")
+        assert all(t.kind is CTokKind.FLOAT for t in toks[:-1])
+        assert toks[2].value == "7.0"
+
+    def test_hex_literal(self):
+        toks = clex("0xFF")
+        assert toks[0].kind is CTokKind.INT
+        assert int(toks[0].value, 0) == 255
+
+    def test_unsigned_fusion(self):
+        toks = clex("unsigned char c;")
+        assert toks[0].value == "unsigned_char"
+        assert toks[0].kind is CTokKind.KEYWORD
+
+    def test_comments(self):
+        toks = clex("int /* block\ncomment */ x; // line")
+        assert [t.value for t in toks[:-1]] == ["int", "x", ";"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(CSyntaxError, match="unterminated"):
+            clex("/* oops")
+
+    def test_preprocessor_rejected(self):
+        with pytest.raises(CSyntaxError, match="preprocessor"):
+            clex("#define N 4")
+
+    def test_illegal_char(self):
+        with pytest.raises(CSyntaxError, match="illegal"):
+            clex("int x @")
+
+    def test_operators_longest_match(self):
+        toks = clex("a <<= b >> c <= d")
+        ops = [t.value for t in toks if t.kind is CTokKind.OP]
+        assert ops == ["<<=", ">>", "<="]
+
+
+class TestParser:
+    def test_function_shape(self):
+        unit = parse_c("int f(int a, int b) { return a + b; }")
+        f = unit.func("f")
+        assert f.ret is INT32
+        assert [p.name for p in f.params] == ["a", "b"]
+        assert isinstance(f.body.stmts[0], A.Return)
+
+    def test_array_and_pointer_params(self):
+        unit = parse_c("void f(int a[16], float *b) { }")
+        f = unit.func("f")
+        assert f.params[0].ctype == ArrayType(INT32, 16)
+        assert f.params[1].ctype == ArrayType(FLOAT, None)
+
+    def test_global_const(self):
+        unit = parse_c("const int N = 4 * 8; void f() { }")
+        assert unit.consts[0].name == "N"
+
+    def test_compound_assign_desugars(self):
+        unit = parse_c("void f() { int x = 0; x += 2; }")
+        assign = unit.func("f").body.stmts[1]
+        assert isinstance(assign, A.Assign)
+        assert isinstance(assign.value, A.Binary)
+        assert assign.value.op == "+"
+
+    def test_increment_forms(self):
+        unit = parse_c("void f() { int i = 0; i++; ++i; i--; }")
+        stmts = unit.func("f").body.stmts
+        assert all(isinstance(s, (A.Decl, A.Assign)) for s in stmts)
+
+    def test_precedence(self):
+        unit = parse_c("int f(int a, int b, int c) { return a + b * c; }")
+        ret = unit.func("f").body.stmts[0]
+        assert isinstance(ret.value, A.Binary) and ret.value.op == "+"
+        assert isinstance(ret.value.right, A.Binary) and ret.value.right.op == "*"
+
+    def test_ternary(self):
+        unit = parse_c("int f(int a) { return a > 0 ? a : -a; }")
+        assert isinstance(unit.func("f").body.stmts[0].value, A.Ternary)
+
+    def test_cast(self):
+        unit = parse_c("float f(int a) { return (float)a / 2.0; }")
+        ret = unit.func("f").body.stmts[0]
+        assert isinstance(ret.value.left, A.Cast)
+
+    def test_for_while_do(self):
+        unit = parse_c(
+            "void f() {"
+            " for (int i = 0; i < 4; i++) { }"
+            " while (true) { break; }"
+            " do { } while (false);"
+            "}"
+        )
+        kinds = [type(s) for s in unit.func("f").body.stmts]
+        assert kinds == [A.For, A.While, A.DoWhile]
+
+    def test_unknown_function_call_caught_by_inliner(self):
+        from repro.hls.inline import inline_functions
+
+        unit = parse_c("void f() { g(); }")  # parses fine now
+        with pytest.raises(CSemanticError, match="unknown function"):
+            inline_functions(unit)
+
+    def test_intrinsic_call(self):
+        unit = parse_c("int f(int a, int b) { return max(a, b); }")
+        assert isinstance(unit.func("f").body.stmts[0].value, A.Call)
+
+    def test_not_assignable(self):
+        with pytest.raises(CSyntaxError, match="assignable"):
+            parse_c("void f() { 3 = 4; }")
+
+    def test_missing_brace(self):
+        with pytest.raises(CSyntaxError):
+            parse_c("void f() { int x = 1;")
+
+    def test_indexing_non_array_expression(self):
+        with pytest.raises(CSyntaxError, match="named arrays"):
+            parse_c("int f(int a[4]) { return (a + 1)[0]; }")
+
+    def test_multidim_param_and_chain(self):
+        unit = parse_c("int f(int a[3][5]) { return a[1][2]; }")
+        p = unit.func("f").params[0]
+        assert p.ctype.size == 15 and p.ctype.dims == (3, 5)
+        ret = unit.func("f").body.stmts[0]
+        assert isinstance(ret.value, A.Index)
+        assert isinstance(ret.value.base, A.Index)
+
+    def test_rank_mismatch_rejected(self):
+        from repro.hls.sema import analyze
+
+        with pytest.raises(CSemanticError, match="rank"):
+            analyze(parse_c("int f(int a[3][5]) { return a[1]; }"))
+        with pytest.raises(CSemanticError, match="rank"):
+            analyze(parse_c("int f(int a[8]) { return a[1][2]; }"))
+
+    def test_unsized_multidim_param_rejected(self):
+        with pytest.raises(CSyntaxError, match="dimension"):
+            parse_c("int f(int a[][5]) { return a[0][0]; }")
+
+
+class TestArrayInitializers:
+    def test_rom_table(self):
+        from repro.hls import synthesize_function
+
+        src = """
+        int lut(int i) {
+            const int t[4] = {10, 20, 30, 40};
+            return t[i & 3];
+        }
+        """
+        res = synthesize_function(src, "lut")
+        assert [res.run(i) for i in range(4)] == [10, 20, 30, 40]
+
+    def test_partial_init_zero_pads(self):
+        from repro.hls import synthesize_function
+
+        res = synthesize_function(
+            "int f() { int z[5] = {7}; return z[0] + z[4]; }", "f"
+        )
+        assert res.run() == 7
+
+    def test_const_expressions_allowed(self):
+        from repro.hls import synthesize_function
+
+        src = """
+        const int K = 3;
+        int f(int i) {
+            int t[3] = {K, K * 2, K << 2};
+            return t[i];
+        }
+        """
+        res = synthesize_function(src, "f")
+        assert [res.run(i) for i in range(3)] == [3, 6, 12]
+
+    def test_float_table(self):
+        from repro.hls import synthesize_function
+
+        res = synthesize_function(
+            "float f(int i) { float t[2] = {0.25, 0.75}; return t[i & 1]; }",
+            "f",
+        )
+        assert res.run(1) == 0.75
+
+    def test_non_const_rejected(self):
+        with pytest.raises(CSemanticError, match="compile-time"):
+            analyze(parse_c("int f(int a) { int t[2] = {a, 1}; return t[0]; }"))
+
+    def test_too_many_rejected(self):
+        with pytest.raises(CSemanticError, match="initializers"):
+            analyze(parse_c("int f() { int t[2] = {1, 2, 3}; return t[0]; }"))
+
+    def test_trailing_comma(self):
+        unit = parse_c("int f() { int t[2] = {1, 2, }; return t[1]; }")
+        analyze(unit)
+
+    def test_initialized_rom_inlines(self):
+        from repro.hls import synthesize_function
+
+        src = """
+        int pick(int i) {
+            const int t[3] = {5, 6, 7};
+            return t[i];
+        }
+        int f(int i) { return pick(i) * 2; }
+        """
+        res = synthesize_function(src, "f")
+        assert res.run(2) == 14
+
+    def test_func_lookup_missing(self):
+        with pytest.raises(KeyError):
+            parse_c("void f() { }").func("g")
+
+
+class TestSema:
+    def test_types_annotated(self):
+        sema = sema_of("float f(int a) { return a * 0.5; }")
+        ret = sema.unit.func("f").body.stmts[0]
+        assert ret.value.ctype is FLOAT
+
+    def test_uint8_promotes(self):
+        sema = sema_of("int f(unsigned char p) { return p + 1; }")
+        ret = sema.unit.func("f").body.stmts[0]
+        assert ret.value.ctype is INT32
+
+    def test_global_const_evaluated(self):
+        sema = sema_of("const int N = 3 * 7; const int M = N + 1; void f() { }")
+        assert sema.global_consts["N"][1] == 21
+        assert sema.global_consts["M"][1] == 22
+
+    def test_const_div_zero(self):
+        with pytest.raises(CSemanticError, match="zero"):
+            sema_of("const int N = 1 / 0; void f() { }")
+
+    def test_undeclared(self):
+        with pytest.raises(CSemanticError, match="undeclared"):
+            sema_of("void f() { x = 1; }")
+
+    def test_redeclaration(self):
+        with pytest.raises(CSemanticError, match="redeclaration"):
+            sema_of("void f() { int x = 1; int x = 2; }")
+
+    def test_scoped_reuse_same_type_ok(self):
+        sema_of("void f() { if (true) { int t = 1; } if (false) { int t = 2; } }")
+
+    def test_scoped_reuse_diff_type_rejected(self):
+        with pytest.raises(CSemanticError, match="sibling"):
+            sema_of("void f() { if (true) { int t = 1; } if (false) { float t = 2.0; } }")
+
+    def test_assign_to_const(self):
+        with pytest.raises(CSemanticError, match="const"):
+            sema_of("void f() { const int k = 1; k = 2; }")
+
+    def test_assign_to_array(self):
+        with pytest.raises(CSemanticError, match="array"):
+            sema_of("void f(int a[4]) { a = 0; }")
+
+    def test_index_non_array(self):
+        with pytest.raises(CSemanticError, match="not an array"):
+            sema_of("void f(int a) { int x = a[0]; }")
+
+    def test_float_index(self):
+        with pytest.raises(CSemanticError, match="integer"):
+            sema_of("void f(int a[4]) { int x = a[1.5]; }")
+
+    def test_void_return_with_value(self):
+        with pytest.raises(CSemanticError, match="void"):
+            sema_of("void f() { return 1; }")
+
+    def test_nonvoid_return_without_value(self):
+        with pytest.raises(CSemanticError, match="returns nothing"):
+            sema_of("int f() { return; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CSemanticError, match="break"):
+            sema_of("void f() { break; }")
+
+    def test_shift_float_rejected(self):
+        with pytest.raises(CSemanticError, match="integer"):
+            sema_of("int f(float a) { return a << 2; }")
+
+    def test_mod_float_rejected(self):
+        with pytest.raises(CSemanticError, match="integer"):
+            sema_of("float f(float a) { return a % 2.0; }")
+
+    def test_bitnot_float_rejected(self):
+        with pytest.raises(CSemanticError, match="integer"):
+            sema_of("int f(float a) { return ~a; }")
+
+    def test_local_array_needs_size(self):
+        with pytest.raises(CSemanticError, match="size"):
+            sema_of("void f() { int a[0]; }")
+
+    def test_const_needs_init(self):
+        with pytest.raises(CSemanticError, match="initializer"):
+            sema_of("void f() { const int k; }")
+
+    def test_duplicate_function(self):
+        with pytest.raises(CSemanticError, match="duplicate function"):
+            sema_of("void f() { } void f() { }")
+
+    def test_duplicate_param(self):
+        with pytest.raises(CSemanticError, match="duplicate parameter"):
+            sema_of("void f(int a, int a) { }")
+
+    def test_intrinsic_arity(self):
+        with pytest.raises(CSemanticError, match="2 arguments"):
+            sema_of("int f(int a) { return max(a); }")
+
+    def test_shadow_global_const(self):
+        with pytest.raises(CSemanticError, match="shadows"):
+            sema_of("const int N = 1; void f() { int N = 2; }")
+
+    def test_usual_arith_unsigned(self):
+        sema = sema_of("uint f(uint a, int b) { return a + b; }")
+        ret = sema.unit.func("f").body.stmts[0]
+        assert ret.value.ctype is UINT32

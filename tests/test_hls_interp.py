@@ -1,0 +1,257 @@
+"""Execution tests: compiled C kernels vs NumPy references."""
+
+import numpy as np
+import pytest
+
+from repro.hls.cparse import parse_c
+from repro.hls.interp import Interpreter, run_function
+from repro.hls.lower import lower_function
+from repro.hls.passes import run_default_pipeline
+from repro.hls.sema import analyze
+from repro.util.errors import HlsError
+
+
+def compile_fn(src, name, optimize=True):
+    fn = lower_function(analyze(parse_c(src)), name)
+    if optimize:
+        run_default_pipeline(fn)
+    return fn
+
+
+class TestScalars:
+    def test_arith(self):
+        fn = compile_fn("int f(int a, int b) { return (a + b) * (a - b); }", "f")
+        assert run_function(fn, 7, 3) == 40
+        assert run_function(fn, -2, 5) == -21
+
+    def test_int_division_truncates_toward_zero(self):
+        fn = compile_fn("int f(int a, int b) { return a / b; }", "f")
+        assert run_function(fn, 7, 2) == 3
+        assert run_function(fn, -7, 2) == -3
+        assert run_function(fn, 7, -2) == -3
+
+    def test_mod_c_semantics(self):
+        fn = compile_fn("int f(int a, int b) { return a % b; }", "f")
+        assert run_function(fn, 7, 3) == 1
+        assert run_function(fn, -7, 3) == -1  # C: sign follows dividend
+
+    def test_int_overflow_wraps(self):
+        fn = compile_fn("int f(int a) { return a + 1; }", "f")
+        assert run_function(fn, 2**31 - 1) == -(2**31)
+
+    def test_uint8_wraps(self):
+        fn = compile_fn(
+            "int f(unsigned char p) { unsigned char q = p; q = q + 10; return q; }",
+            "f",
+        )
+        assert run_function(fn, 250) == 4
+
+    def test_shifts(self):
+        fn = compile_fn("int f(int a, int s) { return a >> s; }", "f")
+        assert run_function(fn, -8, 1) == -4  # arithmetic shift for signed
+        fnu = compile_fn("uint f(uint a, int s) { return a >> s; }", "f")
+        assert run_function(fnu, 2**31, 1) == 2**30  # logical for unsigned
+
+    def test_bitops(self):
+        fn = compile_fn("int f(int a, int b) { return (a & b) | (a ^ b); }", "f")
+        assert run_function(fn, 0b1100, 0b1010) == 0b1110
+
+    def test_logical_ops(self):
+        fn = compile_fn("int f(int a, int b) { return a && !b || b > 5; }", "f")
+        assert run_function(fn, 1, 0) == 1
+        assert run_function(fn, 0, 3) == 0
+        assert run_function(fn, 0, 9) == 1
+
+    def test_ternary(self):
+        fn = compile_fn("int f(int a) { return a < 0 ? -a : a; }", "f")
+        assert run_function(fn, -9) == 9
+        assert run_function(fn, 4) == 4
+
+    def test_intrinsics(self):
+        fn = compile_fn("int f(int a, int b) { return min(a, b) + max(a, b); }", "f")
+        assert run_function(fn, 3, 8) == 11
+        fa = compile_fn("int f(int a) { return abs(a); }", "f")
+        assert run_function(fa, -6) == 6
+
+    def test_sqrt(self):
+        fn = compile_fn("float f(float x) { return sqrtf(x); }", "f")
+        assert run_function(fn, 2.0) == pytest.approx(np.sqrt(np.float32(2.0)))
+
+    def test_fabsf(self):
+        fn = compile_fn("float f(float x) { return fabsf(x); }", "f")
+        assert run_function(fn, -1.25) == 1.25
+
+    def test_float32_rounding(self):
+        fn = compile_fn("float f(float a, float b) { return a + b; }", "f")
+        out = run_function(fn, 1.0, 1e-9)
+        assert out == float(np.float32(1.0) + np.float32(1e-9)) == 1.0
+
+    def test_cast_float_to_int_truncates(self):
+        fn = compile_fn("int f(float x) { return (int)x; }", "f")
+        assert run_function(fn, 3.9) == 3
+        assert run_function(fn, -3.9) == -3
+
+    def test_div_by_zero_raises(self):
+        fn = compile_fn("int f(int a, int b) { return a / b; }", "f")
+        with pytest.raises(HlsError, match="division by zero"):
+            run_function(fn, 1, 0)
+
+    def test_sqrt_negative_raises(self):
+        fn = compile_fn("float f(float x) { return sqrtf(x); }", "f")
+        with pytest.raises(HlsError, match="negative"):
+            run_function(fn, -1.0)
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        src = """
+        int grade(int s) {
+            if (s >= 90) return 4;
+            else if (s >= 80) return 3;
+            else if (s >= 70) return 2;
+            return 0;
+        }
+        """
+        fn = compile_fn(src, "grade")
+        assert [run_function(fn, s) for s in (95, 85, 75, 10)] == [4, 3, 2, 0]
+
+    def test_nested_loops(self):
+        src = """
+        int f() {
+            int acc = 0;
+            for (int i = 0; i < 4; i++)
+                for (int j = 0; j <= i; j++)
+                    acc += j;
+            return acc;
+        }
+        """
+        assert run_function(compile_fn(src, "f")) == sum(
+            j for i in range(4) for j in range(i + 1)
+        )
+
+    def test_while_with_break_continue(self):
+        src = """
+        int f(int n) {
+            int acc = 0;
+            int i = 0;
+            while (true) {
+                i++;
+                if (i > n) break;
+                if (i % 2 == 0) continue;
+                acc += i;
+            }
+            return acc;
+        }
+        """
+        fn = compile_fn(src, "f")
+        assert run_function(fn, 10) == 1 + 3 + 5 + 7 + 9
+
+    def test_do_while(self):
+        src = "int f(int n) { int c = 0; do { c++; n--; } while (n > 0); return c; }"
+        fn = compile_fn(src, "f")
+        assert run_function(fn, 5) == 5
+        assert run_function(fn, 0) == 1  # body runs at least once
+
+    def test_for_downward(self):
+        src = "int f() { int s = 0; for (int i = 10; i > 0; i -= 3) s += i; return s; }"
+        assert run_function(compile_fn(src, "f")) == 10 + 7 + 4 + 1
+
+    def test_runaway_loop_guard(self):
+        fn = compile_fn("void f() { while (true) { } }", "f")
+        with pytest.raises(HlsError, match="steps"):
+            Interpreter(fn, max_steps=1000).run()
+
+
+class TestArrays:
+    def test_local_array_zero_initialized(self):
+        src = "int f() { int a[4]; return a[0] + a[3]; }"
+        assert run_function(compile_fn(src, "f")) == 0
+
+    def test_array_param_mutation(self):
+        src = "void f(int a[8]) { for (int i = 0; i < 8; i++) a[i] = i * i; }"
+        a = np.zeros(8, dtype=np.int32)
+        run_function(compile_fn(src, "f"), a)
+        assert (a == np.arange(8) ** 2).all()
+
+    def test_prefix_sum(self):
+        src = """
+        void psum(int a[16], int out[16]) {
+            int acc = 0;
+            for (int i = 0; i < 16; i++) { acc += a[i]; out[i] = acc; }
+        }
+        """
+        a = np.arange(16, dtype=np.int32)
+        out = np.zeros(16, dtype=np.int32)
+        run_function(compile_fn(src, "psum"), a, out)
+        assert (out == np.cumsum(a)).all()
+
+    def test_out_of_bounds(self):
+        src = "int f(int a[4], int i) { return a[i]; }"
+        fn = compile_fn(src, "f")
+        with pytest.raises(HlsError, match="bounds"):
+            run_function(fn, np.zeros(4, dtype=np.int32), 4)
+        with pytest.raises(HlsError, match="bounds"):
+            run_function(fn, np.zeros(4, dtype=np.int32), -1)
+
+    def test_short_argument_rejected(self):
+        src = "int f(int a[8]) { return a[0]; }"
+        fn = compile_fn(src, "f")
+        with pytest.raises(HlsError, match="elements"):
+            run_function(fn, np.zeros(4, dtype=np.int32))
+
+    def test_wrong_arity(self):
+        fn = compile_fn("int f(int a) { return a; }", "f")
+        with pytest.raises(HlsError, match="arguments"):
+            run_function(fn)
+
+    def test_unsized_pointer_param(self):
+        src = "int f(int *a, int n) { int s = 0; for (int i = 0; i < n; i++) s += a[i]; return s; }"
+        fn = compile_fn(src, "f")
+        assert run_function(fn, np.arange(10, dtype=np.int32), 10) == 45
+
+    def test_float_array(self):
+        src = """
+        float dot(float a[8], float b[8]) {
+            float acc = 0.0;
+            for (int i = 0; i < 8; i++) acc += a[i] * b[i];
+            return acc;
+        }
+        """
+        a = np.linspace(0, 1, 8).astype(np.float32)
+        b = np.linspace(1, 2, 8).astype(np.float32)
+        got = run_function(compile_fn(src, "dot"), a.copy(), b.copy())
+        ref = np.float32(0)
+        for x, y in zip(a, b):
+            ref = np.float32(ref + np.float32(x * y))
+        assert got == pytest.approx(float(ref), rel=1e-6)
+
+    def test_stats_collection(self):
+        fn = compile_fn("int f() { int s = 0; for (int i = 0; i < 4; i++) s += i; return s; }", "f")
+        result, stats = Interpreter(fn).run(collect_stats=True)
+        assert result == 6
+        assert stats.steps > 10
+        assert stats.by_opcode.get("add", 0) >= 4
+
+
+class TestOptimizationEquivalence:
+    """Optimized and unoptimized IR must agree on every program."""
+
+    SOURCES = [
+        ("int f(int a) { return a * 8; }", "f", (13,)),
+        ("int f(int a) { return a * 1 + 0; }", "f", (-7,)),
+        ("uint f(uint a) { return a / 16; }", "f", (1000,)),
+        ("uint f(uint a) { return a % 8; }", "f", (77,)),
+        ("int f() { int x = 3; int y = x; int z = y; return z * 2; }", "f", ()),
+        ("int f(int a) { int t = a; t = t + 1; t = t + 2; return t; }", "f", (5,)),
+        (
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i * 4; return s; }",
+            "f",
+            (9,),
+        ),
+    ]
+
+    @pytest.mark.parametrize("src,name,args", SOURCES)
+    def test_equivalent(self, src, name, args):
+        plain = compile_fn(src, name, optimize=False)
+        opt = compile_fn(src, name, optimize=True)
+        assert run_function(plain, *args) == run_function(opt, *args)

@@ -1,0 +1,231 @@
+"""Torture battery: classic kernels compiled by the HLS engine vs
+Python/NumPy references.  Each exercises a different compiler stress
+point (bit twiddling, in-place array mutation, data-dependent loops,
+nested control flow, fixed-point math)."""
+
+import numpy as np
+import pytest
+
+from repro.hls import synthesize_function
+
+
+class TestBitKernels:
+    def test_popcount(self):
+        src = """
+        int popcount(uint x) {
+            int n = 0;
+            while (x != 0) { n = n + (x & 1); x = x >> 1; }
+            return n;
+        }
+        """
+        res = synthesize_function(src, "popcount")
+        for v in (0, 1, 0xFF, 0xDEADBEEF, 0xFFFFFFFF):
+            assert res.run(v) == bin(v).count("1")
+
+    def test_bit_reverse32(self):
+        src = """
+        uint brev(uint x) {
+            uint r = 0;
+            for (int i = 0; i < 32; i++) {
+                r = (r << 1) | (x & 1);
+                x = x >> 1;
+            }
+            return r;
+        }
+        """
+        res = synthesize_function(src, "brev")
+        for v in (1, 0x80000000, 0x12345678):
+            expect = int(f"{v:032b}"[::-1], 2)
+            assert res.run(v) % (1 << 32) == expect
+
+    def test_crc32_bitwise(self):
+        src = """
+        uint crc32(unsigned char data[16]) {
+            uint crc = 0xFFFFFFFF;
+            for (int i = 0; i < 16; i++) {
+                crc = crc ^ data[i];
+                for (int k = 0; k < 8; k++) {
+                    uint mask = 0 - (crc & 1);
+                    crc = (crc >> 1) ^ (0xEDB88320 & mask);
+                }
+            }
+            return crc ^ 0xFFFFFFFF;
+        }
+        """
+        import zlib
+
+        res = synthesize_function(src, "crc32")
+        data = np.arange(16, dtype=np.uint8) * 7
+        got = res.run(data) % (1 << 32)
+        assert got == zlib.crc32(data.tobytes())
+
+    def test_parity(self):
+        src = """
+        int parity(uint x) {
+            x = x ^ (x >> 16);
+            x = x ^ (x >> 8);
+            x = x ^ (x >> 4);
+            x = x ^ (x >> 2);
+            x = x ^ (x >> 1);
+            return x & 1;
+        }
+        """
+        res = synthesize_function(src, "parity")
+        for v in (0, 1, 3, 0xFFFF0001, 12345):
+            assert res.run(v) == bin(v).count("1") % 2
+
+
+class TestArrayKernels:
+    def test_bubble_sort_in_place(self):
+        src = """
+        void bsort(int a[16]) {
+            for (int i = 0; i < 16; i++) {
+                for (int j = 0; j < 15 - i; j++) {
+                    if (a[j] > a[j + 1]) {
+                        int t = a[j];
+                        a[j] = a[j + 1];
+                        a[j + 1] = t;
+                    }
+                }
+            }
+        }
+        """
+        res = synthesize_function(src, "bsort")
+        a = np.array([5, -3, 9, 0, 2, 2, 7, -8, 1, 4, 6, 3, -1, 8, 10, -2],
+                     dtype=np.int32)
+        expect = np.sort(a)
+        res.run(a)
+        assert np.array_equal(a, expect)
+
+    def test_binary_search(self):
+        src = """
+        int bsearch(int a[32], int key) {
+            int lo = 0;
+            int hi = 31;
+            while (lo <= hi) {
+                int mid = (lo + hi) / 2;
+                if (a[mid] == key) return mid;
+                if (a[mid] < key) lo = mid + 1;
+                else hi = mid - 1;
+            }
+            return -1;
+        }
+        """
+        res = synthesize_function(src, "bsearch")
+        a = (np.arange(32, dtype=np.int32) * 3).copy()
+        assert res.run(a, 27) == 9
+        assert res.run(a, 0) == 0
+        assert res.run(a, 93) == 31
+        assert res.run(a, 28) == -1
+
+    def test_running_max_drawdown(self):
+        src = """
+        int drawdown(int prices[24]) {
+            int peak = prices[0];
+            int worst = 0;
+            for (int i = 1; i < 24; i++) {
+                int p = prices[i];
+                if (p > peak) peak = p;
+                int dd = peak - p;
+                if (dd > worst) worst = dd;
+            }
+            return worst;
+        }
+        """
+        res = synthesize_function(src, "drawdown")
+        rng = np.random.default_rng(4)
+        prices = rng.integers(50, 150, 24).astype(np.int32)
+        peak = np.maximum.accumulate(prices)
+        expect = int((peak - prices).max())
+        assert res.run(prices.copy()) == expect
+
+    def test_matmul_3x3(self):
+        src = """
+        void mm(int a[3][3], int b[3][3], int c[3][3]) {
+            for (int i = 0; i < 3; i++) {
+                for (int j = 0; j < 3; j++) {
+                    int acc = 0;
+                    for (int k = 0; k < 3; k++) acc += a[i][k] * b[k][j];
+                    c[i][j] = acc;
+                }
+            }
+        }
+        """
+        res = synthesize_function(src, "mm")
+        a = np.arange(9, dtype=np.int32)
+        b = (np.arange(9, dtype=np.int32) * 2 - 5).astype(np.int32)
+        c = np.zeros(9, dtype=np.int32)
+        res.run(a, b, c)
+        assert np.array_equal(
+            c.reshape(3, 3), a.reshape(3, 3) @ b.reshape(3, 3)
+        )
+
+
+class TestNumericKernels:
+    def test_isqrt_newton(self):
+        src = """
+        int isqrt(int n) {
+            if (n < 2) return n;
+            int x = n;
+            int y = (x + 1) / 2;
+            while (y < x) {
+                x = y;
+                y = (x + n / x) / 2;
+            }
+            return x;
+        }
+        """
+        res = synthesize_function(src, "isqrt")
+        import math
+
+        for n in (0, 1, 2, 15, 16, 17, 1 << 20, (1 << 30) + 123):
+            assert res.run(n) == math.isqrt(n)
+
+    def test_fixed_point_sine_table(self):
+        src = """
+        int qsin(int idx, int table[64]) {
+            return table[idx & 63];
+        }
+        """
+        res = synthesize_function(src, "qsin")
+        table = (np.sin(np.linspace(0, 2 * np.pi, 64, endpoint=False)) * 32767
+                 ).astype(np.int32)
+        assert res.run(5, table) == table[5]
+        assert res.run(64 + 3, table) == table[3]
+
+    def test_float_horner_polynomial(self):
+        src = """
+        float horner(float x) {
+            float c3 = 0.5;
+            float c2 = -1.25;
+            float c1 = 2.0;
+            float c0 = -0.75;
+            return ((c3 * x + c2) * x + c1) * x + c0;
+        }
+        """
+        res = synthesize_function(src, "horner")
+        f32 = np.float32
+        for x in (0.0, 1.0, -2.5, 3.25):
+            expect = f32(
+                f32(f32(f32(f32(0.5) * f32(x)) + f32(-1.25)) * f32(x) + f32(2.0))
+                * f32(x)
+                + f32(-0.75)
+            )
+            assert res.run(x) == pytest.approx(float(expect), rel=1e-6)
+
+    def test_gcd_euclid(self):
+        src = """
+        int gcd(int a, int b) {
+            while (b != 0) {
+                int t = b;
+                b = a % b;
+                a = t;
+            }
+            return a;
+        }
+        """
+        import math
+
+        res = synthesize_function(src, "gcd")
+        for a, b in ((12, 18), (17, 5), (100, 75), (7, 7)):
+            assert res.run(a, b) == math.gcd(a, b)

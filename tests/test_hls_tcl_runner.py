@@ -1,0 +1,80 @@
+"""The HLS-side tcl round-trip: re-executing the generated per-core
+script from the materialized workspace reproduces the core exactly."""
+
+import pytest
+
+from repro.apps.kernels import build_fig4_flow_inputs
+from repro.flow import materialize, run_flow
+from repro.hls.interfaces import (
+    allocation,
+    array_partition,
+    directive_from_tcl,
+    interface,
+    pipeline,
+    unroll,
+    InterfaceMode,
+)
+from repro.tcl import HlsTclRunner
+from repro.util.errors import HlsError, TclError
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    graph, sources, directives = build_fig4_flow_inputs(64)
+    flow = run_flow(graph, sources, extra_directives=directives)
+    root = materialize(flow, tmp_path_factory.mktemp("ws"))
+    return flow, root
+
+
+class TestDirectiveParsing:
+    @pytest.mark.parametrize(
+        "directive",
+        [
+            interface("f", "in", InterfaceMode.AXIS),
+            interface("f", "x", InterfaceMode.S_AXILITE),
+            pipeline("f", "L1"),
+            pipeline("f", "L1", ii=4),
+            unroll("f", "i", 8),
+            allocation("f", "mul_small", 1),
+            array_partition("f", "lut"),
+            array_partition("f", "buf", kind="cyclic", factor=4),
+        ],
+    )
+    def test_round_trip(self, directive):
+        assert directive_from_tcl(directive.to_tcl()) == directive
+
+    def test_non_directive_rejected(self):
+        with pytest.raises(HlsError, match="not a directive"):
+            directive_from_tcl("open_project foo")
+
+
+class TestHlsScriptRoundTrip:
+    def test_every_core_reproduces_exactly(self, workspace):
+        flow, root = workspace
+        runner = HlsTclRunner(root / "hls")
+        for name, build in flow.cores.items():
+            script = (root / "hls" / name / "script.tcl").read_text()
+            rerun = runner.execute(script)
+            assert rerun.top == build.result.top
+            assert rerun.result.resources == build.result.resources
+            assert rerun.result.latency.cycles == build.result.latency.cycles
+            assert rerun.result.verilog == build.result.verilog
+
+    def test_missing_source_detected(self, workspace, tmp_path):
+        flow, root = workspace
+        runner = HlsTclRunner(tmp_path)  # wrong root: sources absent
+        script = (root / "hls" / "GAUSS" / "script.tcl").read_text()
+        with pytest.raises(TclError, match="does not exist"):
+            runner.execute(script)
+
+    def test_script_without_csynth(self, workspace):
+        flow, root = workspace
+        runner = HlsTclRunner(root / "hls")
+        with pytest.raises(TclError, match="csynth_design"):
+            runner.execute("open_project x\nexit\n")
+
+    def test_unknown_command(self, workspace):
+        flow, root = workspace
+        runner = HlsTclRunner(root / "hls")
+        with pytest.raises(TclError, match="unknown"):
+            runner.execute("cosim_design\n")

@@ -1,0 +1,335 @@
+"""Unit tests for the HTG model, validation, scheduling and serialization."""
+
+import pytest
+
+from repro.htg import (
+    HTG,
+    Actor,
+    Mapping,
+    Partition,
+    Phase,
+    StreamChannel,
+    Task,
+    htg_from_dict,
+    htg_to_dict,
+    makespan,
+    phase_firing_order,
+    topological_order,
+    validate_htg,
+)
+from repro.util.errors import HtgError
+
+
+def simple_phase() -> Phase:
+    """in -> A -> B -> out, the minimal legal pipeline."""
+    return Phase(
+        name="pipe",
+        actors=[
+            Actor("A", stream_inputs=("x",), stream_outputs=("y",), c_source="//a"),
+            Actor("B", stream_inputs=("u",), stream_outputs=("v",), c_source="//b"),
+        ],
+        channels=[
+            StreamChannel(Phase.BOUNDARY, "din", "A", "x"),
+            StreamChannel("A", "y", "B", "u"),
+            StreamChannel("B", "v", Phase.BOUNDARY, "dout"),
+        ],
+        inputs=("din",),
+        outputs=("dout",),
+    )
+
+
+def simple_htg() -> HTG:
+    htg = HTG("app")
+    htg.add(Task("load", outputs=("img",), sw_cycles=10, io=True))
+    htg.add(simple_phase())
+    htg.add(Task("store", inputs=("img2",), sw_cycles=5, io=True))
+    htg.add_edge("load", "pipe")
+    htg.add_edge("pipe", "store")
+    return htg
+
+
+class TestTask:
+    def test_basic(self):
+        t = Task("f", inputs=("a",), outputs=("r",))
+        assert t.ports == ("a", "r")
+
+    def test_bad_name(self):
+        with pytest.raises(HtgError):
+            Task("9bad")
+
+    def test_bad_port(self):
+        with pytest.raises(HtgError):
+            Task("f", inputs=("a b",))
+
+    def test_port_both_directions(self):
+        with pytest.raises(HtgError, match="both"):
+            Task("f", inputs=("a",), outputs=("a",))
+
+    def test_negative_cycles(self):
+        with pytest.raises(HtgError):
+            Task("f", sw_cycles=-1)
+
+
+class TestActorPhase:
+    def test_actor_ports(self):
+        a = Actor("A", stream_inputs=("x",), stream_outputs=("y",))
+        assert a.ports == ("x", "y")
+
+    def test_actor_dup_port(self):
+        with pytest.raises(HtgError):
+            Actor("A", stream_inputs=("x",), stream_outputs=("x",))
+
+    def test_phase_actor_lookup(self):
+        p = simple_phase()
+        assert p.actor("A").name == "A"
+        assert p.has_actor("B")
+        assert not p.has_actor("C")
+        with pytest.raises(HtgError):
+            p.actor("C")
+
+    def test_channel_classification(self):
+        p = simple_phase()
+        assert len(p.boundary_inputs()) == 1
+        assert len(p.boundary_outputs()) == 1
+        assert len(p.internal_channels()) == 1
+
+
+class TestHTGStructure:
+    def test_add_and_query(self):
+        htg = simple_htg()
+        assert htg.node("pipe").name == "pipe"
+        assert htg.predecessors("pipe") == ["load"]
+        assert htg.successors("pipe") == ["store"]
+        assert htg.sources() == ["load"]
+        assert htg.sinks() == ["store"]
+        assert len(htg.tasks()) == 2
+        assert len(htg.phases()) == 1
+
+    def test_duplicate_node(self):
+        htg = HTG("g")
+        htg.add(Task("a"))
+        with pytest.raises(HtgError, match="duplicate"):
+            htg.add(Task("a"))
+
+    def test_edge_unknown_endpoint(self):
+        htg = HTG("g")
+        htg.add(Task("a"))
+        with pytest.raises(HtgError):
+            htg.add_edge("a", "zz")
+
+    def test_self_edge(self):
+        htg = HTG("g")
+        htg.add(Task("a"))
+        with pytest.raises(HtgError, match="self-edge"):
+            htg.add_edge("a", "a")
+
+    def test_duplicate_edge(self):
+        htg = HTG("g")
+        htg.add(Task("a"))
+        htg.add(Task("b"))
+        htg.add_edge("a", "b")
+        with pytest.raises(HtgError, match="duplicate"):
+            htg.add_edge("a", "b")
+
+    def test_unknown_node(self):
+        with pytest.raises(HtgError):
+            HTG("g").node("x")
+
+
+class TestValidate:
+    def test_valid_graph_passes(self):
+        validate_htg(simple_htg())
+
+    def test_empty_graph(self):
+        with pytest.raises(HtgError, match="no nodes"):
+            validate_htg(HTG("g"))
+
+    def test_top_level_cycle(self):
+        htg = HTG("g")
+        htg.add(Task("a"))
+        htg.add(Task("b"))
+        htg.edges.append(("a", "b"))
+        htg.edges.append(("b", "a"))
+        with pytest.raises(HtgError, match="cycle"):
+            validate_htg(htg)
+
+    def test_unconnected_actor_port(self):
+        p = simple_phase()
+        p.channels.pop()  # drop B.v -> boundary
+        htg = HTG("g")
+        htg.add(p)
+        with pytest.raises(HtgError, match="unconnected"):
+            validate_htg(htg)
+
+    def test_double_connected_output(self):
+        p = simple_phase()
+        p.channels.append(StreamChannel("A", "y", "B", "u"))
+        htg = HTG("g")
+        htg.add(p)
+        with pytest.raises(HtgError, match="twice|connected"):
+            validate_htg(htg)
+
+    def test_phase_dataflow_cycle(self):
+        p = Phase(
+            name="loop",
+            actors=[
+                Actor("A", stream_inputs=("x",), stream_outputs=("y",)),
+                Actor("B", stream_inputs=("u",), stream_outputs=("v",)),
+            ],
+            channels=[
+                StreamChannel("A", "y", "B", "u"),
+                StreamChannel("B", "v", "A", "x"),
+            ],
+        )
+        htg = HTG("g")
+        htg.add(p)
+        with pytest.raises(HtgError, match="cycle"):
+            validate_htg(htg)
+
+    def test_unknown_channel_port(self):
+        p = simple_phase()
+        p.channels.append(StreamChannel("A", "nope", "B", "u"))
+        htg = HTG("g")
+        htg.add(p)
+        with pytest.raises(HtgError):
+            validate_htg(htg)
+
+    def test_self_loop_actor(self):
+        p = Phase(
+            name="p",
+            actors=[Actor("A", stream_inputs=("x",), stream_outputs=("y",))],
+            channels=[StreamChannel("A", "y", "A", "x")],
+        )
+        htg = HTG("g")
+        htg.add(p)
+        with pytest.raises(HtgError, match="self-loop"):
+            validate_htg(htg)
+
+
+class TestSchedule:
+    def test_topological_order(self):
+        order = topological_order(simple_htg())
+        assert order.index("load") < order.index("pipe") < order.index("store")
+
+    def test_topological_cycle(self):
+        htg = HTG("g")
+        htg.add(Task("a"))
+        htg.add(Task("b"))
+        htg.edges.append(("a", "b"))
+        htg.edges.append(("b", "a"))
+        with pytest.raises(HtgError):
+            topological_order(htg)
+
+    def test_phase_firing_order(self):
+        order = phase_firing_order(simple_phase())
+        assert order == ["A", "B"]
+
+    def test_makespan_chain(self):
+        htg = simple_htg()
+        # load=10, pipe=0 (actor costs default 0), store=5
+        assert makespan(htg) == 15
+
+    def test_makespan_with_cost_override(self):
+        htg = simple_htg()
+        assert makespan(htg, {"load": 1, "pipe": 2, "store": 3}) == 6
+
+    def test_makespan_parallel_branches(self):
+        htg = HTG("g")
+        htg.add(Task("src", sw_cycles=1))
+        htg.add(Task("a", sw_cycles=10))
+        htg.add(Task("b", sw_cycles=3))
+        htg.add(Task("sink", sw_cycles=1))
+        htg.add_edge("src", "a")
+        htg.add_edge("src", "b")
+        htg.add_edge("a", "sink")
+        htg.add_edge("b", "sink")
+        # critical path: src + a + sink
+        assert makespan(htg) == 12
+
+
+class TestPartition:
+    def test_all_software(self):
+        htg = simple_htg()
+        p = Partition.all_software(htg)
+        p.validate(htg)
+        assert p.hw_nodes() == []
+        assert set(p.sw_nodes()) == set(htg.nodes)
+
+    def test_from_hw_set(self):
+        htg = simple_htg()
+        p = Partition.from_hw_set(htg, {"pipe"})
+        p.validate(htg)
+        assert p.is_hw("pipe")
+        assert not p.is_hw("load")
+
+    def test_from_hw_set_unknown(self):
+        with pytest.raises(HtgError):
+            Partition.from_hw_set(simple_htg(), {"zz"})
+
+    def test_io_task_cannot_be_hw(self):
+        htg = simple_htg()
+        p = Partition.from_hw_set(htg, {"load"})
+        with pytest.raises(HtgError, match="I/O"):
+            p.validate(htg)
+
+    def test_hw_task_needs_source(self):
+        htg = HTG("g")
+        htg.add(Task("t", inputs=("a",)))  # no c_source
+        p = Partition.from_hw_set(htg, {"t"})
+        with pytest.raises(HtgError, match="C source"):
+            p.validate(htg)
+
+    def test_hw_phase_needs_actor_sources(self):
+        p0 = simple_phase()
+        actors = list(p0.actors)
+        actors[0] = Actor("A", stream_inputs=("x",), stream_outputs=("y",))
+        p0.actors = actors
+        htg = HTG("g")
+        htg.add(p0)
+        part = Partition.from_hw_set(htg, {"pipe"})
+        with pytest.raises(HtgError, match="C source"):
+            part.validate(htg)
+
+    def test_partial_partition_rejected(self):
+        htg = simple_htg()
+        p = Partition({"load": Mapping.SW})
+        with pytest.raises(HtgError, match="cover"):
+            p.validate(htg)
+
+    def test_unknown_node_in_partition(self):
+        htg = simple_htg()
+        p = Partition.all_software(htg)
+        p.assign("ghost", Mapping.SW)
+        with pytest.raises(HtgError, match="unknown"):
+            p.validate(htg)
+
+    def test_mapping_query_missing(self):
+        with pytest.raises(HtgError):
+            Partition().mapping("x")
+
+    def test_assign_accepts_string(self):
+        p = Partition().assign("n", "hw")
+        assert p.is_hw("n")
+
+
+class TestSerialize:
+    def test_round_trip(self):
+        htg = simple_htg()
+        data = htg_to_dict(htg)
+        back = htg_from_dict(data)
+        assert htg_to_dict(back) == data
+        validate_htg(back)
+
+    def test_round_trip_preserves_fields(self):
+        htg = simple_htg()
+        back = htg_from_dict(htg_to_dict(htg))
+        t = back.node("load")
+        assert isinstance(t, Task)
+        assert t.io and t.sw_cycles == 10
+        p = back.node("pipe")
+        assert isinstance(p, Phase)
+        assert p.actor("A").c_source == "//a"
+
+    def test_unknown_kind(self):
+        with pytest.raises(HtgError):
+            htg_from_dict({"name": "g", "nodes": [{"kind": "alien", "name": "x"}]})

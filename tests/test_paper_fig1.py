@@ -1,0 +1,99 @@
+"""Fidelity test: the paper's Fig. 1 HTG lowers to the Fig. 4 system.
+
+Fig. 1 shows the input representation: top-level nodes N1 (sw), ADD,
+MUL, N4 (sw) and a phase IMAGE containing the GAUSS -> EDGE dataflow.
+Section III explains the mapping: N1/N4 disappear, ADD and MUL become
+AXI-Lite cores on the bus, and IMAGE is replaced by its actors with
+AXI-Stream links — exactly the architecture of Fig. 4.
+"""
+
+import pytest
+
+from repro.apps.kernels import FIG4_DSL
+from repro.dsl import SOC, emit_dsl, graph_from_htg, parse_dsl
+from repro.dsl.ast import ConnectEdge, LinkEdge, PortKind
+from repro.htg import HTG, Actor, Partition, Phase, StreamChannel, Task, validate_htg
+
+
+def fig1_htg() -> tuple[HTG, Partition]:
+    htg = HTG("fig1")
+    htg.add(Task("N1", outputs=("opA", "opB", "img"), sw_cycles=100, io=True))
+    htg.add(Task("MUL", inputs=("opA", "opB"), outputs=("prod",),
+                 c_source="int MUL(int A, int B) { return A * B; }"))
+    htg.add(Task("ADD", inputs=("opA", "opB"), outputs=("total",),
+                 c_source="int ADD(int A, int B) { return A + B; }"))
+    htg.add(
+        Phase(
+            name="IMAGE",
+            actors=[
+                Actor("GAUSS", stream_inputs=("in",), stream_outputs=("out",),
+                      c_source="// gauss"),
+                Actor("EDGE", stream_inputs=("in",), stream_outputs=("out",),
+                      c_source="// edge"),
+            ],
+            channels=[
+                StreamChannel(Phase.BOUNDARY, "img", "GAUSS", "in"),
+                StreamChannel("GAUSS", "out", "EDGE", "in"),
+                StreamChannel("EDGE", "out", Phase.BOUNDARY, "edges"),
+            ],
+            inputs=("img",),
+            outputs=("edges",),
+        )
+    )
+    htg.add(Task("N4", inputs=("prod", "total", "edges"), sw_cycles=100, io=True))
+    for producer, consumer in [
+        ("N1", "MUL"), ("N1", "ADD"), ("N1", "IMAGE"),
+        ("MUL", "N4"), ("ADD", "N4"), ("IMAGE", "N4"),
+    ]:
+        htg.add_edge(producer, consumer)
+    partition = Partition.from_hw_set(htg, {"MUL", "ADD", "IMAGE"})
+    return htg, partition
+
+
+class TestFig1Lowering:
+    def test_htg_valid(self):
+        htg, partition = fig1_htg()
+        validate_htg(htg)
+        partition.validate(htg)
+
+    def test_sw_nodes_disappear(self):
+        htg, partition = fig1_htg()
+        g = graph_from_htg(htg, partition)
+        names = {n.name for n in g.nodes}
+        assert "N1" not in names and "N4" not in names
+        assert names == {"MUL", "ADD", "GAUSS", "EDGE"}
+
+    def test_lite_and_stream_split_matches_fig4(self):
+        htg, partition = fig1_htg()
+        g = graph_from_htg(htg, partition)
+        assert all(p.kind is PortKind.LITE for p in g.node("MUL").ports)
+        assert all(p.kind is PortKind.LITE for p in g.node("ADD").ports)
+        assert all(p.kind is PortKind.STREAM for p in g.node("GAUSS").ports)
+        connects = {e.node for e in g.connects()}
+        assert connects == {"MUL", "ADD"}
+
+    def test_stream_links_match_fig4(self):
+        htg, partition = fig1_htg()
+        g = graph_from_htg(htg, partition)
+        links = g.links()
+        assert LinkEdge(SOC, ("GAUSS", "in")) in links
+        assert LinkEdge(("GAUSS", "out"), ("EDGE", "in")) in links
+        assert LinkEdge(("EDGE", "out"), SOC) in links
+        assert len(links) == 3
+
+    def test_same_topology_as_published_listing(self):
+        """Same connect set and link set as the paper's Listing 2/3
+        (port naming differs: the lowered form names lite ports after
+        the task's data items)."""
+        htg, partition = fig1_htg()
+        lowered = graph_from_htg(htg, partition)
+        published = parse_dsl(FIG4_DSL)
+        assert {e.node for e in lowered.connects()} == {
+            e.node for e in published.connects()
+        }
+        assert set(lowered.links()) == set(published.links())
+
+    def test_round_trips_through_text(self):
+        htg, partition = fig1_htg()
+        g = graph_from_htg(htg, partition)
+        assert parse_dsl(emit_dsl(g)) == g

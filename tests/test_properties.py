@@ -1,0 +1,321 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.dsl import SOC, ConnectEdge, LinkEdge, NodeDecl, PortDecl, PortKind, TgGraph
+from repro.dsl.codegen import emit_dsl
+from repro.dsl.parser import parse_dsl
+from repro.hls.bind import left_edge
+from repro.hls.cparse import parse_c
+from repro.hls.interp import run_function
+from repro.hls.lower import lower_function
+from repro.hls.passes import run_default_pipeline
+from repro.hls.sema import analyze
+from repro.hls.types import INT16, INT32, UINT8, UINT32, wrap_int
+from repro.htg.model import HTG, Task
+from repro.htg.schedule import makespan, topological_order
+from repro.sim.axi import StreamChannel
+from repro.sim.kernel import Environment
+from repro.soc.address_map import AddressMap
+from repro.util.ids import NameRegistry, is_identifier, sanitize_identifier
+
+# --- strategies ----------------------------------------------------------------
+
+names = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,8}", fullmatch=True)
+
+
+@st.composite
+def tg_graphs(draw):
+    """Random syntactically-valid DSL graphs (not necessarily semantically)."""
+    n_nodes = draw(st.integers(1, 5))
+    node_names = draw(
+        st.lists(names, min_size=n_nodes, max_size=n_nodes, unique=True)
+    )
+    nodes = []
+    for name in node_names:
+        n_ports = draw(st.integers(1, 4))
+        port_names = draw(
+            st.lists(names, min_size=n_ports, max_size=n_ports, unique=True)
+        )
+        ports = tuple(
+            PortDecl(p, draw(st.sampled_from([PortKind.LITE, PortKind.STREAM])))
+            for p in port_names
+        )
+        nodes.append(NodeDecl(name, ports))
+    edges = []
+    for node in nodes:
+        if draw(st.booleans()):
+            edges.append(ConnectEdge(node.name))
+        for port in node.ports:
+            if port.kind is PortKind.STREAM and draw(st.booleans()):
+                edges.append(LinkEdge(SOC, (node.name, port.name)))
+    graph = TgGraph(draw(names), nodes, edges)
+    return graph
+
+
+class TestDslRoundTrip:
+    @given(tg_graphs())
+    @settings(max_examples=60)
+    def test_emit_parse_identity(self, graph):
+        assert parse_dsl(emit_dsl(graph)) == graph
+
+    @given(tg_graphs())
+    @settings(max_examples=30)
+    def test_fragment_round_trip(self, graph):
+        text = emit_dsl(graph, wrap_object=False)
+        back = parse_dsl(text)
+        assert back.nodes == graph.nodes
+        assert back.edges == graph.edges
+
+
+class TestIdentifiers:
+    @given(st.text(max_size=20))
+    def test_sanitize_always_valid(self, text):
+        assert is_identifier(sanitize_identifier(text))
+
+    @given(st.lists(st.text(min_size=1, max_size=8), max_size=30))
+    def test_fresh_never_collides(self, stems):
+        reg = NameRegistry()
+        seen = set()
+        for stem in stems:
+            name = reg.fresh(stem)
+            assert name not in seen
+            seen.add(name)
+
+
+class TestWrapInt:
+    @given(st.integers(-(2**70), 2**70), st.sampled_from([UINT8, INT16, INT32, UINT32]))
+    def test_in_range_and_idempotent(self, value, t):
+        wrapped = wrap_int(value, t)
+        if t.signed:
+            assert -(2 ** (t.bits - 1)) <= wrapped < 2 ** (t.bits - 1)
+        else:
+            assert 0 <= wrapped < 2**t.bits
+        assert wrap_int(wrapped, t) == wrapped
+
+    @given(st.integers(-(2**40), 2**40))
+    def test_congruent_mod_2n(self, value):
+        assert (wrap_int(value, INT32) - value) % (2**32) == 0
+
+
+class TestLeftEdge:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 40), st.integers(0, 20)).map(
+                lambda t: (t[0], t[0] + t[1])
+            ),
+            max_size=30,
+        )
+    )
+    def test_equals_max_overlap(self, intervals):
+        regs = left_edge(intervals)
+        if not intervals:
+            assert regs == 0
+            return
+        hi = max(e for _, e in intervals)
+        depth = max(
+            sum(1 for s, e in intervals if s <= t <= e) for t in range(hi + 1)
+        )
+        assert regs == depth
+
+
+class TestAddressMapProperties:
+    @given(st.lists(st.sampled_from(["hls", "dma"]), min_size=1, max_size=20))
+    def test_segments_disjoint_and_aligned(self, kinds):
+        amap = AddressMap()
+        for i, kind in enumerate(kinds):
+            amap.assign(f"seg{i}", kind=kind)
+        ranges = amap.ranges
+        for r in ranges:
+            assert r.base % r.size == 0
+        for i, a in enumerate(ranges):
+            for b in ranges[i + 1 :]:
+                assert not a.overlaps(b)
+
+
+class TestStreamConservation:
+    @given(
+        st.integers(1, 8),
+        st.integers(1, 40),
+        st.lists(st.integers(0, 3), min_size=1, max_size=10),
+        st.lists(st.integers(0, 3), min_size=1, max_size=10),
+    )
+    @settings(max_examples=40)
+    def test_fifo_conserves_tokens(self, capacity, n, prod_delays, cons_delays):
+        env = Environment()
+        ch = StreamChannel(env, "p", capacity=capacity)
+        received = []
+
+        def producer():
+            for i in range(n):
+                yield env.timeout(prod_delays[i % len(prod_delays)])
+                yield ch.put(i)
+
+        def consumer():
+            for _ in range(n):
+                yield env.timeout(cons_delays[_ % len(cons_delays)])
+                item = yield ch.get()
+                received.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert received == list(range(n))
+        assert ch.conserved()
+        assert ch.high_water <= capacity
+
+
+class TestHtgProperties:
+    @given(st.integers(2, 8), st.data())
+    def test_topological_order_respects_edges(self, n, data):
+        htg = HTG("g")
+        for i in range(n):
+            htg.add(Task(f"t{i}", sw_cycles=data.draw(st.integers(0, 50))))
+        # Random forward edges (guaranteed acyclic).
+        for i in range(n):
+            for j in range(i + 1, n):
+                if data.draw(st.booleans()):
+                    htg.add_edge(f"t{i}", f"t{j}")
+        order = topological_order(htg)
+        pos = {name: k for k, name in enumerate(order)}
+        for s, d in htg.edges:
+            assert pos[s] < pos[d]
+
+    @given(st.integers(2, 6), st.data())
+    def test_makespan_bounds(self, n, data):
+        htg = HTG("g")
+        costs = []
+        for i in range(n):
+            c = data.draw(st.integers(1, 50))
+            costs.append(c)
+            htg.add(Task(f"t{i}", sw_cycles=c))
+        for i in range(n):
+            for j in range(i + 1, n):
+                if data.draw(st.booleans()):
+                    htg.add_edge(f"t{i}", f"t{j}")
+        span = makespan(htg)
+        assert max(costs) <= span <= sum(costs)
+
+
+# --- differential testing of the optimizer ------------------------------------
+
+_int_expr = st.recursive(
+    st.sampled_from(["a", "b", "1", "2", "3", "7", "16", "255"]),
+    lambda children: st.builds(
+        lambda op, l, r: f"({l} {op} {r})",
+        st.sampled_from(["+", "-", "*", "&", "|", "^"]),
+        children,
+        children,
+    )
+    | st.builds(
+        lambda l, k: f"({l} << {k})",
+        children,
+        st.sampled_from(["1", "2", "3"]),
+    )
+    | st.builds(
+        lambda l, k: f"({l} >> {k})",
+        children,
+        st.sampled_from(["1", "2", "4"]),
+    ),
+    max_leaves=12,
+)
+
+
+class TestOptimizerEquivalence:
+    @given(_int_expr, st.integers(-(2**31), 2**31 - 1), st.integers(-(2**31), 2**31 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_passes_preserve_semantics(self, expr, a, b):
+        src = f"int f(int a, int b) {{ return {expr}; }}"
+        sema = analyze(parse_c(src))
+        plain = lower_function(sema, "f")
+        opt = lower_function(analyze(parse_c(src)), "f")
+        run_default_pipeline(opt)
+        assert run_function(plain, a, b) == run_function(opt, a, b)
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=32))
+    @settings(max_examples=40, deadline=None)
+    def test_histogram_kernel_property(self, pixels):
+        n = len(pixels)
+        src = f"""
+        void h(int img[{n}], int hist[256]) {{
+            for (int i = 0; i < 256; i++) hist[i] = 0;
+            for (int i = 0; i < {n}; i++) hist[img[i] & 255] += 1;
+        }}
+        """
+        fn = lower_function(analyze(parse_c(src)), "h")
+        run_default_pipeline(fn)
+        img = np.array(pixels, dtype=np.int32)
+        hist = np.zeros(256, dtype=np.int32)
+        run_function(fn, img, hist)
+        assert np.array_equal(hist, np.bincount(img, minlength=256))
+
+
+class TestInlinerEquivalence:
+    """Inlined and hand-flattened code must agree on every input."""
+
+    @given(
+        _int_expr,
+        st.integers(-1000, 1000),
+        st.integers(-1000, 1000),
+        st.integers(-128, 127),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_helper_equals_direct(self, expr, a, b, threshold):
+        from repro.hls.inline import inline_functions
+
+        helper_src = f"""
+        int helper(int a, int b) {{
+            if (a > {threshold}) return {expr};
+            return a - b;
+        }}
+        int f(int a, int b) {{ return helper(a, b) + helper(b, a); }}
+        """
+        direct_src = f"""
+        int f(int a, int b) {{
+            int r1 = 0;
+            if (a > {threshold}) r1 = {expr}; else r1 = a - b;
+            int t = a; a = b; b = t;
+            int r2 = 0;
+            if (a > {threshold}) r2 = {expr}; else r2 = a - b;
+            return r1 + r2;
+        }}
+        """
+        unit = parse_c(helper_src)
+        inline_functions(unit)
+        inlined = lower_function(analyze(unit), "f")
+        run_default_pipeline(inlined)
+        direct = lower_function(analyze(parse_c(direct_src)), "f")
+        assert run_function(inlined, a, b) == run_function(direct, a, b)
+
+
+class TestOtsuThresholdProperty:
+    @given(
+        st.lists(st.integers(0, 1000), min_size=256, max_size=256).filter(
+            lambda h: sum(h) > 0
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_threshold_is_argmax_of_variance(self, hist):
+        from repro.apps.otsu.golden import golden_otsu_threshold
+
+        npix = sum(hist)
+        t = golden_otsu_threshold(np.array(hist, dtype=np.int32), npix)
+        assert 0 <= t <= 255
+
+        def variance(thr):
+            h = np.asarray(hist, dtype=np.float64)
+            w_b = h[: thr + 1].sum()
+            w_f = npix - w_b
+            if w_b == 0 or w_f == 0:
+                return -1.0
+            m_b = (np.arange(thr + 1) * h[: thr + 1]).sum() / w_b
+            m_f = (np.arange(thr + 1, 256) * h[thr + 1 :]).sum() / w_f
+            return w_b * w_f * (m_b - m_f) ** 2
+
+        best = max(variance(k) for k in range(256))
+        got = variance(t)
+        # float32 search may pick a near-optimal tie; allow tiny slack.
+        # (When every split is degenerate, both sides are -1.)
+        assert got >= best - max(abs(best) * 1e-4, 1e-9)

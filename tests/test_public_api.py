@@ -1,0 +1,60 @@
+"""The advertised public API exists and stays importable."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.dsl",
+    "repro.htg",
+    "repro.hls",
+    "repro.soc",
+    "repro.tcl",
+    "repro.swgen",
+    "repro.sim",
+    "repro.flow",
+    "repro.apps",
+    "repro.dse",
+    "repro.report",
+    "repro.util",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_names_resolve(package):
+    mod = importlib.import_module(package)
+    exported = getattr(mod, "__all__", [])
+    for name in exported:
+        assert hasattr(mod, name), f"{package}.{name} in __all__ but missing"
+
+
+def test_top_level_surface():
+    import repro
+
+    for name in (
+        "run_flow",
+        "simulate_application",
+        "build_otsu_app",
+        "parse_dsl",
+        "TaskGraphBuilder",
+        "synthesize_function",
+        "integrate",
+        "run_synthesis",
+        "generate_system_tcl",
+        "TclRunner",
+        "materialize",
+        "sdsoc_flow",
+    ):
+        assert callable(getattr(repro, name))
+    assert repro.__version__
+
+
+def test_cli_entrypoint_exists():
+    from repro.cli import build_parser, main
+
+    parser = build_parser()
+    help_text = parser.format_help()
+    for cmd in ("check", "build", "simulate", "otsu", "experiments"):
+        assert cmd in help_text
+    assert callable(main)

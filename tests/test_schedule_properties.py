@@ -1,0 +1,100 @@
+"""Property-based schedule-legality checks over random programs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hls.cparse import parse_c
+from repro.hls.lower import lower_function
+from repro.hls.passes import run_default_pipeline, tag_const_muls
+from repro.hls.schedule import DEFAULT_LIMITS, schedule_function, timing_of
+from repro.hls.sema import analyze
+
+from tests.test_properties import _int_expr
+
+
+def compile_and_schedule(src, name="f", limits=None):
+    fn = lower_function(analyze(parse_c(src)), name)
+    run_default_pipeline(fn)
+    tag_const_muls(fn)
+    return fn, schedule_function(fn, limits=limits)
+
+
+def assert_schedule_legal(fn, sched, limits=None):
+    limits = {**DEFAULT_LIMITS, **(limits or {})}
+    for block in fn.blocks:
+        bs = sched.block(block.name)
+        producers = {}
+        # (1) data dependences: consumers never start before producers
+        # make their results available.
+        for op in block.ops:
+            sop = bs.of(op)
+            for v in op.operands:
+                prod = producers.get(v.vid)
+                if prod is None:
+                    continue
+                assert sop.finish_ns >= prod.finish_ns or sop.start_cycle >= prod.start_cycle
+                timing = timing_of(op)
+                if timing.latency > 0:
+                    # Sequential consumers sample at a cycle edge after
+                    # the producer's result exists.
+                    assert (sop.start_cycle + 1) * 10.0 >= prod.finish_ns
+            if op.result is not None:
+                producers[op.result.vid] = sop
+        # (2) resource limits respected per cycle.
+        usage = {}
+        for op in block.ops:
+            timing = timing_of(op)
+            if timing.resource is None:
+                continue
+            key = (
+                f"mem:{op.attrs['array']}" if timing.resource == "mem" else timing.resource
+            )
+            sop = bs.of(op)
+            for c in range(sop.start_cycle, sop.start_cycle + timing.unit_ii):
+                usage[(key, c)] = usage.get((key, c), 0) + 1
+        for (key, _c), n in usage.items():
+            cap = limits.get(key, 2 if key.startswith("mem:") else 1 << 30)
+            assert n <= cap, f"{key} oversubscribed: {n} > {cap}"
+
+
+class TestScheduleLegality:
+    @given(_int_expr)
+    @settings(max_examples=60, deadline=None)
+    def test_random_expressions(self, expr):
+        src = f"int f(int a, int b) {{ return {expr}; }}"
+        fn, sched = compile_and_schedule(src)
+        assert_schedule_legal(fn, sched)
+
+    @given(st.integers(1, 4), st.integers(2, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_array_kernels(self, stride, n):
+        src = f"""
+        void k(int a[{n * stride}], int out[{n}]) {{
+            for (int i = 0; i < {n}; i++)
+                out[i] = a[i * {stride}] * 3 + a[i * {stride}] / 2;
+        }}
+        """
+        fn, sched = compile_and_schedule(src, "k")
+        assert_schedule_legal(fn, sched)
+
+    @given(st.sampled_from([1, 2, 3]))
+    @settings(max_examples=10, deadline=None)
+    def test_tight_divider_limit(self, cap):
+        src = """
+        int f(int a, int b, int c, int d) {
+            return a / b + c / d + a / d;
+        }
+        """
+        limits = {"div": cap}
+        fn, sched = compile_and_schedule(src, "f", limits=limits)
+        assert_schedule_legal(fn, sched, limits=limits)
+
+    @given(_int_expr)
+    @settings(max_examples=30, deadline=None)
+    def test_fsm_state_count(self, expr):
+        from repro.hls.fsm import build_fsm
+
+        src = f"int f(int a, int b) {{ return {expr}; }}"
+        fn, sched = compile_and_schedule(src)
+        fsm = build_fsm(fn, sched)
+        assert fsm.num_states == sum(bs.length for bs in sched.blocks.values()) + 1

@@ -1,0 +1,123 @@
+"""C short-circuit semantics for guarded trapping operands."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hls import synthesize_function
+from repro.util.errors import HlsError
+
+
+class TestGuardedDivision:
+    def test_and_guard(self):
+        f = synthesize_function(
+            "int f(int a, int b) { return b != 0 && a / b > 2; }", "f"
+        )
+        assert f.run(10, 0) == 0  # rhs never evaluates
+        assert f.run(10, 3) == 1
+        assert f.run(4, 3) == 0
+
+    def test_or_guard(self):
+        g = synthesize_function(
+            "int g(int a, int b) { return b == 0 || a / b > 2; }", "g"
+        )
+        assert g.run(10, 0) == 1
+        assert g.run(10, 3) == 1
+        assert g.run(5, 3) == 0
+
+    def test_unguarded_division_still_traps(self):
+        h = synthesize_function("int h(int a, int b) { return a / b; }", "h")
+        with pytest.raises(HlsError, match="zero"):
+            h.run(1, 0)
+
+    def test_constant_divisor_stays_flat(self):
+        """Division by a nonzero constant is speculatable: no extra blocks."""
+        f = synthesize_function(
+            "int f(int a, int b) { return b > 0 && a / 4 > 2; }", "f"
+        )
+        assert not any("sc_" in blk.name for blk in f.function.blocks)
+        assert f.run(100, 1) == 1
+
+
+class TestGuardedTernary:
+    def test_index_guard(self):
+        h = synthesize_function(
+            "int h(int a[4], int i) { return i < 4 ? a[i] : -1; }", "h"
+        )
+        arr = np.arange(4, dtype=np.int32) * 5
+        assert h.run(arr, 2) == 10
+        assert h.run(arr, 99) == -1  # the guarded load never happens
+
+    def test_sqrt_guard(self):
+        k = synthesize_function(
+            "float k(float x) { return x >= 0.0 ? sqrtf(x) : 0.0; }", "k"
+        )
+        assert k.run(-4.0) == 0.0
+        assert k.run(9.0) == 3.0
+
+    def test_pure_ternary_stays_select(self):
+        f = synthesize_function("int f(int a) { return a < 0 ? -a : a; }", "f")
+        ops = [op.opcode for b in f.function.blocks for op in b.ops]
+        assert "select" in ops
+        assert len(f.function.blocks) == 1  # no control flow introduced
+
+    def test_div_guard_in_ternary(self):
+        f = synthesize_function(
+            "int f(int a, int b) { return b != 0 ? a / b : 0; }", "f"
+        )
+        assert f.run(12, 4) == 3
+        assert f.run(12, 0) == 0
+
+
+class TestInLoops:
+    def test_short_circuit_while_condition(self):
+        m = synthesize_function(
+            "int m(int a, int b) { int c = 0;"
+            " while (b != 0 && a / b > 1) { a = a - b; c++; } return c; }",
+            "m",
+        )
+        assert m.run(10, 3) == 2
+        assert m.run(10, 0) == 0
+        assert m.latency.cycles > 0  # latency model survives the sc blocks
+
+    def test_short_circuit_for_condition(self):
+        f = synthesize_function(
+            "int f(int a[8], int n) { int s = 0;"
+            " for (int i = 0; i < n && a[i] >= 0; i++) s += a[i]; return s; }",
+            "f",
+        )
+        data = np.array([1, 2, 3, -1, 5, 6, 7, 8], dtype=np.int32)
+        assert f.run(data, 8) == 6  # stops at the negative element
+        assert f.run(data, 2) == 3
+        assert f.run(data, 0) == 0  # a[0] never read when n == 0
+
+
+class TestSemanticsMatchPython:
+    @given(
+        st.integers(-100, 100),
+        st.integers(-10, 10),
+        st.integers(-100, 100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_guard_equivalence(self, a, b, c):
+        src = """
+        int f(int a, int b, int c) {
+            int r = 0;
+            if (b != 0 && a / b > c) r = r + 1;
+            if (b == 0 || a / b < c) r = r + 2;
+            return b != 0 ? r + a / b : r;
+        }
+        """
+        f = synthesize_function(src, "f")
+
+        def cdiv(x, y):
+            return int(x / y)  # trunc toward zero
+
+        r = 0
+        if b != 0 and cdiv(a, b) > c:
+            r += 1
+        if b == 0 or cdiv(a, b) < c:
+            r += 2
+        expect = r + cdiv(a, b) if b != 0 else r
+        assert f.run(a, b, c) == expect

@@ -1,0 +1,226 @@
+"""Tests for the HP-port bandwidth model and interrupt-driven completion."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment, Memory, StreamChannel
+from repro.sim.dma_engine import DmaEngine, HpPort
+from repro.util.errors import SimError
+
+from tests.test_sim import build_hw_system, build_pipeline_app
+
+
+class TestHpPort:
+    def test_grants_per_cycle_capped(self):
+        env = Environment()
+        port = HpPort(env, words_per_cycle=2)
+        grants = []
+
+        def worker(k):
+            for _ in range(4):
+                yield port.acquire()
+                grants.append((env.now, k))
+
+        env.process(worker(0))
+        env.process(worker(1))
+        env.run()
+        per_cycle = {}
+        for t, _ in grants:
+            per_cycle[t] = per_cycle.get(t, 0) + 1
+        assert max(per_cycle.values()) <= 2
+        assert port.total_words == 8
+
+    def test_single_word_port_serializes(self):
+        env = Environment()
+        port = HpPort(env, words_per_cycle=1)
+        times = []
+
+        def worker():
+            for _ in range(5):
+                yield port.acquire()
+                times.append(env.now)
+
+        env.process(worker())
+        env.run()
+        assert times == [0, 1, 2, 3, 4]
+
+    def test_validates_width(self):
+        with pytest.raises(SimError):
+            HpPort(Environment(), words_per_cycle=0)
+
+    def test_two_dmas_share_bandwidth(self):
+        """Two concurrent transfers through one port take about twice as
+        long as through two independent ports."""
+
+        def run(shared: bool):
+            env = Environment()
+            mem = Memory()
+            n = 256
+            bufs = [
+                mem.allocate(f"src{i}", np.arange(n, dtype=np.int32))
+                for i in range(2)
+            ]
+            sinks = [
+                mem.allocate(f"dst{i}", np.zeros(n, dtype=np.int32))
+                for i in range(2)
+            ]
+            port = HpPort(env, words_per_cycle=1) if shared else None
+            done_times = []
+            for i in range(2):
+                ch = StreamChannel(env, f"ch{i}", capacity=8)
+                port_i = port if shared else HpPort(env, words_per_cycle=1)
+                dma = DmaEngine(
+                    env, f"dma{i}", mem, mm2s=ch, s2mm=ch, hp_port=port_i
+                )
+                dma.mm2s_transfer(bufs[i].base, bufs[i].nbytes)
+                dma.s2mm_transfer(sinks[i].base, sinks[i].nbytes)
+            total = env.run()
+            for i in range(2):
+                assert np.array_equal(sinks[i].data, bufs[i].data)
+            return total
+
+        shared_time = run(shared=True)
+        private_time = run(shared=False)
+        assert shared_time > private_time * 1.5
+
+
+class TestWaitModes:
+    def test_irq_mode_correct_and_fewer_bus_reads(self):
+        htg, behaviors, golden = build_pipeline_app()
+        # Use a lite-task app so run_lite_core is exercised.
+        import numpy as np
+
+        from repro.dsl import graph_from_htg
+        from repro.hls import synthesize_function
+        from repro.htg import HTG, Partition, Task
+        from repro.sim import simulate_application
+        from repro.sim.runtime import Behavior
+        from repro.soc import integrate
+
+        n = 64
+        src = (
+            f"void sq(int data[{n}], int out[{n}]) "
+            f"{{ for (int i = 0; i < {n}; i++) out[i] = data[i] * data[i]; }}"
+        )
+        htg = HTG("app")
+        htg.add(Task("load", outputs=("data",), io=True, sw_cycles=10))
+        htg.add(Task("sq", inputs=("data",), outputs=("out",), c_source=src))
+        htg.add(Task("store", inputs=("out",), io=True, sw_cycles=10))
+        htg.add_edge("load", "sq")
+        htg.add_edge("sq", "store")
+        part = Partition.from_hw_set(htg, {"sq"})
+        system = integrate(graph_from_htg(htg, part), {"sq": synthesize_function(src, "sq")})
+        data = np.arange(n, dtype=np.int32)
+        behaviors = {
+            "load": Behavior(lambda: data),
+            "sq": Behavior(lambda d: d * d),
+            "store": Behavior(lambda o: None),
+        }
+        poll = simulate_application(htg, part, behaviors, {}, system=system)
+        irq = simulate_application(
+            htg, part, behaviors, {}, system=system, wait_mode="irq"
+        )
+        assert np.array_equal(poll.of("out"), data * data)
+        assert np.array_equal(irq.of("out"), data * data)
+
+    def test_unknown_wait_mode(self):
+        from repro.sim.runtime import SimPlatform
+
+        with pytest.raises(SimError, match="wait mode"):
+            SimPlatform(None, wait_mode="callback")
+
+
+class TestDualCoreCpu:
+    def make_fanout_app(self, n_tasks, cost):
+        import numpy as np
+
+        from repro.htg import HTG, Partition, Task
+        from repro.sim.runtime import Behavior
+
+        htg = HTG("fan")
+        htg.add(Task("src", outputs=("d",), io=True, sw_cycles=1))
+        behaviors = {"src": Behavior(lambda: np.zeros(4, dtype=np.int32))}
+        sink_inputs = []
+        for i in range(n_tasks):
+            name = f"w{i}"
+            out = f"o{i}"
+            htg.add(Task(name, inputs=("d",), outputs=(out,), sw_cycles=cost))
+            htg.add_edge("src", name)
+            behaviors[name] = Behavior(lambda d: d + 1)
+            sink_inputs.append(out)
+        htg.add(Task("sink", inputs=tuple(sink_inputs), io=True, sw_cycles=1))
+        for i in range(n_tasks):
+            htg.add_edge(f"w{i}", "sink")
+        behaviors["sink"] = Behavior(lambda *a: None)
+        return htg, Partition.all_software(htg), behaviors
+
+    def test_core_count_bounds_overlap(self):
+        from repro.sim import simulate_application
+
+        htg, part, behaviors = self.make_fanout_app(4, 1000)
+        two = simulate_application(htg, part, behaviors, {}, cpu_cores=2)
+        four = simulate_application(htg, part, behaviors, {}, cpu_cores=4)
+        one = simulate_application(htg, part, behaviors, {}, cpu_cores=1)
+        # 4 tasks x 1000 cycles: 1 core ~4000, 2 cores ~2000, 4 cores ~1000.
+        assert one.cycles >= 4000
+        assert 2000 <= two.cycles < 3000
+        assert four.cycles < 1500
+        assert four.cycles < two.cycles < one.cycles
+
+    def test_default_is_dual_core(self):
+        from repro.sim import simulate_application
+
+        htg, part, behaviors = self.make_fanout_app(2, 500)
+        rep = simulate_application(htg, part, behaviors, {})
+        # Two tasks fit the two A9 cores: full overlap.
+        assert rep.cycles < 800
+
+
+class TestReportExtras:
+    def test_channel_stats_and_hp_words(self):
+        import numpy as np
+
+        from repro.sim import simulate_application
+
+        htg, behaviors, golden = build_pipeline_app()
+        part, system = build_hw_system(htg)
+        rep = simulate_application(htg, part, behaviors, {}, system=system)
+        # Every FIFO moved the full stream.
+        assert all(moved == 256 for moved, _ in rep.channel_stats.values())
+        assert all(peak >= 1 for _, peak in rep.channel_stats.values())
+        # 256 words in + 256 words out through HP0.
+        assert rep.hp_words == 512
+
+    def test_chrome_trace_export(self):
+        import json
+
+        from repro.sim import simulate_application
+
+        htg, behaviors, _ = build_pipeline_app()
+        part, system = build_hw_system(htg)
+        rep = simulate_application(htg, part, behaviors, {}, system=system)
+        events = rep.trace.to_chrome_trace()
+        json.dumps(events)
+        complete = [e for e in events if e.get("ph") == "X"]
+        meta = [e for e in events if e.get("ph") == "M"]
+        assert complete and meta
+        names = {e["args"]["name"] for e in meta}
+        assert "hw:GAUSS" in names
+        assert all(e["dur"] > 0 for e in complete)
+
+
+class TestStreamStillCorrectUnderContention:
+    def test_pipeline_app_with_narrow_port(self):
+        from repro.sim import simulate_application
+
+        htg, behaviors, golden = build_pipeline_app()
+        part, system = build_hw_system(htg)
+        wide = simulate_application(
+            htg, part, behaviors, {}, system=system, hp_words_per_cycle=4
+        )
+        narrow = simulate_application(
+            htg, part, behaviors, {}, system=system, hp_words_per_cycle=1
+        )
+        assert np.array_equal(wide.of("result"), golden)
+        assert np.array_equal(narrow.of("result"), golden)
+        assert narrow.cycles >= wide.cycles

@@ -1,0 +1,53 @@
+"""Tests for block-design JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.soc import design_from_dict, design_to_dict, run_drc, run_synthesis
+from repro.util.errors import SocError
+
+
+class TestDesignRoundTrip:
+    def test_digest_identical(self, fig4_system):
+        bd = fig4_system.design
+        data = design_to_dict(bd)
+        json.dumps(data)  # JSON-able
+        rebuilt = design_from_dict(data)
+        assert run_synthesis(rebuilt).digest == run_synthesis(bd).digest
+
+    def test_drc_passes_on_rebuilt(self, fig4_system):
+        rebuilt = design_from_dict(design_to_dict(fig4_system.design))
+        run_drc(rebuilt)
+
+    def test_structure_preserved(self, fig4_system):
+        bd = fig4_system.design
+        rebuilt = design_from_dict(design_to_dict(bd))
+        assert set(rebuilt.cells) == set(bd.cells)
+        assert len(rebuilt.connections) == len(bd.connections)
+        assert {r.name: r.base for r in rebuilt.address_map.ranges} == {
+            r.name: r.base for r in bd.address_map.ranges
+        }
+        assert rebuilt.total_resources() == bd.total_resources()
+
+    def test_connection_type_checking_still_applies(self, fig4_system):
+        data = design_to_dict(fig4_system.design)
+        data["connections"].append(
+            ["processing_system7_0", "FCLK_CLK0", "axi_dma_0", "S_AXI_LITE"]
+        )
+        from repro.util.errors import IntegrationError
+
+        with pytest.raises(IntegrationError):
+            design_from_dict(data)
+
+    def test_bad_connection_encoding(self, fig4_system):
+        data = design_to_dict(fig4_system.design)
+        data["connections"].append(["oops"])
+        with pytest.raises(SocError, match="encoding"):
+            design_from_dict(data)
+
+    def test_file_round_trip(self, fig4_system, tmp_path):
+        path = tmp_path / "design.bd.json"
+        path.write_text(json.dumps(design_to_dict(fig4_system.design)))
+        rebuilt = design_from_dict(json.loads(path.read_text()))
+        assert rebuilt.summary() == fig4_system.design.summary()

@@ -1,0 +1,135 @@
+"""Tests for the generated software layer (API, device tree, boot files)."""
+
+import pytest
+
+from repro.soc import IntegrationConfig, integrate, run_synthesis
+from repro.swgen import (
+    assemble_image,
+    generate_api_header,
+    generate_api_source,
+    generate_boot_files,
+    generate_device_tree,
+    generate_dma_api_header,
+)
+from repro.swgen.driver import device_nodes
+
+
+@pytest.fixture(scope="module")
+def fig4_bundle(request):
+    fig4_system = request.getfixturevalue("fig4_system")
+    bitstream = run_synthesis(fig4_system.design)
+    return fig4_system, bitstream, assemble_image(fig4_system, bitstream)
+
+
+class TestApiGeneration:
+    def test_header_contents(self, fig4_system):
+        result = fig4_system.cores["MUL"]
+        rng = fig4_system.design.address_map.of("MUL_0")
+        header = generate_api_header("MUL", result, rng)
+        assert f"#define MUL_BASE_ADDR 0x{rng.base:08X}u" in header
+        assert "#define MUL_REG_A 0x10u" in header
+        assert "#define MUL_REG_B 0x18u" in header
+        assert "#define MUL_REG_RETURN 0x20u" in header
+        assert "void MUL_set_A(uint32_t value);" in header
+        assert "uint32_t MUL_get_return(void);" in header
+        assert "void MUL_start(void);" in header
+
+    def test_source_contents(self, fig4_system):
+        result = fig4_system.cores["MUL"]
+        rng = fig4_system.design.address_map.of("MUL_0")
+        src = generate_api_source("MUL", result, rng)
+        assert '#include "MUL_accel.h"' in src
+        assert "regs[MUL_REG_CTRL / 4] = 0x1u;" in src
+        assert "while (!MUL_is_done())" in src
+        assert "/dev/mem" in src
+
+    def test_dma_api_header(self, fig4_system):
+        header = generate_dma_api_header(fig4_system)
+        assert "ssize_t writeDMA" in header
+        assert "ssize_t readDMA" in header
+        assert "/dev/axidma0" in header
+
+
+class TestDeviceTree:
+    def test_nodes_present(self, fig4_system):
+        dts = generate_device_tree(fig4_system)
+        assert "amba_pl" in dts
+        assert "mul_0:" in dts
+        assert "axi_dma_0:" in dts
+        # reg property carries the assigned address.
+        rng = fig4_system.design.address_map.of("MUL_0")
+        assert f"reg = <0x{rng.base:08x} 0x{rng.size:x}>;" in dts
+
+    def test_compatible_strings(self, fig4_system):
+        dts = generate_device_tree(fig4_system)
+        assert 'compatible = "xilinx,axi-dma-7.1";' in dts
+
+    def test_dma_marked(self, fig4_system):
+        dts = generate_device_tree(fig4_system)
+        assert 'device_type = "dma";' in dts
+
+    def test_interrupts_unique(self, fig4_system):
+        dts = generate_device_tree(fig4_system)
+        irqs = []
+        for line in dts.splitlines():
+            line = line.strip()
+            if line.startswith("interrupts ="):
+                nums = line.split("<")[1].split(">")[0].split()
+                irqs.extend(nums[1::3])
+        assert len(irqs) == len(set(irqs))
+
+
+class TestBootFiles:
+    def test_file_set(self, fig4_bundle):
+        _, bitstream, image = fig4_bundle
+        boot = image.boot
+        assert set(boot.files) == {
+            "BOOT.BIN",
+            "uImage",
+            "devicetree.dtb",
+            "uramdisk.image.gz",
+        }
+
+    def test_bootbin_tracks_bitstream(self, fig4_system, fig4_graph, fig4_cores):
+        bit1 = run_synthesis(fig4_system.design)
+        other = integrate(
+            fig4_graph, fig4_cores, IntegrationConfig(one_dma_per_stream=True)
+        )
+        bit2 = run_synthesis(other.design)
+        b1 = generate_boot_files(fig4_system, bit1)
+        b2 = generate_boot_files(other, bit2)
+        assert b1.file("BOOT.BIN").digest != b2.file("BOOT.BIN").digest
+        assert b1.file("uImage").digest == b2.file("uImage").digest  # prebuilt
+
+    def test_deterministic(self, fig4_system):
+        bit = run_synthesis(fig4_system.design)
+        a = generate_boot_files(fig4_system, bit)
+        b = generate_boot_files(fig4_system, bit)
+        assert a.file("devicetree.dtb").digest == b.file("devicetree.dtb").digest
+
+    def test_manifest(self, fig4_bundle):
+        _, _, image = fig4_bundle
+        text = image.boot.manifest()
+        assert "BOOT.BIN" in text
+
+
+class TestImageAssembly:
+    def test_sources_per_lite_core(self, fig4_bundle):
+        _, _, image = fig4_bundle
+        assert "MUL_accel.h" in image.sources
+        assert "ADD_accel.c" in image.sources
+        assert "dma_api.h" in image.sources
+        # Stream-only cores get no register API.
+        assert "GAUSS_accel.h" not in image.sources
+
+    def test_dev_nodes(self, fig4_bundle):
+        system, _, image = fig4_bundle
+        assert "/dev/axidma0" in image.dev_nodes
+        assert any("uio_MUL_0" in n for n in image.dev_nodes)
+        assert image.dev_nodes == device_nodes(system)
+
+    def test_listing(self, fig4_bundle):
+        _, _, image = fig4_bundle
+        text = image.listing()
+        assert "Generated API sources" in text
+        assert "/dev/axidma0" in text

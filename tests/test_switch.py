@@ -1,0 +1,124 @@
+"""Tests for the switch statement (desugared, no fallthrough)."""
+
+import numpy as np
+import pytest
+
+from repro.hls import synthesize_function
+from repro.hls.cparse import parse_c
+from repro.util.errors import CSyntaxError
+
+
+class TestSwitch:
+    def test_return_arms(self):
+        src = """
+        int classify(int x) {
+            switch (x & 3) {
+                case 0: return 100;
+                case 1:
+                case 2: return 200;
+                default: return 300;
+            }
+        }
+        """
+        f = synthesize_function(src, "classify")
+        assert [f.run(v) for v in range(8)] == [100, 200, 200, 300] * 2
+
+    def test_break_arms(self):
+        src = """
+        int opsel(int op, int a, int b) {
+            int r = 0;
+            switch (op) {
+                case 0: r = a + b; break;
+                case 1: r = a - b; break;
+                case 2: r = a * b; break;
+                default: r = -1; break;
+            }
+            return r;
+        }
+        """
+        f = synthesize_function(src, "opsel")
+        assert f.run(0, 6, 2) == 8
+        assert f.run(1, 6, 2) == 4
+        assert f.run(2, 6, 2) == 12
+        assert f.run(7, 6, 2) == -1
+
+    def test_no_default_falls_through_switch(self):
+        src = """
+        int f(int x) {
+            int r = 9;
+            switch (x) {
+                case 1: r = 10; break;
+            }
+            return r;
+        }
+        """
+        f = synthesize_function(src, "f")
+        assert f.run(1) == 10
+        assert f.run(5) == 9
+
+    def test_stacked_labels(self):
+        src = """
+        int vowels(int c) {
+            switch (c) {
+                case 97: case 101: case 105: case 111: case 117:
+                    return 1;
+                default: return 0;
+            }
+        }
+        """
+        f = synthesize_function(src, "vowels")
+        assert f.run(ord("a")) == 1
+        assert f.run(ord("e")) == 1
+        assert f.run(ord("z")) == 0
+
+    def test_scrutinee_evaluated_once(self):
+        # The temporary means a[i] is read once even with many cases.
+        src = """
+        int pick(int a[4], int i) {
+            switch (a[i]) {
+                case 0: return 10;
+                case 1: return 11;
+                case 2: return 12;
+                default: return 13;
+            }
+        }
+        """
+        from repro.hls.project import verify_stream_discipline
+
+        f = synthesize_function(src, "pick")
+        data = np.array([2, 0, 1, 7], dtype=np.int32)
+        assert f.run(data, 0) == 12
+        assert f.run(data, 3) == 13
+        _, stats = f.interpreter().run(data, 1, track_access=True)
+        assert stats.reads["a"] == [1]  # exactly one load
+
+    def test_switch_inside_loop(self):
+        src = """
+        void histo4(int a[16], int out[4]) {
+            for (int i = 0; i < 4; i++) out[i] = 0;
+            for (int i = 0; i < 16; i++) {
+                switch (a[i] & 3) {
+                    case 0: out[0] += 1; break;
+                    case 1: out[1] += 1; break;
+                    case 2: out[2] += 1; break;
+                    default: out[3] += 1; break;
+                }
+            }
+        }
+        """
+        f = synthesize_function(src, "histo4")
+        a = np.arange(16, dtype=np.int32)
+        out = np.zeros(4, dtype=np.int32)
+        f.run(a, out)
+        assert out.tolist() == [4, 4, 4, 4]
+
+    def test_fallthrough_rejected(self):
+        with pytest.raises(CSyntaxError, match="break"):
+            parse_c(
+                "int f(int x) { switch (x) {"
+                " case 0: x = 1; case 1: x = 2; break; } return x; }"
+            )
+
+    def test_naked_statement_rejected(self):
+        with pytest.raises(CSyntaxError, match="case"):
+            parse_c("int f(int x) { switch (x) { x = 1; } return x; }")

@@ -1,0 +1,112 @@
+"""Unit tests for repro.util."""
+
+import pytest
+
+from repro.util import (
+    NameRegistry,
+    ReproError,
+    count_chars,
+    count_lines,
+    format_table,
+    indent_block,
+    is_identifier,
+    sanitize_identifier,
+)
+from repro.util.errors import LocatedError, SourceLocation
+
+
+class TestIdentifiers:
+    def test_valid(self):
+        assert is_identifier("abc")
+        assert is_identifier("_x9")
+        assert is_identifier("A")
+
+    def test_invalid(self):
+        assert not is_identifier("")
+        assert not is_identifier("9a")
+        assert not is_identifier("a-b")
+        assert not is_identifier("a b")
+
+    def test_sanitize(self):
+        assert sanitize_identifier("a-b c") == "a_b_c"
+        assert sanitize_identifier("9abc") == "_9abc"
+        assert sanitize_identifier("", fallback="n") == "n"
+        assert is_identifier(sanitize_identifier("weird!@#name"))
+
+
+class TestNameRegistry:
+    def test_register_and_contains(self):
+        reg = NameRegistry()
+        assert reg.register("foo") == "foo"
+        assert "foo" in reg
+        assert len(reg) == 1
+
+    def test_register_duplicate_raises(self):
+        reg = NameRegistry()
+        reg.register("foo")
+        with pytest.raises(ReproError, match="duplicate"):
+            reg.register("foo")
+
+    def test_register_illegal_raises(self):
+        reg = NameRegistry()
+        with pytest.raises(ReproError, match="illegal"):
+            reg.register("not valid")
+
+    def test_fresh_appends_suffix(self):
+        reg = NameRegistry()
+        assert reg.fresh("dma") == "dma"
+        assert reg.fresh("dma") == "dma_0"
+        assert reg.fresh("dma") == "dma_1"
+
+    def test_fresh_sanitizes(self):
+        reg = NameRegistry()
+        assert reg.fresh("axi-dma") == "axi_dma"
+
+
+class TestText:
+    def test_indent_block(self):
+        assert indent_block("a\nb") == "    a\n    b"
+        assert indent_block("a\n\nb") == "    a\n\n    b"
+
+    def test_count_lines(self):
+        text = "a\n\nb\nc\n"
+        assert count_lines(text) == 3
+        assert count_lines(text, skip_blank=False) == 4
+
+    def test_count_chars(self):
+        assert count_chars("a b\tc\n") == 3
+        assert count_chars("a b", skip_whitespace=False) == 3
+
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "33" in lines[3]
+
+    def test_format_table_bad_row(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_table_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+
+class TestErrors:
+    def test_location_str(self):
+        loc = SourceLocation(3, 7, "f.tg")
+        assert str(loc) == "f.tg:3:7"
+
+    def test_located_error_message(self):
+        err = LocatedError("bad", SourceLocation(1, 2))
+        assert "1:2" in str(err)
+        assert "bad" in str(err)
+
+    def test_located_error_no_location(self):
+        assert str(LocatedError("bad")) == "bad"
+
+    def test_location_eq_hash(self):
+        a = SourceLocation(1, 2)
+        b = SourceLocation(1, 2)
+        assert a == b and hash(a) == hash(b)
+        assert a != SourceLocation(1, 3)
