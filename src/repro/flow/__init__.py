@@ -8,19 +8,32 @@ the software layer — the exact step sequence of paper Section IV-B.
 :mod:`baseline` is the SDSoC-like comparison flow; :mod:`gui_model`
 estimates the manual-GUI alternative from the Discussion section;
 :mod:`workspace` materializes all artifacts to a directory tree.
+
+The build engine lives in :mod:`buildcache` (persistent
+content-addressed artifact cache) and :mod:`parallel` (topological-wave
+worker pool for per-core HLS) — enabled via ``FlowConfig(jobs=N,
+cache_dir=...)`` and proven artifact-equivalent to the serial path by
+``tests/test_flow_parallel.py``.
 """
 
 from repro.flow.autosim import AutoSimResult, autosimulate, lift_to_htg
 from repro.flow.baseline import SdsocResult, sdsoc_flow
+from repro.flow.buildcache import ENGINE_VERSION, BuildCache, CacheStats, cache_key
 from repro.flow.gui_model import estimate_gui_seconds
 from repro.flow.orchestrator import CoreBuild, FlowConfig, FlowResult, run_flow
-from repro.flow.timing import FlowTiming, TimingModel
+from repro.flow.parallel import topological_waves
+from repro.flow.timing import CoreTrace, FlowTiming, TimingModel
 from repro.flow.workspace import materialize
 
 __all__ = [
     "AutoSimResult",
+    "BuildCache",
+    "CacheStats",
     "CoreBuild",
+    "CoreTrace",
+    "ENGINE_VERSION",
     "autosimulate",
+    "cache_key",
     "lift_to_htg",
     "FlowConfig",
     "FlowResult",
@@ -31,4 +44,5 @@ __all__ = [
     "materialize",
     "run_flow",
     "sdsoc_flow",
+    "topological_waves",
 ]

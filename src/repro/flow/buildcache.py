@@ -1,0 +1,229 @@
+"""Persistent content-addressed artifact cache for the build engine.
+
+The paper reuses synthesized cores *by name* ("the generation of the
+hardware cores is done only once for each function", Section VI-B) —
+which silently conflates two cores that share a function name but differ
+in source or directives.  This module replaces the name with a digest of
+everything the synthesis result actually depends on:
+
+* the C source text of the core,
+* the rendered interface/optimization directives (order preserved —
+  Vivado HLS applies them in file order),
+* the tcl backend version,
+* an engine version constant (bumped on incompatible pipeline changes,
+  so stale entries become unreachable rather than wrong).
+
+Entries are pickled payloads stored under ``<dir>/objects/<k[:2]>/<key>``
+behind a SHA-256 integrity header; a corrupted or truncated entry is
+detected on read, counted, deleted and treated as a miss — the core is
+then rebuilt, never served from the bad bytes.  Writes go through a
+temp-file + :func:`os.replace` so a crashed build leaves no partial
+entry.  The cache is safe to share between serial and parallel flows:
+an entry is written only after its synthesis completed successfully.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Version of the HLS engine + artifact layout baked into every key.
+#: Bumping it invalidates the whole cache without deleting any file.
+ENGINE_VERSION = "1"
+
+#: File header: magic line, then the payload digest, then the payload.
+_MAGIC = b"repro-buildcache/1\n"
+
+
+def cache_key(
+    name: str,
+    source: str,
+    directives_tcl: str,
+    backend_version: str,
+    *,
+    engine_version: str = ENGINE_VERSION,
+) -> str:
+    """Content digest identifying one core build.
+
+    Two builds share a key iff the HLS engine would produce bit-identical
+    artifacts for both; the function *name* participates because it is
+    the top symbol and appears in every generated artifact.
+    """
+    h = hashlib.sha256()
+    for part in (engine_version, name, source, directives_tcl, backend_version):
+        data = part.encode()
+        # Length-prefix every field so no concatenation is ambiguous.
+        h.update(len(data).to_bytes(8, "little"))
+        h.update(data)
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`BuildCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+        }
+
+
+class BuildCache:
+    """Content-addressed store of picklable build artifacts.
+
+    *cache_dir* ``None`` keeps everything in memory (useful for tests and
+    one-shot runs); otherwise entries persist on disk and survive the
+    process.  *max_entries* bounds the on-disk entry count: after a
+    store, the least-recently-used entries (by mtime — reads touch their
+    file) are evicted until the bound holds.
+    """
+
+    def __init__(
+        self, cache_dir: str | os.PathLike | None = None, *, max_entries: int | None = None
+    ) -> None:
+        self.root = Path(cache_dir) / "objects" if cache_dir is not None else None
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._memory: dict[str, object] = {}
+
+    # -- paths -------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        assert self.root is not None
+        return self.root / key[:2] / key
+
+    def _entry_files(self) -> list[Path]:
+        if self.root is None or not self.root.exists():
+            return []
+        return [p for p in self.root.glob("*/*") if p.is_file()]
+
+    def __len__(self) -> int:
+        if self.root is None:
+            return len(self._memory)
+        return len(self._entry_files())
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return self.root is not None and self._path(key).exists()
+
+    # -- read --------------------------------------------------------------
+    def get(self, key: str) -> object | None:
+        """Return the cached value for *key* or ``None`` (counted as a miss).
+
+        A corrupted on-disk entry — bad magic, digest mismatch, truncated
+        or unpicklable payload — is deleted, counted in ``stats.corrupt``
+        and reported as a miss, so the caller rebuilds instead of using it.
+        """
+        if key in self._memory:
+            self.stats.hits += 1
+            return self._memory[key]
+        if self.root is not None:
+            value = self._read_disk(key)
+            if value is not None:
+                self._memory[key] = value
+                self.stats.hits += 1
+                return value
+        self.stats.misses += 1
+        return None
+
+    def _read_disk(self, key: str) -> object | None:
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        payload = self._checked_payload(raw)
+        if payload is None:
+            self._drop_corrupt(path)
+            return None
+        try:
+            value = pickle.loads(payload)
+        except Exception:
+            self._drop_corrupt(path)
+            return None
+        try:
+            os.utime(path)  # LRU touch
+        except OSError:
+            pass
+        return value
+
+    @staticmethod
+    def _checked_payload(raw: bytes) -> bytes | None:
+        if not raw.startswith(_MAGIC):
+            return None
+        rest = raw[len(_MAGIC) :]
+        digest, sep, payload = rest.partition(b"\n")
+        if not sep or digest.decode("ascii", "replace") != hashlib.sha256(payload).hexdigest():
+            return None
+        return payload
+
+    def _drop_corrupt(self, path: Path) -> None:
+        self.stats.corrupt += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # -- write -------------------------------------------------------------
+    def put(self, key: str, value: object) -> None:
+        """Store *value* under *key*; atomic on disk, then evict over-bound."""
+        self._memory[key] = value
+        self.stats.stores += 1
+        if self.root is None:
+            return
+        payload = pickle.dumps(value)
+        blob = _MAGIC + hashlib.sha256(payload).hexdigest().encode() + b"\n" + payload
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(prefix=".tmp-", dir=path.parent)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._evict()
+
+    def _evict(self) -> None:
+        if self.max_entries is None or self.root is None:
+            return
+        files = self._entry_files()
+        if len(files) <= self.max_entries:
+            return
+        files.sort(key=lambda p: (p.stat().st_mtime, p.name))
+        for path in files[: len(files) - self.max_entries]:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self._memory.pop(path.name, None)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._memory.clear()
+        for path in self._entry_files():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+
+__all__ = ["ENGINE_VERSION", "BuildCache", "CacheStats", "cache_key"]

@@ -16,11 +16,23 @@ DSL keyword is an executable function:
 Cores already synthesized in a previous run can be supplied through
 ``core_cache`` — the case study builds Arch4 first and reuses its cores,
 "the generation of the hardware cores is done only once for each
-function" (Section VI-B).
+function" (Section VI-B).  Reuse is verified by *content*, not name: a
+cached core is taken only when its source, directives and backend match
+the node being built (see :mod:`repro.flow.buildcache`), so two cores
+that merely share a function name never alias.
+
+With ``FlowConfig(jobs=N)`` the per-core syntheses of step 4 are
+deferred and fanned out across a worker pool in topological waves at
+``tg end_edges`` (see :mod:`repro.flow.parallel`); with ``cache_dir``
+set, artifacts persist in a content-addressed on-disk cache across
+processes.  Both paths produce byte-identical artifacts to the serial
+default — proven by the differential suite in
+``tests/test_flow_parallel.py``.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.dsl.actions import ActionHooks
@@ -38,9 +50,29 @@ from repro.tcl.backends import VivadoBackend, Vivado2015_3
 from repro.tcl.generate import generate_hls_tcl, generate_system_tcl
 from repro.tcl.runner import TclRunner
 from repro.tcl.script import TclScript
-from repro.flow.timing import FlowTiming, TimingModel
+from repro.flow.buildcache import BuildCache, cache_key
+from repro.flow.parallel import (
+    SynthesisJob,
+    modeled_wall_s,
+    run_parallel_synthesis,
+    topological_waves,
+)
+from repro.flow.timing import CoreTrace, FlowTiming, TimingModel
 from repro.util.errors import FlowError
 from repro.util.text import count_lines
+
+
+def _env_jobs() -> int:
+    """Worker-count default, overridable via ``REPRO_FLOW_JOBS`` (CI leg)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_FLOW_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def _env_cache_dir() -> str | None:
+    """Cache-dir default, overridable via ``REPRO_FLOW_CACHE_DIR``."""
+    return os.environ.get("REPRO_FLOW_CACHE_DIR") or None
 
 
 @dataclass(frozen=True)
@@ -53,6 +85,15 @@ class FlowConfig:
     #: Validate the generated tcl by re-executing it and comparing
     #: bitstream digests (slower but machine-checks the scripts).
     check_tcl: bool = True
+    #: Worker count for per-core HLS synthesis; 1 keeps the serial path.
+    jobs: int = field(default_factory=_env_jobs)
+    #: Directory of the persistent content-addressed artifact cache;
+    #: ``None`` disables it.
+    cache_dir: str | None = field(default_factory=_env_cache_dir)
+    #: Per-core synthesis timeout on the parallel path (``None`` = unbounded).
+    core_timeout_s: float | None = None
+    #: Extra synthesis attempts before a failing core fails the flow.
+    core_retries: int = 0
 
 
 @dataclass
@@ -66,6 +107,8 @@ class CoreBuild:
     modeled_seconds: float
     c_source: str = ""
     reused: bool = False
+    #: Content digest of (source, directives, backend) — the cache key.
+    key: str = ""
 
 
 @dataclass
@@ -96,14 +139,19 @@ class FlowHooks(ActionHooks):
         extra_directives: dict[str, list[Directive]] | None = None,
         core_cache: dict[str, CoreBuild] | None = None,
         config: FlowConfig | None = None,
+        build_cache: BuildCache | None = None,
     ) -> None:
         self.c_sources = c_sources
         self.extra_directives = extra_directives or {}
         self.core_cache = core_cache or {}
         self.config = config or FlowConfig()
+        if build_cache is None and self.config.cache_dir is not None:
+            build_cache = BuildCache(self.config.cache_dir)
+        self.build_cache = build_cache
         self.cores: dict[str, CoreBuild] = {}
-        self.timing = FlowTiming()
+        self.timing = FlowTiming(jobs=self.config.jobs)
         self._project: HlsProject | None = None
+        self._pending: list[SynthesisJob] = []
         self.result: FlowResult | None = None
 
     # -- nodes section: HLS ------------------------------------------------
@@ -112,60 +160,153 @@ class FlowHooks(ActionHooks):
         self._vivado_project_open = True
 
     def on_node_begin(self, graph: TgGraph, name: str) -> None:
-        # Step 2: a Vivado HLS project for this core.
-        if name in self.core_cache:
-            self._project = None  # core reused, no HLS project needed
-            return
+        # Step 2: a Vivado HLS project for this core.  The project is
+        # always opened — even when a cached core exists — because reuse
+        # is decided at ``end`` by comparing content, not names.
         source = self.c_sources.get(name)
         if source is None:
-            raise FlowError(f"no C source supplied for node {name!r}")
+            cached = self.core_cache.get(name)
+            if cached is not None and cached.c_source:
+                source = cached.c_source  # Section VI-B reuse without re-supplying C
+            else:
+                raise FlowError(f"no C source supplied for node {name!r}")
         self._project = HlsProject(name).add_files(source).set_top(name)
         for d in self.extra_directives.get(name, []):
             self._project.add_directive(d)
 
     def on_interface(self, graph: TgGraph, node: str, port: PortDecl) -> None:
         # Step 3: append the interface directive.
-        if self._project is None:
-            return  # cached core: interfaces already baked in
+        assert self._project is not None
         mode = (
             InterfaceMode.AXIS if port.kind is PortKind.STREAM else InterfaceMode.S_AXILITE
         )
         self._project.add_directive(interface(node, port.name, mode))
 
     def on_node_end(self, graph: TgGraph, node: NodeDecl) -> None:
-        # Step 4: invoke HLS synthesis for this core.
-        if node.name in self.core_cache:
-            cached = self.core_cache[node.name]
-            self.cores[node.name] = CoreBuild(
-                name=node.name,
-                result=cached.result,
-                hls_tcl=cached.hls_tcl,
-                directives_tcl=cached.directives_tcl,
-                modeled_seconds=0.0,
-                c_source=cached.c_source,
-                reused=True,
-            )
-            self.timing.hls_cores[node.name] = 0.0
+        # Step 4: invoke HLS synthesis for this core — unless an entry
+        # with the same content digest already exists somewhere.
+        project = self._project
+        assert project is not None
+        self._project = None
+        key = project.content_key(self.config.backend.version)
+
+        cached = self.core_cache.get(node.name)
+        if cached is not None and self._content_matches(cached, key):
+            self._reuse(node.name, cached, key, source="memo")
             return
-        assert self._project is not None
-        result = self._project.csynth()
+
+        if self.build_cache is not None:
+            hit = self.build_cache.get(key)
+            if hit is not None:
+                self.timing.cache_hits += 1
+                self._reuse(node.name, hit, key, source="cache")
+                return
+            self.timing.cache_misses += 1
+
+        if self.config.jobs > 1:
+            self._pending.append(SynthesisJob(node.name, project, key))
+            return
+        self._finish_core(node.name, project.csynth(), project, key)
+
+    def _content_matches(self, cached: CoreBuild, key: str) -> bool:
+        """A name-cache entry is reused only if its content digest agrees."""
+        if not cached.c_source:
+            return False  # nothing to verify against — never trust a bare name
+        cached_key = cached.key or cache_key(
+            cached.name,
+            cached.c_source,
+            cached.directives_tcl,
+            self.config.backend.version,
+        )
+        return cached_key == key
+
+    def _reuse(self, name: str, cached: CoreBuild, key: str, *, source: str) -> None:
+        self.cores[name] = CoreBuild(
+            name=name,
+            result=cached.result,
+            hls_tcl=cached.hls_tcl,
+            directives_tcl=cached.directives_tcl,
+            modeled_seconds=0.0,
+            c_source=cached.c_source,
+            reused=True,
+            key=key,
+        )
+        self.timing.hls_cores[name] = 0.0
+        self.timing.trace.append(CoreTrace(name, 0.0, source=source))
+
+    def _finish_core(
+        self,
+        name: str,
+        result: SynthesisResult,
+        project: HlsProject,
+        key: str,
+        *,
+        wave: int = 0,
+        attempts: int = 1,
+    ) -> None:
         seconds = self.config.timing_model.hls_core_s(result)
         self.timing.hls_s += seconds
-        self.timing.hls_cores[node.name] = seconds
-        self.cores[node.name] = CoreBuild(
-            name=node.name,
+        self.timing.hls_cores[name] = seconds
+        build = CoreBuild(
+            name=name,
             result=result,
-            hls_tcl=generate_hls_tcl(node.name, result),
-            directives_tcl=self._project.directives_tcl(),
+            hls_tcl=generate_hls_tcl(name, result),
+            directives_tcl=project.directives_tcl(),
             modeled_seconds=seconds,
-            c_source="\n".join(self._project.sources),
+            c_source="\n".join(project.sources),
+            key=key,
         )
-        self._project = None
+        self.cores[name] = build
+        self.timing.trace.append(
+            CoreTrace(name, seconds, source="synth", wave=wave, attempts=attempts)
+        )
+        if self.build_cache is not None:
+            self.build_cache.put(key, build)
+
+    def _flush_pending(self, graph: TgGraph) -> None:
+        """Run the deferred syntheses in topological waves over a pool."""
+        jobs, self._pending = self._pending, []
+        outcomes = run_parallel_synthesis(
+            jobs,
+            graph,
+            workers=self.config.jobs,
+            timeout_s=self.config.core_timeout_s,
+            retries=self.config.core_retries,
+        )
+        for job in jobs:  # declaration order — deterministic artifacts
+            out = outcomes[job.name]
+            self._finish_core(
+                job.name,
+                out.result,
+                job.project,
+                job.key,
+                wave=out.wave,
+                attempts=out.attempts,
+            )
+        # Deferred cores landed after any cache hits; restore the serial
+        # flow's ordering (graph declaration order) everywhere it shows.
+        order = [n.name for n in graph.nodes if n.name in self.cores]
+        self.cores = {name: self.cores[name] for name in order}
+        self.timing.hls_cores = {name: self.timing.hls_cores[name] for name in order}
+        by_name = {t.name: t for t in self.timing.trace}
+        self.timing.trace = [by_name[name] for name in order]
 
     # -- edges section: integration -----------------------------------------------
     def on_edges_end(self, graph: TgGraph) -> None:
         # Step 8: execute the project tcl up to the bitstream, then the
         # software layer.
+        if self._pending:
+            self._flush_pending(graph)
+        if self.config.jobs > 1:
+            synthesized = {
+                t.name: t.seconds for t in self.timing.trace if t.source == "synth"
+            }
+            waves = topological_waves(graph, [n.name for n in graph.nodes])
+            self.timing.hls_wall_s = modeled_wall_s(
+                synthesized, waves, self.config.jobs
+            )
+        else:
+            self.timing.hls_wall_s = self.timing.hls_s
         validate_graph(graph)
         results = {name: build.result for name, build in self.cores.items()}
         system = integrate(graph, results, self.config.integration)
@@ -211,18 +352,22 @@ def run_flow(
     extra_directives: dict[str, list[Directive]] | None = None,
     core_cache: dict[str, CoreBuild] | None = None,
     config: FlowConfig | None = None,
+    build_cache: BuildCache | None = None,
 ) -> FlowResult:
     """Execute a task-graph description through the full tool-chain.
 
     *description* is DSL text (parsed and executed keyword by keyword) or
     an already-built :class:`TgGraph` (re-emitted and executed, so the
-    hook sequence is identical either way).
+    hook sequence is identical either way).  *build_cache* shares one
+    in-process :class:`BuildCache` across runs; otherwise
+    ``config.cache_dir`` (or ``REPRO_FLOW_CACHE_DIR``) opens one per run.
     """
     hooks = FlowHooks(
         c_sources,
         extra_directives=extra_directives,
         core_cache=core_cache,
         config=config,
+        build_cache=build_cache,
     )
     text = description if isinstance(description, str) else emit_dsl(description)
     parse_dsl(text, hooks=hooks)

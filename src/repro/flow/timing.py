@@ -21,9 +21,34 @@ from repro.soc.blockdesign import BlockDesign
 PHASES = ("SCALA", "HLS", "PROJECT", "SYNTH")
 
 
+@dataclass(frozen=True)
+class CoreTrace:
+    """How one core's build was satisfied — the per-core Fig. 9 record.
+
+    *source* is ``synth`` (HLS ran), ``memo`` (reused from the caller's
+    name-keyed ``core_cache`` after a content match) or ``cache`` (hit in
+    the persistent content-addressed build cache).  *wave* is the
+    topological wave the core was scheduled in (0 on the serial path),
+    *attempts* how many synthesis attempts it took (retries included).
+    """
+
+    name: str
+    seconds: float
+    source: str = "synth"
+    wave: int = 0
+    attempts: int = 1
+
+
 @dataclass
 class FlowTiming:
-    """Modeled seconds per phase for one architecture build."""
+    """Modeled seconds per phase for one architecture build.
+
+    ``hls_s`` is cpu-time (the sum every core's synthesis cost);
+    ``hls_wall_s`` is the modeled wall-clock of the schedule that
+    actually ran — equal to ``hls_s`` on the serial path, the wave
+    makespan on the parallel path.  The other phases are single-threaded
+    either way, so the flow's wall-clock is ``total_wall_s``.
+    """
 
     scala_s: float = 0.0
     hls_s: float = 0.0
@@ -31,10 +56,29 @@ class FlowTiming:
     synth_s: float = 0.0
     #: Per-core HLS breakdown (reused cores appear with 0.0).
     hls_cores: dict[str, float] = field(default_factory=dict)
+    #: Modeled wall-clock of the HLS phase under the executed schedule.
+    hls_wall_s: float = 0.0
+    #: Worker count the flow ran with (1 = serial path).
+    jobs: int = 1
+    #: Content-addressed build-cache hits / misses (0/0 without a cache).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Per-core build records, in graph declaration order.
+    trace: list[CoreTrace] = field(default_factory=list)
 
     @property
     def total_s(self) -> float:
         return self.scala_s + self.hls_s + self.project_s + self.synth_s
+
+    @property
+    def total_wall_s(self) -> float:
+        """Modeled wall-clock: HLS overlaps across workers, the rest is serial."""
+        return self.scala_s + self.hls_wall_s + self.project_s + self.synth_s
+
+    @property
+    def speedup(self) -> float:
+        """Cpu-time over wall-clock — 1.0 on the serial path."""
+        return self.total_s / self.total_wall_s if self.total_wall_s else 1.0
 
     def as_row(self) -> dict[str, float]:
         return {
@@ -43,6 +87,26 @@ class FlowTiming:
             "PROJECT": round(self.project_s, 1),
             "SYNTH": round(self.synth_s, 1),
             "TOTAL": round(self.total_s, 1),
+        }
+
+    def report(self) -> dict:
+        """Full build-engine record: phases, per-core trace, cache, wall."""
+        return {
+            **self.as_row(),
+            "WALL": round(self.total_wall_s, 1),
+            "jobs": self.jobs,
+            "speedup": round(self.speedup, 2),
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "cores": [
+                {
+                    "name": t.name,
+                    "seconds": round(t.seconds, 1),
+                    "source": t.source,
+                    "wave": t.wave,
+                    "attempts": t.attempts,
+                }
+                for t in self.trace
+            ],
         }
 
 

@@ -207,6 +207,21 @@ class HlsProject:
         """C-simulation: execute the synthesized behaviour on *args*."""
         return self.result.run(*args)
 
+    def content_key(self, backend_version: str = "") -> str:
+        """Content digest of this project's build inputs.
+
+        Everything ``csynth`` depends on — source text, top name,
+        directives in application order — plus the tcl backend version;
+        the key of the flow's content-addressed build cache.
+        """
+        from repro.flow.buildcache import cache_key  # lazy: avoid layer cycle
+
+        if self.top is None:
+            raise HlsError(f"project {self.name!r}: no top function set")
+        return cache_key(
+            self.top, "\n".join(self.sources), self.directives_tcl(), backend_version
+        )
+
     # -- artifacts ---------------------------------------------------------------
     def script_tcl(self) -> str:
         """The Vivado HLS project script the paper's tool generates."""

@@ -18,7 +18,14 @@ from repro.sim import simulate_application
 
 @pytest.fixture(scope="module")
 def builds():
-    return build_all_architectures(width=32, height=32)
+    # Pin cache_dir=None: these tests assert the paper's cold-build
+    # semantics (Arch4 pays HLS once, the rest reuse its cores), which a
+    # warm REPRO_FLOW_CACHE_DIR environment would mask.
+    from repro.flow import FlowConfig
+
+    return build_all_architectures(
+        width=32, height=32, config=FlowConfig(cache_dir=None)
+    )
 
 
 class TestTable1:

@@ -61,6 +61,35 @@ class TestRunFlow:
         assert again.timing.hls_s == 0.0
         assert again.bitstream.digest == fig4_flow.bitstream.digest
 
+    def test_core_cache_same_name_different_directives_not_reused(self):
+        """Regression: the core cache used to be keyed by function name
+        alone, so two cores sharing a name but differing in directives
+        silently aliased.  Reuse is now verified by content digest."""
+        from repro.hls.interfaces import unroll
+
+        graph, sources, directives = build_fig4_flow_inputs(64)
+        cold = FlowConfig(cache_dir=None)
+        first = run_flow(graph, sources, extra_directives=directives, config=cold)
+
+        changed = {k: list(v) for k, v in directives.items()}
+        changed.setdefault("GAUSS", []).append(unroll("GAUSS", "i", 4))
+        second = run_flow(
+            graph, sources, extra_directives=changed,
+            core_cache=first.cores, config=cold,
+        )
+        fresh = run_flow(graph, sources, extra_directives=changed, config=cold)
+
+        # The colliding core is rebuilt, not served from the stale entry...
+        assert not second.cores["GAUSS"].reused
+        assert second.cores["GAUSS"].key != first.cores["GAUSS"].key
+        assert (
+            second.cores["GAUSS"].directives_tcl
+            == fresh.cores["GAUSS"].directives_tcl
+        )
+        assert second.bitstream.digest == fresh.bitstream.digest
+        # ...while content-identical cores still reuse (Section VI-B).
+        assert second.cores["MUL"].reused and second.cores["EDGE"].reused
+
     def test_old_backend(self):
         graph, sources, directives = build_fig4_flow_inputs(64)
         result = run_flow(
@@ -215,9 +244,12 @@ class TestTimingModel:
 
         small = build_otsu_app(1, width=8, height=8)
         big = build_otsu_app(4, width=8, height=8)
+        # cache_dir=None: hls_s compares cold builds; a warm environment
+        # cache (REPRO_FLOW_CACHE_DIR) would zero both sides.
+        cold = FlowConfig(cache_dir=None)
         rs = run_flow(small.dsl_graph(), small.c_sources,
-                      extra_directives=small.extra_directives)
+                      extra_directives=small.extra_directives, config=cold)
         rb = run_flow(big.dsl_graph(), big.c_sources,
-                      extra_directives=big.extra_directives)
+                      extra_directives=big.extra_directives, config=cold)
         assert model.synthesis_s(rb.design) > model.synthesis_s(rs.design)
         assert rb.timing.hls_s > rs.timing.hls_s
