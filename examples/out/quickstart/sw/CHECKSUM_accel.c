@@ -41,3 +41,15 @@ int CHECKSUM_is_done(void) {
 void CHECKSUM_wait(void) {
     while (!CHECKSUM_is_done()) { /* spin */ }
 }
+
+int CHECKSUM_wait_timeout(uint32_t max_spins) {
+    while (max_spins--) {
+        if (CHECKSUM_is_done()) return 0;
+    }
+    return -1; /* hung: CHECKSUM_reset() and retry */
+}
+
+void CHECKSUM_reset(void) {
+    ensure_mapped();
+    regs[CHECKSUM_REG_CTRL / 4] = 0x0u; /* drop ap_start; core re-arms idle */
+}

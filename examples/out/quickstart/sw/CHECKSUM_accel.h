@@ -22,5 +22,9 @@ uint32_t CHECKSUM_get_return(void);
 void CHECKSUM_start(void);
 int CHECKSUM_is_done(void);
 void CHECKSUM_wait(void);
+/* Bounded wait: 0 once ap_done, -1 when the watchdog expires
+ * (call CHECKSUM_reset() before retrying). */
+int CHECKSUM_wait_timeout(uint32_t max_spins);
+void CHECKSUM_reset(void);
 
 #endif /* CHECKSUM_ACCEL_H */

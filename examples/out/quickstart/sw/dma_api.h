@@ -12,6 +12,14 @@ int openDMA(const char *dev_path);
 /* Blocking transfers; return bytes moved or a negative errno. */
 ssize_t writeDMA(int fd, const void *buf, size_t nbytes);
 ssize_t readDMA(int fd, void *buf, size_t nbytes);
+/* Bounded transfers: return bytes moved, or negative once the
+ * watchdog expires.  A timed-out channel stays wedged until
+ * resetDMA() pulses DMACR.Reset on both channels. */
+ssize_t writeDMA_timeout(int fd, const void *buf, size_t nbytes,
+                         unsigned timeout_us);
+ssize_t readDMA_timeout(int fd, void *buf, size_t nbytes,
+                        unsigned timeout_us);
+int resetDMA(int fd);
 void closeDMA(int fd);
 
 #endif /* DMA_API_H */

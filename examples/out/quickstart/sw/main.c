@@ -6,21 +6,48 @@
 #include "dma_api.h"
 #include "CHECKSUM_accel.h"
 
+/* Recovery ladder: watchdog -> reset -> retry -> software fallback. */
+#define ACCEL_TIMEOUT 10000000u /* watchdog budget per attempt */
+#define ACCEL_RETRIES 3
+
 int main(void) {
     int dma0 = openDMA("/dev/axidma0");
 
     static int32_t in_buf0[1024];
     static int32_t out_buf1[1024];
 
-    /* invoke CHECKSUM */
-    CHECKSUM_set_A(0 /* TODO */);
-    CHECKSUM_set_B(0 /* TODO */);
-    CHECKSUM_start();
-    CHECKSUM_wait();
-    printf("CHECKSUM -> %u\n", CHECKSUM_get_return());
+    /* invoke CHECKSUM (retry, then software fallback) */
+    {
+        int attempt, ok = 0;
+        for (attempt = 1; attempt <= ACCEL_RETRIES && !ok; ++attempt) {
+            CHECKSUM_set_A(0 /* TODO */);
+            CHECKSUM_set_B(0 /* TODO */);
+            CHECKSUM_start();
+            ok = CHECKSUM_wait_timeout(ACCEL_TIMEOUT) == 0;
+            if (!ok) CHECKSUM_reset();
+        }
+        if (!ok) {
+            fprintf(stderr, "CHECKSUM: hardware gave up, falling back to software\n");
+            /* TODO: golden software version of CHECKSUM */
+        }
+        printf("CHECKSUM -> %u\n", CHECKSUM_get_return());
+    }
 
-    readDMA(dma0, out_buf1, sizeof out_buf1);   /* arm S2MM */
-    writeDMA(dma0, in_buf0, sizeof in_buf0);  /* -> SCALE.in */
+    {
+        int attempt, ok = 0;
+        for (attempt = 1; attempt <= ACCEL_RETRIES && !ok; ++attempt) {
+            ok = 1;
+            ok &= readDMA_timeout(dma0, out_buf1, sizeof out_buf1, ACCEL_TIMEOUT) >= 0;   /* arm S2MM */
+            ok &= writeDMA_timeout(dma0, in_buf0, sizeof in_buf0, ACCEL_TIMEOUT) >= 0;  /* -> SCALE.in */
+            if (!ok) {
+                resetDMA(dma0); /* clear wedged channels */
+            }
+        }
+        if (!ok) {
+            fprintf(stderr, "DMA pipeline gave up, falling back to software\n");
+            /* TODO: golden software pipeline */
+        }
+    }
 
     closeDMA(dma0);
     return 0;

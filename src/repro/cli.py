@@ -8,6 +8,9 @@ Commands
                  the workspace
 ``otsu``         build + simulate one Table-I architecture
 ``experiments``  regenerate every table and figure into a directory
+``faultcheck``   seeded fault-injection campaign over the Table-I
+                 architectures; every scenario must recover or raise a
+                 structured diagnostic (same seed => same digest)
 """
 
 from __future__ import annotations
@@ -149,6 +152,98 @@ def _cmd_otsu(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_faultcheck(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.apps.otsu import build_otsu_app
+    from repro.flow import run_flow
+    from repro.sim import (
+        FaultPlan,
+        RecoveryPolicy,
+        campaign_digest,
+        simulate_application,
+    )
+
+    arches = [int(a) for a in args.arches.split(",")]
+    width, _, height = args.size.partition("x")
+    policy = RecoveryPolicy(node_budget=args.budget)
+    builds = {}
+    for arch in arches:
+        app = build_otsu_app(arch, width=int(width), height=int(height or width))
+        flow = run_flow(
+            app.dsl_graph(), app.c_sources, extra_directives=app.extra_directives
+        )
+        builds[arch] = (app, flow)
+    print(
+        f"faultcheck: {args.scenarios} scenarios over arch {arches} "
+        f"(seed {args.seed}, watchdog {args.budget} cycles)"
+    )
+
+    records: list[dict] = []
+    counts = {"survived": 0, "recovered": 0, "diagnosed": 0, "escaped": 0}
+    for k in range(args.scenarios):
+        arch = arches[k % len(arches)]
+        app, flow = builds[arch]
+        plan = FaultPlan.random(
+            args.seed * 100_003 + k,
+            system=flow.system,
+            horizon=args.horizon,
+            max_faults=args.max_faults,
+        )
+        record = {
+            "scenario": k,
+            "arch": arch,
+            "plan": plan.describe(),
+            "plan_digest": plan.digest(),
+        }
+        try:
+            report = simulate_application(
+                app.htg, app.partition, app.behaviors, {},
+                system=flow.system, faults=plan, policy=policy,
+            )
+        except ReproError as exc:
+            outcome = "diagnosed"
+            record.update(error=type(exc).__name__, cycles=None, detail=str(exc))
+        else:
+            correct = np.array_equal(
+                report.of("binImage"), np.asarray(app.golden["binary"])
+            )
+            fired = len(report.fault_events)
+            record.update(
+                cycles=report.cycles,
+                faults_fired=fired,
+                recoveries=[e.describe() for e in report.recovery_events],
+            )
+            if not correct:
+                outcome = "escaped"
+            elif report.recovery_events:
+                outcome = "recovered"
+            else:
+                outcome = "survived"
+        record["outcome"] = outcome
+        counts[outcome] += 1
+        records.append(record)
+        print(f"  #{k:>3} arch{arch} {len(plan)} fault(s) -> {outcome}")
+
+    digest = campaign_digest(records)
+    print(
+        "  "
+        + " ".join(f"{name}={n}" for name, n in counts.items())
+    )
+    print(f"  campaign digest: {digest}")
+    if args.digest_out:
+        Path(args.digest_out).write_text(digest + "\n")
+        print(f"  digest written to {args.digest_out}")
+    if counts["escaped"]:
+        print(
+            f"error: {counts['escaped']} scenario(s) escaped — corrupted "
+            "output with no diagnostic",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.apps.image import write_pgm
     from repro.report import (
@@ -246,6 +341,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--out", default="experiments_out")
     p_exp.add_argument("--width", type=int, default=48, help="case-study image width")
     p_exp.set_defaults(func=_cmd_experiments)
+
+    p_fc = sub.add_parser(
+        "faultcheck",
+        help="seeded fault-injection campaign over the Table-I architectures",
+    )
+    p_fc.add_argument(
+        "--arches", default="1,2,3,4", help="comma-separated architecture list"
+    )
+    p_fc.add_argument("--scenarios", type=int, default=20)
+    p_fc.add_argument("--seed", type=int, default=1)
+    p_fc.add_argument("--size", default="32x32", help="synthetic image size")
+    p_fc.add_argument(
+        "--max-faults", type=int, default=2, help="faults per scenario plan"
+    )
+    p_fc.add_argument(
+        "--horizon", type=int, default=40_000,
+        help="faults arm within this many cycles of the start",
+    )
+    p_fc.add_argument(
+        "--budget", type=int, default=2_000_000,
+        help="watchdog cycles per node attempt",
+    )
+    p_fc.add_argument(
+        "--digest-out", default=None, help="write the campaign digest here"
+    )
+    p_fc.set_defaults(func=_cmd_faultcheck)
     return parser
 
 

@@ -17,6 +17,15 @@ pipeline depth, latency) and calibrated bus costs.
 """
 
 from repro.sim.axi import AxiLiteBus, StreamChannel
+from repro.sim.faults import (
+    Fault,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    RecoveryEvent,
+    RecoveryPolicy,
+    campaign_digest,
+)
 from repro.sim.kernel import Environment, Event, Process
 from repro.sim.memory import Memory
 from repro.sim.runtime import ExecutionReport, SimPlatform, simulate_application
@@ -26,9 +35,16 @@ __all__ = [
     "Environment",
     "Event",
     "ExecutionReport",
+    "Fault",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "Memory",
     "Process",
+    "RecoveryEvent",
+    "RecoveryPolicy",
     "SimPlatform",
     "StreamChannel",
+    "campaign_digest",
     "simulate_application",
 ]

@@ -137,12 +137,14 @@ class LiteAccelSim(AxiLiteDevice):
         *,
         arg_buffers: dict[str, str] | None = None,
         hp_port=None,
+        injector=None,
     ) -> None:
         self.env = env
         self.name = name
         self.result = result
         self.memory = memory
         self.hp_port = hp_port
+        self.injector = injector
         #: m_axi param name -> DRAM buffer name (bound before each run).
         self.arg_buffers = dict(arg_buffers or {})
         self.regs: dict[int, int] = {0x00: CTRL_IDLE}
@@ -152,6 +154,14 @@ class LiteAccelSim(AxiLiteDevice):
 
     def bind_buffer(self, param: str, buffer_name: str) -> None:
         self.arg_buffers[param] = buffer_name
+
+    def soft_reset(self) -> None:
+        """ap_rst_n pulse: abort a wedged run, return to idle."""
+        if self._proc is not None and not self._proc.triggered:
+            self.env.abandon(self._proc)
+        self._proc = None
+        self._irq_waiters = []
+        self.regs = {0x00: CTRL_IDLE}
 
     def done_irq(self):
         """Event triggering at the next ap_done (the core's interrupt line)."""
@@ -203,6 +213,9 @@ class LiteAccelSim(AxiLiteDevice):
         return args, traffic_words
 
     def _compute(self):
+        if self.injector is not None and self.injector.fire("accel_hang", self.name):
+            yield self.env.event()  # ap_done never rises
+            return
         args, traffic_words = self._gather_args()
         # Bus traffic for m_axi parameters + the core's compute latency.
         # The master shares the HP port with every DMA in the design.

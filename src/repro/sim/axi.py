@@ -6,7 +6,12 @@ access costs a fixed number of cycles (the GP-port round trip).
 
 ``StreamChannel`` is a bounded FIFO with blocking put/get — the
 AXI-Stream ``tvalid``/``tready`` backpressure at transaction level.
-Conservation (puts == gets + occupancy) is property-tested.
+Conservation (puts == gets + occupancy + flushed) is property-tested.
+
+Both carry fault-injection hooks (see :mod:`repro.sim.faults`): the bus
+can raise injected SLVERR/DECERR responses, and a FIFO can drop or
+bit-flip tokens in flight.  Without an injector the fast paths are
+untouched.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from __future__ import annotations
 from collections import deque
 from repro.sim.kernel import Environment, Event
 from repro.soc.address_map import AddressMap
-from repro.util.errors import SimError
+from repro.util.errors import FaultInjectionError, SimError
 
 #: GP-port register access cost (cycles @ FCLK), write and read.
 LITE_WRITE_CYCLES = 8
@@ -37,9 +42,10 @@ class AxiLiteDevice:
 class AxiLiteBus:
     """Address-decoded register access with per-transaction cost."""
 
-    def __init__(self, env: Environment, address_map: AddressMap) -> None:
+    def __init__(self, env: Environment, address_map: AddressMap, *, injector=None) -> None:
         self.env = env
         self.address_map = address_map
+        self.injector = injector
         self.devices: dict[str, AxiLiteDevice] = {}
         self.reads = 0
         self.writes = 0
@@ -48,24 +54,39 @@ class AxiLiteBus:
         self.address_map.of(segment_name)  # must exist
         self.devices[segment_name] = device
 
-    def _decode(self, addr: int) -> tuple[AxiLiteDevice, int]:
+    def _decode(self, addr: int) -> tuple[AxiLiteDevice, int, str]:
         rng = self.address_map.resolve(addr)
         dev = self.devices.get(rng.name)
         if dev is None:
             raise SimError(f"bus error: no device behind segment {rng.name!r}")
-        return dev, addr - rng.base
+        return dev, addr - rng.base, rng.name
+
+    def _maybe_fault(self, segment: str, addr: int) -> None:
+        if self.injector is None:
+            return
+        for kind, resp in (("axi_slverr", "SLVERR"), ("axi_decerr", "DECERR")):
+            fault = self.injector.fire(kind, segment, detail=f"addr=0x{addr:08x}")
+            if fault is not None:
+                raise FaultInjectionError(
+                    f"AXI-Lite {resp} on segment {segment!r} "
+                    f"(addr 0x{addr:08x}) at cycle {self.env.now}",
+                    cycle=self.env.now,
+                    fault=fault,
+                )
 
     def write(self, addr: int, value: int):
         """Process-style write: ``yield from bus.write(addr, value)``."""
-        dev, offset = self._decode(addr)
+        dev, offset, segment = self._decode(addr)
         yield self.env.timeout(LITE_WRITE_CYCLES)
+        self._maybe_fault(segment, addr)
         self.writes += 1
         dev.reg_write(offset, value)
 
     def read(self, addr: int):
         """Process-style read returning the register value."""
-        dev, offset = self._decode(addr)
+        dev, offset, segment = self._decode(addr)
         yield self.env.timeout(LITE_READ_CYCLES)
+        self._maybe_fault(segment, addr)
         self.reads += 1
         return dev.reg_read(offset)
 
@@ -80,6 +101,7 @@ class StreamChannel:
         *,
         capacity: int = DEFAULT_FIFO_DEPTH,
         width_bits: int = 32,
+        injector=None,
     ) -> None:
         if capacity < 1:
             raise SimError(f"stream {name!r}: capacity must be >= 1")
@@ -87,6 +109,7 @@ class StreamChannel:
         self.name = name
         self.capacity = capacity
         self.width_bits = width_bits
+        self.injector = injector
         self._items: deque = deque()
         self._getters: deque[Event] = deque()
         self._putters: deque[tuple[Event, object]] = deque()
@@ -94,6 +117,10 @@ class StreamChannel:
         self.total_got = 0
         #: Peak occupancy, for utilization reporting.
         self.high_water = 0
+        #: Tokens lost to injected drops / discarded by reset().
+        self.dropped = 0
+        self.flushed = 0
+        env.watched_fifos.append(self)
 
     def __len__(self) -> int:
         return len(self._items)
@@ -101,6 +128,17 @@ class StreamChannel:
     def put(self, item) -> Event:
         """Event that triggers once *item* entered the FIFO."""
         evt = Event(self.env)
+        if self.injector is not None:
+            fault = self.injector.fire("stream_flip", self.name)
+            if fault is not None and isinstance(item, int):
+                item ^= 1 << (fault.bit % max(1, self.width_bits))
+            if self.injector.fire("stream_drop", self.name) is not None:
+                # The producer sees a successful handshake; the token is
+                # gone.  The consumer side will starve and the watchdog
+                # (or deadlock detector) diagnoses the pipeline.
+                self.dropped += 1
+                evt.trigger(None)
+                return evt
         if self._getters:
             # Hand straight to a waiting consumer.
             getter = self._getters.popleft()
@@ -141,6 +179,18 @@ class StreamChannel:
             self._getters.append(evt)
         return evt
 
+    def reset(self) -> None:
+        """Soft reset: discard buffered tokens and pending handshakes.
+
+        Used by the recovery ladder before a retry.  Waiting producers /
+        consumers are expected to be abandoned by the caller — their
+        handshake events are dropped unfired.
+        """
+        self.flushed += len(self._items)
+        self._items.clear()
+        self._getters.clear()
+        self._putters.clear()
+
     def conserved(self) -> bool:
-        """FIFO conservation invariant."""
-        return self.total_put == self.total_got + len(self._items)
+        """FIFO conservation invariant (drops and flushes accounted)."""
+        return self.total_put == self.total_got + len(self._items) + self.flushed

@@ -6,6 +6,13 @@ exposes ``readDMA``/``writeDMA`` to move data between the ARM and the
 reconfigurable logic.  This module models exactly that call surface on
 top of the simulated DMA engines, so the runtime's code reads like the
 generated user-space application would.
+
+The robust driver surface adds the bounded variants the generated
+application's retry ladder uses: ``writeDMA_timeout``/``readDMA_timeout``
+raise a cycle-stamped :class:`~repro.util.errors.SimTimeoutError` when a
+transfer fails to complete within its watchdog budget, and ``resetDMA``
+soft-resets a wedged engine (DMACR.Reset) so the next attempt starts
+from idle.
 """
 
 from __future__ import annotations
@@ -14,7 +21,7 @@ from dataclasses import dataclass
 
 from repro.sim.dma_engine import DmaEngine
 from repro.sim.kernel import Process
-from repro.util.errors import SimError
+from repro.util.errors import SimError, SimTimeoutError
 
 
 @dataclass(frozen=True)
@@ -27,19 +34,78 @@ class DeviceNode:
 
 
 class DmaHandle:
-    """An opened DMA device file."""
+    """An opened DMA device file.
+
+    Like a POSIX character device, the same node may be opened several
+    times (each ``open`` returns an independent handle); operating on a
+    closed handle raises, and closing twice raises (EBADF).
+    """
 
     def __init__(self, node: DeviceNode, engine: DmaEngine) -> None:
         self.node = node
         self.engine = engine
+        self.closed = False
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise SimError(f"{self.node.path}: operation on a closed handle")
 
     def writeDMA(self, addr: int, nbytes: int) -> Process:  # noqa: N802 (paper API)
         """Push *nbytes* from DRAM at *addr* into the fabric (MM2S)."""
+        self._check_open()
         return self.engine.mm2s_transfer(addr, nbytes)
 
     def readDMA(self, addr: int, nbytes: int) -> Process:  # noqa: N802 (paper API)
         """Pull *nbytes* from the fabric into DRAM at *addr* (S2MM)."""
+        self._check_open()
         return self.engine.s2mm_transfer(addr, nbytes)
+
+    def writeDMA_timeout(  # noqa: N802 (paper API)
+        self, addr: int, nbytes: int, timeout_cycles: int
+    ) -> Process:
+        """``writeDMA`` under a watchdog; raises SimTimeoutError on expiry."""
+        self._check_open()
+        return self._guarded(self.engine.mm2s_transfer(addr, nbytes),
+                             "writeDMA", timeout_cycles)
+
+    def readDMA_timeout(  # noqa: N802 (paper API)
+        self, addr: int, nbytes: int, timeout_cycles: int
+    ) -> Process:
+        """``readDMA`` under a watchdog; raises SimTimeoutError on expiry."""
+        self._check_open()
+        return self._guarded(self.engine.s2mm_transfer(addr, nbytes),
+                             "readDMA", timeout_cycles)
+
+    def _guarded(self, proc: Process, what: str, timeout_cycles: int) -> Process:
+        env = self.engine.env
+        if timeout_cycles < 1:
+            raise SimError(f"{self.node.path}: {what} timeout must be >= 1 cycle")
+
+        def waiter():
+            guard = env.deadline(timeout_cycles)
+            yield env.any_of([proc, guard])
+            if proc.triggered:
+                guard.cancel()
+                return proc.value
+            env.abandon(proc)
+            raise SimTimeoutError(
+                f"{what} on {self.node.path} exceeded {timeout_cycles} cycles "
+                f"(gave up at cycle {env.now}); resetDMA() to recover",
+                cycle=env.now,
+                budget=timeout_cycles,
+            )
+
+        return env.process(waiter(), name=f"{self.engine.name}.{what}_timeout")
+
+    def resetDMA(self) -> None:  # noqa: N802 (paper API)
+        """Soft-reset both channels of the engine (DMACR.Reset)."""
+        self._check_open()
+        self.engine.soft_reset()
+
+    def close(self) -> None:
+        if self.closed:
+            raise SimError(f"{self.node.path}: handle already closed")
+        self.closed = True
 
 
 class DevFs:

@@ -6,6 +6,13 @@ the transfer); S2MM mirrors at ``0x30``/``0x48``/``0x58``.  The runtime
 normally drives the engine through the driver-call API
 (:meth:`mm2s_transfer` / :meth:`s2mm_transfer` — what ``writeDMA`` and
 ``readDMA`` invoke), but the register path is exercised by tests too.
+
+Error handling mirrors the hardware: a rejected or failed transfer
+latches the matching ``DMASR`` error bit (``DMAIntErr`` for internal
+errors such as zero-length or truncated transfers, ``DMADecErr`` for
+address-decode failures) and raises a structured
+:class:`~repro.util.errors.SimError`; :meth:`soft_reset` clears a
+stuck channel the way the real DMACR.Reset bit does.
 """
 
 from __future__ import annotations
@@ -59,6 +66,12 @@ S2MM_DA = 0x48
 S2MM_LENGTH = 0x58
 
 _SR_IDLE = 0x2
+#: DMASR error bits (AXI DMA v7.1 layout).
+SR_DMA_INT_ERR = 0x10
+SR_DMA_SLV_ERR = 0x20
+SR_DMA_DEC_ERR = 0x40
+SR_ERR_MASK = SR_DMA_INT_ERR | SR_DMA_SLV_ERR | SR_DMA_DEC_ERR
+SR_IOC_IRQ = 0x1000
 
 
 class DmaEngine(AxiLiteDevice):
@@ -73,6 +86,7 @@ class DmaEngine(AxiLiteDevice):
         mm2s: StreamChannel | None = None,
         s2mm: StreamChannel | None = None,
         hp_port: HpPort | None = None,
+        injector=None,
     ) -> None:
         self.env = env
         self.name = name
@@ -80,6 +94,7 @@ class DmaEngine(AxiLiteDevice):
         self.mm2s = mm2s
         self.s2mm = s2mm
         self.hp_port = hp_port
+        self.injector = injector
         self.regs: dict[int, int] = {MM2S_DMASR: _SR_IDLE, S2MM_DMASR: _SR_IDLE}
         self._mm2s_busy: Process | None = None
         self._s2mm_busy: Process | None = None
@@ -94,18 +109,11 @@ class DmaEngine(AxiLiteDevice):
             raise SimError(f"DMA {self.name!r} has no MM2S channel")
         if self._mm2s_busy is not None and not self._mm2s_busy.triggered:
             raise SimError(f"DMA {self.name!r}: MM2S transfer already in flight")
-        self._check_window(addr, nbytes, "MM2S")
+        self._validate(addr, nbytes, "MM2S", MM2S_DMASR)
         self._mm2s_busy = self.env.process(
             self._run_mm2s(addr, nbytes), name=f"{self.name}.mm2s"
         )
         return self._mm2s_busy
-
-    def _check_window(self, addr: int, nbytes: int, what: str) -> None:
-        buf = self.memory.at(addr)
-        if addr + nbytes > buf.end:
-            raise SimError(
-                f"DMA {self.name!r}: {what} transfer past end of {buf.name!r}"
-            )
 
     def s2mm_transfer(self, addr: int, nbytes: int) -> Process:
         """Stream -> memory; returns the completion process (readDMA)."""
@@ -113,30 +121,75 @@ class DmaEngine(AxiLiteDevice):
             raise SimError(f"DMA {self.name!r} has no S2MM channel")
         if self._s2mm_busy is not None and not self._s2mm_busy.triggered:
             raise SimError(f"DMA {self.name!r}: S2MM transfer already in flight")
-        self._check_window(addr, nbytes, "S2MM")
+        self._validate(addr, nbytes, "S2MM", S2MM_DMASR)
         self._s2mm_busy = self.env.process(
             self._run_s2mm(addr, nbytes), name=f"{self.name}.s2mm"
         )
         return self._s2mm_busy
+
+    def _validate(self, addr: int, nbytes: int, what: str, sr: int) -> None:
+        """Reject a bad transfer *before* the channel goes busy.
+
+        The matching DMASR error bit is latched so software polling the
+        status register sees the failure the way real hardware reports
+        it; the raised SimError carries the human-readable cause.
+        """
+        if nbytes <= 0:
+            self.regs[sr] = _SR_IDLE | SR_DMA_INT_ERR
+            raise SimError(
+                f"DMA {self.name!r}: zero-length {what} transfer rejected"
+            )
+        try:
+            buf = self.memory.at(addr)
+        except SimError:
+            self.regs[sr] = _SR_IDLE | SR_DMA_DEC_ERR
+            raise
+        if addr + nbytes > buf.end:
+            self.regs[sr] = _SR_IDLE | SR_DMA_DEC_ERR
+            raise SimError(
+                f"DMA {self.name!r}: {what} transfer past end of {buf.name!r}"
+            )
+
+    def soft_reset(self) -> None:
+        """DMACR.Reset: abort in-flight transfers, clear both channels."""
+        for attr in ("_mm2s_busy", "_s2mm_busy"):
+            proc = getattr(self, attr)
+            if proc is not None and not proc.triggered:
+                self.env.abandon(proc)
+            setattr(self, attr, None)
+        self.regs = {MM2S_DMASR: _SR_IDLE, S2MM_DMASR: _SR_IDLE}
+
+    def _fault(self, kind: str, channel: str):
+        if self.injector is None:
+            return None
+        return self.injector.fire(kind, self.name, channel=channel)
 
     # -- transfer processes -----------------------------------------------------
     def _run_mm2s(self, addr: int, nbytes: int):
         buf = self.memory.at(addr)
         start = (addr - buf.base) // buf.data.itemsize
         count = nbytes // buf.data.itemsize
-        if start + count > len(buf.data.reshape(-1)):
-            raise SimError(f"DMA {self.name!r}: MM2S transfer past end of {buf.name!r}")
         flat = buf.data.reshape(-1)
         self.regs[MM2S_DMASR] = 0x0  # busy
-        yield self.env.timeout(READ_LATENCY)
-        for i in range(count):
-            if self.hp_port is not None:
-                yield self.hp_port.acquire()
-            else:
-                yield self.env.timeout(CYCLES_PER_WORD)
-            yield self.mm2s.put(flat[start + i].item())
+        try:
+            yield self.env.timeout(READ_LATENCY)
+            for i in range(count):
+                if self._fault("dma_stall", "mm2s") is not None:
+                    yield self.env.event()  # channel wedges: never resumes
+                if self._fault("dma_truncate", "mm2s") is not None:
+                    self.regs[MM2S_DMASR] = SR_DMA_INT_ERR  # halted, errored
+                    self.bytes_mm2s += i * buf.data.itemsize
+                    return i
+                if self.hp_port is not None:
+                    yield self.hp_port.acquire()
+                else:
+                    yield self.env.timeout(CYCLES_PER_WORD)
+                yield self.mm2s.put(flat[start + i].item())
+        except SimError:
+            self.regs[MM2S_DMASR] = SR_DMA_INT_ERR
+            raise
         self.bytes_mm2s += nbytes
-        self.regs[MM2S_DMASR] = _SR_IDLE | 0x1000  # IOC_Irq
+        self.regs[MM2S_DMASR] = _SR_IDLE | SR_IOC_IRQ
         return count
 
     def _run_s2mm(self, addr: int, nbytes: int):
@@ -144,19 +197,27 @@ class DmaEngine(AxiLiteDevice):
         start = (addr - buf.base) // buf.data.itemsize
         count = nbytes // buf.data.itemsize
         flat = buf.data.reshape(-1)
-        if start + count > len(flat):
-            raise SimError(f"DMA {self.name!r}: S2MM transfer past end of {buf.name!r}")
         self.regs[S2MM_DMASR] = 0x0
-        yield self.env.timeout(WRITE_LATENCY)
-        for i in range(count):
-            item = yield self.s2mm.get()
-            flat[start + i] = item
-            if self.hp_port is not None:
-                yield self.hp_port.acquire()
-            else:
-                yield self.env.timeout(CYCLES_PER_WORD)
+        try:
+            yield self.env.timeout(WRITE_LATENCY)
+            for i in range(count):
+                if self._fault("dma_stall", "s2mm") is not None:
+                    yield self.env.event()
+                if self._fault("dma_truncate", "s2mm") is not None:
+                    self.regs[S2MM_DMASR] = SR_DMA_INT_ERR
+                    self.bytes_s2mm += i * buf.data.itemsize
+                    return i
+                item = yield self.s2mm.get()
+                flat[start + i] = item
+                if self.hp_port is not None:
+                    yield self.hp_port.acquire()
+                else:
+                    yield self.env.timeout(CYCLES_PER_WORD)
+        except SimError:
+            self.regs[S2MM_DMASR] = SR_DMA_INT_ERR
+            raise
         self.bytes_s2mm += nbytes
-        self.regs[S2MM_DMASR] = _SR_IDLE | 0x1000
+        self.regs[S2MM_DMASR] = _SR_IDLE | SR_IOC_IRQ
         return count
 
     # -- register interface ---------------------------------------------------------

@@ -1,0 +1,302 @@
+"""Deterministic fault injection + recovery policy for the simulated SoC.
+
+Real Zynq deployments survive hung accelerators, stalled DMA channels
+and flipped bits because the software stack around them watches,
+resets and falls back.  This module supplies the *fault* half of that
+story: a declarative, seeded :class:`FaultPlan` whose faults are armed
+in cycle time and consumed at well-defined injection points inside the
+simulator, so a campaign replays byte-identically for the same seed.
+
+Fault kinds
+-----------
+``accel_hang``    an AXI-Lite core never raises ``ap_done``
+``dma_stall``     a DMA channel stops moving words mid-transfer
+``dma_truncate``  a DMA transfer ends early with ``DMASR`` error bits set
+``axi_slverr``    an AXI-Lite access to a segment returns SLVERR
+``axi_decerr``    an AXI-Lite access to a segment returns DECERR
+``stream_drop``   a stream FIFO loses a token (consumer will starve)
+``stream_flip``   a stream FIFO flips one bit of a token in flight
+``dram_flip``     a single-bit flip in a DRAM buffer at a given cycle
+
+Recovery is the runtime's half (see :mod:`repro.sim.runtime`): a
+per-node watchdog, bounded retry with soft reset, and graceful
+degradation to the node's golden software behaviour.
+:class:`RecoveryPolicy` parameterizes that ladder.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field, replace
+
+FAULT_KINDS = (
+    "accel_hang",
+    "dma_stall",
+    "dma_truncate",
+    "axi_slverr",
+    "axi_decerr",
+    "stream_drop",
+    "stream_flip",
+    "dram_flip",
+)
+
+#: Wildcard target: resolved against the live inventory at fire time
+#: (e.g. "any DRAM buffer", picked deterministically by ``word``).
+ANY = "*"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault.
+
+    ``target`` names the component (core/DMA cell/channel/buffer name,
+    or :data:`ANY`); ``at_cycle`` is the cycle the fault arms — it fires
+    at the first injection point at or after that cycle.  One-shot
+    faults spend their ``count`` charges and go quiet (a retry then
+    succeeds); ``persistent`` faults re-fire forever (driving the
+    recovery ladder all the way to the software fallback).
+    """
+
+    kind: str
+    target: str
+    at_cycle: int = 0
+    channel: str = "mm2s"  # which DMA channel, for dma_* kinds
+    bit: int = 0  # bit index, for *_flip kinds
+    word: int = 0  # word index inside the buffer, for dram_flip
+    count: int = 1  # charges before a one-shot fault goes quiet
+    persistent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    def describe(self) -> str:
+        extra = ""
+        if self.kind in ("dma_stall", "dma_truncate"):
+            extra = f".{self.channel}"
+        elif self.kind in ("stream_flip", "dram_flip"):
+            extra = f" bit={self.bit}"
+            if self.kind == "dram_flip":
+                extra += f" word={self.word}"
+        life = "persistent" if self.persistent else f"count={self.count}"
+        return f"{self.kind}@{self.at_cycle} on {self.target}{extra} ({life})"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative, replayable set of faults."""
+
+    faults: tuple[Fault, ...] = ()
+    seed: int | None = None
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def describe(self) -> list[str]:
+        return [f.describe() for f in self.faults]
+
+    def digest(self) -> str:
+        return _stable_digest([f.__dict__ for f in self.faults])
+
+    @classmethod
+    def single(cls, kind: str, target: str, **kwargs) -> "FaultPlan":
+        return cls(faults=(Fault(kind, target, **kwargs),))
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        system=None,
+        horizon: int = 200_000,
+        max_faults: int = 2,
+        persistent_prob: float = 0.15,
+    ) -> "FaultPlan":
+        """A seeded random plan drawn from *system*'s target inventory.
+
+        The inventory covers AXI-Lite cores (hang + bus errors), DMA
+        cells (stall/truncate per attached channel), stream links
+        (drop/flip) and DRAM (wildcard single-bit flips).  The same
+        seed and system always produce the same plan.
+        """
+        rng = random.Random(seed)
+        choices: list[Fault] = []
+        lite_nodes: list[str] = []
+        lite_cells: list[str] = []
+        dma_channels: list[tuple[str, str]] = []
+        links: list[str] = []
+        if system is not None:
+            for edge in system.graph.connects():
+                lite_nodes.append(edge.node)
+                lite_cells.append(system.cell_of[edge.node])
+            for binding in system.dmas:
+                if binding.mm2s_link is not None:
+                    dma_channels.append((binding.cell, "mm2s"))
+                if binding.s2mm_link is not None:
+                    dma_channels.append((binding.cell, "s2mm"))
+            links = [link_name(link) for link in system.graph.links()]
+
+        def at() -> int:
+            return rng.randrange(0, horizon)
+
+        for node in lite_nodes:
+            choices.append(Fault("accel_hang", node, at_cycle=at()))
+        for cell in lite_cells:
+            choices.append(
+                Fault(rng.choice(("axi_slverr", "axi_decerr")), cell, at_cycle=at())
+            )
+        for cell, chan in dma_channels:
+            choices.append(
+                Fault(
+                    rng.choice(("dma_stall", "dma_truncate")),
+                    cell,
+                    at_cycle=at(),
+                    channel=chan,
+                )
+            )
+        for name in links:
+            choices.append(
+                Fault(
+                    rng.choice(("stream_drop", "stream_flip")),
+                    name,
+                    at_cycle=at(),
+                    bit=rng.randrange(0, 32),
+                )
+            )
+        choices.append(
+            Fault(
+                "dram_flip",
+                ANY,
+                at_cycle=at(),
+                bit=rng.randrange(0, 32),
+                word=rng.randrange(0, 1 << 16),
+            )
+        )
+        rng.shuffle(choices)
+        picked = choices[: max(1, min(max_faults, len(choices)))]
+        picked = tuple(
+            replace(f, persistent=True) if rng.random() < persistent_prob else f
+            for f in picked
+        )
+        return cls(faults=picked, seed=seed)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault actually firing (cycle-stamped)."""
+
+    cycle: int
+    kind: str
+    target: str
+    detail: str = ""
+
+    def describe(self) -> str:
+        d = f": {self.detail}" if self.detail else ""
+        return f"cycle {self.cycle}: {self.kind} fired on {self.target}{d}"
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One recovery action the runtime took (cycle-stamped)."""
+
+    cycle: int
+    node: str
+    action: str  # "retry" | "soft-reset" | "fallback" | "diagnosed"
+    attempt: int = 0
+    cause: str = ""
+
+    def describe(self) -> str:
+        c = f" ({self.cause})" if self.cause else ""
+        return f"cycle {self.cycle}: {self.action} on {self.node} attempt {self.attempt}{c}"
+
+
+class FaultInjector:
+    """Runtime fault oracle: components ask it at injection points.
+
+    Decisions depend only on the plan, the component identity and the
+    current cycle, so runs are deterministic.  Every fired fault is
+    recorded (cycle-stamped) in :attr:`events`.
+    """
+
+    def __init__(self, plan: FaultPlan, env) -> None:
+        self.plan = plan
+        self.env = env
+        self._uses: dict[int, int] = {}
+        self.events: list[FaultEvent] = []
+
+    def fire(self, kind: str, target: str, *, channel: str | None = None,
+             detail: str = "") -> Fault | None:
+        """Consume a charge of a matching armed fault, if any."""
+        for i, f in enumerate(self.plan.faults):
+            if f.kind != kind:
+                continue
+            if f.target != target and f.target != ANY:
+                continue
+            if channel is not None and f.channel != channel:
+                continue
+            if self.env.now < f.at_cycle:
+                continue
+            if not f.persistent and self._uses.get(i, 0) >= f.count:
+                continue
+            self._uses[i] = self._uses.get(i, 0) + 1
+            self.events.append(
+                FaultEvent(cycle=self.env.now, kind=kind, target=target, detail=detail)
+            )
+            return f
+        return None
+
+    def note(self, kind: str, target: str, detail: str = "") -> None:
+        """Record a fault firing decided elsewhere (e.g. a DRAM flip)."""
+        self.events.append(
+            FaultEvent(cycle=self.env.now, kind=kind, target=target, detail=detail)
+        )
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Parameters of the runtime's recovery ladder.
+
+    Every hardware node runs under a cancellable watchdog of
+    ``node_budget`` cycles per attempt; a failed attempt soft-resets the
+    node's hardware (costing ``reset_cycles``) and retries, up to
+    ``max_attempts`` tries; exhausted budgets degrade to the node's
+    golden software behaviour when ``fallback`` is set.
+    ``verify_outputs`` turns on the end-to-end result integrity check
+    (the CRC a robust deployment would add); ``None`` enables it exactly
+    when a fault plan is active, keeping fault-free runs byte-identical
+    to the unguarded simulator.
+    """
+
+    node_budget: int = 50_000_000
+    max_attempts: int = 3
+    reset_cycles: int = 200
+    fallback: bool = True
+    verify_outputs: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.node_budget < 1:
+            raise ValueError("node_budget must be >= 1 cycle")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+
+def link_name(link) -> str:
+    """Canonical display name of a stream link (also the fault target)."""
+
+    def end(e):
+        return "soc" if not isinstance(e, tuple) else f"{e[0]}.{e[1]}"
+
+    return f"{end(link.src)}->{end(link.dst)}"
+
+
+def _stable_digest(obj) -> str:
+    return hashlib.sha256(
+        json.dumps(obj, sort_keys=True, default=str).encode()
+    ).hexdigest()
+
+
+def campaign_digest(records: list[dict]) -> str:
+    """Stable digest of a campaign's outcome records (replay check)."""
+    return _stable_digest(records)

@@ -9,6 +9,23 @@ compose (``yield env.process(child())``).
 The design is a deliberately small subset of SimPy — enough for FIFOs,
 DMA engines and CPU/accelerator processes — with deterministic FIFO
 ordering of same-cycle events so simulations are reproducible.
+
+Robustness machinery on top of the basic queue:
+
+* :meth:`Environment.deadline` — a cancellable watchdog timer.  A
+  cancelled deadline is skipped without advancing the clock, so arming
+  and cancelling watchdogs leaves fault-free runs cycle-identical.
+* *background* scheduling (:meth:`Environment.schedule_background`) —
+  entries that run if simulation time reaches them but do not, on their
+  own, keep the simulation alive (used for scheduled fault injections).
+* a live-process registry with :meth:`Environment.abandon` and an
+  optional deadlock detector: if the queue drains while registered
+  processes remain blocked, :class:`SimDeadlockError` names them and
+  reports FIFO occupancies instead of returning silently.
+* structured failure propagation: an exception inside a process escapes
+  :meth:`Environment.run` wrapped in :class:`SimProcessError` (process
+  name + cycle), or — for processes started with ``capture_errors`` —
+  is stored on :attr:`Process.error` so a supervisor can retry.
 """
 
 from __future__ import annotations
@@ -16,7 +33,12 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Generator
 
-from repro.util.errors import SimError
+from repro.util.errors import (
+    ReproError,
+    SimDeadlockError,
+    SimError,
+    SimProcessError,
+)
 
 
 class Event:
@@ -52,23 +74,112 @@ class Event:
             self._callbacks.append(cb)
 
 
+class Timer(Event):
+    """A cancellable deadline (watchdog) event.
+
+    Triggers *delay* cycles after creation unless :meth:`cancel` is
+    called first.  A cancelled timer's queue entry is discarded without
+    advancing the clock, so an unused watchdog is timing-invisible.
+    """
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self, env: "Environment", delay: int, value: object = None) -> None:
+        super().__init__(env)
+        self.cancelled = False
+
+        def fire() -> None:
+            if not self.cancelled:
+                self.trigger(value)
+
+        fire._timer = self  # run() skips cancelled timer entries
+        env._push(int(delay), fire)
+
+    def cancel(self) -> None:
+        """Disarm the deadline (idempotent; a no-op once triggered)."""
+        if not self.cancelled and not self.triggered:
+            self.cancelled = True
+            self.env._foreground -= 1
+
+
 class Process(Event):
-    """A running generator; triggers (with its return value) on exit."""
+    """A running generator; triggers (with its return value) on exit.
 
-    __slots__ = ("generator", "name")
+    Failure semantics, in order of precedence:
 
-    def __init__(self, env: "Environment", generator: Generator, name: str = "?") -> None:
+    * ``capture_errors`` — a :class:`~repro.util.errors.ReproError`
+      raised by the generator is stored on :attr:`error` and the process
+      triggers normally (value ``None``) — the supervision hook the
+      runtime's retry ladder builds on;
+    * every waiter is another process — the exception is re-thrown
+      *inside* each waiting generator (at its ``yield``), so callers can
+      handle a child's failure inline with ``try/except``, exactly like
+      a C driver call returning an error;
+    * otherwise the failure propagates out of :meth:`Environment.run`
+      wrapped in :class:`SimProcessError` (process name + cycle).
+    """
+
+    __slots__ = (
+        "generator", "name", "error", "failed", "_abandoned", "_capture_errors",
+    )
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator,
+        name: str = "?",
+        *,
+        capture_errors: bool = False,
+    ) -> None:
         super().__init__(env)
         self.generator = generator
         self.name = name
+        self.error: BaseException | None = None
+        self.failed = False
+        self._abandoned = False
+        self._capture_errors = capture_errors
+        env._processes[id(self)] = self
         env._immediate(self._step)
 
+    def _finish(self, value: object) -> None:
+        self.env._processes.pop(id(self), None)
+        self.trigger(value)
+
     def _step(self, _evt: Event | None = None) -> None:
-        try:
-            value = self.generator.send(_evt.value if _evt is not None else None)
-        except StopIteration as stop:
-            self.trigger(stop.value)
+        if self._abandoned:
             return
+        try:
+            if _evt is not None and getattr(_evt, "failed", False):
+                value = self.generator.throw(_evt.error)
+            else:
+                value = self.generator.send(_evt.value if _evt is not None else None)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except ReproError as exc:
+            self.env._processes.pop(id(self), None)
+            if self._capture_errors:
+                self.error = exc
+                self.trigger(None)
+                return
+            waiters = [
+                cb for cb in self._callbacks
+                if isinstance(getattr(cb, "__self__", None), Process)
+            ]
+            if waiters and len(waiters) == len(self._callbacks):
+                # Everyone waiting is a process: re-raise inside them.
+                self.error = exc
+                self.failed = True
+                self.trigger(None)
+                return
+            if isinstance(exc, SimProcessError):
+                raise
+            raise SimProcessError(
+                f"process {self.name!r} failed at cycle {self.env.now}: {exc}",
+                process=self.name,
+                cycle=self.env.now,
+                original=exc,
+            ) from exc
         if not isinstance(value, Event):
             raise SimError(
                 f"process {self.name!r} yielded {type(value).__name__}; "
@@ -82,18 +193,37 @@ class Environment:
 
     def __init__(self) -> None:
         self.now = 0
-        self._queue: list[tuple[int, int, Callable[[], None]]] = []
+        self._queue: list[tuple[int, int, Callable[[], None], bool]] = []
         self._seq = 0
+        self._foreground = 0
+        #: Live (started, not finished, not abandoned) processes.
+        self._processes: dict[int, Process] = {}
+        #: Objects reported on deadlock (anything with name/capacity/len).
+        self.watched_fifos: list = []
+        #: When True, run() raises SimDeadlockError if the queue drains
+        #: while processes remain blocked (instead of returning quietly).
+        self.detect_deadlock = False
 
     # -- scheduling -------------------------------------------------------
-    def _push(self, delay: int, fn: Callable[[], None]) -> None:
+    def _push(self, delay: int, fn: Callable[[], None], *, background: bool = False) -> None:
         if delay < 0:
             raise SimError("cannot schedule into the past")
         self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, fn))
+        heapq.heappush(self._queue, (self.now + delay, self._seq, fn, background))
+        if not background:
+            self._foreground += 1
 
     def _immediate(self, fn: Callable) -> None:
         self._push(0, fn)
+
+    def schedule_background(self, delay: int, fn: Callable[[], None]) -> None:
+        """Schedule *fn* without keeping the simulation alive for it.
+
+        A background entry executes only if foreground work is still
+        pending when its time arrives — fault injections scheduled past
+        the natural end of a run simply never happen.
+        """
+        self._push(int(delay), fn, background=True)
 
     def timeout(self, delay: int, value: object = None) -> Event:
         """An event that triggers *delay* cycles from now."""
@@ -101,12 +231,35 @@ class Environment:
         self._push(int(delay), lambda: evt.trigger(value))
         return evt
 
+    def deadline(self, delay: int, value: object = None) -> Timer:
+        """A cancellable watchdog event *delay* cycles from now."""
+        return Timer(self, delay, value)
+
     def event(self) -> Event:
         return Event(self)
 
-    def process(self, generator: Generator, name: str = "?") -> Process:
+    def process(
+        self, generator: Generator, name: str = "?", *, capture_errors: bool = False
+    ) -> Process:
         """Start a generator as a process."""
-        return Process(self, generator, name)
+        return Process(self, generator, name, capture_errors=capture_errors)
+
+    def abandon(self, process: Process) -> None:
+        """Give up on a blocked process (watchdog recovery).
+
+        The process is removed from the live registry (so it cannot trip
+        the deadlock detector), will never be stepped again, and its
+        generator is closed so ``finally`` blocks release held resources
+        (e.g. a CPU core slot).
+        """
+        if process.triggered:
+            return
+        process._abandoned = True
+        self._processes.pop(id(process), None)
+        try:
+            process.generator.close()
+        except Exception:  # cleanup must never break recovery itself
+            pass
 
     def all_of(self, events: list[Event]) -> Event:
         """An event triggering when every event in *events* has triggered."""
@@ -131,22 +284,70 @@ class Environment:
             evt.add_callback(make_cb(i))
         return done
 
+    def any_of(self, events: list[Event]) -> Event:
+        """An event triggering when the *first* of *events* triggers.
+
+        The winning event is the trigger value; later triggers of the
+        other events are ignored.
+        """
+        done = Event(self)
+
+        def cb(evt: Event) -> None:
+            if not done.triggered:
+                done.trigger(evt)
+
+        for evt in events:
+            evt.add_callback(cb)
+        return done
+
     # -- main loop -----------------------------------------------------------
     def run(self, until: int | None = None, *, max_events: int = 50_000_000) -> int:
         """Process events until the queue drains (or *until* cycles).
 
-        Returns the final simulation time.
+        Returns the final simulation time.  Cancelled deadlines are
+        skipped without advancing the clock; background entries never
+        hold the simulation open on their own.  With
+        :attr:`detect_deadlock` set, draining the queue while processes
+        remain blocked raises a structured :class:`SimDeadlockError`.
         """
         count = 0
         while self._queue:
-            time, _, fn = self._queue[0]
+            if self._foreground == 0:
+                break  # only background injections / cancelled timers left
+            time, _, fn, background = self._queue[0]
+            timer = getattr(fn, "_timer", None)
+            if timer is not None and timer.cancelled:
+                heapq.heappop(self._queue)
+                continue
             if until is not None and time > until:
                 self.now = until
                 return self.now
             heapq.heappop(self._queue)
+            if not background:
+                self._foreground -= 1
             self.now = time
             fn()
             count += 1
             if count > max_events:
                 raise SimError(f"simulation exceeded {max_events} events (livelock?)")
+        if self.detect_deadlock and self._processes:
+            raise self._deadlock_error()
         return self.now
+
+    def _deadlock_error(self) -> SimDeadlockError:
+        blocked = tuple(sorted(p.name for p in self._processes.values()))
+        fifos = {
+            ch.name: (len(ch), ch.capacity)
+            for ch in self.watched_fifos
+        }
+        occupancy = ", ".join(
+            f"{name}={occ}/{cap}" for name, (occ, cap) in sorted(fifos.items())
+        )
+        return SimDeadlockError(
+            f"deadlock at cycle {self.now}: no runnable process while "
+            f"{len(blocked)} process(es) remain blocked: {', '.join(blocked)}"
+            + (f" [FIFO occupancy: {occupancy}]" if fifos else ""),
+            cycle=self.now,
+            blocked=blocked,
+            fifo_occupancy=fifos,
+        )

@@ -38,12 +38,19 @@ from repro.sim.axi import AxiLiteBus, StreamChannel
 from repro.sim.cpu import CpuModel
 from repro.sim.devfs import DevFs
 from repro.sim.dma_engine import DmaEngine, HpPort
+from repro.sim.faults import (
+    ANY,
+    FaultInjector,
+    FaultPlan,
+    RecoveryEvent,
+    RecoveryPolicy,
+)
 from repro.sim.kernel import Environment, Event
 from repro.sim.memory import Memory
 from repro.sim.trace import Trace
 from repro.soc.address_map import AddressMap
 from repro.soc.integrator import IntegratedSystem
-from repro.util.errors import SimError
+from repro.util.errors import FaultInjectionError, SimError, SimTimeoutError
 
 #: Default CPI-like scale from interpreter op counts to ARM cycles.
 SW_CYCLES_PER_OP = 1.6
@@ -83,6 +90,10 @@ class ExecutionReport:
     channel_stats: dict[str, tuple[int, int]] = field(default_factory=dict)
     #: Total 32-bit words that crossed the HP port (0 without DMA).
     hp_words: int = 0
+    #: Cycle-stamped fault firings (empty without a FaultPlan).
+    fault_events: list = field(default_factory=list)
+    #: Cycle-stamped recovery actions the runtime took.
+    recovery_events: list = field(default_factory=list)
 
     @property
     def seconds(self) -> float:
@@ -103,6 +114,10 @@ class ExecutionReport:
         for name, (start, end) in sorted(self.node_spans.items(), key=lambda kv: kv[1]):
             share = (end - start) / self.cycles if self.cycles else 0.0
             lines.append(f"  {name:<18} {start:>8} .. {end:<8} ({share:5.1%})")
+        for evt in self.fault_events:
+            lines.append(f"  fault     {evt.describe()}")
+        for evt in self.recovery_events:
+            lines.append(f"  recovery  {evt.describe()}")
         return "\n".join(lines)
 
 
@@ -116,6 +131,7 @@ class SimPlatform:
         hp_words_per_cycle: int = 2,
         wait_mode: str = "poll",
         cpu_cores: int = 2,
+        faults: FaultPlan | None = None,
     ) -> None:
         if wait_mode not in ("poll", "irq"):
             raise SimError(f"unknown wait mode {wait_mode!r}")
@@ -125,6 +141,8 @@ class SimPlatform:
         self.system = system
         self.devfs = DevFs()
         self.wait_mode = wait_mode
+        self.fault_plan = faults
+        self.injector = FaultInjector(faults, self.env) if faults else None
         self.channels: dict[object, StreamChannel] = {}
         self.dma_engines: dict[str, DmaEngine] = {}
         self.lite_cores: dict[str, LiteAccelSim] = {}
@@ -134,9 +152,13 @@ class SimPlatform:
         self.cpu_cores = cpu_cores
         if system is not None:
             self._build_fabric(system, hp_words_per_cycle)
+        if self.injector is not None:
+            self._schedule_dram_faults()
 
     def _build_fabric(self, system: IntegratedSystem, hp_words_per_cycle: int) -> None:
-        self.bus = AxiLiteBus(self.env, system.design.address_map)
+        self.bus = AxiLiteBus(
+            self.env, system.design.address_map, injector=self.injector
+        )
         self.cpu = CpuModel(self.env, self.bus, num_cores=self.cpu_cores)
         any_m_axi = any(core.iface.m_axi_ports for core in system.cores.values())
         if system.dmas or any_m_axi:
@@ -149,7 +171,7 @@ class SimPlatform:
             elif isinstance(link.src, tuple):
                 width = system.cores[link.src[0]].iface.stream(link.src[1]).width
             self.channels[link] = StreamChannel(
-                self.env, _link_name(link), width_bits=width
+                self.env, _link_name(link), width_bits=width, injector=self.injector
             )
         for i, binding in enumerate(system.dmas):
             mm2s = self.channels.get(binding.mm2s_link) if binding.mm2s_link else None
@@ -161,6 +183,7 @@ class SimPlatform:
                 mm2s=mm2s,
                 s2mm=s2mm,
                 hp_port=self.hp_port,
+                injector=self.injector,
             )
             self.dma_engines[binding.cell] = engine
             self.devfs.register_dma(i, engine)
@@ -173,10 +196,46 @@ class SimPlatform:
                 system.cores[edge.node],
                 self.memory,
                 hp_port=self.hp_port,
+                injector=self.injector,
             )
             self.lite_cores[edge.node] = sim
             self.bus.attach(cell, sim)
             self.devfs.register_core(cell)
+
+    # -- scheduled DRAM faults ------------------------------------------------
+    def _schedule_dram_faults(self) -> None:
+        """Arm single-bit DRAM flips as background events in cycle time.
+
+        Background scheduling means a flip set past the natural end of
+        the run simply never happens — it cannot hold the simulation
+        open or distort the final cycle count.
+        """
+        for fault in self.fault_plan.faults:
+            if fault.kind == "dram_flip":
+                self.env.schedule_background(fault.at_cycle, self._make_flip(fault))
+
+    def _make_flip(self, fault):
+        def flip() -> None:
+            names = sorted(self.memory.buffers)
+            if not names:
+                return
+            if fault.target == ANY:
+                target = names[fault.word % len(names)]
+            elif fault.target in self.memory.buffers:
+                target = fault.target
+            else:
+                return
+            buf = self.memory.buffers[target]
+            flat = buf.data.reshape(-1).view(np.uint8)
+            if flat.size == 0:
+                return
+            idx = (fault.word * buf.data.itemsize + fault.bit // 8) % flat.size
+            flat[idx] ^= np.uint8(1 << (fault.bit % 8))
+            self.injector.note(
+                "dram_flip", target, detail=f"byte {idx} bit {fault.bit % 8}"
+            )
+
+        return flip
 
 
 def _link_name(link) -> str:
@@ -194,6 +253,8 @@ class _Runtime:
         behaviors: dict[str, Behavior],
         platform: SimPlatform,
         inputs: dict[str, np.ndarray],
+        *,
+        policy: RecoveryPolicy | None = None,
     ) -> None:
         self.htg = htg
         self.partition = partition
@@ -201,6 +262,19 @@ class _Runtime:
         self.p = platform
         self.data: dict[str, np.ndarray] = {k: np.asarray(v) for k, v in inputs.items()}
         self.node_spans: dict[str, tuple[int, int]] = {}
+        self.policy = policy or RecoveryPolicy()
+        #: The retry ladder wraps hardware nodes only when a fault plan
+        #: or an explicit policy asks for it — the unguarded path stays
+        #: literally the same code, so fault-free runs are identical.
+        self._ladder = policy is not None or platform.injector is not None
+        self.recovery_events: list[RecoveryEvent] = []
+        #: Live hardware a phase holds while executing — what a watchdog
+        #: recovery must abandon/reset (procs, channels, DMA engines).
+        self._phase_state: dict[str, dict] = {}
+        if self.policy.verify_outputs is None:
+            self._verify = platform.injector is not None
+        else:
+            self._verify = self.policy.verify_outputs
 
     # -- helpers --------------------------------------------------------
     def behavior_of(self, key: str) -> Behavior:
@@ -269,9 +343,35 @@ class _Runtime:
         base = system.design.address_map.of(system.cell_of[node.name]).base
         irq = sim.done_irq() if self.p.wait_mode == "irq" else None
         yield from self.p.cpu.run_lite_core(base, scalar_args, irq=irq)
+        if self._verify:
+            self._check_integrity(
+                node.name,
+                [(pname, buf.data, ref) for (pname, buf), ref in zip(out_bufs, golden)],
+            )
         for pname, buf in out_bufs:
             self.data[pname] = buf.data.copy()
         self.p.trace.record(f"hw:{node.name}", "accel", start, self.p.env.now)
+
+    def _check_integrity(self, node: str, triples) -> None:
+        """End-to-end result check (the CRC a robust deployment adds).
+
+        Hardware results are bit-exact against the golden behaviour by
+        construction, so any mismatch means corrupted data (bit flip,
+        truncated stream) — surfaced as a structured error the retry
+        ladder can act on instead of letting bad bytes escape.
+        """
+        bad = [
+            pname
+            for pname, actual, ref in triples
+            if not np.array_equal(np.asarray(actual), np.asarray(ref))
+        ]
+        if bad:
+            raise FaultInjectionError(
+                f"integrity check failed for output(s) {bad} of node {node!r} "
+                f"at cycle {self.p.env.now}: hardware result differs from the "
+                "golden reference",
+                cycle=self.p.env.now,
+            )
 
     def _ensure_buffer(self, name: str, arr: np.ndarray):
         mem = self.p.memory
@@ -319,6 +419,8 @@ class _Runtime:
         # Map phase channels onto the system's stream links/FIFOs.
         actors: list[StreamActorSim] = []
         pending: list[Event] = []
+        used_channels: set[StreamChannel] = set()
+        used_engines: set[DmaEngine] = set()
         for actor in phase.actors:
             ins, outs = [], []
             for port in actor.stream_inputs:
@@ -347,6 +449,7 @@ class _Runtime:
                 self.p.env, actor.name, inputs=ins, outputs=outs, timing=timing
             )
             actors.append(sim)
+            used_channels.update(e.channel for e in (*ins, *outs))
             pending.append(sim.start())
 
         # Driver calls: one writeDMA per boundary input, one readDMA per
@@ -357,6 +460,7 @@ class _Runtime:
             link = self._find_link(dst=(ch.dst_actor, ch.dst_port))
             binding = system.dma_for_input(link)
             handle = self._dma_handle(binding.cell)
+            used_engines.add(handle.engine)
             yield from self.p.cpu.call_driver()
             pending.append(handle.writeDMA(buf.base, buf.nbytes))
         out_bufs = []
@@ -368,12 +472,24 @@ class _Runtime:
             link = self._find_link(src=(ch.src_actor, ch.src_port))
             binding = system.dma_for_output(link)
             handle = self._dma_handle(binding.cell)
+            used_engines.add(handle.engine)
             yield from self.p.cpu.call_driver()
             pending.append(handle.readDMA(buf.base, buf.nbytes))
-            out_bufs.append((ch.dst_port, buf))
+            out_bufs.append((ch.dst_port, buf, ref))
 
+        # Register what a watchdog recovery must clean up, then wait.
+        self._phase_state[phase.name] = {
+            "procs": list(pending),
+            "channels": used_channels,
+            "engines": used_engines,
+        }
         yield self.p.env.all_of(pending)
-        for name, buf in out_bufs:
+        self._phase_state.pop(phase.name, None)
+        if self._verify:
+            self._check_integrity(
+                phase.name, [(name, buf.data, ref) for name, buf, ref in out_bufs]
+            )
+        for name, buf, _ref in out_bufs:
             self.data[name] = buf.data.copy()
         for sim in actors:
             if sim.started_at is not None and sim.finished_at is not None:
@@ -433,6 +549,74 @@ class _Runtime:
         for ch in phase.boundary_outputs():
             self.data[ch.dst_port] = channel_data[(ch.src_actor, ch.src_port)]
 
+    # -- recovery ladder -------------------------------------------------------------
+    def _record(self, name: str, action: str, attempt: int, cause: str = "") -> None:
+        self.recovery_events.append(
+            RecoveryEvent(
+                cycle=self.p.env.now, node=name, action=action,
+                attempt=attempt, cause=cause,
+            )
+        )
+
+    def _recover_node(self, name: str, node, cause: BaseException, attempt: int):
+        """Soft-reset the hardware a failed attempt holds, charge the cost."""
+        env = self.p.env
+        self._record(name, "soft-reset", attempt, cause=str(cause))
+        if isinstance(node, Task):
+            core = self.p.lite_cores.get(name)
+            if core is not None:
+                core.soft_reset()
+        else:
+            state = self._phase_state.pop(name, None)
+            if state is not None:
+                for proc in state["procs"]:
+                    if not proc.triggered:
+                        env.abandon(proc)
+                for engine in state["engines"]:
+                    engine.soft_reset()
+                for channel in state["channels"]:
+                    channel.reset()
+        start = env.now
+        yield env.timeout(self.policy.reset_cycles)
+        self.p.trace.record(f"recover:{name}", "reset", start, env.now)
+
+    def _run_guarded(self, name: str, node, runner):
+        """Watchdog -> capture -> soft reset -> retry -> software fallback."""
+        env = self.p.env
+        policy = self.policy
+        cause: BaseException | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                self._record(name, "retry", attempt, cause=str(cause))
+            tproc = env.process(
+                runner(node), name=f"try.{name}#{attempt}", capture_errors=True
+            )
+            guard = env.deadline(policy.node_budget)
+            yield env.any_of([tproc, guard])
+            if tproc.triggered and tproc.error is None:
+                guard.cancel()
+                return
+            if tproc.triggered:
+                guard.cancel()
+                cause = tproc.error
+            else:
+                env.abandon(tproc)
+                cause = SimTimeoutError(
+                    f"node {name!r} exceeded its {policy.node_budget}-cycle "
+                    f"budget (attempt {attempt}, cycle {env.now})",
+                    cycle=env.now,
+                    budget=policy.node_budget,
+                )
+            yield from self._recover_node(name, node, cause, attempt)
+        if not policy.fallback:
+            self._record(name, "diagnosed", policy.max_attempts, cause=str(cause))
+            raise cause
+        self._record(name, "fallback", policy.max_attempts, cause=str(cause))
+        if isinstance(node, Task):
+            yield from self.run_sw_task(node)
+        else:
+            yield from self.run_sw_phase(node)
+
     # -- top level -------------------------------------------------------------------
     def launch(self) -> None:
         done: dict[str, Event] = {}
@@ -442,16 +626,15 @@ class _Runtime:
             yield self.p.env.all_of(preds)
             node = self.htg.node(name)
             start = self.p.env.now
+            hw = self.partition.is_hw(name)
             if isinstance(node, Task):
-                if self.partition.is_hw(name):
-                    yield from self.run_hw_task(node)
-                else:
-                    yield from self.run_sw_task(node)
+                runner = self.run_hw_task if hw else self.run_sw_task
             else:
-                if self.partition.is_hw(name):
-                    yield from self.run_hw_phase(node)
-                else:
-                    yield from self.run_sw_phase(node)
+                runner = self.run_hw_phase if hw else self.run_sw_phase
+            if hw and self._ladder:
+                yield from self._run_guarded(name, node, runner)
+            else:
+                yield from runner(node)
             self.node_spans[name] = (start, self.p.env.now)
 
         for name in topological_order(self.htg):
@@ -469,6 +652,8 @@ def simulate_application(
     hp_words_per_cycle: int = 2,
     wait_mode: str = "poll",
     cpu_cores: int = 2,
+    faults: FaultPlan | None = None,
+    policy: RecoveryPolicy | None = None,
 ) -> ExecutionReport:
     """Run *htg* under *partition* and return the execution report.
 
@@ -478,6 +663,14 @@ def simulate_application(
     engines contend for; *wait_mode* selects polling or interrupt-driven
     completion for AXI-Lite cores; *cpu_cores* bounds how many software
     tasks overlap (the Zedboard's A9 is dual-core).
+
+    *faults* arms a deterministic :class:`FaultPlan`; *policy* tunes the
+    recovery ladder (watchdog budget, retries, software fallback).
+    Either one enables the guarded execution path; with neither, the run
+    is byte- and cycle-identical to the unguarded simulator.  The
+    deadlock detector is always on: a wedged run raises a structured
+    :class:`~repro.util.errors.SimDeadlockError` naming the blocked
+    processes instead of returning silently.
     """
     validate_htg(htg)
     partition.validate(htg)
@@ -488,12 +681,14 @@ def simulate_application(
         hp_words_per_cycle=hp_words_per_cycle,
         wait_mode=wait_mode,
         cpu_cores=cpu_cores,
+        faults=faults,
     )
+    platform.env.detect_deadlock = True
     if platform.cpu is None:
         platform.cpu = CpuModel(
             platform.env, AxiLiteBus(platform.env, AddressMap()), num_cores=cpu_cores
         )
-    runtime = _Runtime(htg, partition, behaviors, platform, inputs)
+    runtime = _Runtime(htg, partition, behaviors, platform, inputs, policy=policy)
     runtime.launch()
     cycles = platform.env.run()
     return ExecutionReport(
@@ -507,6 +702,8 @@ def simulate_application(
             for ch in platform.channels.values()
         },
         hp_words=platform.hp_port.total_words if platform.hp_port else 0,
+        fault_events=list(platform.injector.events) if platform.injector else [],
+        recovery_events=list(runtime.recovery_events),
     )
 
 

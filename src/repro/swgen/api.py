@@ -48,6 +48,10 @@ def generate_api_header(core: str, result: SynthesisResult, rng: AddressRange) -
         f"void {core}_start(void);",
         f"int {core}_is_done(void);",
         f"void {core}_wait(void);",
+        "/* Bounded wait: 0 once ap_done, -1 when the watchdog expires",
+        f" * (call {core}_reset() before retrying). */",
+        f"int {core}_wait_timeout(uint32_t max_spins);",
+        f"void {core}_reset(void);",
         "",
         f"#endif /* {guard} */",
     ]
@@ -106,6 +110,18 @@ def generate_api_source(core: str, result: SynthesisResult, rng: AddressRange) -
         "",
         f"void {core}_wait(void) {{",
         f"    while (!{core}_is_done()) {{ /* spin */ }}",
+        "}",
+        "",
+        f"int {core}_wait_timeout(uint32_t max_spins) {{",
+        "    while (max_spins--) {",
+        f"        if ({core}_is_done()) return 0;",
+        "    }",
+        f"    return -1; /* hung: {core}_reset() and retry */",
+        "}",
+        "",
+        f"void {core}_reset(void) {{",
+        "    ensure_mapped();",
+        f"    regs[{up}_REG_CTRL / 4] = 0x0u; /* drop ap_start; core re-arms idle */",
         "}",
     ]
     return "\n".join(lines) + "\n"

@@ -5,6 +5,12 @@ and exposes two calls — ``readDMA`` and ``writeDMA`` — against the
 ``/dev`` node of each DMA core (Section V).  This module emits the
 user-space header for those calls; the *behavioural* model of the driver
 lives in :mod:`repro.sim.devfs`.
+
+The robust surface adds bounded variants (``readDMA_timeout`` /
+``writeDMA_timeout``) and ``resetDMA``: a transfer that exceeds its
+watchdog returns a negative status and leaves the channel wedged until
+``resetDMA`` pulses DMACR.Reset — the contract the generated
+application's retry ladder is written against.
 """
 
 from __future__ import annotations
@@ -48,6 +54,14 @@ def generate_dma_api_header(system: IntegratedSystem) -> str:
         "/* Blocking transfers; return bytes moved or a negative errno. */",
         "ssize_t writeDMA(int fd, const void *buf, size_t nbytes);",
         "ssize_t readDMA(int fd, void *buf, size_t nbytes);",
+        "/* Bounded transfers: return bytes moved, or negative once the",
+        " * watchdog expires.  A timed-out channel stays wedged until",
+        " * resetDMA() pulses DMACR.Reset on both channels. */",
+        "ssize_t writeDMA_timeout(int fd, const void *buf, size_t nbytes,",
+        "                         unsigned timeout_us);",
+        "ssize_t readDMA_timeout(int fd, void *buf, size_t nbytes,",
+        "                        unsigned timeout_us);",
+        "int resetDMA(int fd);",
         "void closeDMA(int fd);",
         "",
         "#endif /* DMA_API_H */",

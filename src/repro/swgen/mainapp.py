@@ -5,6 +5,12 @@ is updated to take advantage of the new hardware accelerators".  This
 module emits the C main that a designer would start from — opening the
 DMA devices, invoking each AXI-Lite core through its generated API, and
 moving every boundary stream through ``writeDMA``/``readDMA``.
+
+Every hardware interaction is wrapped in the retry ladder a deployed
+system needs: bounded waits (``<core>_wait_timeout``,
+``readDMA_timeout``/``writeDMA_timeout``), a soft reset between
+attempts, and a software-fallback slot once the retry budget is spent —
+mirroring the simulator runtime's recovery policy.
 """
 
 from __future__ import annotations
@@ -26,7 +32,14 @@ def generate_main_c(system: IntegratedSystem, *, buffer_words: int = 1024) -> st
     ]
     for edge in system.graph.connects():
         lines.append(f'#include "{edge.node}_accel.h"')
-    lines += ["", "int main(void) {"]
+    lines += [
+        "",
+        "/* Recovery ladder: watchdog -> reset -> retry -> software fallback. */",
+        "#define ACCEL_TIMEOUT 10000000u /* watchdog budget per attempt */",
+        "#define ACCEL_RETRIES 3",
+        "",
+        "int main(void) {",
+    ]
 
     # DMA devices.
     for i, binding in enumerate(system.dmas):
@@ -51,40 +64,82 @@ def generate_main_c(system: IntegratedSystem, *, buffer_words: int = 1024) -> st
     if buffer_of:
         lines.append("")
 
-    # AXI-Lite invocations (the control pattern the API wraps).
+    # AXI-Lite invocations (the control pattern the API wraps), each
+    # under the retry ladder: bounded wait, reset between attempts,
+    # software fallback once the budget is spent.
     for edge in system.graph.connects():
         core = edge.node
         result = system.cores[core]
-        lines.append(f"    /* invoke {core} */")
+        lines.append(f"    /* invoke {core} (retry, then software fallback) */")
+        lines.append("    {")
+        lines.append("        int attempt, ok = 0;")
+        lines.append(
+            "        for (attempt = 1; attempt <= ACCEL_RETRIES && !ok; ++attempt) {"
+        )
         for reg in result.iface.registers:
             if reg.name in _CTRL_NAMES or reg.direction != "in":
                 continue
-            lines.append(f"    {core}_set_{reg.name}(0 /* TODO */);")
-        lines.append(f"    {core}_start();")
-        lines.append(f"    {core}_wait();")
+            lines.append(f"            {core}_set_{reg.name}(0 /* TODO */);")
+        lines.append(f"            {core}_start();")
+        lines.append(f"            ok = {core}_wait_timeout(ACCEL_TIMEOUT) == 0;")
+        lines.append(f"            if (!ok) {core}_reset();")
+        lines.append("        }")
+        lines.append("        if (!ok) {")
+        lines.append(
+            f'            fprintf(stderr, "{core}: hardware gave up, '
+            'falling back to software\\n");'
+        )
+        lines.append(f"            /* TODO: golden software version of {core} */")
+        lines.append("        }")
         if any(r.name == "return" for r in result.iface.registers):
             lines.append(
-                f'    printf("{core} -> %u\\n", {core}_get_return());'
+                f'        printf("{core} -> %u\\n", {core}_get_return());'
             )
+        lines.append("    }")
         lines.append("")
 
     # Stream transfers: start every read first, then push the inputs
     # (the S2MM channel must be armed before data can drain into it).
-    for i, binding in enumerate(system.dmas):
-        if binding.s2mm_link is not None:
-            buf = buffer_of[id(binding.s2mm_link)]
-            lines.append(
-                f"    readDMA(dma{i}, {buf}, sizeof {buf});   /* arm S2MM */"
-            )
-    for i, binding in enumerate(system.dmas):
-        if binding.mm2s_link is not None:
-            buf = buffer_of[id(binding.mm2s_link)]
-            dst = binding.mm2s_link.dst
-            label = f"{dst[0]}.{dst[1]}" if isinstance(dst, tuple) else "soc"
-            lines.append(
-                f"    writeDMA(dma{i}, {buf}, sizeof {buf});  /* -> {label} */"
-            )
+    # A timed-out transfer resets every engine and the whole set is
+    # retried; persistent failure falls back to the software pipeline.
     if system.dmas:
+        lines.append("    {")
+        lines.append("        int attempt, ok = 0;")
+        lines.append(
+            "        for (attempt = 1; attempt <= ACCEL_RETRIES && !ok; ++attempt) {"
+        )
+        lines.append("            ok = 1;")
+        for i, binding in enumerate(system.dmas):
+            if binding.s2mm_link is not None:
+                buf = buffer_of[id(binding.s2mm_link)]
+                lines.append(
+                    f"            ok &= readDMA_timeout(dma{i}, {buf}, "
+                    f"sizeof {buf}, ACCEL_TIMEOUT) >= 0;   /* arm S2MM */"
+                )
+        for i, binding in enumerate(system.dmas):
+            if binding.mm2s_link is not None:
+                buf = buffer_of[id(binding.mm2s_link)]
+                dst = binding.mm2s_link.dst
+                label = f"{dst[0]}.{dst[1]}" if isinstance(dst, tuple) else "soc"
+                lines.append(
+                    f"            ok &= writeDMA_timeout(dma{i}, {buf}, "
+                    f"sizeof {buf}, ACCEL_TIMEOUT) >= 0;  /* -> {label} */"
+                )
+        lines.append("            if (!ok) {")
+        for i, _ in enumerate(system.dmas):
+            lines.append(
+                f"                resetDMA(dma{i}); /* clear wedged channels */"
+            )
+        lines.append("            }")
+        lines.append("        }")
+        lines.append("        if (!ok) {")
+        lines.append(
+            '            fprintf(stderr, "DMA pipeline gave up, '
+            'falling back to software\\n");'
+        )
+        lines.append("            /* TODO: golden software pipeline */")
+        lines.append("        }")
+        lines.append("    }")
         lines.append("")
         for i, _ in enumerate(system.dmas):
             lines.append(f"    closeDMA(dma{i});")

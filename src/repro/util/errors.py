@@ -117,6 +117,58 @@ class SimError(ReproError):
     """The SoC simulator hit an inconsistent state (deadlock, bad access)."""
 
 
+class SimProcessError(SimError):
+    """A simulation process raised; carries the process name and cycle.
+
+    Raised out of :meth:`Environment.run` so a failure inside any
+    generator process surfaces as a structured, cycle-stamped diagnostic
+    instead of silently aborting mid-simulation.  The original exception
+    is chained (``__cause__``) and kept on :attr:`original`.
+    """
+
+    def __init__(self, message: str, *, process: str = "?", cycle: int = 0,
+                 original: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.process = process
+        self.cycle = cycle
+        self.original = original
+
+
+class SimTimeoutError(SimError):
+    """A watchdog deadline expired before the guarded work completed."""
+
+    def __init__(self, message: str, *, cycle: int = 0, budget: int = 0) -> None:
+        super().__init__(message)
+        self.cycle = cycle
+        self.budget = budget
+
+
+class SimDeadlockError(SimError):
+    """The event queue drained while processes remained blocked.
+
+    Carries the blocked process names and the FIFO occupancies at the
+    moment of the deadlock so pipelines can be diagnosed structurally.
+    """
+
+    def __init__(self, message: str, *, cycle: int = 0,
+                 blocked: tuple[str, ...] = (),
+                 fifo_occupancy: dict[str, tuple[int, int]] | None = None) -> None:
+        super().__init__(message)
+        self.cycle = cycle
+        self.blocked = blocked
+        self.fifo_occupancy = dict(fifo_occupancy or {})
+
+
+class FaultInjectionError(SimError):
+    """An injected fault surfaced as an observable hardware error
+    (AXI SLVERR/DECERR, failed end-to-end integrity check, ...)."""
+
+    def __init__(self, message: str, *, cycle: int = 0, fault: object = None) -> None:
+        super().__init__(message)
+        self.cycle = cycle
+        self.fault = fault
+
+
 # --- flow ---------------------------------------------------------------
 class FlowError(ReproError):
     """End-to-end flow orchestration failed."""

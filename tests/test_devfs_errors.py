@@ -1,0 +1,145 @@
+"""Error paths of the /dev driver surface (devfs) and its timeout API."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment, FaultInjector, FaultPlan, Memory, StreamChannel
+from repro.sim.devfs import DevFs, DmaHandle
+from repro.sim.dma_engine import DmaEngine
+from repro.util.errors import SimError, SimTimeoutError
+
+
+def make_board(plan=None):
+    env = Environment()
+    inj = FaultInjector(plan, env) if plan else None
+    mem = Memory()
+    src = mem.allocate("src", np.arange(16, dtype=np.int32))
+    dst = mem.allocate("dst", np.zeros(16, dtype=np.int32))
+    ch = StreamChannel(env, "loop", capacity=8, injector=inj)
+    dma = DmaEngine(env, "dma0", mem, mm2s=ch, s2mm=ch, injector=inj)
+    fs = DevFs()
+    fs.register_dma(0, dma)
+    return env, mem, src, dst, ch, dma, fs
+
+
+class TestDevNodes:
+    def test_open_missing_node(self):
+        with pytest.raises(SimError, match="no such device"):
+            DevFs().open("/dev/axidma9")
+
+    def test_open_non_dma_node(self):
+        fs = DevFs()
+        fs.register_core("mul_cell")
+        assert "/dev/uio_mul_cell" in fs.listdir()
+        with pytest.raises(SimError, match="not a DMA device"):
+            fs.open("/dev/uio_mul_cell")
+
+    def test_double_open_returns_independent_handles(self):
+        env, mem, src, dst, ch, dma, fs = make_board()
+        h1 = fs.open("/dev/axidma0")
+        h2 = fs.open("/dev/axidma0")
+        assert h1 is not h2
+        h1.close()
+        # Closing one handle must not invalidate the other (POSIX fds).
+        h2.writeDMA(src.base, src.nbytes)
+        h2.readDMA(dst.base, dst.nbytes)
+        env.run()
+        assert np.array_equal(dst.data, src.data)
+
+    def test_double_close_raises(self):
+        env, mem, src, dst, ch, dma, fs = make_board()
+        h = fs.open("/dev/axidma0")
+        h.close()
+        with pytest.raises(SimError, match="already closed"):
+            h.close()
+
+    def test_operation_on_closed_handle_raises(self):
+        env, mem, src, dst, ch, dma, fs = make_board()
+        h = fs.open("/dev/axidma0")
+        h.close()
+        with pytest.raises(SimError, match="closed handle"):
+            h.writeDMA(src.base, src.nbytes)
+        with pytest.raises(SimError, match="closed handle"):
+            h.readDMA(dst.base, dst.nbytes)
+        with pytest.raises(SimError, match="closed handle"):
+            h.resetDMA()
+
+    def test_transfer_on_channel_less_dma(self):
+        env = Environment()
+        mem = Memory()
+        buf = mem.allocate("b", np.zeros(4, dtype=np.int32))
+        dma = DmaEngine(env, "bare", mem, mm2s=None, s2mm=None)
+        fs = DevFs()
+        fs.register_dma(0, dma)
+        h = fs.open("/dev/axidma0")
+        with pytest.raises(SimError, match="no MM2S"):
+            h.writeDMA(buf.base, buf.nbytes)
+        with pytest.raises(SimError, match="no S2MM"):
+            h.readDMA(buf.base, buf.nbytes)
+
+
+class TestTimeoutVariants:
+    def test_timeout_variant_completes_normally(self):
+        env, mem, src, dst, ch, dma, fs = make_board()
+        h = fs.open("/dev/axidma0")
+        out = {}
+
+        def app():
+            w = h.writeDMA_timeout(src.base, src.nbytes, 100_000)
+            r = h.readDMA_timeout(dst.base, dst.nbytes, 100_000)
+            out["read"] = yield r
+            yield w
+
+        env.process(app())
+        env.run()
+        assert np.array_equal(dst.data, src.data)
+        assert out["read"] == 16  # words moved, passed through the guard
+
+    def test_expired_timeout_raises_structured_error(self):
+        env, mem, src, dst, ch, dma, fs = make_board(
+            FaultPlan.single("dma_stall", "dma0", channel="mm2s")
+        )
+        h = fs.open("/dev/axidma0")
+        caught = {}
+
+        def app():
+            try:
+                yield h.writeDMA_timeout(src.base, src.nbytes, 500)
+            except SimTimeoutError as exc:
+                caught["exc"] = exc
+
+        env.process(app(), capture_errors=False, name="app")
+        env.detect_deadlock = True
+        env.run()  # the abandoned transfer must not trip the detector
+        exc = caught["exc"]
+        assert "exceeded 500 cycles" in str(exc)
+        assert "resetDMA" in str(exc)
+        assert exc.budget == 500 and exc.cycle >= 500
+
+    def test_reset_after_timeout_recovers_the_channel(self):
+        env, mem, src, dst, ch, dma, fs = make_board(
+            FaultPlan.single("dma_stall", "dma0", channel="mm2s")
+        )
+        h = fs.open("/dev/axidma0")
+
+        def app():
+            try:
+                yield h.writeDMA_timeout(src.base, src.nbytes, 500)
+            except SimTimeoutError:
+                h.resetDMA()
+                ch.reset()
+                # Stall charge spent: the retry goes through.
+                w = h.writeDMA_timeout(src.base, src.nbytes, 100_000)
+                r = h.readDMA_timeout(dst.base, dst.nbytes, 100_000)
+                yield r
+                yield w
+
+        env.process(app())
+        env.run()
+        assert np.array_equal(dst.data, src.data)
+
+    def test_non_positive_timeout_rejected(self):
+        env, mem, src, dst, ch, dma, fs = make_board()
+        h = fs.open("/dev/axidma0")
+        with pytest.raises(SimError, match="timeout must be >= 1"):
+            h.writeDMA_timeout(src.base, src.nbytes, 0)

@@ -253,11 +253,18 @@ class TestMainApp:
         assert 'openDMA("/dev/axidma0")' in text
         assert "MUL_set_A(" in text
         assert "MUL_start();" in text
-        assert "MUL_wait();" in text
-        assert "readDMA(dma0" in text
-        assert "writeDMA(dma0" in text
+        # Every hardware interaction runs under the retry ladder:
+        # bounded waits, a reset between attempts, software fallback.
+        assert "MUL_wait_timeout(ACCEL_TIMEOUT)" in text
+        assert "MUL_reset();" in text
+        assert "falling back to software" in text
+        assert "readDMA_timeout(dma0" in text
+        assert "writeDMA_timeout(dma0" in text
+        assert "resetDMA(dma0)" in text
         # The read is armed before the write is issued.
-        assert text.index("readDMA(dma0") < text.index("writeDMA(dma0")
+        assert text.index("readDMA_timeout(dma0") < text.index(
+            "writeDMA_timeout(dma0"
+        )
 
     def test_main_c_in_image(self, fig4_system):
         from repro.soc import run_synthesis
@@ -351,6 +358,24 @@ class TestCli:
         )
         assert code == 0
         assert "seed 5" in capsys.readouterr().out
+
+    def test_faultcheck_command_is_deterministic(self, tmp_path, capsys):
+        from repro.cli import main
+
+        argv = [
+            "faultcheck", "--scenarios", "6", "--seed", "3",
+            "--arches", "1,4", "--size", "16x16",
+        ]
+        code = main(argv + ["--digest-out", str(tmp_path / "d1.txt")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "escaped=0" in out
+        assert "campaign digest:" in out
+        code = main(argv + ["--digest-out", str(tmp_path / "d2.txt")])
+        assert code == 0
+        assert (tmp_path / "d1.txt").read_text() == (
+            tmp_path / "d2.txt"
+        ).read_text()
 
     def test_experiments_command(self, tmp_path, capsys):
         from repro.cli import main

@@ -1,0 +1,577 @@
+"""Fault injection, watchdogs, deadlock detection and the recovery ladder."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import graph_from_htg
+from repro.hls import synthesize_function
+from repro.htg import HTG, Partition, Task
+from repro.sim import (
+    Environment,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    Memory,
+    RecoveryPolicy,
+    StreamChannel,
+    campaign_digest,
+    simulate_application,
+)
+from repro.sim.dma_engine import (
+    DmaEngine,
+    MM2S_DMASR,
+    MM2S_LENGTH,
+    MM2S_SA,
+    S2MM_DMASR,
+    SR_DMA_DEC_ERR,
+    SR_DMA_INT_ERR,
+)
+from repro.sim.faults import ANY
+from repro.sim.runtime import Behavior
+from repro.soc import integrate
+from repro.util.errors import (
+    FaultInjectionError,
+    SimDeadlockError,
+    SimError,
+    SimProcessError,
+    SimTimeoutError,
+)
+from tests.test_sim import build_hw_system, build_pipeline_app
+
+
+class TestKernelRobustness:
+    def test_cancelled_deadline_is_timing_invisible(self):
+        def workload(env):
+            def proc():
+                yield env.timeout(37)
+            env.process(proc())
+
+        plain = Environment()
+        workload(plain)
+        baseline = plain.run()
+
+        guarded = Environment()
+        workload(guarded)
+
+        def watchdog():
+            guard = guarded.deadline(1_000_000)
+            yield guarded.timeout(5)
+            guard.cancel()
+
+        guarded.process(watchdog())
+        assert guarded.run() == baseline
+
+    def test_deadline_fires_when_not_cancelled(self):
+        env = Environment()
+        hit = {}
+
+        def proc():
+            yield env.deadline(42)
+            hit["at"] = env.now
+
+        env.process(proc())
+        env.run()
+        assert hit["at"] == 42
+
+    def test_background_entry_does_not_hold_sim_open(self):
+        env = Environment()
+        ran = []
+        env.schedule_background(10_000, lambda: ran.append(env.now))
+
+        def proc():
+            yield env.timeout(5)
+
+        env.process(proc())
+        assert env.run() == 5
+        assert ran == []  # scheduled past the natural end: never happened
+
+    def test_background_entry_runs_when_due(self):
+        env = Environment()
+        ran = []
+        env.schedule_background(3, lambda: ran.append(env.now))
+
+        def proc():
+            yield env.timeout(10)
+
+        env.process(proc())
+        env.run()
+        assert ran == [3]
+
+    def test_deadlock_detector_names_blocked_processes(self):
+        env = Environment()
+        env.detect_deadlock = True
+        a_evt, b_evt = env.event(), env.event()
+
+        def a():
+            yield a_evt
+
+        def b():
+            yield b_evt
+
+        env.process(a(), name="proc.a")
+        env.process(b(), name="proc.b")
+        with pytest.raises(SimDeadlockError, match="proc.a, proc.b") as exc:
+            env.run()
+        assert exc.value.blocked == ("proc.a", "proc.b")
+
+    def test_deadlock_detector_reports_fifo_occupancy(self):
+        env = Environment()
+        env.detect_deadlock = True
+        ch = StreamChannel(env, "stuck", capacity=2)
+
+        def producer():
+            for i in range(5):  # blocks on the third put, nobody gets
+                yield ch.put(i)
+
+        env.process(producer(), name="producer")
+        with pytest.raises(SimDeadlockError, match=r"stuck=2/2") as exc:
+            env.run()
+        assert exc.value.fifo_occupancy["stuck"] == (2, 2)
+
+    def test_without_detector_deadlock_returns_quietly(self):
+        env = Environment()
+
+        def proc():
+            yield env.event()
+
+        env.process(proc())
+        assert env.run() == 0
+
+    def test_abandon_runs_finally_blocks(self):
+        env = Environment()
+        released = []
+
+        def proc():
+            try:
+                yield env.event()
+            finally:
+                released.append(True)
+
+        p = env.process(proc())
+
+        def supervisor():
+            yield env.timeout(5)
+            env.abandon(p)
+
+        env.process(supervisor())
+        env.detect_deadlock = True
+        env.run()  # abandoned process must not trip the detector
+        assert released == [True]
+
+    def test_process_error_wrapped_structurally(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(17)
+            raise SimError("the widget broke")
+
+        env.process(proc(), name="widget")
+        with pytest.raises(SimProcessError, match="'widget'.*cycle 17") as exc:
+            env.run()
+        assert exc.value.process == "widget"
+        assert exc.value.cycle == 17
+        assert isinstance(exc.value.original, SimError)
+        assert "widget broke" in str(exc.value)
+
+    def test_child_failure_rethrown_inside_waiting_parent(self):
+        env = Environment()
+        caught = {}
+
+        def child():
+            yield env.timeout(5)
+            raise SimError("child gave up")
+
+        def parent():
+            try:
+                yield env.process(child(), name="child")
+            except SimError as exc:
+                caught["exc"] = str(exc)
+                caught["at"] = env.now
+            yield env.timeout(1)  # parent survives and continues
+
+        env.process(parent(), name="parent")
+        assert env.run() == 6
+        assert caught["exc"] == "child gave up"
+        assert caught["at"] == 5
+
+    def test_uncaught_child_failure_cascades_to_top(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(2)
+            raise SimError("deep failure")
+
+        def parent():
+            yield env.process(child(), name="child")  # does not catch
+
+        env.process(parent(), name="parent")
+        with pytest.raises(SimProcessError, match="deep failure"):
+            env.run()
+
+    def test_capture_errors_stores_instead_of_raising(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(3)
+            raise SimError("contained")
+
+        p = env.process(proc(), capture_errors=True)
+        env.run()
+        assert p.triggered
+        assert isinstance(p.error, SimError)
+
+
+class TestFaultPlan:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault("gremlin", "x")
+
+    def test_digest_is_stable_and_discriminating(self):
+        a = FaultPlan.single("stream_drop", "ch", at_cycle=5)
+        b = FaultPlan.single("stream_drop", "ch", at_cycle=5)
+        c = FaultPlan.single("stream_drop", "ch", at_cycle=6)
+        assert a.digest() == b.digest()
+        assert a.digest() != c.digest()
+
+    def test_random_plan_is_seed_deterministic(self):
+        htg, _, _ = build_pipeline_app(n=32)
+        _, system = build_hw_system(htg)
+        p1 = FaultPlan.random(11, system=system)
+        p2 = FaultPlan.random(11, system=system)
+        p3 = FaultPlan.random(12, system=system)
+        assert p1.faults == p2.faults
+        assert p1.digest() == p2.digest()
+        assert p3.digest() != p1.digest()
+
+    def test_injector_consumes_charges(self):
+        env = Environment()
+        inj = FaultInjector(FaultPlan.single("stream_drop", "ch", count=2), env)
+        assert inj.fire("stream_drop", "ch") is not None
+        assert inj.fire("stream_drop", "ch") is not None
+        assert inj.fire("stream_drop", "ch") is None
+        assert len(inj.events) == 2
+
+    def test_persistent_fault_refires(self):
+        env = Environment()
+        inj = FaultInjector(
+            FaultPlan.single("accel_hang", "core", persistent=True), env
+        )
+        for _ in range(5):
+            assert inj.fire("accel_hang", "core") is not None
+
+    def test_at_cycle_arms_in_the_future(self):
+        env = Environment()
+        inj = FaultInjector(FaultPlan.single("stream_drop", "ch", at_cycle=50), env)
+        assert inj.fire("stream_drop", "ch") is None  # now == 0 < 50
+        env.now = 60
+        assert inj.fire("stream_drop", "ch") is not None
+
+
+class TestStreamFaults:
+    def _channel(self, plan):
+        env = Environment()
+        inj = FaultInjector(plan, env)
+        return env, StreamChannel(env, "ch", capacity=8, injector=inj)
+
+    def test_drop_loses_token_but_conserves(self):
+        env, ch = self._channel(FaultPlan.single("stream_drop", "ch"))
+        got = []
+
+        def producer():
+            for i in range(5):
+                yield ch.put(i)
+
+        def consumer():
+            for _ in range(4):
+                item = yield ch.get()
+                got.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert ch.dropped == 1
+        assert got == [1, 2, 3, 4]  # first token was eaten
+        assert ch.conserved()
+
+    def test_flip_xors_one_bit(self):
+        env, ch = self._channel(FaultPlan.single("stream_flip", "ch", bit=3))
+        got = []
+
+        def producer():
+            yield ch.put(0)
+            yield ch.put(0)
+
+        def consumer():
+            for _ in range(2):
+                item = yield ch.get()
+                got.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert got == [8, 0]  # one-shot: only the first token is flipped
+
+    def test_reset_flushes_and_accounts(self):
+        env = Environment()
+        ch = StreamChannel(env, "ch", capacity=8)
+
+        def producer():
+            for i in range(3):
+                yield ch.put(i)
+
+        env.process(producer())
+        env.run()
+        ch.reset()
+        assert len(ch) == 0
+        assert ch.flushed == 3
+        assert ch.conserved()
+
+
+class TestDmaFaults:
+    def make(self, plan=None):
+        env = Environment()
+        inj = FaultInjector(plan, env) if plan else None
+        mem = Memory()
+        src = mem.allocate("src", np.arange(16, dtype=np.int32))
+        dst = mem.allocate("dst", np.zeros(16, dtype=np.int32))
+        ch = StreamChannel(env, "loop", capacity=8, injector=inj)
+        dma = DmaEngine(env, "dma0", mem, mm2s=ch, s2mm=ch, injector=inj)
+        return env, mem, src, dst, ch, dma
+
+    def test_zero_length_transfer_rejected_with_error_bit(self):
+        env, mem, src, dst, ch, dma = self.make()
+        with pytest.raises(SimError, match="zero-length MM2S"):
+            dma.mm2s_transfer(src.base, 0)
+        assert dma.reg_read(MM2S_DMASR) & SR_DMA_INT_ERR
+        # The channel did not go busy: a valid transfer still works.
+        dma.mm2s_transfer(src.base, src.nbytes)
+        dma.s2mm_transfer(dst.base, dst.nbytes)
+        env.run()
+        assert np.array_equal(dst.data, src.data)
+
+    def test_zero_length_rejected_on_register_path(self):
+        env, mem, src, dst, ch, dma = self.make()
+        dma.reg_write(MM2S_SA, src.base)
+        with pytest.raises(SimError, match="zero-length"):
+            dma.reg_write(MM2S_LENGTH, 0)
+
+    def test_negative_length_rejected(self):
+        env, mem, src, dst, ch, dma = self.make()
+        with pytest.raises(SimError, match="zero-length S2MM"):
+            dma.s2mm_transfer(dst.base, -4)
+        assert dma.reg_read(S2MM_DMASR) & SR_DMA_INT_ERR
+
+    def test_past_end_latches_decode_error(self):
+        env, mem, src, dst, ch, dma = self.make()
+        with pytest.raises(SimError, match="past end"):
+            dma.mm2s_transfer(src.base + 32, 64)
+        assert dma.reg_read(MM2S_DMASR) & SR_DMA_DEC_ERR
+
+    def test_truncate_latches_error_and_moves_partial_bytes(self):
+        env, mem, src, dst, ch, dma = self.make(
+            FaultPlan.single("dma_truncate", "dma0", channel="mm2s")
+        )
+        dma.mm2s_transfer(src.base, src.nbytes)
+        dma.s2mm_transfer(dst.base, dst.nbytes)
+        env.run()
+        assert dma.reg_read(MM2S_DMASR) & SR_DMA_INT_ERR
+        assert dma.bytes_mm2s < src.nbytes
+
+    def test_stall_wedges_until_soft_reset(self):
+        env, mem, src, dst, ch, dma = self.make(
+            FaultPlan.single("dma_stall", "dma0", channel="mm2s")
+        )
+        dma.mm2s_transfer(src.base, src.nbytes)
+        env.run()
+        assert dma.bytes_mm2s == 0  # never completed
+        with pytest.raises(SimError, match="in flight"):
+            dma.mm2s_transfer(src.base, src.nbytes)
+        dma.soft_reset()
+        ch.reset()
+        dma.mm2s_transfer(src.base, src.nbytes)  # charge spent: succeeds
+        dma.s2mm_transfer(dst.base, dst.nbytes)
+        env.run()
+        assert np.array_equal(dst.data, src.data)
+
+
+def _doubler_system(n=32):
+    """A lite-core (AXI-Lite + m_axi) design for task-level fault tests."""
+    c_src = (
+        f"void doubler(int data[{n}], int out[{n}]) "
+        f"{{ for (int i = 0; i < {n}; i++) out[i] = data[i] * 2; }}"
+    )
+    htg = HTG("app")
+    htg.add(Task("load", outputs=("data",), io=True, sw_cycles=10))
+    htg.add(Task("doubler", inputs=("data",), outputs=("out",), c_source=c_src))
+    htg.add(Task("store", inputs=("out",), io=True, sw_cycles=10))
+    htg.add_edge("load", "doubler")
+    htg.add_edge("doubler", "store")
+    part = Partition.from_hw_set(htg, {"doubler"})
+    graph = graph_from_htg(htg, part)
+    system = integrate(graph, {"doubler": synthesize_function(c_src, "doubler")})
+    data = np.arange(n, dtype=np.int32)
+    behaviors = {
+        "load": Behavior(lambda: data),
+        "doubler": Behavior(lambda d: d * 2),
+        "store": Behavior(lambda o: None),
+    }
+    return htg, part, behaviors, system, data
+
+
+POLICY = RecoveryPolicy(node_budget=100_000, reset_cycles=50)
+
+
+class TestRecoveryLadder:
+    def test_fault_free_guarded_run_is_cycle_identical(self):
+        htg, behaviors, golden = build_pipeline_app()
+        part, system = build_hw_system(htg)
+        base = simulate_application(htg, part, behaviors, {}, system=system)
+        armed = simulate_application(
+            htg, part, behaviors, {}, system=system, policy=POLICY
+        )
+        assert armed.cycles == base.cycles
+        assert armed.node_spans == base.node_spans
+        assert all(
+            np.array_equal(base.data[k], armed.data[k]) for k in base.data
+        )
+        assert armed.fault_events == [] and armed.recovery_events == []
+
+    def test_stream_drop_recovered_by_retry(self):
+        htg, behaviors, golden = build_pipeline_app(n=64)
+        part, system = build_hw_system(htg)
+        link = next(iter(system.graph.links()))
+        from repro.sim.faults import link_name
+
+        plan = FaultPlan.single("stream_drop", link_name(link), at_cycle=100)
+        rep = simulate_application(
+            htg, part, behaviors, {}, system=system, faults=plan, policy=POLICY
+        )
+        assert np.array_equal(rep.of("result"), golden)
+        assert rep.fault_events  # the drop fired
+        actions = [e.action for e in rep.recovery_events]
+        assert "soft-reset" in actions and "retry" in actions
+
+    def test_persistent_dma_stall_degrades_to_software(self):
+        htg, behaviors, golden = build_pipeline_app(n=64)
+        part, system = build_hw_system(htg)
+        cell = system.dmas[0].cell
+        plan = FaultPlan.single("dma_stall", cell, channel="mm2s", persistent=True)
+        rep = simulate_application(
+            htg, part, behaviors, {}, system=system, faults=plan, policy=POLICY
+        )
+        assert np.array_equal(rep.of("result"), golden)
+        actions = [e.action for e in rep.recovery_events]
+        assert actions.count("soft-reset") == POLICY.max_attempts
+        assert actions[-1] == "fallback"
+
+    def test_fallback_disabled_raises_structured_timeout(self):
+        htg, behaviors, _ = build_pipeline_app(n=64)
+        part, system = build_hw_system(htg)
+        cell = system.dmas[0].cell
+        plan = FaultPlan.single("dma_stall", cell, channel="mm2s", persistent=True)
+        policy = RecoveryPolicy(
+            node_budget=100_000, reset_cycles=50, fallback=False
+        )
+        with pytest.raises(SimProcessError, match="exceeded its 100000-cycle"):
+            simulate_application(
+                htg, part, behaviors, {},
+                system=system, faults=plan, policy=policy,
+            )
+
+    def test_accel_hang_recovered_by_soft_reset(self):
+        htg, part, behaviors, system, data = _doubler_system()
+        plan = FaultPlan.single("accel_hang", "doubler")
+        rep = simulate_application(
+            htg, part, behaviors, {}, system=system, faults=plan, policy=POLICY
+        )
+        assert np.array_equal(rep.of("out"), data * 2)
+        assert [e.action for e in rep.recovery_events].count("soft-reset") == 1
+
+    def test_axi_slverr_diagnosed_and_retried(self):
+        htg, part, behaviors, system, data = _doubler_system()
+        cell = system.cell_of["doubler"]
+        plan = FaultPlan.single("axi_slverr", cell)
+        rep = simulate_application(
+            htg, part, behaviors, {}, system=system, faults=plan, policy=POLICY
+        )
+        assert np.array_equal(rep.of("out"), data * 2)
+        assert any("SLVERR" in e.cause for e in rep.recovery_events)
+
+    def test_dram_flip_cannot_corrupt_final_output(self):
+        htg, behaviors, golden = build_pipeline_app(n=64)
+        part, system = build_hw_system(htg)
+        plan = FaultPlan(
+            faults=(Fault("dram_flip", ANY, at_cycle=300, bit=5, word=9),)
+        )
+        rep = simulate_application(
+            htg, part, behaviors, {}, system=system, faults=plan, policy=POLICY
+        )
+        # Either the flip landed somewhere harmless (survived) or the
+        # integrity check caught it and the retry healed it — never a
+        # silently wrong result.
+        assert np.array_equal(rep.of("result"), golden)
+
+    def test_summary_lists_fault_and_recovery_events(self):
+        htg, part, behaviors, system, data = _doubler_system()
+        plan = FaultPlan.single("accel_hang", "doubler")
+        rep = simulate_application(
+            htg, part, behaviors, {}, system=system, faults=plan, policy=POLICY
+        )
+        text = rep.summary()
+        assert "fault" in text and "accel_hang" in text
+        assert "recovery" in text and "soft-reset" in text
+
+
+class TestDeterministicReplay:
+    def _campaign(self, seeds):
+        htg, behaviors, golden = build_pipeline_app(n=32)
+        part, system = build_hw_system(htg)
+        records = []
+        for seed in seeds:
+            plan = FaultPlan.random(seed, system=system, horizon=2_000)
+            try:
+                rep = simulate_application(
+                    htg, part, behaviors, {},
+                    system=system, faults=plan, policy=POLICY,
+                )
+            except SimError as exc:
+                records.append(
+                    {"seed": seed, "outcome": "diagnosed", "error": str(exc)}
+                )
+                continue
+            ok = np.array_equal(rep.of("result"), golden)
+            records.append(
+                {
+                    "seed": seed,
+                    "outcome": "recovered" if rep.recovery_events else "survived",
+                    "correct": bool(ok),
+                    "cycles": rep.cycles,
+                    "plan": plan.digest(),
+                }
+            )
+        return records
+
+    def test_same_seeds_same_digest(self):
+        seeds = list(range(40, 46))
+        first = self._campaign(seeds)
+        second = self._campaign(seeds)
+        assert campaign_digest(first) == campaign_digest(second)
+        assert all(r.get("correct", True) for r in first)
+
+    def test_different_seeds_different_digest(self):
+        assert campaign_digest(self._campaign([40])) != campaign_digest(
+            self._campaign([41])
+        )
+
+
+class TestTimeoutErrors:
+    def test_sim_timeout_error_carries_cycle_and_budget(self):
+        err = SimTimeoutError("late", cycle=123, budget=50)
+        assert err.cycle == 123
+        assert err.budget == 50
+
+    def test_fault_injection_error_carries_fault(self):
+        f = Fault("axi_slverr", "seg")
+        err = FaultInjectionError("bus", cycle=9, fault=f)
+        assert err.cycle == 9
+        assert err.fault is f
