@@ -5,17 +5,25 @@ Commands
 ``check``        parse + validate a ``.tg`` description, print a summary
 ``build``        run the full flow for a ``.tg`` file (C sources looked
                  up as ``<node>.c`` in ``--sources``) and materialize
-                 the workspace
+                 the workspace; journaled + crash-safe, ``--resume``
+                 continues a killed build from its run journal
 ``otsu``         build + simulate one Table-I architecture
 ``experiments``  regenerate every table and figure into a directory
 ``faultcheck``   seeded fault-injection campaign over the Table-I
                  architectures; every scenario must recover or raise a
                  structured diagnostic (same seed => same digest)
+``cachecheck``   scrub the shared build cache: verify every entry's
+                 integrity, quarantine corrupt ones, report
+``crashcheck``   crash-injection campaign: kill the flow at every
+                 journal boundary on every Table-I architecture, resume,
+                 and require byte-identical artifacts (plus a deliberate
+                 cache-corruption leg that must quarantine and rebuild)
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -54,24 +62,46 @@ def _load_sources(graph, sources_dir: str) -> dict[str, str]:
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
+    from repro.flow import FlowConfig, RunJournal, materialize, run_flow
     from repro.dsl import parse_dsl
-    from repro.flow import FlowConfig, materialize, run_flow
     from repro.tcl.backends import Vivado2014_2, Vivado2015_3
 
     graph = parse_dsl(Path(args.design).read_text(), filename=args.design)
     sources = _load_sources(graph, args.sources)
     backend = Vivado2014_2() if args.backend == "2014.2" else Vivado2015_3()
-    result = run_flow(graph, sources, config=FlowConfig(backend=backend))
-
-    print(result.design.summary())
-    print(result.design.address_map.render())
-    bit = result.bitstream
-    print(f"bitstream: {bit.digest[:16]}...  clock {bit.achieved_clock_mhz} MHz")
-    print(
-        "modeled generation time: "
-        + ", ".join(f"{k}={v}s" for k, v in result.timing.as_row().items())
+    # Builds are journaled and cached by default so a killed invocation
+    # can continue with --resume; the journal digest covers the config,
+    # so a changed config forces a clean rebuild instead of stale reuse.
+    cache_dir = (
+        args.cache_dir
+        or os.environ.get("REPRO_FLOW_CACHE_DIR")
+        or f"{args.out}.cache"
     )
-    out = materialize(result, args.out)
+    journal_path = Path(f"{args.out}.journal")
+    if not args.resume and journal_path.exists():
+        journal_path.unlink()  # an explicit fresh build ignores old state
+    kwargs = {"backend": backend, "cache_dir": cache_dir}
+    if args.jobs is not None:
+        kwargs["jobs"] = args.jobs
+    config = FlowConfig(**kwargs)
+    with RunJournal(journal_path) as journal:
+        result = run_flow(graph, sources, config=config, journal=journal)
+
+        print(result.design.summary())
+        print(result.design.address_map.render())
+        bit = result.bitstream
+        print(f"bitstream: {bit.digest[:16]}...  clock {bit.achieved_clock_mhz} MHz")
+        print(
+            "modeled generation time: "
+            + ", ".join(f"{k}={v}s" for k, v in result.timing.as_row().items())
+        )
+        t = result.timing
+        if t.resumed:
+            print(
+                f"resumed from {journal_path}: {t.steps_skipped} step(s) "
+                f"skipped, {t.crash_recoveries} interrupted step(s) recovered"
+            )
+        out = materialize(result, args.out, journal=journal)
     print(f"workspace written to {out}/")
     return 0
 
@@ -244,6 +274,181 @@ def _cmd_faultcheck(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cachecheck(args: argparse.Namespace) -> int:
+    from repro.flow import BuildCache
+    from repro.util.errors import CacheCorrupted
+
+    cache_dir = args.cache_dir or os.environ.get("REPRO_FLOW_CACHE_DIR")
+    if not cache_dir:
+        raise ReproError(
+            "no cache directory: pass --cache-dir or set REPRO_FLOW_CACHE_DIR"
+        )
+    cache = BuildCache(cache_dir)
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")  # the report lists them itself
+        report = cache.scrub()
+    print(report.render())
+    if args.purge_quarantine:
+        n = cache.purge_quarantine()
+        print(f"purged {n} quarantined blob(s)")
+    elif cache.quarantined_keys():
+        print(
+            f"{len(cache.quarantined_keys())} blob(s) in quarantine "
+            "(inspect, then `repro cachecheck --purge-quarantine`)"
+        )
+    if args.strict and not report.healthy:
+        raise CacheCorrupted(
+            f"{len(report.quarantined)} corrupt cache entr"
+            f"{'y' if len(report.quarantined) == 1 else 'ies'} quarantined",
+            key=report.quarantined[0],
+        )
+    return 0
+
+
+def _cmd_crashcheck(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+    import warnings
+
+    from repro.apps.otsu import build_otsu_app
+    from repro.flow import (
+        CacheIntegrityWarning,
+        FlowConfig,
+        RunJournal,
+        all_sites,
+        materialize,
+        resume_flow,
+        run_flow,
+    )
+    from repro.flow.crashpoints import CrashPlan, armed
+    from repro.sim import campaign_digest
+    from repro.util.errors import FlowInterrupted
+
+    arches = [int(a) for a in args.arches.split(",")]
+    width, _, height = args.size.partition("x")
+    w, h = int(width), int(height or width)
+
+    def _artifact_digest(out: Path) -> str:
+        return json.loads((out / "MANIFEST.json").read_text())["artifact_digest"]
+
+    records: list[dict] = []
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="repro-crashcheck-") as tmpname:
+        tmp = Path(tmpname)
+        for arch in arches:
+            app = build_otsu_app(arch, width=w, height=h)
+            graph = app.dsl_graph()
+
+            # The uninterrupted reference run for this architecture.
+            ref_dir = tmp / f"arch{arch}-ref"
+            ref_config = FlowConfig(cache_dir=str(ref_dir / "cache"))
+            ref = run_flow(
+                graph, app.c_sources,
+                extra_directives=app.extra_directives, config=ref_config,
+            )
+            materialize(ref, ref_dir / "out")
+            ref_digest = _artifact_digest(ref_dir / "out")
+
+            sites = all_sites([n.name for n in graph.nodes])
+            print(
+                f"arch{arch}: reference artifact {ref_digest[:16]}..., "
+                f"killing at {len(sites)} journal boundaries"
+            )
+            for i, site in enumerate(sites):
+                wd = tmp / f"arch{arch}-site{i}"
+                config = FlowConfig(cache_dir=str(wd / "cache"))
+                journal = RunJournal(wd / "journal")
+                outcome = "completed"  # a site may not fire (e.g. swap on a fresh tree)
+                try:
+                    with armed(CrashPlan(site)):
+                        flow = run_flow(
+                            graph, app.c_sources,
+                            extra_directives=app.extra_directives,
+                            config=config, journal=journal,
+                        )
+                        materialize(flow, wd / "out", journal=journal)
+                except FlowInterrupted:
+                    outcome = "interrupted"
+                resumed = resume_flow(
+                    graph, app.c_sources,
+                    extra_directives=app.extra_directives,
+                    config=config, journal=journal,
+                )
+                materialize(resumed, wd / "out", journal=journal)
+                journal.close()
+                match = _artifact_digest(wd / "out") == ref_digest
+                failures += 0 if match else 1
+                t = resumed.timing
+                records.append(
+                    {
+                        "arch": arch,
+                        "site": site,
+                        "outcome": outcome,
+                        "match": match,
+                        "resumed": t.resumed,
+                        "steps_skipped": t.steps_skipped,
+                        "crash_recoveries": t.crash_recoveries,
+                    }
+                )
+                print(
+                    f"  {site:34s} {outcome:12s} resume skipped={t.steps_skipped} "
+                    f"recovered={t.crash_recoveries} -> "
+                    f"{'ok' if match else 'ARTIFACT MISMATCH'}"
+                )
+
+            # Corruption leg: a deliberately corrupted cache entry must be
+            # quarantined and transparently rebuilt, never failing the flow.
+            entries = sorted((ref_dir / "cache" / "objects").glob("*/*"))
+            entry = entries[0]
+            raw = entry.read_bytes()
+            entry.write_bytes(raw[: len(raw) // 2])
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                reflow = run_flow(
+                    graph, app.c_sources,
+                    extra_directives=app.extra_directives, config=ref_config,
+                )
+                materialize(reflow, ref_dir / "out2")
+            warned = any(
+                issubclass(wmsg.category, CacheIntegrityWarning) for wmsg in caught
+            )
+            quarantined = any((ref_dir / "cache" / "quarantine").glob("*"))
+            rebuilt_ok = _artifact_digest(ref_dir / "out2") == ref_digest
+            ok = warned and quarantined and rebuilt_ok
+            failures += 0 if ok else 1
+            records.append(
+                {
+                    "arch": arch,
+                    "site": "cache-corruption",
+                    "outcome": "quarantined+rebuilt" if ok else "escaped",
+                    "match": rebuilt_ok,
+                    "quarantined": quarantined,
+                    "warned": warned,
+                }
+            )
+            print(
+                f"  {'cache-corruption':34s} "
+                f"{'quarantined+rebuilt -> ok' if ok else 'ESCAPED'}"
+            )
+
+    digest = campaign_digest(records)
+    print(f"crashcheck: {len(records)} scenario(s), {failures} failure(s)")
+    print(f"  campaign digest: {digest}")
+    if args.digest_out:
+        Path(args.digest_out).write_text(digest + "\n")
+        print(f"  digest written to {args.digest_out}")
+    if failures:
+        print(
+            f"error: {failures} scenario(s) did not reproduce the "
+            "uninterrupted artifacts",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.apps.image import write_pgm
     from repro.report import (
@@ -309,6 +514,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=["2014.2", "2015.3"], default="2015.3",
         help="Vivado tcl backend version",
     )
+    p_build.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted build from <out>.journal, "
+        "re-executing only the uncommitted tail",
+    )
+    p_build.add_argument(
+        "--jobs", type=int, default=None, help="HLS worker pool size"
+    )
+    p_build.add_argument(
+        "--cache-dir", default=None,
+        help="build-cache directory (default: $REPRO_FLOW_CACHE_DIR or <out>.cache)",
+    )
     p_build.set_defaults(func=_cmd_build)
 
     p_sim = sub.add_parser(
@@ -367,6 +584,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--digest-out", default=None, help="write the campaign digest here"
     )
     p_fc.set_defaults(func=_cmd_faultcheck)
+
+    p_cc = sub.add_parser(
+        "cachecheck",
+        help="scrub the shared build cache: verify, quarantine, report",
+    )
+    p_cc.add_argument(
+        "--cache-dir", default=None,
+        help="cache to scrub (default: $REPRO_FLOW_CACHE_DIR)",
+    )
+    p_cc.add_argument(
+        "--purge-quarantine", action="store_true",
+        help="delete quarantined blobs after the scrub",
+    )
+    p_cc.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero if the scrub quarantined anything",
+    )
+    p_cc.set_defaults(func=_cmd_cachecheck)
+
+    p_kc = sub.add_parser(
+        "crashcheck",
+        help="kill-at-every-journal-boundary campaign over the Table-I "
+        "architectures; resumed artifacts must be byte-identical",
+    )
+    p_kc.add_argument(
+        "--arches", default="1,2,3,4", help="comma-separated architecture list"
+    )
+    p_kc.add_argument("--size", default="24x24", help="synthetic image size")
+    p_kc.add_argument(
+        "--digest-out", default=None, help="write the campaign digest here"
+    )
+    p_kc.set_defaults(func=_cmd_crashcheck)
     return parser
 
 

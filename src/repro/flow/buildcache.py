@@ -15,11 +15,23 @@ everything the synthesis result actually depends on:
 
 Entries are pickled payloads stored under ``<dir>/objects/<k[:2]>/<key>``
 behind a SHA-256 integrity header; a corrupted or truncated entry is
-detected on read, counted, deleted and treated as a miss — the core is
-then rebuilt, never served from the bad bytes.  Writes go through a
-temp-file + :func:`os.replace` so a crashed build leaves no partial
-entry.  The cache is safe to share between serial and parallel flows:
-an entry is written only after its synthesis completed successfully.
+detected on read, counted, **quarantined** (moved to
+``<dir>/quarantine/`` with a structured :class:`CacheIntegrityWarning`,
+so the bad bytes stay available for a post-mortem) and treated as a
+miss — the core is then rebuilt, never served from the bad bytes.
+Writes go through a temp-file + :func:`os.replace` so a crashed build
+leaves no partial entry.
+
+The cache is safe to share between serial and parallel flows *and
+between concurrent processes*: an entry is written only after its
+synthesis completed successfully, and every mutating operation (store,
+LRU eviction, quarantine, scrub) holds a cross-process ``flock`` on
+``<dir>/lock`` (bounded wait — :class:`~repro.util.errors.CacheLockTimeout`
+after *lock_timeout_s*).  Reads stay lock-free: they verify the
+integrity header and fall back to a rebuild if a concurrent eviction
+snatched the file mid-read, so no reader can ever observe a torn entry.
+:meth:`BuildCache.scrub` walks every entry, quarantines the corrupt
+ones and reports — the engine behind ``repro cachecheck``.
 """
 
 from __future__ import annotations
@@ -28,8 +40,17 @@ import hashlib
 import os
 import pickle
 import tempfile
-from dataclasses import dataclass
+import time
+import warnings
+from dataclasses import dataclass, field
 from pathlib import Path
+
+from repro.util.errors import CacheLockTimeout
+
+try:  # posix; on platforms without fcntl the lock degrades to a no-op
+    import fcntl
+except ImportError:  # pragma: no cover - windows fallback
+    fcntl = None  # type: ignore[assignment]
 
 #: Version of the HLS engine + artifact layout baked into every key.
 #: Bumping it invalidates the whole cache without deleting any file.
@@ -62,6 +83,70 @@ def cache_key(
     return h.hexdigest()
 
 
+class CacheIntegrityWarning(UserWarning):
+    """A cache entry failed its integrity check and was quarantined."""
+
+
+class FileLock:
+    """Reentrant, cross-process advisory lock on one path (``flock``).
+
+    One instance guards one :class:`BuildCache`; re-acquiring from the
+    same instance (e.g. ``put`` → ``_evict``) just bumps a depth
+    counter, while a second process — or a second instance in this
+    process — contends on the OS lock.  Acquisition polls with a
+    *timeout_s* bound and raises :class:`CacheLockTimeout` instead of
+    hanging a build forever on a wedged peer.
+    """
+
+    def __init__(self, path: Path, timeout_s: float = 10.0) -> None:
+        self.path = path
+        self.timeout_s = timeout_s
+        self._fh = None
+        self._depth = 0
+
+    def acquire(self) -> None:
+        if self._depth:
+            self._depth += 1
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fh = open(self.path, "a+")
+        if fcntl is not None:
+            deadline = time.monotonic() + self.timeout_s
+            while True:
+                try:
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    break
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        fh.close()
+                        raise CacheLockTimeout(
+                            f"could not lock build cache at {self.path} "
+                            f"within {self.timeout_s:g} s",
+                            path=str(self.path),
+                            timeout_s=self.timeout_s,
+                        ) from None
+                    time.sleep(0.02)
+        self._fh = fh
+        self._depth = 1
+
+    def release(self) -> None:
+        if not self._depth:
+            return
+        self._depth -= 1
+        if self._depth == 0 and self._fh is not None:
+            if fcntl is not None:
+                fcntl.flock(self._fh.fileno(), fcntl.LOCK_UN)
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
 @dataclass
 class CacheStats:
     """Counters for one :class:`BuildCache` instance."""
@@ -82,6 +167,32 @@ class CacheStats:
         }
 
 
+@dataclass
+class ScrubReport:
+    """What one :meth:`BuildCache.scrub` pass found and did."""
+
+    checked: int = 0
+    ok: int = 0
+    quarantined: list[str] = field(default_factory=list)
+    #: Keys already sitting in quarantine before this pass.
+    quarantine_backlog: int = 0
+
+    @property
+    def healthy(self) -> bool:
+        return not self.quarantined
+
+    def render(self) -> str:
+        lines = [
+            f"cache scrub: {self.checked} entries checked, {self.ok} ok, "
+            f"{len(self.quarantined)} quarantined"
+            + (f" ({self.quarantine_backlog} already in quarantine)"
+               if self.quarantine_backlog else "")
+        ]
+        for key in self.quarantined:
+            lines.append(f"  quarantined {key}")
+        return "\n".join(lines)
+
+
 class BuildCache:
     """Content-addressed store of picklable build artifacts.
 
@@ -93,17 +204,30 @@ class BuildCache:
     """
 
     def __init__(
-        self, cache_dir: str | os.PathLike | None = None, *, max_entries: int | None = None
+        self,
+        cache_dir: str | os.PathLike | None = None,
+        *,
+        max_entries: int | None = None,
+        lock_timeout_s: float = 10.0,
     ) -> None:
-        self.root = Path(cache_dir) / "objects" if cache_dir is not None else None
+        self.dir = Path(cache_dir) if cache_dir is not None else None
+        self.root = self.dir / "objects" if self.dir is not None else None
         self.max_entries = max_entries
         self.stats = CacheStats()
         self._memory: dict[str, object] = {}
+        self._lock = (
+            FileLock(self.dir / "lock", lock_timeout_s) if self.dir is not None else None
+        )
 
     # -- paths -------------------------------------------------------------
     def _path(self, key: str) -> Path:
         assert self.root is not None
         return self.root / key[:2] / key
+
+    @property
+    def quarantine_dir(self) -> Path:
+        assert self.dir is not None
+        return self.dir / "quarantine"
 
     def _entry_files(self) -> list[Path]:
         if self.root is None or not self.root.exists():
@@ -145,6 +269,8 @@ class BuildCache:
         try:
             raw = path.read_bytes()
         except OSError:
+            # Concurrently evicted (or never stored) — a plain miss, so
+            # the caller rebuilds instead of raising mid-flow.
             return None
         payload = self._checked_payload(raw)
         if payload is None:
@@ -172,11 +298,36 @@ class BuildCache:
         return payload
 
     def _drop_corrupt(self, path: Path) -> None:
+        """Quarantine a corrupt entry: out of the serving path, kept for
+        post-mortem, counted, and reported as a structured warning."""
         self.stats.corrupt += 1
+        dest = self.quarantine_dir / path.name
         try:
-            path.unlink()
+            with self._locked():
+                dest.parent.mkdir(parents=True, exist_ok=True)
+                os.replace(path, dest)
+            moved = True
         except OSError:
-            pass
+            moved = False
+            try:  # same-filesystem move failed — at least stop serving it
+                path.unlink()
+            except OSError:
+                pass
+        warnings.warn(
+            f"build-cache entry {path.name[:16]}... failed its integrity "
+            f"check; {'quarantined to ' + str(dest) if moved else 'deleted'} "
+            "and the core will be rebuilt",
+            CacheIntegrityWarning,
+            stacklevel=3,
+        )
+
+    def _locked(self):
+        """The cache's cross-process lock (no-op for the in-memory cache)."""
+        if self._lock is None:
+            from contextlib import nullcontext
+
+            return nullcontext()
+        return self._lock
 
     # -- write -------------------------------------------------------------
     def put(self, key: str, value: object) -> None:
@@ -188,42 +339,119 @@ class BuildCache:
         payload = pickle.dumps(value)
         blob = _MAGIC + hashlib.sha256(payload).hexdigest().encode() + b"\n" + payload
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(prefix=".tmp-", dir=path.parent)
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(blob)
-            os.replace(tmp, path)
-        except BaseException:
+        with self._locked():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(prefix=".tmp-", dir=path.parent)
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        self._evict()
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self._evict()
 
     def _evict(self) -> None:
+        """Evict LRU entries over *max_entries*, under the process lock.
+
+        Two concurrent processes sharing one cache dir used to race
+        here: one could unlink an entry the other was about to read.
+        The lock serializes evictions against stores; readers stay
+        lock-free and treat a snatched file as a miss (rebuild), never
+        an error.
+        """
         if self.max_entries is None or self.root is None:
             return
-        files = self._entry_files()
-        if len(files) <= self.max_entries:
-            return
-        files.sort(key=lambda p: (p.stat().st_mtime, p.name))
-        for path in files[: len(files) - self.max_entries]:
-            try:
-                path.unlink()
-            except OSError:
-                continue
-            self._memory.pop(path.name, None)
-            self.stats.evictions += 1
+        with self._locked():
+            files = self._entry_files()
+            if len(files) <= self.max_entries:
+                return
+            files.sort(key=lambda p: (p.stat().st_mtime, p.name))
+            for path in files[: len(files) - self.max_entries]:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                self._memory.pop(path.name, None)
+                self.stats.evictions += 1
+
+    # -- maintenance -------------------------------------------------------
+    def scrub(self) -> ScrubReport:
+        """Verify every on-disk entry; quarantine the corrupt ones.
+
+        The engine behind ``repro cachecheck``: reads each entry through
+        the same integrity checks the serving path uses, so anything a
+        flow would have rejected is moved out of the way *now*, with a
+        report, instead of surfacing as a surprise rebuild later.
+        """
+        report = ScrubReport()
+        if self.root is None:
+            return report
+        with self._locked():
+            if self.quarantine_dir.exists():
+                report.quarantine_backlog = sum(
+                    1 for p in self.quarantine_dir.iterdir() if p.is_file()
+                )
+            for path in sorted(self._entry_files()):
+                report.checked += 1
+                try:
+                    raw = path.read_bytes()
+                except OSError:
+                    continue
+                payload = self._checked_payload(raw)
+                ok = payload is not None
+                if ok:
+                    try:
+                        pickle.loads(payload)
+                    except Exception:
+                        ok = False
+                if ok:
+                    report.ok += 1
+                else:
+                    self._memory.pop(path.name, None)
+                    self._drop_corrupt(path)
+                    report.quarantined.append(path.name)
+        return report
+
+    def quarantined_keys(self) -> list[str]:
+        if self.dir is None or not self.quarantine_dir.exists():
+            return []
+        return sorted(p.name for p in self.quarantine_dir.iterdir() if p.is_file())
+
+    def purge_quarantine(self) -> int:
+        """Delete quarantined blobs (post-mortem done); returns the count."""
+        n = 0
+        if self.dir is None:
+            return n
+        with self._locked():
+            if self.quarantine_dir.exists():
+                for path in self.quarantine_dir.iterdir():
+                    try:
+                        path.unlink()
+                        n += 1
+                    except OSError:
+                        continue
+        return n
 
     def clear(self) -> None:
         self._memory.clear()
-        for path in self._entry_files():
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        with self._locked():
+            for path in self._entry_files():
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
 
 
-__all__ = ["ENGINE_VERSION", "BuildCache", "CacheStats", "cache_key"]
+__all__ = [
+    "ENGINE_VERSION",
+    "BuildCache",
+    "CacheIntegrityWarning",
+    "CacheStats",
+    "FileLock",
+    "ScrubReport",
+    "cache_key",
+]

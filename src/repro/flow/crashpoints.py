@@ -1,0 +1,151 @@
+"""Deterministic crash-injection points for the flow process.
+
+PR 2 injected faults into the *simulated SoC*; this module injects
+crashes into the *flow process itself*, so the journal/workspace/cache
+crash-consistency machinery can be proven, not just argued.  A
+:class:`CrashPlan` arms exactly one *site* — a named point at a journal
+boundary — and the flow dies there, either by raising
+:class:`~repro.util.errors.FlowInterrupted` (in-process harnesses) or by
+``os._exit`` (real ``kill -9`` semantics: no ``finally`` blocks, no
+atexit, nothing flushed that was not already durable).
+
+Sites mirror the journal's step taxonomy: every step *S* has ``S:start``
+(the intent record is durable, the work is lost) and ``S:commit`` (the
+artifact is published, the run dies before finishing).  Workspace
+materialization adds ``materialize:stage`` (the staging tree is fully
+written but not yet promoted) and ``materialize:swap`` (inside the
+promotion's rename window — the nastiest torn state).
+
+Arming is explicit (:func:`arm` / the :func:`armed` context manager) or
+environment-driven — ``REPRO_FLOW_CRASH_AT=<site>[@<n>]`` kills the
+*n*-th visit of the site (default first) and
+``REPRO_FLOW_CRASH_MODE=exit`` switches to hard process exit — so a
+subprocess harness can kill an unmodified ``repro build``.  Like
+``sim/faults.py``, plans can also be drawn from a seed: the same seed
+over the same site inventory always arms the same crash.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.util.errors import FlowInterrupted
+
+ENV_SITE = "REPRO_FLOW_CRASH_AT"
+ENV_MODE = "REPRO_FLOW_CRASH_MODE"
+
+#: Exit status used in ``exit`` mode — distinguishable from argparse (2)
+#: and from a Python traceback (1), so harnesses can assert the kill.
+CRASH_EXIT_CODE = 70
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """One armed crash: die at the *hit*-th visit of *site*."""
+
+    site: str
+    hit: int = 1
+    #: ``raise`` (FlowInterrupted) or ``exit`` (os._exit, no cleanup).
+    mode: str = "raise"
+
+    @classmethod
+    def random(cls, seed: int, sites: list[str], *, mode: str = "raise") -> "CrashPlan":
+        """A seeded plan over a site inventory — same seed, same crash."""
+        rng = random.Random(seed)
+        return cls(site=rng.choice(sorted(sites)), mode=mode)
+
+    def describe(self) -> str:
+        return f"{self.site}@{self.hit} ({self.mode})"
+
+
+_armed: CrashPlan | None = None
+_visits: dict[str, int] = {}
+
+
+def arm(plan: CrashPlan | None) -> None:
+    """Arm *plan* (or disarm with ``None``) and reset the visit counters."""
+    global _armed
+    _armed = plan
+    _visits.clear()
+
+
+def disarm() -> None:
+    arm(None)
+
+
+@contextmanager
+def armed(plan: CrashPlan):
+    """Arm *plan* for the duration of the block; always disarms after."""
+    arm(plan)
+    try:
+        yield plan
+    finally:
+        disarm()
+
+
+def _env_plan() -> CrashPlan | None:
+    spec = os.environ.get(ENV_SITE)
+    if not spec:
+        return None
+    site, _, hit = spec.partition("@")
+    try:
+        n = max(1, int(hit)) if hit else 1
+    except ValueError:
+        n = 1
+    mode = "exit" if os.environ.get(ENV_MODE) == "exit" else "raise"
+    return CrashPlan(site=site, hit=n, mode=mode)
+
+
+def crashpoint(site: str, *, core: str | None = None) -> None:
+    """Die here iff an armed plan names this *site* (and visit count).
+
+    Called by the flow at every journal boundary; a no-op unless a plan
+    is armed in-process or through the environment, so production runs
+    pay one dict lookup per boundary.
+    """
+    plan = _armed if _armed is not None else _env_plan()
+    if plan is None:
+        return
+    _visits[site] = _visits.get(site, 0) + 1
+    if site != plan.site or _visits[site] != plan.hit:
+        return
+    if plan.mode == "exit":
+        os._exit(CRASH_EXIT_CODE)  # a real kill: nothing else runs
+    raise FlowInterrupted(
+        f"flow killed at crash-point {site!r}", step=site, core=core
+    )
+
+
+def flow_sites(core_names: list[str]) -> list[str]:
+    """Every journal boundary of ``run_flow`` for these cores, in order."""
+    sites: list[str] = []
+    for name in core_names:
+        sites += [f"hls:{name}:start", f"hls:{name}:commit"]
+    sites += ["integrate:start", "integrate:commit", "swgen:start", "swgen:commit"]
+    return sites
+
+
+def workspace_sites() -> list[str]:
+    """The journal boundaries of :func:`repro.flow.workspace.materialize`."""
+    return ["materialize:start", "materialize:stage", "materialize:commit"]
+
+
+def all_sites(core_names: list[str]) -> list[str]:
+    """The kill-at-every-journal-boundary matrix for one architecture."""
+    return flow_sites(core_names) + workspace_sites()
+
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "CrashPlan",
+    "all_sites",
+    "arm",
+    "armed",
+    "crashpoint",
+    "disarm",
+    "flow_sites",
+    "workspace_sites",
+]

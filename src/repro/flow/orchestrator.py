@@ -50,7 +50,9 @@ from repro.tcl.backends import VivadoBackend, Vivado2015_3
 from repro.tcl.generate import generate_hls_tcl, generate_system_tcl
 from repro.tcl.runner import TclRunner
 from repro.tcl.script import TclScript
-from repro.flow.buildcache import BuildCache, cache_key
+from repro.flow.buildcache import ENGINE_VERSION, BuildCache, cache_key
+from repro.flow.crashpoints import crashpoint
+from repro.flow.journal import RunJournal, stable_digest
 from repro.flow.parallel import (
     SynthesisJob,
     modeled_wall_s,
@@ -140,6 +142,7 @@ class FlowHooks(ActionHooks):
         core_cache: dict[str, CoreBuild] | None = None,
         config: FlowConfig | None = None,
         build_cache: BuildCache | None = None,
+        journal: RunJournal | None = None,
     ) -> None:
         self.c_sources = c_sources
         self.extra_directives = extra_directives or {}
@@ -148,8 +151,12 @@ class FlowHooks(ActionHooks):
         if build_cache is None and self.config.cache_dir is not None:
             build_cache = BuildCache(self.config.cache_dir)
         self.build_cache = build_cache
+        self.journal = journal
         self.cores: dict[str, CoreBuild] = {}
         self.timing = FlowTiming(jobs=self.config.jobs)
+        if journal is not None:
+            self.timing.resumed = journal.resumed
+            self.timing.crash_recoveries = journal.crash_recoveries
         self._project: HlsProject | None = None
         self._pending: list[SynthesisJob] = []
         self.result: FlowResult | None = None
@@ -190,8 +197,10 @@ class FlowHooks(ActionHooks):
         self._project = None
         key = project.content_key(self.config.backend.version)
 
+        step = f"hls:{node.name}"
         cached = self.core_cache.get(node.name)
         if cached is not None and self._content_matches(cached, key):
+            self._journal_commit(step, key)
             self._reuse(node.name, cached, key, source="memo")
             return
 
@@ -199,14 +208,28 @@ class FlowHooks(ActionHooks):
             hit = self.build_cache.get(key)
             if hit is not None:
                 self.timing.cache_hits += 1
+                if self.journal is not None and self.journal.committed(step, key):
+                    # A prior interrupted run committed this very step —
+                    # the cache is serving the journal's write-ahead
+                    # promise, so the resume skips the synthesis.
+                    self.timing.steps_skipped += 1
+                self._journal_commit(step, key)
                 self._reuse(node.name, hit, key, source="cache")
                 return
             self.timing.cache_misses += 1
 
+        if self.journal is not None:
+            self.journal.step_start(step, key)
+        crashpoint(f"{step}:start", core=node.name)
         if self.config.jobs > 1:
             self._pending.append(SynthesisJob(node.name, project, key))
             return
         self._finish_core(node.name, project.csynth(), project, key)
+
+    def _journal_commit(self, step: str, digest: str) -> None:
+        """Record a committed step once (idempotent across resumes)."""
+        if self.journal is not None and not self.journal.committed(step, digest):
+            self.journal.step_commit(step, digest)
 
     def _content_matches(self, cached: CoreBuild, key: str) -> bool:
         """A name-cache entry is reused only if its content digest agrees."""
@@ -262,6 +285,10 @@ class FlowHooks(ActionHooks):
         )
         if self.build_cache is not None:
             self.build_cache.put(key, build)
+        # Commit strictly after the artifact is published to the cache —
+        # the write-ahead contract a resume relies on.
+        self._journal_commit(f"hls:{name}", key)
+        crashpoint(f"hls:{name}:commit", core=name)
 
     def _flush_pending(self, graph: TgGraph) -> None:
         """Run the deferred syntheses in topological waves over a pool."""
@@ -309,6 +336,21 @@ class FlowHooks(ActionHooks):
             self.timing.hls_wall_s = self.timing.hls_s
         validate_graph(graph)
         results = {name: build.result for name, build in self.cores.items()}
+
+        # Integration is cheap and deterministic, so a resume re-executes
+        # it from the (cache-served) cores; the journal boundary still
+        # exists so the crash harness can kill the flow exactly here.
+        integrate_digest = stable_digest(
+            {
+                "cores": {name: build.key for name, build in self.cores.items()},
+                "backend": self.config.backend.version,
+                "integration": repr(self.config.integration),
+                "check_tcl": self.config.check_tcl,
+            }
+        )
+        if self.journal is not None:
+            self.journal.step_start("integrate", integrate_digest)
+        crashpoint("integrate:start")
         system = integrate(graph, results, self.config.integration)
         system_tcl = generate_system_tcl(system, self.config.backend)
         bitstream = run_synthesis(system.design)
@@ -325,8 +367,18 @@ class FlowHooks(ActionHooks):
                 raise FlowError(
                     "generated tcl does not reproduce the integrated design"
                 )
+        self._journal_commit("integrate", integrate_digest)
+        crashpoint("integrate:commit")
 
+        swgen_digest = stable_digest(
+            {"integrate": integrate_digest, "bitstream": bitstream.digest}
+        )
+        if self.journal is not None:
+            self.journal.step_start("swgen", swgen_digest)
+        crashpoint("swgen:start")
         image = assemble_image(system, bitstream)
+        self._journal_commit("swgen", swgen_digest)
+        crashpoint("swgen:commit")
 
         model = self.config.timing_model
         self.timing.scala_s = model.scala_compile_s(count_lines(emit_dsl(graph)))
@@ -345,6 +397,38 @@ class FlowHooks(ActionHooks):
         )
 
 
+def flow_run_digest(
+    text: str,
+    c_sources: dict[str, str],
+    extra_directives: dict[str, list[Directive]] | None,
+    config: FlowConfig,
+) -> str:
+    """Digest of everything one flow run depends on — the journal header.
+
+    Covers the DSL text, every C source, the extra directives, the
+    backend and engine versions *and* the execution config (jobs,
+    cache_dir): a journal written under one configuration is never
+    resumed under another — a changed config forces a clean rebuild
+    instead of stitching incompatible runs together.
+    """
+    return stable_digest(
+        {
+            "engine": ENGINE_VERSION,
+            "dsl": text,
+            "sources": sorted(c_sources.items()),
+            "directives": {
+                name: [repr(d) for d in dirs]
+                for name, dirs in sorted((extra_directives or {}).items())
+            },
+            "backend": config.backend.version,
+            "integration": repr(config.integration),
+            "check_tcl": config.check_tcl,
+            "jobs": config.jobs,
+            "cache_dir": str(config.cache_dir),
+        }
+    )
+
+
 def run_flow(
     description: str | TgGraph,
     c_sources: dict[str, str],
@@ -353,6 +437,7 @@ def run_flow(
     core_cache: dict[str, CoreBuild] | None = None,
     config: FlowConfig | None = None,
     build_cache: BuildCache | None = None,
+    journal: RunJournal | str | os.PathLike | None = None,
 ) -> FlowResult:
     """Execute a task-graph description through the full tool-chain.
 
@@ -361,16 +446,60 @@ def run_flow(
     hook sequence is identical either way).  *build_cache* shares one
     in-process :class:`BuildCache` across runs; otherwise
     ``config.cache_dir`` (or ``REPRO_FLOW_CACHE_DIR``) opens one per run.
+
+    *journal* (a :class:`RunJournal` or a path for one) makes the run
+    crash-safe: every step is recorded write-ahead, so a killed run can
+    be continued with :func:`resume_flow` — committed steps are served
+    from the content-addressed cache and only the interrupted tail
+    re-executes.
     """
+    config = config or FlowConfig()
+    text = description if isinstance(description, str) else emit_dsl(description)
+    if journal is not None and not isinstance(journal, RunJournal):
+        journal = RunJournal(journal)
+    if journal is not None:
+        journal.begin(flow_run_digest(text, c_sources, extra_directives, config))
     hooks = FlowHooks(
         c_sources,
         extra_directives=extra_directives,
         core_cache=core_cache,
         config=config,
         build_cache=build_cache,
+        journal=journal,
     )
-    text = description if isinstance(description, str) else emit_dsl(description)
     parse_dsl(text, hooks=hooks)
     if hooks.result is None:  # pragma: no cover - parse_dsl raises first
         raise FlowError("flow did not complete")
     return hooks.result
+
+
+def resume_flow(
+    description: str | TgGraph,
+    c_sources: dict[str, str],
+    *,
+    journal: RunJournal | str | os.PathLike,
+    extra_directives: dict[str, list[Directive]] | None = None,
+    core_cache: dict[str, CoreBuild] | None = None,
+    config: FlowConfig | None = None,
+    build_cache: BuildCache | None = None,
+) -> FlowResult:
+    """Continue an interrupted :func:`run_flow` from its run journal.
+
+    Semantically identical to calling :func:`run_flow` with the same
+    inputs and journal — the journal decides what can be skipped: steps
+    it committed (with matching input digests) are satisfied from the
+    content-addressed cache, the interrupted tail re-executes, and the
+    result is byte-identical to an uninterrupted run (proven per journal
+    boundary by ``repro crashcheck``).  If the inputs or config changed
+    since the interrupted run, the journal digest mismatches and the
+    flow rebuilds cleanly from scratch instead of reusing stale state.
+    """
+    return run_flow(
+        description,
+        c_sources,
+        extra_directives=extra_directives,
+        core_cache=core_cache,
+        config=config,
+        build_cache=build_cache,
+        journal=journal,
+    )

@@ -17,7 +17,12 @@ Failure semantics (asserted by the fault-injection tests):
 * on the first failure (first in declaration order, so the error is
   deterministic) all queued work is cancelled — running siblings finish
   their bounded synthesis but nothing new starts, and no artifact of the
-  failing core is published, so no partial cache entry can exist.
+  failing core is published, so no partial cache entry can exist;
+* a :class:`~repro.util.errors.FlowInterrupted` (an armed crash-point —
+  see :mod:`repro.flow.crashpoints`) propagates *unwrapped*, so the run
+  journal observes the kill at the exact boundary it was armed on.  All
+  crash-points fire on the orchestrator thread, never inside a worker:
+  artifact publication and journal commits stay single-threaded.
 
 Results are returned keyed by core name; the caller re-inserts them in
 graph declaration order, which makes the parallel flow's artifact
@@ -31,7 +36,7 @@ from dataclasses import dataclass
 
 from repro.dsl.ast import TgGraph
 from repro.hls.project import HlsProject, SynthesisResult
-from repro.util.errors import FlowError
+from repro.util.errors import FlowError, FlowInterrupted
 
 
 def topological_waves(graph: TgGraph, names: list[str] | None = None) -> list[list[str]]:
@@ -132,6 +137,8 @@ def run_parallel_synthesis(
                         f"HLS synthesis of core {name!r} exceeded its "
                         f"{timeout_s:g} s timeout"
                     ) from None
+                except FlowInterrupted:
+                    raise  # crash-point kill — never rewrapped (journal semantics)
                 except FlowError:
                     raise
                 except Exception as exc:

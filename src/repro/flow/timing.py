@@ -63,6 +63,14 @@ class FlowTiming:
     #: Content-addressed build-cache hits / misses (0/0 without a cache).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: True when this run continued an existing run journal (resume).
+    resumed: bool = False
+    #: Journal-committed steps satisfied without re-executing the work
+    #: (cache-served HLS cores, already-promoted workspaces).
+    steps_skipped: int = 0
+    #: Steps the prior run left started-but-uncommitted — the
+    #: interrupted tail this run recovered.
+    crash_recoveries: int = 0
     #: Per-core build records, in graph declaration order.
     trace: list[CoreTrace] = field(default_factory=list)
 
@@ -97,6 +105,11 @@ class FlowTiming:
             "jobs": self.jobs,
             "speedup": round(self.speedup, 2),
             "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "resume": {
+                "resumed": self.resumed,
+                "steps_skipped": self.steps_skipped,
+                "crash_recoveries": self.crash_recoveries,
+            },
             "cores": [
                 {
                     "name": t.name,

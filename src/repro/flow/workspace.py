@@ -1,21 +1,52 @@
-"""Materialize a flow result to a directory tree.
+"""Materialize a flow result to a directory tree — atomically.
 
 Mirrors what the real tool leaves on disk: one Vivado HLS project
 directory per core (C source, script, directives, Verilog, report,
 csim golden vectors), the system-level tcl, the block-design diagram,
 the bitstream metadata, and the ``sdcard/`` + ``sw/`` software layer.
+
+Crash consistency
+-----------------
+``materialize`` used to write ~20 files straight into ``out/`` with bare
+``write_text`` — a crash mid-call left a torn tree that *looked*
+complete.  It now stages the whole tree into a ``.stage-<digest>``
+sibling directory, writes a ``MANIFEST.json`` (per-file SHA-256 digests
+plus a tree-level *artifact digest*) and a ``DONE`` marker, then
+promotes the stage into place with directory renames.  Every observable
+state is therefore either the old tree, the new tree, or an obviously
+incomplete one (no ``DONE``) that :func:`verify_workspace` detects and
+repairs.  Re-materializing a result whose artifact digest already sits
+promoted is a no-op (counted in ``timing.steps_skipped``), which makes
+resumed builds idempotent.
+
+The *artifact digest* covers every file except ``timing.json`` — timing
+is run metadata (cache hits, resume counters) that legitimately differs
+between an uninterrupted run and a kill/resume pair, while the artifact
+set must be byte-identical; ``repro crashcheck`` diffs exactly this
+digest.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import shutil
 from pathlib import Path
 
 import numpy as np
 
+from repro.flow.crashpoints import crashpoint
+from repro.flow.journal import RunJournal
 from repro.flow.orchestrator import FlowResult
 from repro.hls.interp import dtype_for
 from repro.hls.rtl import library_cells
+from repro.util.errors import WorkspaceTorn
+
+MANIFEST_NAME = "MANIFEST.json"
+DONE_NAME = "DONE"
+
+#: Run metadata, excluded from the artifact digest (see module docstring).
+VOLATILE_FILES = frozenset({"timing.json"})
 
 
 def _csim_vectors(result, seed: int = 1) -> dict | None:
@@ -56,39 +87,37 @@ def _csim_vectors(result, seed: int = 1) -> dict | None:
     }
 
 
-def materialize(result: FlowResult, root: str | Path) -> Path:
-    """Write every artifact of *result* under *root*; returns the path."""
-    root = Path(root)
-    root.mkdir(parents=True, exist_ok=True)
+def workspace_files(result: FlowResult) -> dict[str, str]:
+    """Every artifact of *result* as ``relative path -> text content``.
 
-    (root / "taskgraph.tg").write_text(result.dsl_text)
+    Pure function of the result — computing the tree before touching the
+    filesystem is what makes staging, digesting and verification
+    possible.
+    """
+    files: dict[str, str] = {}
+    files["taskgraph.tg"] = result.dsl_text
 
     # Per-core HLS projects (scripts are re-executable: the C source the
     # script's add_files references sits next to it).
     for name, build in result.cores.items():
-        core_dir = root / "hls" / name
-        core_dir.mkdir(parents=True, exist_ok=True)
-        (core_dir / "script.tcl").write_text(build.hls_tcl.render())
-        (core_dir / "directives.tcl").write_text(build.directives_tcl)
+        core = f"hls/{name}"
+        files[f"{core}/script.tcl"] = build.hls_tcl.render()
+        files[f"{core}/directives.tcl"] = build.directives_tcl
         if build.key:
-            (core_dir / "cachekey.txt").write_text(build.key + "\n")
-        (core_dir / f"{build.result.top}.c").write_text(build.c_source)
-        (core_dir / f"{name}.v").write_text(build.result.verilog)
-        (core_dir / "csynth.rpt").write_text(build.result.report.render())
+            files[f"{core}/cachekey.txt"] = build.key + "\n"
+        files[f"{core}/{build.result.top}.c"] = build.c_source
+        files[f"{core}/{name}.v"] = build.result.verilog
+        files[f"{core}/csynth.rpt"] = build.result.report.render()
         vectors = _csim_vectors(build.result)
         if vectors is not None:
-            (core_dir / "csim_vectors.json").write_text(
-                json.dumps(vectors, indent=1) + "\n"
-            )
-    (root / "hls" / "repro_cells.v").write_text(library_cells())
+            files[f"{core}/csim_vectors.json"] = json.dumps(vectors, indent=1) + "\n"
+    files["hls/repro_cells.v"] = library_cells()
 
     # System integration.
-    sys_dir = root / "vivado"
-    sys_dir.mkdir(parents=True, exist_ok=True)
-    (sys_dir / "system.tcl").write_text(result.system_tcl.render())
-    (sys_dir / "design.dot").write_text(result.design.to_diagram())
-    (sys_dir / "address_map.txt").write_text(result.design.address_map.render() + "\n")
-    (sys_dir / "bitstream.json").write_text(
+    files["vivado/system.tcl"] = result.system_tcl.render()
+    files["vivado/design.dot"] = result.design.to_diagram()
+    files["vivado/address_map.txt"] = result.design.address_map.render() + "\n"
+    files["vivado/bitstream.json"] = (
         json.dumps(
             {
                 "design": result.bitstream.design,
@@ -108,18 +137,199 @@ def materialize(result: FlowResult, root: str | Path) -> Path:
     )
 
     # Software layer.
-    sw_dir = root / "sw"
-    sw_dir.mkdir(parents=True, exist_ok=True)
     for name, content in result.image.sources.items():
-        (sw_dir / name).write_text(content)
-    sd_dir = root / "sdcard"
-    sd_dir.mkdir(parents=True, exist_ok=True)
-    (sd_dir / "MANIFEST").write_text(result.image.boot.manifest() + "\n")
-    (sd_dir / "devicetree.dts").write_text(result.image.boot.dts)
+        files[f"sw/{name}"] = content
+    files["sdcard/MANIFEST"] = result.image.boot.manifest() + "\n"
+    files["sdcard/devicetree.dts"] = result.image.boot.dts
 
     # Timing summary (the Fig. 9 input): phases plus the build-engine
-    # record — per-core trace, wave schedule, cache hits, wall-clock.
-    (root / "timing.json").write_text(
-        json.dumps(result.timing.report(), indent=2) + "\n"
+    # record — per-core trace, wave schedule, cache counters, resume
+    # counters, wall-clock.  Volatile: excluded from the artifact digest.
+    files["timing.json"] = json.dumps(result.timing.report(), indent=2) + "\n"
+    return files
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def manifest_for(files: dict[str, str]) -> dict:
+    """The ``MANIFEST.json`` payload for a staged tree."""
+    digests = {path: _sha256(content) for path, content in sorted(files.items())}
+    artifact = hashlib.sha256()
+    for path, digest in sorted(digests.items()):
+        if path in VOLATILE_FILES:
+            continue
+        artifact.update(f"{path}\0{digest}\n".encode())
+    return {
+        "version": 1,
+        "artifact_digest": artifact.hexdigest(),
+        "files": digests,
+    }
+
+
+def _write_tree(root: Path, files: dict[str, str]) -> None:
+    for rel, content in sorted(files.items()):
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content)
+
+
+class WorkspaceStatus:
+    """What :func:`verify_workspace` found at a workspace root."""
+
+    def __init__(
+        self,
+        root: Path,
+        state: str,
+        *,
+        missing: tuple[str, ...] = (),
+        mismatched: tuple[str, ...] = (),
+        manifest: dict | None = None,
+        repaired: bool = False,
+    ) -> None:
+        self.root = root
+        self.state = state  # "ok" | "missing" | "torn"
+        self.missing = missing
+        self.mismatched = mismatched
+        self.manifest = manifest
+        self.repaired = repaired
+
+    @property
+    def ok(self) -> bool:
+        return self.state == "ok"
+
+    @property
+    def artifact_digest(self) -> str | None:
+        return self.manifest.get("artifact_digest") if self.manifest else None
+
+    def describe(self) -> str:
+        if self.ok:
+            tail = " (repaired)" if self.repaired else ""
+            return f"{self.root}: ok, artifact {self.artifact_digest[:16]}...{tail}"
+        detail = []
+        if self.missing:
+            detail.append(f"missing: {', '.join(self.missing)}")
+        if self.mismatched:
+            detail.append(f"mismatched: {', '.join(self.mismatched)}")
+        return f"{self.root}: {self.state}" + (f" — {'; '.join(detail)}" if detail else "")
+
+
+def verify_workspace(
+    root: str | Path,
+    *,
+    repair_with: FlowResult | None = None,
+    strict: bool = False,
+) -> WorkspaceStatus:
+    """Check a materialized tree against its own manifest.
+
+    Detects every torn state a crash (or a tamper) can leave: no
+    ``MANIFEST.json``, no ``DONE`` marker, a ``DONE`` that disagrees
+    with the manifest, files missing from the tree, files whose bytes no
+    longer match their recorded digest.  With *repair_with* the torn
+    tree is re-materialized from that result; with *strict* a torn tree
+    raises :class:`WorkspaceTorn` instead of returning.
+    """
+    root = Path(root)
+    status = _inspect(root)
+    if not status.ok and repair_with is not None:
+        materialize(repair_with, root)
+        status = _inspect(root)
+        status.repaired = True
+    if strict and not status.ok:
+        raise WorkspaceTorn(
+            f"workspace at {root} is {status.state}: {status.describe()}",
+            root=str(root),
+            missing=status.missing,
+            mismatched=status.mismatched,
+        )
+    return status
+
+
+def _inspect(root: Path) -> WorkspaceStatus:
+    if not root.exists():
+        return WorkspaceStatus(root, "missing")
+    try:
+        manifest = json.loads((root / MANIFEST_NAME).read_text())
+        assert isinstance(manifest.get("files"), dict)
+    except (OSError, ValueError, AssertionError):
+        return WorkspaceStatus(root, "torn", missing=(MANIFEST_NAME,))
+    try:
+        done = (root / DONE_NAME).read_text().strip()
+    except OSError:
+        return WorkspaceStatus(root, "torn", missing=(DONE_NAME,), manifest=manifest)
+    missing: list[str] = []
+    mismatched: list[str] = []
+    if done != manifest.get("artifact_digest"):
+        mismatched.append(DONE_NAME)
+    for rel, digest in sorted(manifest["files"].items()):
+        try:
+            content = (root / rel).read_text()
+        except OSError:
+            missing.append(rel)
+            continue
+        if _sha256(content) != digest:
+            mismatched.append(rel)
+    state = "ok" if not (missing or mismatched) else "torn"
+    return WorkspaceStatus(
+        root,
+        state,
+        missing=tuple(missing),
+        mismatched=tuple(mismatched),
+        manifest=manifest,
     )
+
+
+def materialize(
+    result: FlowResult, root: str | Path, *, journal: RunJournal | None = None
+) -> Path:
+    """Write every artifact of *result* under *root*; returns the path.
+
+    Atomic: the tree is staged next to *root* and promoted by rename, so
+    a crash at any instant leaves either the previous tree, the new
+    tree, or a clearly-incomplete stage that the next run sweeps away.
+    When *journal* is given the step rides the run journal like every
+    flow step (intent before staging, commit after promotion).
+    """
+    root = Path(root)
+    files = workspace_files(result)
+    manifest = manifest_for(files)
+    digest = manifest["artifact_digest"]
+
+    if journal is not None:
+        journal.step_start("materialize", digest)
+    crashpoint("materialize:start")
+
+    existing = _inspect(root)
+    if existing.ok and existing.artifact_digest == digest:
+        # Same artifacts already promoted — resumed runs skip the write.
+        result.timing.steps_skipped += 1
+        if journal is not None and not journal.committed("materialize", digest):
+            journal.step_commit("materialize", digest)
+        crashpoint("materialize:commit")
+        return root
+
+    stage = root.parent / f".stage-{digest[:16]}-{root.name}"
+    if stage.exists():
+        shutil.rmtree(stage)  # leftover of a crashed predecessor
+    root.parent.mkdir(parents=True, exist_ok=True)
+    _write_tree(stage, files)
+    (stage / MANIFEST_NAME).write_text(json.dumps(manifest, indent=1) + "\n")
+    (stage / DONE_NAME).write_text(digest + "\n")
+    crashpoint("materialize:stage")
+
+    old = root.parent / f".old-{digest[:16]}-{root.name}"
+    if old.exists():
+        shutil.rmtree(old)  # leftover of a crash between the two renames
+    if root.exists():
+        root.rename(old)
+        crashpoint("materialize:swap")
+        stage.rename(root)
+        shutil.rmtree(old)
+    else:
+        stage.rename(root)
+
+    if journal is not None:
+        journal.step_commit("materialize", digest)
+    crashpoint("materialize:commit")
     return root

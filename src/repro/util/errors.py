@@ -172,3 +172,66 @@ class FaultInjectionError(SimError):
 # --- flow ---------------------------------------------------------------
 class FlowError(ReproError):
     """End-to-end flow orchestration failed."""
+
+
+class FlowInterrupted(FlowError):
+    """The flow process was killed at a crash-point (journal boundary).
+
+    Raised by :func:`repro.flow.crashpoints.crashpoint` when an armed
+    :class:`~repro.flow.crashpoints.CrashPlan` fires.  Carries the
+    journal *step* the flow died in (e.g. ``hls:histogram:start``) and,
+    for per-core steps, the *core* name, so the crash-injection harness
+    can assert it killed the flow exactly where it armed the kill.
+    """
+
+    def __init__(self, message: str, *, step: str = "?", core: str | None = None) -> None:
+        super().__init__(message)
+        self.step = step
+        self.core = core
+
+
+class CacheCorrupted(FlowError):
+    """A build-cache entry failed its integrity check.
+
+    The cache itself never raises this on the read path — a bad entry is
+    quarantined and treated as a miss, so the flow transparently
+    rebuilds.  ``repro cachecheck --strict`` raises it to fail CI when a
+    scrub found corruption.  Carries the entry *key* and the quarantine
+    *path* the bad bytes were moved to.
+    """
+
+    def __init__(self, message: str, *, key: str = "?", path: str | None = None) -> None:
+        super().__init__(message)
+        self.key = key
+        self.path = path
+
+
+class CacheLockTimeout(FlowError):
+    """The cross-process build-cache lock could not be acquired in time."""
+
+    def __init__(self, message: str, *, path: str | None = None, timeout_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.path = path
+        self.timeout_s = timeout_s
+
+
+class WorkspaceTorn(FlowError):
+    """A materialized workspace is incomplete or does not match its manifest.
+
+    Raised by :func:`repro.flow.workspace.verify_workspace` in strict
+    mode; carries the workspace *root*, the manifest-listed files that
+    are *missing* and those whose content digest *mismatched*.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        root: str | None = None,
+        missing: tuple[str, ...] = (),
+        mismatched: tuple[str, ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.root = root
+        self.missing = missing
+        self.mismatched = mismatched

@@ -11,7 +11,14 @@ import random
 
 import pytest
 
-from repro.flow.buildcache import ENGINE_VERSION, BuildCache, cache_key
+from repro.flow.buildcache import (
+    ENGINE_VERSION,
+    BuildCache,
+    CacheIntegrityWarning,
+    FileLock,
+    cache_key,
+)
+from repro.util.errors import CacheLockTimeout
 
 BASE = dict(
     name="gauss",
@@ -124,13 +131,15 @@ class TestBuildCacheStore:
         key = _key()
         writer = BuildCache(tmp_path)
         writer.put(key, "good artifact")
-        (entry,) = [p for p in tmp_path.rglob("*") if p.is_file()]
+        (entry,) = [p for p in (tmp_path / "objects").rglob("*") if p.is_file()]
         entry.write_bytes(corruptor(entry.read_bytes()))
 
         cache = BuildCache(tmp_path)
-        assert cache.get(key) is None  # never served
+        with pytest.warns(CacheIntegrityWarning):
+            assert cache.get(key) is None  # never served
         assert cache.stats.corrupt == 1 and cache.stats.misses == 1
-        assert not entry.exists()  # dropped, so the rebuild replaces it
+        assert not entry.exists()  # quarantined, so the rebuild replaces it
+        assert cache.quarantined_keys() == [key]  # bad bytes kept for post-mortem
         cache.put(key, "rebuilt artifact")
         assert BuildCache(tmp_path).get(key) == "rebuilt artifact"
 
@@ -149,7 +158,8 @@ class TestBuildCacheStore:
         path.parent.mkdir(parents=True)
         path.write_bytes(blob)
         cache = BuildCache(tmp_path)
-        assert cache.get(key) is None
+        with pytest.warns(CacheIntegrityWarning):
+            assert cache.get(key) is None
         assert cache.stats.corrupt == 1
 
     def test_eviction_is_lru_and_counted(self, tmp_path):
@@ -173,3 +183,92 @@ class TestBuildCacheStore:
         assert key in cache
         cache.clear()
         assert key not in cache and len(cache) == 0
+
+
+class TestCacheHardening:
+    """Cross-process locking, corruption quarantine, and scrubbing."""
+
+    def test_lock_is_reentrant_within_one_cache(self, tmp_path):
+        # put() holds the lock and calls _evict(), which re-acquires —
+        # a non-reentrant lock would deadlock right here.
+        cache = BuildCache(tmp_path, max_entries=2)
+        for i in range(5):
+            cache.put(_key(name=f"core{i}"), i)
+        assert len(cache) <= 2
+
+    def test_lock_contention_times_out(self, tmp_path):
+        holder = FileLock(tmp_path / "lock", timeout_s=5.0)
+        holder.acquire()
+        try:
+            waiter = FileLock(tmp_path / "lock", timeout_s=0.2)
+            with pytest.raises(CacheLockTimeout) as exc:
+                waiter.acquire()
+            assert exc.value.timeout_s == 0.2
+        finally:
+            holder.release()
+
+    def test_lock_released_after_put(self, tmp_path):
+        BuildCache(tmp_path).put(_key(), 1)
+        # A second instance (fresh fd → real flock contention) acquires
+        # immediately because put released the lock.
+        BuildCache(tmp_path, lock_timeout_s=0.2).put(_key(name="other"), 2)
+
+    def test_concurrent_eviction_mid_read_is_a_miss_not_an_error(self, tmp_path):
+        cache = BuildCache(tmp_path)
+        key = _key()
+        cache.put(key, "value")
+        cache._memory.clear()
+        # Simulate the peer process's LRU eviction winning the race.
+        cache._path(key).unlink()
+        assert cache.get(key) is None  # rebuild, never a raise
+        assert cache.stats.misses == 1 and cache.stats.corrupt == 0
+
+    def test_scrub_quarantines_and_reports(self, tmp_path):
+        cache = BuildCache(tmp_path)
+        keys = [_key(name=f"core{i}") for i in range(4)]
+        for i, key in enumerate(keys):
+            cache.put(key, i)
+        for key in keys[:2]:
+            path = cache._path(key)
+            path.write_bytes(path.read_bytes()[:10])
+
+        fresh = BuildCache(tmp_path)
+        with pytest.warns(CacheIntegrityWarning):
+            report = fresh.scrub()
+        assert report.checked == 4 and report.ok == 2
+        assert sorted(report.quarantined) == sorted(keys[:2])
+        assert not report.healthy
+        assert fresh.quarantined_keys() == sorted(keys[:2])
+        # Quarantined entries are gone from the serving path: miss + rebuild.
+        assert fresh.get(keys[0]) is None
+        fresh.put(keys[0], "rebuilt")
+        assert BuildCache(tmp_path).get(keys[0]) == "rebuilt"
+        # Healthy entries survived the scrub untouched.
+        assert BuildCache(tmp_path).get(keys[3]) == 3
+
+    def test_scrub_healthy_cache(self, tmp_path):
+        cache = BuildCache(tmp_path)
+        for i in range(3):
+            cache.put(_key(name=f"c{i}"), i)
+        report = cache.scrub()
+        assert report.healthy and report.checked == 3 and report.ok == 3
+        assert "3 entries checked" in report.render()
+
+    def test_purge_quarantine(self, tmp_path):
+        cache = BuildCache(tmp_path)
+        cache.put(_key(), "x")
+        path = cache._path(_key())
+        path.write_bytes(b"junk")
+        with pytest.warns(CacheIntegrityWarning):
+            cache.scrub()
+        assert len(cache.quarantined_keys()) == 1
+        assert cache.purge_quarantine() == 1
+        assert cache.quarantined_keys() == []
+
+    def test_memory_cache_has_no_lock_or_quarantine(self):
+        cache = BuildCache()
+        cache.put("k" * 64, 1)
+        report = cache.scrub()
+        assert report.checked == 0 and report.healthy
+        assert cache.quarantined_keys() == []
+        assert cache.purge_quarantine() == 0

@@ -125,6 +125,21 @@ class TestFig9:
         for row in f9.breakdown.values():
             assert row["SYNTH"] > row["PROJECT"] > row["SCALA"]
 
+    def test_cold_builds_carry_no_resume_flag(self, builds):
+        f9 = regenerate_fig9(builds)
+        assert set(f9.resume) == {1, 2, 3, 4}
+        assert not any(r.get("resumed") for r in f9.resume.values())
+        assert "resumed builds" not in f9.render()
+
+    def test_resumed_build_flagged_in_render(self, builds):
+        """A resumed run's phase seconds only cover the re-executed tail;
+        the figure must say so rather than pass them off as a cold build."""
+        f9 = regenerate_fig9(builds)
+        f9.resume[2] = {"resumed": True, "steps_skipped": 3, "crash_recoveries": 1}
+        out = f9.render()
+        assert "resumed builds (timings are partial)" in out
+        assert "Arch2: 3 step(s) skipped, 1 recovered" in out
+
 
 class TestFig10:
     def test_diagrams_per_arch(self, builds):

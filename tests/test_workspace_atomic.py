@@ -1,0 +1,160 @@
+"""Atomic materialization and torn-tree detection/repair.
+
+``materialize`` must be all-or-nothing: whatever instant the process
+dies, the workspace root is either the previous complete tree, the new
+complete tree, or a state :func:`verify_workspace` flags as torn — and a
+retry always converges to the complete tree.
+"""
+
+import json
+
+import pytest
+
+from repro.apps.kernels import build_fig4_flow_inputs
+from repro.flow import run_flow, materialize, verify_workspace, workspace_files
+from repro.flow.crashpoints import CrashPlan, armed
+from repro.flow.journal import RunJournal
+from repro.flow.workspace import DONE_NAME, MANIFEST_NAME, VOLATILE_FILES, manifest_for
+from repro.util.errors import FlowInterrupted, WorkspaceTorn
+
+
+@pytest.fixture(scope="module")
+def flow():
+    graph, sources, directives = build_fig4_flow_inputs(32)
+    return run_flow(graph, sources, extra_directives=directives)
+
+
+def stray_dirs(parent):
+    return [
+        p.name
+        for p in parent.iterdir()
+        if p.name.startswith((".stage-", ".old-"))
+    ]
+
+
+class TestManifest:
+    def test_materialize_writes_manifest_and_done(self, flow, tmp_path):
+        root = materialize(flow, tmp_path / "out")
+        manifest = json.loads((root / MANIFEST_NAME).read_text())
+        assert manifest["version"] == 1
+        assert (root / DONE_NAME).read_text().strip() == manifest["artifact_digest"]
+        for rel in manifest["files"]:
+            assert (root / rel).is_file()
+        assert stray_dirs(tmp_path) == []
+
+    def test_artifact_digest_excludes_volatile_files(self, flow):
+        files = workspace_files(flow)
+        assert VOLATILE_FILES & set(files)  # timing.json is in the tree...
+        bumped = dict(files)
+        for rel in VOLATILE_FILES:
+            bumped[rel] = bumped.get(rel, "") + "extra run metadata\n"
+        # ...but its bytes don't move the artifact digest,
+        assert manifest_for(bumped)["artifact_digest"] == (
+            manifest_for(files)["artifact_digest"]
+        )
+        # while any real artifact byte does.
+        changed = dict(files)
+        changed["taskgraph.tg"] += "\n"
+        assert manifest_for(changed)["artifact_digest"] != (
+            manifest_for(files)["artifact_digest"]
+        )
+
+    def test_rematerialize_same_result_skips(self, flow, tmp_path):
+        root = materialize(flow, tmp_path / "out")
+        before = flow.timing.steps_skipped
+        marker = root / "hls" / "repro_cells.v"
+        mtime = marker.stat().st_mtime_ns
+        materialize(flow, root)
+        assert flow.timing.steps_skipped == before + 1
+        assert marker.stat().st_mtime_ns == mtime  # nothing rewritten
+
+
+class TestVerify:
+    def test_ok_tree(self, flow, tmp_path):
+        status = verify_workspace(materialize(flow, tmp_path / "out"))
+        assert status.ok and status.state == "ok"
+        assert status.artifact_digest and not status.repaired
+        assert "ok" in status.describe()
+
+    def test_missing_root(self, tmp_path):
+        status = verify_workspace(tmp_path / "nope")
+        assert status.state == "missing" and not status.ok
+
+    @pytest.mark.parametrize(
+        "tear",
+        [
+            lambda root: (root / MANIFEST_NAME).unlink(),
+            lambda root: (root / DONE_NAME).unlink(),
+            lambda root: (root / DONE_NAME).write_text("0" * 64 + "\n"),
+            lambda root: (root / "taskgraph.tg").unlink(),
+            lambda root: (root / "vivado" / "system.tcl").write_text("# tampered\n"),
+        ],
+    )
+    def test_torn_trees_detected(self, flow, tmp_path, tear):
+        root = materialize(flow, tmp_path / "out")
+        tear(root)
+        status = verify_workspace(root)
+        assert status.state == "torn"
+        assert status.missing or status.mismatched
+
+    def test_strict_raises(self, flow, tmp_path):
+        root = materialize(flow, tmp_path / "out")
+        (root / "taskgraph.tg").unlink()
+        with pytest.raises(WorkspaceTorn) as exc:
+            verify_workspace(root, strict=True)
+        assert exc.value.missing == ("taskgraph.tg",)
+
+    def test_repair_rebuilds_torn_tree(self, flow, tmp_path):
+        root = materialize(flow, tmp_path / "out")
+        good = verify_workspace(root).artifact_digest
+        (root / "vivado" / "system.tcl").write_text("# tampered\n")
+        (root / "sdcard" / "MANIFEST").unlink()
+        status = verify_workspace(root, repair_with=flow)
+        assert status.ok and status.repaired
+        assert status.artifact_digest == good
+        assert stray_dirs(tmp_path) == []
+
+
+class TestCrashDuringMaterialize:
+    @pytest.mark.parametrize(
+        "site", ["materialize:start", "materialize:stage", "materialize:swap"]
+    )
+    def test_crash_then_retry_converges(self, flow, tmp_path, site):
+        root = tmp_path / "out"
+        if site == "materialize:swap":
+            materialize(flow, root)  # swap only happens over an existing tree
+            (root / DONE_NAME).unlink()  # age it so promotion re-runs
+        with armed(CrashPlan(site)):
+            with pytest.raises(FlowInterrupted) as exc:
+                materialize(flow, root)
+        assert exc.value.step == site
+        # Whatever the crash left behind, it is never a silently-torn
+        # "ok" tree, and a plain retry converges to a verified tree.
+        interim = verify_workspace(root)
+        assert interim.state in ("missing", "torn") or interim.ok
+        materialize(flow, root)
+        assert verify_workspace(root).ok
+        assert stray_dirs(tmp_path) == []
+
+    def test_crash_before_swap_preserves_previous_tree(self, flow, tmp_path):
+        root = materialize(flow, tmp_path / "out")
+        good = verify_workspace(root).artifact_digest
+        with armed(CrashPlan("materialize:start")):
+            with pytest.raises(FlowInterrupted):
+                materialize(flow, root)
+        status = verify_workspace(root)
+        assert status.ok and status.artifact_digest == good
+
+    def test_journal_records_materialize_step(self, flow, tmp_path):
+        journal = RunJournal(tmp_path / "journal")
+        journal.begin("f" * 64)
+        root = materialize(flow, tmp_path / "out", journal=journal)
+        digest = verify_workspace(root).artifact_digest
+        assert journal.committed("materialize", digest)
+        # A resumed journal sees the commit and materialize skips.
+        journal.close()
+        again = RunJournal(tmp_path / "journal")
+        again.begin("f" * 64)
+        before = flow.timing.steps_skipped
+        materialize(flow, root, journal=again)
+        assert flow.timing.steps_skipped == before + 1
