@@ -8,6 +8,9 @@ Commands
                  the workspace; journaled + crash-safe, ``--resume``
                  continues a killed build from its run journal
 ``otsu``         build + simulate one Table-I architecture
+``simbench``     word-path vs burst-path simulator benchmark: runs every
+                 Table-I architecture both ways, requires cycle- and
+                 digest-identical results, reports events/speedup
 ``experiments``  regenerate every table and figure into a directory
 ``faultcheck``   seeded fault-injection campaign over the Table-I
                  architectures; every scenario must recover or raise a
@@ -180,6 +183,85 @@ def _cmd_otsu(args: argparse.Namespace) -> int:
 
         print(f"workspace written to {materialize(flow, args.out)}/")
     return 0 if ok else 1
+
+
+def _cmd_simbench(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    import numpy as np
+
+    from repro.apps.otsu import build_otsu_app
+    from repro.flow import run_flow
+    from repro.sim import simulate_application
+
+    arches = [int(a) for a in args.arches.split(",")]
+    width, _, height = args.size.partition("x")
+    width, height = int(width), int(height or width)
+    print(f"simbench: arch {arches} at {width}x{height}")
+    rows: list[dict] = []
+    failures = 0
+    for arch in arches:
+        app = build_otsu_app(arch, width=width, height=height)
+        flow = run_flow(
+            app.dsl_graph(), app.c_sources, extra_directives=app.extra_directives
+        )
+        timings: dict[str, float] = {}
+        reports = {}
+        for label, mode in (("word", False), ("burst", True)):
+            t0 = time.perf_counter()
+            for _ in range(args.runs):
+                reports[label] = simulate_application(
+                    app.htg, app.partition, app.behaviors, {},
+                    system=flow.system, burst_mode=mode,
+                )
+            timings[label] = (time.perf_counter() - t0) / args.runs
+        word, burst = reports["word"], reports["burst"]
+        identical = (
+            word.cycles == burst.cycles
+            and word.digest() == burst.digest()
+            and np.array_equal(
+                burst.of("binImage"), np.asarray(app.golden["binary"])
+            )
+        )
+        fast = burst.burst_stats["burst_phases"] > 0
+        if not identical or (fast and burst.kernel_events >= word.kernel_events):
+            failures += 1
+        speedup = timings["word"] / timings["burst"] if timings["burst"] else 0.0
+        row = {
+            "arch": arch,
+            "cycles": word.cycles,
+            "identical": identical,
+            "burst_phases": burst.burst_stats["burst_phases"],
+            "word_phases": burst.burst_stats["word_phases"],
+            "events_word": word.kernel_events,
+            "events_burst": burst.kernel_events,
+            "seconds_word": timings["word"],
+            "seconds_burst": timings["burst"],
+            "speedup": speedup,
+            "digest": burst.digest(),
+        }
+        rows.append(row)
+        print(
+            f"  arch{arch}: {word.cycles} cycles, "
+            f"events {word.kernel_events} -> {burst.kernel_events}, "
+            f"{timings['word']:.3f}s -> {timings['burst']:.3f}s "
+            f"({speedup:.1f}x), "
+            f"{'identical' if identical else 'MISMATCH'}"
+            f"{'' if fast else ' (word fallback)'}"
+        )
+    if not any(r["burst_phases"] for r in rows):
+        print("error: no architecture took the fast path", file=sys.stderr)
+        failures += 1
+    if args.json:
+        payload = {"size": f"{width}x{height}", "runs": args.runs, "rows": rows}
+        Path(args.json).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"  results written to {args.json}")
+    if failures:
+        print(f"error: {failures} check(s) failed", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_faultcheck(args: argparse.Namespace) -> int:
@@ -551,6 +633,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_otsu.add_argument("--out", default=None, help="materialize the workspace here")
     p_otsu.set_defaults(func=_cmd_otsu)
+
+    p_sb = sub.add_parser(
+        "simbench",
+        help="benchmark the burst fast path against the word-level simulator",
+    )
+    p_sb.add_argument("--arches", default="1,2,3,4", help="comma-separated list")
+    p_sb.add_argument("--size", default="64x64", help="image size, e.g. 128x128")
+    p_sb.add_argument("--runs", type=int, default=1, help="timing repetitions")
+    p_sb.add_argument("--json", default=None, help="write results as JSON here")
+    p_sb.set_defaults(func=_cmd_simbench)
 
     p_exp = sub.add_parser(
         "experiments", help="regenerate every table and figure of the paper"

@@ -185,12 +185,15 @@ def autosimulate(
     lite_args: dict[str, dict[str, int]] | None = None,
     seed: int = 1,
     wait_mode: str = "poll",
+    burst_mode: bool | None = None,
 ) -> AutoSimResult:
     """Simulate *flow*'s system with interpreter-derived behaviours.
 
     *stimuli* overrides the generated inputs (keyed
     ``in_<node>_<port>``); *lite_args* supplies scalar arguments per
-    AXI-Lite node (register name -> value).
+    AXI-Lite node (register name -> value); *burst_mode* is forwarded to
+    :func:`~repro.sim.runtime.simulate_application` (None = environment
+    default).
     """
     cores = {name: build.result for name, build in flow.cores.items()}
     htg, partition, behaviors, prototypes, lite_nodes = lift_to_htg(
@@ -217,7 +220,8 @@ def autosimulate(
     outputs: dict[str, np.ndarray] = {}
     if htg.nodes:
         report = simulate_application(
-            htg, partition, behaviors, {}, system=flow.system, wait_mode=wait_mode
+            htg, partition, behaviors, {}, system=flow.system,
+            wait_mode=wait_mode, burst_mode=burst_mode,
         )
         for node in htg.nodes.values():
             if isinstance(node, Phase):

@@ -17,6 +17,7 @@ pipeline depth, latency) and calibrated bus costs.
 """
 
 from repro.sim.axi import AxiLiteBus, StreamChannel
+from repro.sim.burst import PhaseSolution, hw_serialized, solve_phase
 from repro.sim.faults import (
     Fault,
     FaultEvent,
@@ -40,11 +41,14 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "Memory",
+    "PhaseSolution",
     "Process",
     "RecoveryEvent",
     "RecoveryPolicy",
     "SimPlatform",
     "StreamChannel",
     "campaign_digest",
+    "hw_serialized",
     "simulate_application",
+    "solve_phase",
 ]

@@ -101,21 +101,27 @@ class StreamActorSim:
                 for _ in range(len(ep.data)):
                     yield ep.channel.get()
         yield self.env.timeout(self.timing.depth)  # pipeline fill
+        # Unbox token arrays once up front instead of one numpy-scalar
+        # .item() call per firing.
+        rate_outs = [
+            (ep, ep.data.tolist())
+            for ep in self.outputs
+            if self._rate(ep) == 1
+        ]
         for f in range(self.firings):
             for ep in self.inputs:
                 if self._rate(ep) == 1:
                     yield ep.channel.get()
             if f > 0:
                 yield self.env.timeout(self.timing.ii)
-            for ep in self.outputs:
-                if self._rate(ep) == 1:
-                    yield ep.channel.put(ep.data[f].item())
+            for ep, tokens in rate_outs:
+                yield ep.channel.put(tokens[f])
         # Bulk outputs (e.g. a histogram) leave after the last firing.
         for ep in self.outputs:
             if self._rate(ep) == 0:
-                for k in range(len(ep.data)):
+                for item in ep.data.tolist():
                     yield self.env.timeout(CYCLES_PER_WORD)
-                    yield ep.channel.put(ep.data[k].item())
+                    yield ep.channel.put(item)
         self.finished_at = self.env.now
 
 
@@ -151,6 +157,11 @@ class LiteAccelSim(AxiLiteDevice):
         self._proc: Process | None = None
         self._irq_waiters: list = []
         self.runs = 0
+        #: When set (by the runtime, only when this core is the sole HP
+        #: master in its phase), m_axi traffic is charged as one burst
+        #: grant instead of one event per word — cycle-identical for a
+        #: solo master (see HpPort.acquire_burst).
+        self.burst_traffic = False
 
     def bind_buffer(self, param: str, buffer_name: str) -> None:
         self.arg_buffers[param] = buffer_name
@@ -221,11 +232,13 @@ class LiteAccelSim(AxiLiteDevice):
         # The master shares the HP port with every DMA in the design.
         if traffic_words:
             yield self.env.timeout(READ_LATENCY + WRITE_LATENCY)
-            if self.hp_port is not None:
+            if self.hp_port is None:
+                yield self.env.timeout(traffic_words * CYCLES_PER_WORD)
+            elif self.burst_traffic:
+                yield self.hp_port.acquire_burst(traffic_words)
+            else:
                 for _ in range(traffic_words):
                     yield self.hp_port.acquire()
-            else:
-                yield self.env.timeout(traffic_words * CYCLES_PER_WORD)
         yield self.env.timeout(max(1, self.result.latency.cycles))
         ret = self.result.run(*args)  # mutates DRAM-backed arrays in place
         if ret is not None:

@@ -91,8 +91,60 @@ class AxiLiteBus:
         return dev.reg_read(offset)
 
 
+class _PendingPut:
+    """A blocked producer: triggers once every held token was admitted."""
+
+    __slots__ = ("event", "items", "pos")
+
+    def __init__(self, event: Event, items: list) -> None:
+        self.event = event
+        self.items = items
+        self.pos = 0
+
+    def take(self):
+        item = self.items[self.pos]
+        self.pos += 1
+        return item
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.items)
+
+
+class _PendingGet:
+    """A blocked consumer: triggers once *need* tokens were fed to it.
+
+    A word-granular get (``need == 1``) triggers with the bare token —
+    the contract every existing process relies on; a burst get triggers
+    with the ordered token list.
+    """
+
+    __slots__ = ("event", "need", "taken")
+
+    def __init__(self, event: Event, need: int) -> None:
+        self.event = event
+        self.need = need
+        self.taken: list = []
+
+    def take(self, item) -> bool:
+        """Feed one token; True when satisfied (event fired)."""
+        self.taken.append(item)
+        if len(self.taken) >= self.need:
+            self.event.trigger(self.taken[0] if self.need == 1 else self.taken)
+            return True
+        return False
+
+
 class StreamChannel:
-    """Bounded FIFO with blocking put/get (AXI-Stream at TLM level)."""
+    """Bounded FIFO with blocking put/get (AXI-Stream at TLM level).
+
+    Word-granular :meth:`put`/:meth:`get` model one ``tvalid``/``tready``
+    handshake per token.  :meth:`put_burst`/:meth:`get_burst` move a
+    whole slice through the FIFO as a *single* event pair — same
+    occupancy evolution and conservation counters, a fraction of the
+    kernel events — and are what the burst fast path
+    (:mod:`repro.sim.burst`) commits traffic through.
+    """
 
     def __init__(
         self,
@@ -111,8 +163,8 @@ class StreamChannel:
         self.width_bits = width_bits
         self.injector = injector
         self._items: deque = deque()
-        self._getters: deque[Event] = deque()
-        self._putters: deque[tuple[Event, object]] = deque()
+        self._getters: deque[_PendingGet] = deque()
+        self._putters: deque[_PendingPut] = deque()
         self.total_put = 0
         self.total_got = 0
         #: Peak occupancy, for utilization reporting.
@@ -125,26 +177,44 @@ class StreamChannel:
     def __len__(self) -> int:
         return len(self._items)
 
+    def _inject(self, item):
+        """Apply flip/drop faults to one token; None if it was dropped."""
+        fault = self.injector.fire("stream_flip", self.name)
+        if fault is not None and isinstance(item, int):
+            item ^= 1 << (fault.bit % max(1, self.width_bits))
+        if self.injector.fire("stream_drop", self.name) is not None:
+            # The producer sees a successful handshake; the token is
+            # gone.  The consumer side will starve and the watchdog
+            # (or deadlock detector) diagnoses the pipeline.
+            self.dropped += 1
+            return None
+        return item
+
+    def _admit_one(self) -> None:
+        """Move one token from the head blocked producer into the FIFO."""
+        head = self._putters[0]
+        self._items.append(head.take())
+        self.total_put += 1
+        self.high_water = max(self.high_water, len(self._items))
+        if head.exhausted:
+            self._putters.popleft()
+            head.event.trigger(None)
+
     def put(self, item) -> Event:
         """Event that triggers once *item* entered the FIFO."""
         evt = Event(self.env)
         if self.injector is not None:
-            fault = self.injector.fire("stream_flip", self.name)
-            if fault is not None and isinstance(item, int):
-                item ^= 1 << (fault.bit % max(1, self.width_bits))
-            if self.injector.fire("stream_drop", self.name) is not None:
-                # The producer sees a successful handshake; the token is
-                # gone.  The consumer side will starve and the watchdog
-                # (or deadlock detector) diagnoses the pipeline.
-                self.dropped += 1
+            item = self._inject(item)
+            if item is None:
                 evt.trigger(None)
                 return evt
         if self._getters:
             # Hand straight to a waiting consumer.
-            getter = self._getters.popleft()
+            getter = self._getters[0]
             self.total_put += 1
             self.total_got += 1
-            getter.trigger(item)
+            if getter.take(item):
+                self._getters.popleft()
             evt.trigger(None)
         elif len(self._items) < self.capacity:
             self._items.append(item)
@@ -152,7 +222,7 @@ class StreamChannel:
             self.high_water = max(self.high_water, len(self._items))
             evt.trigger(None)
         else:
-            self._putters.append((evt, item))
+            self._putters.append(_PendingPut(evt, [item]))
         return evt
 
     def get(self) -> Event:
@@ -162,21 +232,85 @@ class StreamChannel:
             item = self._items.popleft()
             self.total_got += 1
             if self._putters:
-                p_evt, p_item = self._putters.popleft()
-                self._items.append(p_item)
-                self.total_put += 1
-                self.high_water = max(self.high_water, len(self._items))
-                p_evt.trigger(None)
+                self._admit_one()
             evt.trigger(item)
         elif self._putters:
             # Zero-capacity corner: putter waiting on a full-at-0 queue.
-            p_evt, p_item = self._putters.popleft()
+            head = self._putters[0]
+            item = head.take()
             self.total_put += 1
             self.total_got += 1
-            p_evt.trigger(None)
-            evt.trigger(p_item)
+            if head.exhausted:
+                self._putters.popleft()
+                head.event.trigger(None)
+            evt.trigger(item)
         else:
-            self._getters.append(evt)
+            self._getters.append(_PendingGet(evt, 1))
+        return evt
+
+    def put_burst(self, items) -> Event:
+        """Event triggering once *every* token of *items* is in the FIFO.
+
+        One event pair regardless of burst length: waiting consumers are
+        served first, the FIFO fills to capacity, and any overflow stays
+        attached to the (still pending) event until consumers drain it —
+        exactly the occupancy/counter evolution of the equivalent
+        sequence of word puts issued back-to-back in the same cycle.
+        """
+        items = list(items)
+        if not items:
+            raise SimError(f"stream {self.name!r}: empty burst put")
+        evt = Event(self.env)
+        if self.injector is not None:
+            items = [it for it in map(self._inject, items) if it is not None]
+            if not items:
+                evt.trigger(None)
+                return evt
+        pos = 0
+        while self._getters and pos < len(items):
+            getter = self._getters[0]
+            self.total_put += 1
+            self.total_got += 1
+            if getter.take(items[pos]):
+                self._getters.popleft()
+            pos += 1
+        fill = min(self.capacity - len(self._items), len(items) - pos)
+        if fill > 0:
+            self._items.extend(items[pos:pos + fill])
+            self.total_put += fill
+            self.high_water = max(self.high_water, len(self._items))
+            pos += fill
+        if pos == len(items):
+            evt.trigger(None)
+        else:
+            self._putters.append(_PendingPut(evt, items[pos:]))
+        return evt
+
+    def get_burst(self, count: int) -> Event:
+        """Event triggering with an ordered list of *count* tokens."""
+        if count < 1:
+            raise SimError(f"stream {self.name!r}: burst get of {count} tokens")
+        evt = Event(self.env)
+        taken: list = []
+        while len(taken) < count and self._items:
+            taken.append(self._items.popleft())
+            self.total_got += 1
+            if self._putters:
+                self._admit_one()
+        while len(taken) < count and self._putters:
+            head = self._putters[0]
+            taken.append(head.take())
+            self.total_put += 1
+            self.total_got += 1
+            if head.exhausted:
+                self._putters.popleft()
+                head.event.trigger(None)
+        if len(taken) == count:
+            evt.trigger(taken)
+        else:
+            pend = _PendingGet(evt, count)
+            pend.taken = taken
+            self._getters.append(pend)
         return evt
 
     def reset(self) -> None:

@@ -1,0 +1,409 @@
+"""Burst fast path: an analytic phase solver with cycle-identical results.
+
+The word-level simulator charges one kernel event per 32-bit word — a
+heap push/pop, an :class:`~repro.sim.kernel.Event` allocation and a
+generator resume for every FIFO handshake and every HP-port beat.  A
+VGA frame through the Otsu pipeline is millions of such events, all of
+which compute timestamps a closed-form recurrence predicts exactly.
+
+This module evaluates those recurrences directly.  For one hardware
+phase it solves, *before any simulator state is touched*, the complete
+timestamp sequences of every component, and the runtime then replaces
+the per-word processes with a **single kernel timeout** to the solved
+end of the phase plus a commit step that applies the identical final
+state (DRAM bytes, FIFO counters, DMA registers, HP-port automaton,
+actor spans).
+
+Why the results are exact
+-------------------------
+*FIFO timing is max-plus and order-insensitive.*  For a bounded FIFO of
+capacity ``C`` with put-complete times ``P_i`` and get-complete times
+``G_i``::
+
+    P_i = max(ready_prod_i, G_{i-C})        (backpressure)
+    G_i = max(ready_cons_i, P_i)            (availability)
+
+These recurrences depend only on *values*, never on the intra-cycle
+order in which the kernel happens to run the handshake callbacks, so
+evaluating them arithmetically reproduces the event kernel's cycles
+bit-for-bit.
+
+*The HP port is exactly a per-master rate limiter while masters never
+share a cycle.*  The shared-port automaton couples two acquires only
+when the later call lands at or before the earlier grant; during any
+busy stretch a master's grant cycles form a contiguous range, so any
+cross-master coupling would put one master's call cycle inside another
+master's recorded call∪grant cycle set.  The solver therefore runs each
+master against its own copy of the automaton, records those cycle sets,
+and accepts the solution when they are **pairwise disjoint** — a check
+that is sound *and* complete (first-coupling induction) for the
+no-shared-cycle case.
+
+*Masters may share cycles when the port is never saturated.*  If every
+solo grant was immediate (granted in its own call cycle) and the merged
+per-cycle grant count never exceeds ``words_per_cycle``, then in the
+shared automaton every call is still granted in its own cycle no matter
+how the kernel interleaves same-cycle acquires: a call at ``t`` finds
+``_slot_time < t`` (reset) or ``_slot_time == t`` with spare width, by
+induction over cycles.  Concurrent MM2S + S2MM streaming — the common
+pipelined-phase shape — is exact under this rule.  Anything outside
+both conditions **falls back to the word path**, so the fast path is
+only taken when it is provably exact.
+
+What is *not* reconstructed exactly: a FIFO's ``high_water`` statistic
+depends on whether a same-cycle put/get pair hands off directly or
+bounces through the queue — invisible to timing and data, so the solver
+only estimates it and :meth:`ExecutionReport.digest` excludes it.
+
+Components modelled (mirroring the generator processes word for word):
+
+* **MM2S** — ``kick + READ_LATENCY``, then per word an HP grant (or
+  ``CYCLES_PER_WORD``) followed by a backpressured put.
+* **S2MM** — ``kick + WRITE_LATENCY``, then per word a get followed by
+  an HP grant (or ``CYCLES_PER_WORD``).
+* **Stream actor** — bulk inputs drain fully, ``depth`` pipeline fill,
+  then per firing: rate-1 gets, ``II`` spacing, rate-1 puts; bulk
+  outputs leave at ``CYCLES_PER_WORD`` spacing after the last firing.
+
+The solver runs the component recurrences as cooperating generators in
+round-robin chunks until every sequence is complete; a cycle of unmet
+dependencies (count mismatch, genuine deadlock) makes a full round pass
+with no progress and the solver returns ``None`` — the word path is the
+universal fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.htg.schedule import topological_order
+from repro.sim.memory import CYCLES_PER_WORD, READ_LATENCY, WRITE_LATENCY
+
+
+def hw_serialized(htg, partition) -> bool:
+    """True when no two hardware nodes can ever execute concurrently.
+
+    The burst fast path commits a phase's hardware state at the phase
+    end instead of evolving it word by word, which is only equivalent
+    while no *other* hardware node observes or mutates the shared HP
+    port / DMA engines mid-phase.  Software nodes may overlap freely
+    (they touch neither).  Sufficient static condition: every pair of
+    hardware-mapped nodes is ordered by the HTG precedence DAG.
+    """
+    hw = partition.hw_nodes()
+    if len(hw) < 2:
+        return True
+    ancestors: dict[str, set[str]] = {}
+    for name in topological_order(htg):
+        acc: set[str] = set()
+        for pred in htg.predecessors(name):
+            acc.add(pred)
+            acc |= ancestors[pred]
+        ancestors[name] = acc
+    for i, a in enumerate(hw):
+        for b in hw[i + 1:]:
+            if a not in ancestors[b] and b not in ancestors[a]:
+                return False
+    return True
+
+
+@dataclass
+class DmaSpec:
+    """One DMA channel transfer: solver input."""
+
+    kick: int  # cycle mm2s_transfer/s2mm_transfer is called
+    count: int  # words
+    chan: object  # channel key (the StreamChannel instance)
+    direction: str  # "mm2s" | "s2mm"
+
+
+@dataclass
+class ActorSpec:
+    """One stream actor: solver input (all lists in declared port order)."""
+
+    name: str
+    t0: int
+    firings: int
+    depth: int
+    ii: int
+    bulk_ins: list[tuple[object, int]] = field(default_factory=list)
+    rate_ins: list[object] = field(default_factory=list)
+    rate_outs: list[object] = field(default_factory=list)
+    bulk_outs: list[tuple[object, int]] = field(default_factory=list)
+
+
+@dataclass
+class PhaseSolution:
+    """Everything the runtime needs to commit a solved phase."""
+
+    finish: int  # max completion cycle over every component
+    actor_spans: list[tuple[str, int, int]]  # (name, started, finished)
+    channels: dict  # key -> (puts, gets, high_water_estimate)
+    hp_state: tuple[int, int] | None  # final (_slot_time, _slot_used)
+    hp_words: int = 0
+
+
+class _Chan:
+    __slots__ = ("cap", "P", "G")
+
+    def __init__(self, cap: int) -> None:
+        self.cap = cap
+        self.P: list[int] = []  # put-complete time of token i
+        self.G: list[int] = []  # get-complete time of token i
+
+
+class _SoloHp:
+    """One master's private replica of the HP-port automaton.
+
+    Starts from the reset state (valid because the solver separately
+    requires the real port's ``_slot_time`` to lie before this phase's
+    first call) and records every call and grant cycle for the
+    cross-master disjointness check.
+    """
+
+    __slots__ = ("wpc", "slot_time", "slot_used", "words", "cycles",
+                 "first_call", "last_grant", "grants", "delayed")
+
+    def __init__(self, wpc: int) -> None:
+        self.wpc = wpc
+        self.slot_time = -1
+        self.slot_used = 0
+        self.words = 0
+        self.cycles: set[int] = set()
+        self.first_call: int | None = None
+        self.last_grant = -1
+        #: grant cycle -> words granted there (for the saturation check).
+        self.grants: dict[int, int] = {}
+        #: True once any grant landed after its call cycle.
+        self.delayed = False
+
+    def call(self, t: int) -> int:
+        if self.first_call is None:
+            self.first_call = t
+        if self.slot_time < t:
+            self.slot_time = t
+            self.slot_used = 0
+        if self.slot_used >= self.wpc:
+            self.slot_time += 1
+            self.slot_used = 0
+        grant = self.slot_time
+        self.slot_used += 1
+        self.words += 1
+        self.cycles.add(t)
+        self.cycles.add(grant)
+        self.last_grant = grant
+        self.grants[grant] = self.grants.get(grant, 0) + 1
+        if grant != t:
+            self.delayed = True
+        return grant
+
+
+class _Comp:
+    __slots__ = ("gen", "finish")
+
+    def __init__(self) -> None:
+        self.gen = None
+        self.finish: int | None = None
+
+
+def _dma_gen(comp: _Comp, spec: DmaSpec, ch: _Chan, solo: _SoloHp | None):
+    cap, P, G = ch.cap, ch.P, ch.G
+    if spec.direction == "mm2s":
+        t = spec.kick + READ_LATENCY
+        for i in range(spec.count):
+            t = solo.call(t) if solo is not None else t + CYCLES_PER_WORD
+            j = i - cap
+            if j >= 0:
+                while len(G) <= j:
+                    yield
+                g = G[j]
+                if g > t:
+                    t = g
+            P.append(t)
+    else:
+        t = spec.kick + WRITE_LATENCY
+        for i in range(spec.count):
+            while len(P) <= i:
+                yield
+            p = P[i]
+            if p > t:
+                t = p
+            G.append(t)
+            t = solo.call(t) if solo is not None else t + CYCLES_PER_WORD
+    comp.finish = t
+
+
+def _actor_gen(comp: _Comp, spec: ActorSpec, chans: dict):
+    t = spec.t0
+    for key, n in spec.bulk_ins:
+        ch = chans[key]
+        P, G = ch.P, ch.G
+        for i in range(n):
+            while len(P) <= i:
+                yield
+            p = P[i]
+            if p > t:
+                t = p
+            G.append(t)
+    t += spec.depth
+    ins = [chans[k] for k in spec.rate_ins]
+    outs = [chans[k] for k in spec.rate_outs]
+    ii = spec.ii
+    if not ins and not outs:
+        if spec.firings > 1:
+            t += (spec.firings - 1) * ii
+    else:
+        for f in range(spec.firings):
+            for ch in ins:
+                P = ch.P
+                while len(P) <= f:
+                    yield
+                p = P[f]
+                if p > t:
+                    t = p
+                ch.G.append(t)
+            if f > 0:
+                t += ii
+            for ch in outs:
+                j = f - ch.cap
+                if j >= 0:
+                    G = ch.G
+                    while len(G) <= j:
+                        yield
+                    g = G[j]
+                    if g > t:
+                        t = g
+                ch.P.append(t)
+    for key, n in spec.bulk_outs:
+        ch = chans[key]
+        cap, P, G = ch.cap, ch.P, ch.G
+        for k in range(n):
+            t += CYCLES_PER_WORD
+            j = k - cap
+            if j >= 0:
+                while len(G) <= j:
+                    yield
+                g = G[j]
+                if g > t:
+                    t = g
+            P.append(t)
+    comp.finish = t
+
+
+def _high_water_estimate(P: list[int], G: list[int], cap: int) -> int:
+    """Peak-occupancy estimate (exact up to same-cycle handoff races)."""
+    if not P:
+        return 0
+    if not G:
+        return min(len(P), cap)
+    pa = np.asarray(P, dtype=np.int64)
+    ga = np.asarray(G, dtype=np.int64)
+    arrived = np.searchsorted(pa, ga, side="right")
+    occ = arrived - np.arange(len(G), dtype=np.int64)
+    return max(1, min(cap, int(occ.max())))
+
+
+def solve_phase(
+    channels: dict,
+    dmas: list[DmaSpec],
+    actors: list[ActorSpec],
+    *,
+    hp_wpc: int | None = None,
+    hp_slot_time: int | None = None,
+) -> PhaseSolution | None:
+    """Solve one phase's timestamps; ``None`` means "use the word path".
+
+    *channels* maps channel keys to capacities (post capacity-bump).
+    ``None`` is returned whenever exactness cannot be guaranteed: a
+    too-shallow FIFO, a dependency cycle that makes no progress
+    (mismatched token counts / genuine deadlock), leftover tokens, a
+    busy HP port at phase entry, or overlapping per-master HP cycle
+    sets.
+    """
+    if any(cap < 2 for cap in channels.values()):
+        return None
+    chans = {key: _Chan(cap) for key, cap in channels.items()}
+    comps: list[_Comp] = []
+    solos: list[_SoloHp] = []
+    for spec in dmas:
+        if spec.count < 1:
+            return None
+        comp = _Comp()
+        solo = _SoloHp(hp_wpc) if hp_wpc is not None else None
+        if solo is not None:
+            solos.append(solo)
+        comp.gen = _dma_gen(comp, spec, chans[spec.chan], solo)
+        comps.append(comp)
+    actor_comps: list[_Comp] = []
+    for aspec in actors:
+        comp = _Comp()
+        comp.gen = _actor_gen(comp, aspec, chans)
+        comps.append(comp)
+        actor_comps.append(comp)
+
+    pending = list(comps)
+    while pending:
+        progressed = False
+        before = sum(len(c.P) + len(c.G) for c in chans.values())
+        still: list[_Comp] = []
+        for comp in pending:
+            try:
+                next(comp.gen)
+            except StopIteration:
+                progressed = True
+            else:
+                still.append(comp)
+        if sum(len(c.P) + len(c.G) for c in chans.values()) > before:
+            progressed = True
+        if not progressed:
+            return None  # unmet dependency cycle: the word path decides
+        pending = still
+
+    # Every token produced must also be consumed, or the commit would
+    # have to materialize leftover FIFO contents — fall back instead.
+    for ch in chans.values():
+        if len(ch.P) != len(ch.G):
+            return None
+
+    hp_state: tuple[int, int] | None = None
+    hp_words = 0
+    active = [s for s in solos if s.first_call is not None]
+    if active:
+        first = min(s.first_call for s in active)
+        if hp_slot_time is not None and hp_slot_time >= first:
+            return None  # port still busy from before the phase
+        disjoint = all(
+            a.cycles.isdisjoint(b.cycles)
+            for i, a in enumerate(active)
+            for b in active[i + 1:]
+        )
+        if not disjoint:
+            # Shared cycles are still exact when no solo grant was ever
+            # deferred and the merged load never saturates the port.
+            if any(s.delayed for s in active):
+                return None
+            load: dict[int, int] = {}
+            for s in active:
+                for cyc, n in s.grants.items():
+                    load[cyc] = load.get(cyc, 0) + n
+            if any(n > hp_wpc for n in load.values()):
+                return None
+        last = max(s.last_grant for s in active)
+        hp_state = (last, sum(s.grants.get(last, 0) for s in active))
+        hp_words = sum(s.words for s in active)
+
+    return PhaseSolution(
+        finish=max(c.finish for c in comps) if comps else 0,
+        actor_spans=[
+            (spec.name, spec.t0, comp.finish)
+            for spec, comp in zip(actors, actor_comps)
+        ],
+        channels={
+            key: (len(ch.P), len(ch.G), _high_water_estimate(ch.P, ch.G, ch.cap))
+            for key, ch in chans.items()
+        },
+        hp_state=hp_state,
+        hp_words=hp_words,
+    )

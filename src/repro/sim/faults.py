@@ -104,6 +104,25 @@ class FaultPlan:
     def single(cls, kind: str, target: str, **kwargs) -> "FaultPlan":
         return cls(faults=(Fault(kind, target, **kwargs),))
 
+    def touches(self, targets: set[str] | frozenset[str]) -> bool:
+        """Could any fault in this plan fire inside a phase over *targets*?
+
+        The burst fast path (see :mod:`repro.sim.burst`) asks this before
+        collapsing a phase's word-level traffic into bursts: word-granular
+        injection points only exist on the word path, so any fault that
+        *might* hit one of the phase's components (cores, DMA cells,
+        stream links — by name or via the :data:`ANY` wildcard) or DRAM
+        suppresses the fast path for that phase.  Deliberately
+        conservative: no cycle-window reasoning, a plan armed far in the
+        future still counts.
+        """
+        for f in self.faults:
+            if f.kind == "dram_flip":
+                return True  # DRAM flips can hit any buffer a phase reads
+            if f.target == ANY or f.target in targets:
+                return True
+        return False
+
     @classmethod
     def random(
         cls,

@@ -196,6 +196,9 @@ class Environment:
         self._queue: list[tuple[int, int, Callable[[], None], bool]] = []
         self._seq = 0
         self._foreground = 0
+        #: Total events executed across all run() calls — the cost metric
+        #: the burst fast path exists to shrink (see sim/burst.py).
+        self.events_processed = 0
         #: Live (started, not finished, not abandoned) processes.
         self._processes: dict[int, Process] = {}
         #: Objects reported on deadlock (anything with name/capacity/len).
@@ -328,6 +331,7 @@ class Environment:
             self.now = time
             fn()
             count += 1
+            self.events_processed += 1
             if count > max_events:
                 raise SimError(f"simulation exceeded {max_events} events (livelock?)")
         if self.detect_deadlock and self._processes:

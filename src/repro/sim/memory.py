@@ -9,6 +9,7 @@ the DMA engines and CPU model charge.
 
 from __future__ import annotations
 
+from bisect import bisect_right, insort
 from dataclasses import dataclass
 
 import numpy as np
@@ -23,6 +24,19 @@ DDR_SIZE = 512 * 1024 * 1024  # Zedboard: 512 MiB
 READ_LATENCY = 22
 WRITE_LATENCY = 18
 CYCLES_PER_WORD = 1
+
+
+class _AlwaysGreater:
+    """Sorts after any buffer: lets (addr, ceiling) bisect past ties."""
+
+    def __lt__(self, other) -> bool:
+        return False
+
+    def __gt__(self, other) -> bool:
+        return True
+
+
+_ADDR_CEILING = _AlwaysGreater()
 
 
 @dataclass
@@ -50,6 +64,8 @@ class Memory:
         self.size = size
         self._next = base or 0x0010_0000  # skip the kernel's low pages
         self.buffers: dict[str, Buffer] = {}
+        #: (base, Buffer) pairs kept sorted by base for O(log n) decode.
+        self._by_base: list[tuple[int, Buffer]] = []
 
     def allocate(self, name: str, data: np.ndarray) -> Buffer:
         """Place *data* (copied) into DRAM under *name*."""
@@ -62,6 +78,7 @@ class Memory:
         buf = Buffer(name, aligned, arr)
         self._next = aligned + arr.nbytes
         self.buffers[name] = buf
+        insort(self._by_base, (buf.base, buf))
         return buf
 
     def allocate_empty(self, name: str, shape, dtype) -> Buffer:
@@ -74,8 +91,16 @@ class Memory:
             raise SimError(f"no DRAM buffer named {name!r}") from None
 
     def at(self, addr: int) -> Buffer:
-        """Buffer containing *addr* (used by DMA address decoding)."""
-        for buf in self.buffers.values():
+        """Buffer containing *addr* (used by DMA address decoding).
+
+        Buffers never overlap (the allocator hands out disjoint ranges),
+        so the unique candidate is the one with the greatest base at or
+        below *addr* — found by binary search instead of a linear scan,
+        which matters because every DMA descriptor decodes through here.
+        """
+        i = bisect_right(self._by_base, (addr, _ADDR_CEILING))
+        if i:
+            buf = self._by_base[i - 1][1]
             if buf.base <= addr < buf.end:
                 return buf
         raise SimError(f"address {addr:#x} hits no allocated buffer")

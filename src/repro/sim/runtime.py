@@ -24,6 +24,9 @@ hardware data is produced by the HLS-compiled C via the IR interpreter.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -35,9 +38,17 @@ from repro.htg.schedule import phase_firing_order, topological_order
 from repro.htg.validate import validate_htg
 from repro.sim.accel import ActorTiming, LiteAccelSim, StreamActorSim, StreamEndpoint
 from repro.sim.axi import AxiLiteBus, StreamChannel
-from repro.sim.cpu import CpuModel
+from repro.sim.burst import ActorSpec, DmaSpec, hw_serialized, solve_phase
+from repro.sim.cpu import CpuModel, DRIVER_CALL_OVERHEAD
 from repro.sim.devfs import DevFs
-from repro.sim.dma_engine import DmaEngine, HpPort
+from repro.sim.dma_engine import (
+    _SR_IDLE,
+    DmaEngine,
+    HpPort,
+    MM2S_DMASR,
+    S2MM_DMASR,
+    SR_IOC_IRQ,
+)
 from repro.sim.faults import (
     ANY,
     FaultInjector,
@@ -94,10 +105,49 @@ class ExecutionReport:
     fault_events: list = field(default_factory=list)
     #: Cycle-stamped recovery actions the runtime took.
     recovery_events: list = field(default_factory=list)
+    #: Total kernel events executed — the cost the burst path shrinks.
+    kernel_events: int = 0
+    #: Fast-path accounting: phases taken burst vs word, and why.
+    burst_stats: dict = field(default_factory=dict)
 
     @property
     def seconds(self) -> float:
         return self.cycles / (self.fclk_mhz * 1e6)
+
+    def digest(self) -> str:
+        """Stable digest of everything the run *determines*.
+
+        Covers cycles, per-node spans, output bytes, trace spans, FIFO
+        token totals, HP-port words and fault/recovery logs — the burst
+        and word paths must agree on all of it.  A FIFO's ``high_water``
+        is deliberately excluded: it depends on same-cycle
+        handoff-vs-queue races that are invisible to timing and data,
+        and the burst path only estimates it.  ``kernel_events`` and
+        ``burst_stats`` are excluded too — they describe the simulator's
+        own effort, not the simulated run.
+        """
+        payload = {
+            "cycles": self.cycles,
+            "spans": {k: list(v) for k, v in sorted(self.node_spans.items())},
+            "data": {
+                k: [
+                    str(v.dtype),
+                    list(v.shape),
+                    hashlib.sha256(np.ascontiguousarray(v).tobytes()).hexdigest(),
+                ]
+                for k, v in sorted(self.data.items())
+            },
+            "trace": [
+                [s.component, s.activity, s.start, s.end] for s in self.trace.spans
+            ],
+            "channels": {k: v[0] for k, v in sorted(self.channel_stats.items())},
+            "hp_words": self.hp_words,
+            "faults": [e.describe() for e in self.fault_events],
+            "recovery": [e.describe() for e in self.recovery_events],
+        }
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()
+        ).hexdigest()
 
     def of(self, name: str) -> np.ndarray:
         try:
@@ -132,9 +182,13 @@ class SimPlatform:
         wait_mode: str = "poll",
         cpu_cores: int = 2,
         faults: FaultPlan | None = None,
+        burst_mode: bool | None = None,
     ) -> None:
         if wait_mode not in ("poll", "irq"):
             raise SimError(f"unknown wait mode {wait_mode!r}")
+        if burst_mode is None:
+            burst_mode = os.environ.get("REPRO_SIM_BURST", "1") != "0"
+        self.burst_enabled = bool(burst_mode)
         self.env = Environment()
         self.memory = Memory()
         self.trace = Trace()
@@ -275,6 +329,21 @@ class _Runtime:
             self._verify = platform.injector is not None
         else:
             self._verify = self.policy.verify_outputs
+        #: Burst fast path: only meaningful when no two hardware nodes
+        #: can overlap (the commit-at-phase-end model assumes sole
+        #: ownership of the HP port and DMA engines).  Per-phase checks
+        #: (fault-plan targets, FIFO depths, HP contention) come later.
+        self._burst_base = platform.burst_enabled and hw_serialized(htg, partition)
+        self.burst_phases = 0
+        self.word_phases = 0
+        #: AXI-Lite cores may charge their m_axi traffic as one burst
+        #: grant only when nothing can interrupt the core mid-window:
+        #: serialized hardware and no recovery ladder (a watchdog abandon
+        #: between grant and completion would otherwise leave the port
+        #: ahead of where the word path would be).
+        if self._burst_base and not self._ladder:
+            for core in platform.lite_cores.values():
+                core.burst_traffic = True
 
     # -- helpers --------------------------------------------------------
     def behavior_of(self, key: str) -> Behavior:
@@ -410,17 +479,15 @@ class _Runtime:
         self._store_phase_outputs(phase, channel_data)
         self.p.trace.record(f"cpu:{phase.name}", "sw-phase", start, self.p.env.now)
 
-    def run_hw_phase(self, phase: Phase):
-        assert self.p.system is not None and self.p.cpu is not None
-        system = self.p.system
-        start = self.p.env.now
-        channel_data = self._dataflow_outputs(phase)
+    def _phase_layout(self, phase: Phase, channel_data):
+        """Endpoints, firing counts and timing for every actor of *phase*.
 
-        # Map phase channels onto the system's stream links/FIFOs.
-        actors: list[StreamActorSim] = []
-        pending: list[Event] = []
-        used_channels: set[StreamChannel] = set()
-        used_engines: set[DmaEngine] = set()
+        Applies the bulk-stall capacity bump exactly like the word path
+        always did (idempotent, so planning a burst and then falling back
+        to the word path leaves the same fabric state).
+        """
+        system = self.p.system
+        layout = []
         for actor in phase.actors:
             ins, outs = [], []
             for port in actor.stream_inputs:
@@ -445,6 +512,35 @@ class _Runtime:
                     if len(e.data) == firings:
                         e.channel.capacity = max(e.channel.capacity, firings)
             timing = ActorTiming.from_synthesis(system.cores[actor.name], firings)
+            layout.append((actor, ins, outs, firings, timing))
+        return layout
+
+    def run_hw_phase(self, phase: Phase):
+        assert self.p.system is not None and self.p.cpu is not None
+        channel_data = None
+        if self._burst_base:
+            channel_data = self._dataflow_outputs(phase)
+            plan = self._plan_burst_phase(phase, channel_data)
+            if plan is not None:
+                yield from self._run_hw_phase_burst(phase, channel_data, *plan)
+                return
+        yield from self._run_hw_phase_word(phase, channel_data)
+
+    def _run_hw_phase_word(self, phase: Phase, channel_data=None):
+        system = self.p.system
+        start = self.p.env.now
+        if channel_data is None:
+            channel_data = self._dataflow_outputs(phase)
+
+        # Map phase channels onto the system's stream links/FIFOs.
+        actors: list[StreamActorSim] = []
+        pending: list[Event] = []
+        used_channels: set[StreamChannel] = set()
+        used_engines: set[DmaEngine] = set()
+        self.word_phases += 1
+        for actor, ins, outs, firings, timing in self._phase_layout(
+            phase, channel_data
+        ):
             sim = StreamActorSim(
                 self.p.env, actor.name, inputs=ins, outputs=outs, timing=timing
             )
@@ -497,6 +593,158 @@ class _Runtime:
                     f"hw:{sim.name}", "stream", sim.started_at, sim.finished_at
                 )
         self.p.trace.record(f"phase:{phase.name}", "hw-phase", start, self.p.env.now)
+
+    # -- burst fast path (see repro.sim.burst for the equivalence argument) --
+    def _plan_burst_phase(self, phase: Phase, channel_data):
+        """Solve *phase* analytically; None means "run the word path".
+
+        Pure apart from the idempotent capacity bump: nothing is staged,
+        kicked or charged until the plan is accepted, so a fallback
+        leaves the simulator exactly where the word path expects it.
+        """
+        p = self.p
+        system = p.system
+        t0 = p.env.now
+        layout = self._phase_layout(phase, channel_data)
+
+        # Boundary transfers in driver-call order (inputs then outputs),
+        # each kicked one DRIVER_CALL_OVERHEAD after the previous call.
+        kick = t0
+        dma_specs: list[DmaSpec] = []
+        in_ctx: list[tuple[str, np.ndarray, DmaEngine]] = []
+        out_ctx: list[tuple[str, np.ndarray, DmaEngine, str]] = []
+        targets: set[str] = set()
+        try:
+            for ch in phase.boundary_inputs():
+                arr = self.data[ch.src_port]
+                link = self._find_link(dst=(ch.dst_actor, ch.dst_port))
+                engine = self.p.dma_engines[system.dma_for_input(link).cell]
+                kick += DRIVER_CALL_OVERHEAD
+                dma_specs.append(
+                    DmaSpec(kick, int(arr.size), p.channels[link], "mm2s")
+                )
+                in_ctx.append((ch.src_port, arr, engine))
+                targets.add(engine.name)
+            for ch in phase.boundary_outputs():
+                ref = np.asarray(channel_data[(ch.src_actor, ch.src_port)])
+                link = self._find_link(src=(ch.src_actor, ch.src_port))
+                engine = self.p.dma_engines[system.dma_for_output(link).cell]
+                kick += DRIVER_CALL_OVERHEAD
+                dma_specs.append(
+                    DmaSpec(kick, int(ref.size), p.channels[link], "s2mm")
+                )
+                out_ctx.append((ch.dst_port, ref, engine, ch.src_actor))
+                targets.add(engine.name)
+        except SimError:
+            return None  # unmappable boundary: let the word path raise
+
+        channels: dict[StreamChannel, int] = {}
+        chan_tokens: dict[StreamChannel, list] = {}
+        actor_specs: list[ActorSpec] = []
+        for actor, ins, outs, firings, timing in layout:
+            spec = ActorSpec(
+                name=actor.name, t0=t0, firings=firings,
+                depth=timing.depth, ii=timing.ii,
+            )
+            for e in ins:
+                channels[e.channel] = e.channel.capacity
+                chan_tokens.setdefault(e.channel, e.data.tolist())
+                if len(e.data) == firings:
+                    spec.rate_ins.append(e.channel)
+                else:
+                    spec.bulk_ins.append((e.channel, len(e.data)))
+            for e in outs:
+                channels[e.channel] = e.channel.capacity
+                chan_tokens.setdefault(e.channel, e.data.tolist())
+                if len(e.data) == firings:
+                    spec.rate_outs.append(e.channel)
+                else:
+                    spec.bulk_outs.append((e.channel, len(e.data)))
+            actor_specs.append(spec)
+        targets.update(ch.name for ch in channels)
+
+        # Word granularity required: a fault could fire inside the phase.
+        if p.fault_plan is not None and p.fault_plan.touches(targets):
+            return None
+        # The FIFOs must be idle and deep enough for burst algebra.
+        for ch in channels:
+            if ch.capacity < 2 or len(ch) or ch._getters or ch._putters:
+                return None
+        for _, _, engine in in_ctx:
+            if engine._mm2s_busy is not None and not engine._mm2s_busy.triggered:
+                return None
+        for _, _, engine, _ in out_ctx:
+            if engine._s2mm_busy is not None and not engine._s2mm_busy.triggered:
+                return None
+
+        solution = solve_phase(
+            channels,
+            dma_specs,
+            actor_specs,
+            hp_wpc=p.hp_port.words_per_cycle if p.hp_port else None,
+            hp_slot_time=p.hp_port._slot_time if p.hp_port else None,
+        )
+        if solution is None:
+            return None
+        # A watchdog that would expire mid-phase must see the word path
+        # wedge word by word, not a single opaque timeout.
+        if self._ladder and solution.finish - t0 >= self.policy.node_budget:
+            return None
+        return (solution, in_ctx, out_ctx, chan_tokens)
+
+    def _run_hw_phase_burst(self, phase: Phase, channel_data, solution,
+                            in_ctx, out_ctx, chan_tokens):
+        """Replay the phase's CPU work, sleep to the solved end, commit."""
+        p = self.p
+        env = p.env
+        start = env.now
+        self.burst_phases += 1
+        # Driver calls cost exactly what the word path charges, and the
+        # engines validate each descriptor at its kick cycle (same error,
+        # same DMASR latch, same cycle if a transfer is rejected).
+        for src_port, arr, engine in in_ctx:
+            buf = self._ensure_buffer(f"{phase.name}.{src_port}", arr)
+            yield from p.cpu.call_driver()
+            engine._validate(buf.base, buf.nbytes, "MM2S", MM2S_DMASR)
+            engine.bytes_mm2s += buf.nbytes
+        out_bufs = []
+        for dst_port, ref, engine, _src_actor in out_ctx:
+            buf = self._ensure_buffer(f"{phase.name}.{dst_port}", np.zeros_like(ref))
+            yield from p.cpu.call_driver()
+            engine._validate(buf.base, buf.nbytes, "S2MM", S2MM_DMASR)
+            engine.bytes_s2mm += buf.nbytes
+            out_bufs.append((dst_port, buf, ref, engine))
+        # The whole phase is one kernel event instead of one per word.
+        yield env.timeout(max(0, solution.finish - env.now))
+        # ---- commit: the exact final state the word path would reach ----
+        for _, _, engine in in_ctx:
+            engine.regs[MM2S_DMASR] = _SR_IDLE | SR_IOC_IRQ
+        for dst_port, buf, ref, engine in out_bufs:
+            buf.data.reshape(-1)[:] = np.asarray(ref).reshape(-1)
+            engine.regs[S2MM_DMASR] = _SR_IDLE | SR_IOC_IRQ
+        if self._verify:
+            self._check_integrity(
+                phase.name,
+                [(name, buf.data, ref) for name, buf, ref, _ in out_bufs],
+            )
+        for dst_port, buf, _ref, _eng in out_bufs:
+            self.data[dst_port] = buf.data.copy()
+        # The phase's traffic crosses each FIFO as one burst event pair;
+        # high_water is then pinned to the solver's occupancy estimate
+        # (a whole-transfer burst would overstate the word path's peak).
+        for ch, (puts, gets, high_water) in solution.channels.items():
+            if not puts:
+                continue
+            before = ch.high_water
+            ch.put_burst(chan_tokens[ch])
+            ch.get_burst(gets)
+            ch.high_water = max(before, high_water)
+        if p.hp_port is not None and solution.hp_state is not None:
+            p.hp_port._slot_time, p.hp_port._slot_used = solution.hp_state
+            p.hp_port.total_words += solution.hp_words
+        for name, started, finished in solution.actor_spans:
+            p.trace.record(f"hw:{name}", "stream", started, finished)
+        p.trace.record(f"phase:{phase.name}", "hw-phase", start, env.now)
 
     def _dma_handle(self, cell: str):
         for path in self.p.devfs.listdir():
@@ -654,6 +902,7 @@ def simulate_application(
     cpu_cores: int = 2,
     faults: FaultPlan | None = None,
     policy: RecoveryPolicy | None = None,
+    burst_mode: bool | None = None,
 ) -> ExecutionReport:
     """Run *htg* under *partition* and return the execution report.
 
@@ -671,6 +920,16 @@ def simulate_application(
     deadlock detector is always on: a wedged run raises a structured
     :class:`~repro.util.errors.SimDeadlockError` naming the blocked
     processes instead of returning silently.
+
+    *burst_mode* controls the burst fast path (see :mod:`repro.sim.burst`):
+    hardware phases whose timing is provably reproducible by the
+    analytic solver run as a single kernel timeout instead of one event
+    per word — cycle- and byte-identical, ~10-100x fewer events.
+    ``None`` (default) reads ``REPRO_SIM_BURST`` (on unless set to
+    ``0``); a phase falls back to the word path automatically whenever
+    exactness would require word granularity (an armed fault plan
+    touching it, shallow FIFOs, contended HP windows, parallel hardware
+    nodes).
     """
     validate_htg(htg)
     partition.validate(htg)
@@ -682,6 +941,7 @@ def simulate_application(
         wait_mode=wait_mode,
         cpu_cores=cpu_cores,
         faults=faults,
+        burst_mode=burst_mode,
     )
     platform.env.detect_deadlock = True
     if platform.cpu is None:
@@ -704,6 +964,13 @@ def simulate_application(
         hp_words=platform.hp_port.total_words if platform.hp_port else 0,
         fault_events=list(platform.injector.events) if platform.injector else [],
         recovery_events=list(runtime.recovery_events),
+        kernel_events=platform.env.events_processed,
+        burst_stats={
+            "enabled": platform.burst_enabled,
+            "hw_serialized": runtime._burst_base or not platform.burst_enabled,
+            "burst_phases": runtime.burst_phases,
+            "word_phases": runtime.word_phases,
+        },
     )
 
 

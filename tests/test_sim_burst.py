@@ -1,0 +1,433 @@
+"""Differential proof of the burst fast path (see repro.sim.burst).
+
+The burst engine must be *invisible* except for speed: every test here
+runs the same system twice — word-granular and burst — and requires the
+``ExecutionReport`` digests (cycles, per-node spans, output bytes,
+trace spans, FIFO counters, HP-port words, fault/recovery logs) to be
+identical, while the burst run spends strictly fewer kernel events
+whenever it actually fast-pathed a phase.
+"""
+
+import numpy as np
+import pytest
+
+from repro.htg import HTG, Actor, Partition, Phase, StreamChannel as HtgChannel, Task
+from repro.sim import Environment, StreamChannel, hw_serialized, simulate_application, solve_phase
+from repro.sim.burst import ActorSpec, DmaSpec
+from repro.sim.dma_engine import HpPort
+from repro.sim.faults import FaultPlan, RecoveryPolicy
+from repro.sim.runtime import Behavior
+from tests.test_sim import build_hw_system, build_pipeline_app
+
+
+def both_modes(htg, part, behaviors, system, **kw):
+    word = simulate_application(
+        htg, part, behaviors, {}, system=system, burst_mode=False, **kw
+    )
+    burst = simulate_application(
+        htg, part, behaviors, {}, system=system, burst_mode=True, **kw
+    )
+    return word, burst
+
+
+def assert_identical(word, burst):
+    assert word.cycles == burst.cycles
+    assert word.digest() == burst.digest()
+    assert word.node_spans == burst.node_spans
+    assert word.hp_words == burst.hp_words
+    # Token totals must match exactly; high_water is only estimated on
+    # the fast path, so it is compared loosely (bounded by capacity).
+    for name, (moved_w, _hw_w) in word.channel_stats.items():
+        moved_b, _hw_b = burst.channel_stats[name]
+        assert moved_w == moved_b
+
+
+class TestPipelineDifferential:
+    def test_word_and_burst_agree(self):
+        htg, behaviors, golden = build_pipeline_app()
+        part, system = build_hw_system(htg)
+        word, burst = both_modes(htg, part, behaviors, system)
+        assert_identical(word, burst)
+        assert np.array_equal(burst.of("result"), golden)
+
+    def test_burst_spends_fewer_events(self):
+        htg, behaviors, _ = build_pipeline_app()
+        part, system = build_hw_system(htg)
+        word, burst = both_modes(htg, part, behaviors, system)
+        if burst.burst_stats["burst_phases"]:
+            assert burst.kernel_events * 10 <= word.kernel_events
+
+    def test_env_var_disables_fast_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_BURST", "0")
+        htg, behaviors, _ = build_pipeline_app()
+        part, system = build_hw_system(htg)
+        rep = simulate_application(htg, part, behaviors, {}, system=system)
+        assert rep.burst_stats["enabled"] is False
+        assert rep.burst_stats["burst_phases"] == 0
+        assert rep.burst_stats["word_phases"] == 1
+
+    def test_explicit_kwarg_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_BURST", "0")
+        htg, behaviors, _ = build_pipeline_app()
+        part, system = build_hw_system(htg)
+        rep = simulate_application(
+            htg, part, behaviors, {}, system=system, burst_mode=True
+        )
+        assert rep.burst_stats["enabled"] is True
+
+
+class TestOtsuArchitecturesDifferential:
+    """The four Table-I architectures, word vs burst, 16x16."""
+
+    @pytest.fixture(scope="class")
+    def builds(self):
+        from repro.apps.otsu import build_otsu_app
+        from repro.flow import run_flow
+
+        out = {}
+        for arch in (1, 2, 3, 4):
+            app = build_otsu_app(arch, width=16, height=16)
+            flow = run_flow(
+                app.dsl_graph(), app.c_sources,
+                extra_directives=app.extra_directives,
+            )
+            out[arch] = (app, flow)
+        return out
+
+    @pytest.mark.parametrize("arch", [1, 2, 3, 4])
+    def test_cycle_identical(self, builds, arch):
+        app, flow = builds[arch]
+        word, burst = both_modes(
+            app.htg, app.partition, app.behaviors, flow.system
+        )
+        assert_identical(word, burst)
+        assert np.array_equal(
+            burst.of("binImage"), np.asarray(app.golden["binary"])
+        )
+
+    def test_arch4_fast_paths(self, builds):
+        app, flow = builds[4]
+        word, burst = both_modes(
+            app.htg, app.partition, app.behaviors, flow.system
+        )
+        assert burst.burst_stats["burst_phases"] == 1
+        assert burst.burst_stats["word_phases"] == 0
+        assert burst.kernel_events * 10 <= word.kernel_events
+
+    def test_arch1_contended_port_falls_back(self, builds):
+        """mm2s saturates the HP port while s2mm drains: word-exact
+        arbitration is required and the solver must refuse."""
+        app, flow = builds[1]
+        _, burst = both_modes(
+            app.htg, app.partition, app.behaviors, flow.system
+        )
+        assert burst.burst_stats["burst_phases"] == 0
+        assert burst.burst_stats["word_phases"] == 1
+
+
+class TestRandomGraphsDifferential:
+    """Word vs burst over randomly generated DSL designs."""
+
+    @pytest.mark.parametrize("seed", list(range(20)))
+    def test_digest_identical(self, seed):
+        from repro.apps.generator import random_task_graph
+        from repro.flow import FlowConfig, autosimulate, run_flow
+
+        chains = 1 + seed % 2
+        graph, sources = random_task_graph(
+            lite_nodes=0,
+            stream_chains=chains,
+            chain_length=2 + seed % 3,
+            stream_depth=16 + 8 * (seed % 4),
+            seed=seed,
+        )
+        flow = run_flow(graph, sources, config=FlowConfig(check_tcl=False))
+        word = autosimulate(flow, seed=seed, burst_mode=False)
+        burst = autosimulate(flow, seed=seed, burst_mode=True)
+        assert word.report.cycles == burst.report.cycles
+        assert word.report.digest() == burst.report.digest()
+        for name, arr in word.outputs.items():
+            assert np.array_equal(arr, burst.outputs[name])
+
+
+class TestFaultSuppression:
+    POLICY = RecoveryPolicy(node_budget=200_000, reset_cycles=50)
+
+    def test_dma_stall_forces_word_path(self):
+        htg, behaviors, golden = build_pipeline_app(n=64)
+        part, system = build_hw_system(htg)
+        cell = system.dmas[0].cell
+        plan = FaultPlan.single("dma_stall", cell, channel="mm2s")
+        word, burst = both_modes(
+            htg, part, behaviors, system, faults=plan, policy=self.POLICY
+        )
+        # The plan touches a phase DMA engine: never fast-pathed, and
+        # the stall wedges / recovers at the exact same cycle both ways.
+        assert burst.burst_stats["burst_phases"] == 0
+        assert_identical(word, burst)
+        assert [e.describe() for e in word.fault_events] == [
+            e.describe() for e in burst.fault_events
+        ]
+        assert [e.describe() for e in word.recovery_events] == [
+            e.describe() for e in burst.recovery_events
+        ]
+        assert np.array_equal(burst.of("result"), golden)
+
+    def test_unrelated_plan_keeps_fast_path(self):
+        htg, behaviors, _ = build_pipeline_app(n=64)
+        part, system = build_hw_system(htg)
+        plan = FaultPlan.single("accel_hang", "not_in_this_design")
+        word, burst = both_modes(
+            htg, part, behaviors, system, faults=plan, policy=self.POLICY
+        )
+        assert_identical(word, burst)
+
+    def test_dram_flip_always_word_path(self):
+        htg, behaviors, _ = build_pipeline_app(n=64)
+        part, system = build_hw_system(htg)
+        plan = FaultPlan.single("dram_flip", "*", at_cycle=10, word=3)
+        _, burst = both_modes(
+            htg, part, behaviors, system, faults=plan, policy=self.POLICY
+        )
+        assert burst.burst_stats["burst_phases"] == 0
+
+    def test_touches_matches_names_and_wildcard(self):
+        plan = FaultPlan.single("dma_stall", "dma0")
+        assert plan.touches({"dma0", "x"})
+        assert not plan.touches({"dma1"})
+        assert FaultPlan.single("accel_hang", "*").touches({"anything"})
+        assert FaultPlan.single("dram_flip", "buf").touches({"other"})
+
+
+class TestBurstChannelPrimitives:
+    """put_burst/get_burst against the word-granular reference."""
+
+    def run_all(self, env):
+        env.run()
+
+    def test_put_burst_fills_then_blocks(self):
+        env = Environment()
+        ch = StreamChannel(env, "s", capacity=4)
+        done = []
+
+        def producer():
+            yield ch.put_burst([1, 2, 3, 4, 5, 6])
+            done.append(env.now)
+
+        env.process(producer())
+        env.run()
+        assert not done  # 2 tokens still held by the blocked producer
+        assert list(ch._items) == [1, 2, 3, 4]
+
+        got = []
+
+        def consumer():
+            for _ in range(6):
+                got.append((yield ch.get()))
+
+        env.process(consumer())
+        env.run()
+        assert got == [1, 2, 3, 4, 5, 6]
+        assert done  # producer unblocked once every token was admitted
+        assert ch.conserved()
+        assert ch.total_put == ch.total_got == 6
+
+    def test_get_burst_waits_for_producers(self):
+        env = Environment()
+        ch = StreamChannel(env, "s", capacity=2)
+        got = []
+
+        def consumer():
+            got.append((yield ch.get_burst(5)))
+
+        def producer():
+            for v in range(5):
+                yield env.timeout(3)
+                yield ch.put(v)
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert got == [[0, 1, 2, 3, 4]]
+        assert ch.conserved()
+
+    def test_burst_to_burst_handoff(self):
+        env = Environment()
+        ch = StreamChannel(env, "s", capacity=2)
+        got = []
+        env.process(iter_gen(ch.put_burst(list(range(8)))))
+        def consumer():
+            got.append((yield ch.get_burst(8)))
+        env.process(consumer())
+        env.run()
+        assert got == [list(range(8))]
+        assert ch.conserved()
+        assert ch.high_water <= ch.capacity
+
+    def test_word_and_burst_interleave_preserve_order(self):
+        env = Environment()
+        ch = StreamChannel(env, "s", capacity=3)
+        out = []
+
+        def producer():
+            yield ch.put(0)
+            yield ch.put_burst([1, 2, 3, 4])
+            yield ch.put(5)
+
+        def consumer():
+            out.append((yield ch.get()))
+            out.append((yield ch.get_burst(3)))
+            out.append((yield ch.get()))
+            out.append((yield ch.get()))
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert out == [0, [1, 2, 3], 4, 5]
+        assert ch.conserved()
+
+    def test_empty_burst_rejected(self):
+        from repro.util.errors import SimError
+
+        env = Environment()
+        ch = StreamChannel(env, "s", capacity=2)
+        with pytest.raises(SimError, match="empty burst"):
+            ch.put_burst([])
+        with pytest.raises(SimError, match="burst get"):
+            ch.get_burst(0)
+
+    def test_injector_applies_per_token(self):
+        from repro.sim.faults import Fault, FaultInjector, FaultPlan
+
+        env = Environment()
+        plan = FaultPlan(faults=(Fault("stream_drop", "s", count=2),))
+        ch = StreamChannel(env, "s", capacity=8, injector=FaultInjector(plan, env))
+        env.process(iter_gen(ch.put_burst([1, 2, 3, 4])))
+        env.run()
+        assert ch.dropped == 2
+        assert len(ch._items) == 2
+        assert ch.conserved()
+
+
+def iter_gen(evt):
+    yield evt
+
+
+class TestHpBurstAcquire:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_acquire_burst_matches_sequential(self, seed):
+        rng = np.random.default_rng(seed)
+        counts = [int(v) for v in rng.integers(1, 9, 12)]
+        gaps = [int(v) for v in rng.integers(0, 4, 12)]
+
+        def drive(env, hp, burst):
+            def proc():
+                for n, g in zip(counts, gaps):
+                    yield env.timeout(g)
+                    if burst:
+                        yield hp.acquire_burst(n)
+                    else:
+                        for _ in range(n):
+                            yield hp.acquire()
+            env.process(proc())
+            env.run()
+            return env.now, hp._slot_time, hp._slot_used, hp.total_words
+
+        env_w = Environment()
+        word = drive(env_w, HpPort(env_w), False)
+        env_b = Environment()
+        burst = drive(env_b, HpPort(env_b), True)
+        assert word == burst
+        assert env_b.events_processed < env_w.events_processed
+
+
+class TestSolverGuards:
+    def test_shallow_fifo_rejected(self):
+        env = Environment()
+        ch = StreamChannel(env, "c", capacity=1)
+        sol = solve_phase(
+            {ch: 1}, [DmaSpec(0, 4, ch, "mm2s")],
+            [ActorSpec(name="a", t0=0, firings=4, depth=1, ii=1,
+                       rate_ins=[ch])],
+        )
+        assert sol is None
+
+    def test_count_mismatch_rejected(self):
+        env = Environment()
+        ch = StreamChannel(env, "c", capacity=8)
+        sol = solve_phase(
+            {ch: 8}, [DmaSpec(0, 4, ch, "mm2s")],
+            [ActorSpec(name="a", t0=0, firings=3, depth=1, ii=1,
+                       rate_ins=[ch])],
+        )
+        assert sol is None  # 4 produced, 3 consumed: leftover token
+
+    def test_saturated_shared_port_rejected(self):
+        # Two mm2s masters at full rate on a 2-word port: every cycle
+        # carries 4 wanted words -> arbitration order matters.
+        env = Environment()
+        a, b = (StreamChannel(env, n, capacity=64) for n in "ab")
+        sol = solve_phase(
+            {a: 64, b: 64},
+            [DmaSpec(0, 32, a, "mm2s"), DmaSpec(0, 32, b, "mm2s")],
+            [ActorSpec(name="x", t0=0, firings=32, depth=0, ii=1,
+                       rate_ins=[a]),
+             ActorSpec(name="y", t0=0, firings=32, depth=0, ii=1,
+                       rate_ins=[b])],
+            hp_wpc=2, hp_slot_time=-1,
+        )
+        assert sol is None
+
+    def test_busy_port_at_entry_rejected(self):
+        env = Environment()
+        ch = StreamChannel(env, "c", capacity=64)
+        kw = dict(hp_wpc=2, hp_slot_time=10**9)
+        sol = solve_phase(
+            {ch: 64}, [DmaSpec(0, 4, ch, "mm2s")],
+            [ActorSpec(name="a", t0=0, firings=4, depth=0, ii=1,
+                       rate_ins=[ch])],
+            **kw,
+        )
+        assert sol is None
+
+
+class TestHwSerialized:
+    def _htg(self, parallel):
+        htg = HTG("t")
+
+        def phase(name):
+            return Phase(
+                name=name,
+                actors=[Actor("A", stream_inputs=("in",),
+                              stream_outputs=("out",))],
+                channels=[
+                    HtgChannel(Phase.BOUNDARY, "x", "A", "in"),
+                    HtgChannel("A", "out", Phase.BOUNDARY, "y"),
+                ],
+                inputs=("x",), outputs=("y",),
+            )
+
+        htg.add(Task("src", outputs=("x",), io=True))
+        htg.add(phase("p1"))
+        htg.add(phase("p2"))
+        htg.add(Task("sink", inputs=("y",), io=True))
+        htg.add_edge("src", "p1")
+        htg.add_edge("src", "p2") if parallel else htg.add_edge("p1", "p2")
+        htg.add_edge("p1", "sink") if parallel else None
+        htg.add_edge("p2", "sink")
+        return htg
+
+    def test_ordered_phases_serialized(self):
+        htg = self._htg(parallel=False)
+        part = Partition.from_hw_set(htg, {"p1", "p2"})
+        assert hw_serialized(htg, part)
+
+    def test_parallel_hw_phases_not_serialized(self):
+        htg = self._htg(parallel=True)
+        part = Partition.from_hw_set(htg, {"p1", "p2"})
+        assert not hw_serialized(htg, part)
+
+    def test_parallel_sw_phases_fine(self):
+        htg = self._htg(parallel=True)
+        part = Partition.from_hw_set(htg, {"p1"})
+        assert hw_serialized(htg, part)
