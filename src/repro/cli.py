@@ -6,7 +6,13 @@ Commands
 ``build``        run the full flow for a ``.tg`` file (C sources looked
                  up as ``<node>.c`` in ``--sources``) and materialize
                  the workspace; journaled + crash-safe, ``--resume``
-                 continues a killed build from its run journal
+                 continues a killed build from its run journal;
+                 ``--trace``/``--metrics`` export observability data
+``trace``        build + simulate a ``.tg`` design with observability on
+                 and export a merged Chrome trace (flow wall-clock spans
+                 + simulator cycle-domain spans) for chrome://tracing
+``metrics``      build + simulate one Table-I architecture and print the
+                 metrics registry (Prometheus text or JSON)
 ``otsu``         build + simulate one Table-I architecture
 ``simbench``     word-path vs burst-path simulator benchmark: runs every
                  Table-I architecture both ways, requires cycle- and
@@ -65,6 +71,8 @@ def _load_sources(graph, sources_dir: str) -> dict[str, str]:
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     from repro.flow import FlowConfig, RunJournal, materialize, run_flow
     from repro.dsl import parse_dsl
     from repro.tcl.backends import Vivado2014_2, Vivado2015_3
@@ -87,25 +95,95 @@ def _cmd_build(args: argparse.Namespace) -> int:
     if args.jobs is not None:
         kwargs["jobs"] = args.jobs
     config = FlowConfig(**kwargs)
-    with RunJournal(journal_path) as journal:
-        result = run_flow(graph, sources, config=config, journal=journal)
+    observe = args.trace or args.metrics
+    if observe:
+        from repro.obs import capture
+    with capture() if observe else nullcontext((None, None)) as (bus, registry):
+        with RunJournal(journal_path) as journal:
+            result = run_flow(graph, sources, config=config, journal=journal)
 
-        print(result.design.summary())
-        print(result.design.address_map.render())
-        bit = result.bitstream
-        print(f"bitstream: {bit.digest[:16]}...  clock {bit.achieved_clock_mhz} MHz")
-        print(
-            "modeled generation time: "
-            + ", ".join(f"{k}={v}s" for k, v in result.timing.as_row().items())
-        )
-        t = result.timing
-        if t.resumed:
+            print(result.design.summary())
+            print(result.design.address_map.render())
+            bit = result.bitstream
+            print(f"bitstream: {bit.digest[:16]}...  clock {bit.achieved_clock_mhz} MHz")
             print(
-                f"resumed from {journal_path}: {t.steps_skipped} step(s) "
-                f"skipped, {t.crash_recoveries} interrupted step(s) recovered"
+                "modeled generation time: "
+                + ", ".join(f"{k}={v}s" for k, v in result.timing.as_row().items())
             )
-        out = materialize(result, args.out, journal=journal)
+            t = result.timing
+            if t.resumed:
+                print(
+                    f"resumed from {journal_path}: {t.steps_skipped} step(s) "
+                    f"skipped, {t.crash_recoveries} interrupted step(s) recovered"
+                )
+            out = materialize(result, args.out, journal=journal)
     print(f"workspace written to {out}/")
+    if args.trace:
+        from repro.obs import write_chrome_trace
+
+        path = write_chrome_trace(args.trace, bus.events())
+        print(f"chrome trace ({len(bus.events())} events) written to {path}")
+    if args.metrics:
+        _write_metrics(registry, args.metrics)
+    return 0
+
+
+def _write_metrics(registry, dest: str) -> None:
+    """Write a registry snapshot: ``.json`` -> JSON, otherwise Prometheus."""
+    path = Path(dest)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix == ".json":
+        path.write_text(registry.to_json())
+    else:
+        path.write_text(registry.to_prometheus_text())
+    print(f"metrics snapshot written to {path}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.dsl import parse_dsl
+    from repro.flow import autosimulate, run_flow
+    from repro.obs import capture, sim_totals_digest, write_chrome_trace
+
+    graph = parse_dsl(Path(args.design).read_text(), filename=args.design)
+    sources = _load_sources(graph, args.sources)
+    with capture() as (bus, registry):
+        flow = run_flow(graph, sources)
+        result = autosimulate(flow, seed=args.seed)
+    report = result.report
+    path = write_chrome_trace(args.out, bus.events(), sim_trace=report.trace)
+    print(
+        f"simulated {report.cycles} cycles; merged trace "
+        f"({len(bus.events())} bus events + {len(report.trace.spans)} "
+        f"sim spans) written to {path}"
+    )
+    print(f"sim totals digest: {sim_totals_digest(registry.snapshot())}")
+    if args.metrics:
+        _write_metrics(registry, args.metrics)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.apps.otsu import build_otsu_app
+    from repro.flow import run_flow
+    from repro.obs import capture, sim_totals_digest
+    from repro.sim import simulate_application
+
+    width, _, height = args.size.partition("x")
+    app = build_otsu_app(args.arch, width=int(width), height=int(height or width))
+    with capture() as (bus, registry):
+        flow = run_flow(
+            app.dsl_graph(), app.c_sources, extra_directives=app.extra_directives
+        )
+        simulate_application(
+            app.htg, app.partition, app.behaviors, {}, system=flow.system
+        )
+    if args.json:
+        print(registry.to_json(), end="")
+    else:
+        print(registry.to_prometheus_text(), end="")
+    print(f"# sim totals digest: {sim_totals_digest(registry.snapshot())}")
+    if args.out:
+        _write_metrics(registry, args.out)
     return 0
 
 
@@ -608,7 +686,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help="build-cache directory (default: $REPRO_FLOW_CACHE_DIR or <out>.cache)",
     )
+    p_build.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="export a Chrome trace of the build's flow/cache/journal events",
+    )
+    p_build.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write a metrics snapshot (.json -> JSON, else Prometheus text)",
+    )
     p_build.set_defaults(func=_cmd_build)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="build + simulate a .tg design and export a merged Chrome trace",
+    )
+    p_trace.add_argument("design", help="path to the .tg file")
+    p_trace.add_argument(
+        "--sources", required=True, help="directory with <node>.c files"
+    )
+    p_trace.add_argument("-o", "--out", default="trace.json", help="trace file")
+    p_trace.add_argument("--seed", type=int, default=1, help="stimulus seed")
+    p_trace.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="also write a metrics snapshot",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="build + simulate one Table-I architecture, print its metrics",
+    )
+    p_metrics.add_argument("--arch", type=int, default=4, choices=[1, 2, 3, 4])
+    p_metrics.add_argument("--size", default="32x32", help="synthetic image size")
+    p_metrics.add_argument(
+        "--json", action="store_true", help="print JSON instead of Prometheus text"
+    )
+    p_metrics.add_argument(
+        "-o", "--out", default=None, help="also write the snapshot to a file"
+    )
+    p_metrics.set_defaults(func=_cmd_metrics)
 
     p_sim = sub.add_parser(
         "simulate",

@@ -45,6 +45,8 @@ import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs.events import BUS as _BUS
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.util.errors import CacheLockTimeout
 
 try:  # posix; on platforms without fcntl the lock degrades to a no-op
@@ -254,15 +256,37 @@ class BuildCache:
         """
         if key in self._memory:
             self.stats.hits += 1
+            self._observe("hit", key, tier="memory")
             return self._memory[key]
         if self.root is not None:
             value = self._read_disk(key)
             if value is not None:
                 self._memory[key] = value
                 self.stats.hits += 1
+                self._observe("hit", key, tier="disk")
                 return value
         self.stats.misses += 1
+        self._observe("miss", key)
         return None
+
+    def _observe(self, what: str, key: str, **fields) -> None:
+        """Emit a ``cache.*`` event + counters (no-op when obs is off).
+
+        The invariant the harness checks: ``cache.hits + cache.misses ==
+        cache.lookups`` — every lookup resolves to exactly one of the
+        two, and evictions are counted separately.
+        """
+        if not _BUS.enabled:
+            return
+        _BUS.emit(f"cache.{what}", key[:16], **fields)
+        if what in ("hit", "miss"):
+            _METRICS.counter("cache.lookups", "cache get() calls").inc()
+        counter = {
+            "hit": ("cache.hits", "lookups served from the cache"),
+            "miss": ("cache.misses", "lookups that found nothing"),
+            "evict": ("cache.evictions", "LRU entries evicted"),
+        }[what]
+        _METRICS.counter(*counter).inc()
 
     def _read_disk(self, key: str) -> object | None:
         path = self._path(key)
@@ -377,6 +401,7 @@ class BuildCache:
                     continue
                 self._memory.pop(path.name, None)
                 self.stats.evictions += 1
+                self._observe("evict", path.name)
 
     # -- maintenance -------------------------------------------------------
     def scrub(self) -> ScrubReport:

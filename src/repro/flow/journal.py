@@ -38,6 +38,9 @@ import json
 import os
 from pathlib import Path
 
+from repro.obs.events import BUS as _BUS
+from repro.obs.metrics import REGISTRY as _METRICS
+
 #: Bumped on incompatible journal-format changes; old journals are then
 #: discarded (clean rebuild) instead of misread.
 JOURNAL_VERSION = 1
@@ -106,6 +109,16 @@ class RunJournal:
             self.interrupted = tuple(
                 s for s, d in started.items() if committed.get(s) != d
             )
+            # Replayed commits are surfaced on the bus so a resumed run's
+            # trace carries the full committed-step set, not just the
+            # re-executed tail — the resume differential test compares
+            # exactly these sets against an uninterrupted run.
+            if _BUS.enabled and committed:
+                for step in sorted(committed):
+                    _BUS.emit("journal.commit", step, replayed=True)
+                _METRICS.counter(
+                    "journal.replays", "committed records replayed on resume"
+                ).inc(len(committed))
             self._fh = open(self.path, "a", encoding="utf-8")
         else:
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -167,11 +180,21 @@ class RunJournal:
         """Durably record the *intent* to run *step* — before the work."""
         self._started[step] = digest
         self._append({"e": "start", "s": step, "d": digest})
+        if _BUS.enabled:
+            _BUS.emit("journal.intent", step, digest=digest[:16])
+            _METRICS.counter(
+                "journal.intents", "write-ahead intent records appended"
+            ).inc()
 
     def step_commit(self, step: str, digest: str) -> None:
         """Durably record that *step*'s artifact is published."""
         self._committed[step] = digest
         self._append({"e": "commit", "s": step, "d": digest})
+        if _BUS.enabled:
+            _BUS.emit("journal.commit", step, digest=digest[:16])
+            _METRICS.counter(
+                "journal.commits", "commit records appended"
+            ).inc()
 
     def committed(self, step: str, digest: str) -> bool:
         """Did a previous run commit *step* with exactly this input digest?"""

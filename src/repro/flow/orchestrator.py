@@ -60,6 +60,8 @@ from repro.flow.parallel import (
     topological_waves,
 )
 from repro.flow.timing import CoreTrace, FlowTiming, TimingModel
+from repro.obs.events import BUS as _BUS
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.util.errors import FlowError
 from repro.util.text import count_lines
 
@@ -224,7 +226,9 @@ class FlowHooks(ActionHooks):
         if self.config.jobs > 1:
             self._pending.append(SynthesisJob(node.name, project, key))
             return
-        self._finish_core(node.name, project.csynth(), project, key)
+        with _BUS.span("flow.step", step, core=node.name):
+            result = project.csynth()
+        self._finish_core(node.name, result, project, key)
 
     def _journal_commit(self, step: str, digest: str) -> None:
         """Record a committed step once (idempotent across resumes)."""
@@ -244,6 +248,9 @@ class FlowHooks(ActionHooks):
         return cached_key == key
 
     def _reuse(self, name: str, cached: CoreBuild, key: str, *, source: str) -> None:
+        if _BUS.enabled:
+            _BUS.emit("flow.step", f"hls:{name}", source=source)
+            _METRICS.counter("flow.steps_reused", "steps satisfied without work").inc()
         self.cores[name] = CoreBuild(
             name=name,
             result=cached.result,
@@ -288,6 +295,8 @@ class FlowHooks(ActionHooks):
         # Commit strictly after the artifact is published to the cache —
         # the write-ahead contract a resume relies on.
         self._journal_commit(f"hls:{name}", key)
+        if _BUS.enabled:
+            _METRICS.counter("flow.steps", "flow steps executed").inc()
         crashpoint(f"hls:{name}:commit", core=name)
 
     def _flush_pending(self, graph: TgGraph) -> None:
@@ -348,36 +357,47 @@ class FlowHooks(ActionHooks):
                 "check_tcl": self.config.check_tcl,
             }
         )
-        if self.journal is not None:
-            self.journal.step_start("integrate", integrate_digest)
-        crashpoint("integrate:start")
-        system = integrate(graph, results, self.config.integration)
-        system_tcl = generate_system_tcl(system, self.config.backend)
-        bitstream = run_synthesis(system.design)
+        with _BUS.span("flow.step", "integrate"):
+            if self.journal is not None:
+                self.journal.step_start("integrate", integrate_digest)
+            crashpoint("integrate:start")
+            system = integrate(graph, results, self.config.integration)
+            system_tcl = generate_system_tcl(system, self.config.backend)
+            bitstream = run_synthesis(system.design)
 
-        if self.config.check_tcl:
-            runner = TclRunner()
-            for name, build in self.cores.items():
-                runner.register_ip(
-                    f"xilinx.com:hls:{name}",
-                    lambda cell, params, r=build.result, n=name: hls_core(cell, n, r),
-                )
-            rebuilt = runner.execute(system_tcl.render())
-            if rebuilt.bitstream is None or rebuilt.bitstream.digest != bitstream.digest:
-                raise FlowError(
-                    "generated tcl does not reproduce the integrated design"
-                )
-        self._journal_commit("integrate", integrate_digest)
+            if self.config.check_tcl:
+                runner = TclRunner()
+                for name, build in self.cores.items():
+                    runner.register_ip(
+                        f"xilinx.com:hls:{name}",
+                        lambda cell, params, r=build.result, n=name: hls_core(
+                            cell, n, r
+                        ),
+                    )
+                rebuilt = runner.execute(system_tcl.render())
+                if (
+                    rebuilt.bitstream is None
+                    or rebuilt.bitstream.digest != bitstream.digest
+                ):
+                    raise FlowError(
+                        "generated tcl does not reproduce the integrated design"
+                    )
+            self._journal_commit("integrate", integrate_digest)
+            if _BUS.enabled:
+                _METRICS.counter("flow.steps", "flow steps executed").inc()
         crashpoint("integrate:commit")
 
         swgen_digest = stable_digest(
             {"integrate": integrate_digest, "bitstream": bitstream.digest}
         )
-        if self.journal is not None:
-            self.journal.step_start("swgen", swgen_digest)
-        crashpoint("swgen:start")
-        image = assemble_image(system, bitstream)
-        self._journal_commit("swgen", swgen_digest)
+        with _BUS.span("flow.step", "swgen"):
+            if self.journal is not None:
+                self.journal.step_start("swgen", swgen_digest)
+            crashpoint("swgen:start")
+            image = assemble_image(system, bitstream)
+            self._journal_commit("swgen", swgen_digest)
+            if _BUS.enabled:
+                _METRICS.counter("flow.steps", "flow steps executed").inc()
         crashpoint("swgen:commit")
 
         model = self.config.timing_model

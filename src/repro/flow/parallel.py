@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 from repro.dsl.ast import TgGraph
 from repro.hls.project import HlsProject, SynthesisResult
+from repro.obs.events import BUS as _BUS
 from repro.util.errors import FlowError, FlowInterrupted
 
 
@@ -90,10 +91,13 @@ class JobOutcome:
 
 
 def _attempt(job: SynthesisJob, retries: int) -> tuple[SynthesisResult, int]:
+    # Runs on a pool worker thread; the span's worker defaults to the
+    # thread name, so each pool thread gets its own Chrome trace track.
     last: Exception | None = None
     for attempt in range(1, retries + 2):
         try:
-            return job.project.csynth(), attempt
+            with _BUS.span("flow.step", f"hls:{job.name}", core=job.name, attempt=attempt):
+                return job.project.csynth(), attempt
         except Exception as exc:  # noqa: BLE001 - rethrown after bounded retry
             last = exc
     assert last is not None

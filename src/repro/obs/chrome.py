@@ -1,0 +1,192 @@
+"""Chrome ``trace_event`` exporter for bus events + simulator traces.
+
+Merges two time domains into one trace viewable in ``chrome://tracing``
+or Perfetto:
+
+* **wall-clock events** from the bus (flow steps, cache and journal
+  activity) — timestamps are ``perf_counter_ns`` rebased to the first
+  event and converted to microseconds;
+* **cycle-domain spans** from a simulator :class:`~repro.sim.trace.Trace`
+  and cycle-stamped ``sim.*`` bus events — cycles convert at
+  *cycles_per_us* (100 cycles/µs at the 100 MHz fabric clock).
+
+Layout convention: **one pid per subsystem** (``flow``, ``cache``,
+``journal``, ``sim``), **one tid per worker** within a subsystem (pool
+thread for the flow, component track for the simulator).  ``B``/``E``
+bus spans are folded into complete (``"X"``) events; instants become
+``"i"`` events; ``process_name``/``thread_name`` metadata rows label
+every track.  All durations are non-negative by construction — the
+structural property the observability tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.events import ObsEvent
+
+#: Stable pid assignment, one per subsystem.
+PIDS = {"flow": 1, "cache": 2, "journal": 3, "sim": 4}
+
+
+def _tid_tables(events: list[ObsEvent]) -> dict[str, dict[str, int]]:
+    """Per-subsystem worker -> tid maps (first-seen order)."""
+    tids: dict[str, dict[str, int]] = {}
+    for evt in events:
+        table = tids.setdefault(evt.subsystem, {})
+        if evt.worker not in table:
+            table[evt.worker] = len(table)
+    return tids
+
+
+def chrome_trace(
+    events: list[ObsEvent] | None = None,
+    *,
+    sim_trace=None,
+    cycles_per_us: float = 100.0,
+) -> dict:
+    """Build the merged trace object (``{"traceEvents": [...]}``).
+
+    *events* is a bus snapshot (wall-clock + cycle-stamped records);
+    *sim_trace* optionally adds the spans of a simulator
+    :class:`~repro.sim.trace.Trace` under the ``sim`` pid, one tid per
+    component (offset past any tids the bus events already claimed).
+    """
+    events = list(events or [])
+    out: list[dict] = []
+    tids = _tid_tables(events)
+    t0 = min((e.wall_ns for e in events), default=0)
+
+    # Fold B/E pairs into complete events, per (subsystem, worker) stack.
+    stacks: dict[tuple[str, str], list[ObsEvent]] = {}
+    for evt in events:
+        sub = evt.subsystem
+        pid = PIDS.get(sub, 0)
+        tid = tids[sub][evt.worker]
+        if evt.cycle is not None:
+            ts = evt.cycle / cycles_per_us
+            clock_args = {"cycle": evt.cycle}
+        else:
+            ts = (evt.wall_ns - t0) / 1000.0
+            clock_args = {}
+        args = {**dict(evt.fields), **clock_args, "seq": evt.seq}
+        if evt.phase == "B":
+            stacks.setdefault((sub, evt.worker), []).append(evt)
+        elif evt.phase == "E":
+            stack = stacks.get((sub, evt.worker), [])
+            if stack and stack[-1].name == evt.name:
+                begin = stack.pop()
+                if begin.cycle is not None and evt.cycle is not None:
+                    begin_ts = begin.cycle / cycles_per_us
+                else:
+                    begin_ts = (begin.wall_ns - t0) / 1000.0
+                out.append(
+                    {
+                        "name": evt.name,
+                        "cat": evt.category,
+                        "ph": "X",
+                        "ts": begin_ts,
+                        "dur": max(ts - begin_ts, 0.0),
+                        "pid": pid,
+                        "tid": tid,
+                        "args": args,
+                    }
+                )
+            # An E with no matching B (ring buffer dropped it): skip.
+        else:
+            out.append(
+                {
+                    "name": evt.name,
+                    "cat": evt.category,
+                    "ph": "i",
+                    "s": "t",  # thread-scoped instant
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+    # Unclosed spans (crash mid-step): emit zero-length markers so the
+    # attempt is still visible in the timeline.
+    for (sub, worker), stack in stacks.items():
+        for begin in stack:
+            ts = (
+                begin.cycle / cycles_per_us
+                if begin.cycle is not None
+                else (begin.wall_ns - t0) / 1000.0
+            )
+            out.append(
+                {
+                    "name": begin.name + " (unfinished)",
+                    "cat": begin.category,
+                    "ph": "X",
+                    "ts": ts,
+                    "dur": 0.0,
+                    "pid": PIDS.get(sub, 0),
+                    "tid": tids[sub][worker],
+                    "args": {**dict(begin.fields), "seq": begin.seq},
+                }
+            )
+
+    # Simulator cycle-domain spans: one tid per component.
+    if sim_trace is not None and sim_trace.spans:
+        sim_tids = tids.setdefault("sim", {})
+        for span in sim_trace.spans:
+            if span.component not in sim_tids:
+                sim_tids[span.component] = len(sim_tids)
+            out.append(
+                {
+                    "name": span.activity,
+                    "cat": "sim",
+                    "ph": "X",
+                    "ts": span.start / cycles_per_us,
+                    "dur": max(span.duration, 0) / cycles_per_us,
+                    "pid": PIDS["sim"],
+                    "tid": sim_tids[span.component],
+                    "args": {"cycles": span.duration},
+                }
+            )
+
+    # Metadata rows: name every process and thread track.
+    meta: list[dict] = []
+    for sub, table in sorted(tids.items()):
+        if not table:
+            continue
+        meta.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": PIDS.get(sub, 0),
+                "args": {"name": sub},
+            }
+        )
+        for worker, tid in sorted(table.items(), key=lambda kv: kv[1]):
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": PIDS.get(sub, 0),
+                    "tid": tid,
+                    "args": {"name": worker},
+                }
+            )
+    return {"traceEvents": meta + out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str | Path,
+    events: list[ObsEvent] | None = None,
+    *,
+    sim_trace=None,
+    cycles_per_us: float = 100.0,
+) -> Path:
+    """Write the merged trace as JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    obj = chrome_trace(events, sim_trace=sim_trace, cycles_per_us=cycles_per_us)
+    path.write_text(json.dumps(obj, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+__all__ = ["PIDS", "chrome_trace", "write_chrome_trace"]

@@ -1,0 +1,210 @@
+"""Counter / gauge / histogram registry with Prometheus and JSON writers.
+
+The registry is label-free and name-spaced by convention: dotted names
+(``cache.hits``, ``sim.dma.mm2s_bytes``) group metrics by subsystem.
+The ``sim.*`` namespace carries the simulated run's *determined* totals
+— cycles, DMA traffic, FIFO tokens, HP-port words, fault/recovery
+counts — and the burst and word simulation paths must agree on every
+one of them byte for byte (:func:`sim_totals_digest` is the check the
+invariant harness applies).  Simulator *effort* metrics (kernel events,
+burst/word phase counts) live under ``simulator.*`` precisely because
+the two paths legitimately differ there.
+
+All mutation is thread-safe (one lock per registry); reads snapshot
+under the same lock.  Like the event bus, instrumented hot paths only
+touch the registry inside ``if BUS.enabled:`` guards.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass, field
+
+#: Default histogram buckets (upper bounds), powers of four — wide
+#: enough for cycle counts and byte totals alike.
+DEFAULT_BUCKETS = tuple(4**k for k in range(1, 13))
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing value."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """Point-in-time value."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def as_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+@dataclass
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    name: str
+    help: str = ""
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    count: int = 0
+    sum: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.buckets = tuple(sorted(self.buckets))
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)  # +Inf bucket
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": {
+                **{str(b): c for b, c in zip(self.buckets, self.counts)},
+                "+Inf": self.counts[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe name -> metric store."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls, **kwargs):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name=name, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, Gauge, help=help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(name, Histogram, help=help, buckets=buckets)
+
+    def reset(self) -> None:
+        """Forget every metric (a fresh capture scope)."""
+        with self._lock:
+            self._metrics.clear()
+
+    # -- export ------------------------------------------------------------
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-ready snapshot: name -> {type, value | count/sum/buckets}."""
+        with self._lock:
+            return {name: m.as_dict() for name, m in sorted(self._metrics.items())}
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True) + "\n"
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus text exposition (dots become underscores)."""
+        lines: list[str] = []
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        for name, metric in metrics:
+            flat = "repro_" + name.replace(".", "_").replace("-", "_")
+            if metric.help:
+                lines.append(f"# HELP {flat} {metric.help}")
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {flat} counter")
+                lines.append(f"{flat} {_fmt(metric.value)}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {flat} gauge")
+                lines.append(f"{flat} {_fmt(metric.value)}")
+            else:
+                lines.append(f"# TYPE {flat} histogram")
+                cumulative = 0
+                for bound, count in zip(metric.buckets, metric.counts):
+                    cumulative += count
+                    lines.append(f'{flat}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+                cumulative += metric.counts[-1]
+                lines.append(f'{flat}_bucket{{le="+Inf"}} {cumulative}')
+                lines.append(f"{flat}_sum {_fmt(metric.sum)}")
+                lines.append(f"{flat}_count {metric.count}")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value: float) -> str:
+    """Integers print without a trailing ``.0`` (byte-stable snapshots)."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def sim_totals(snapshot: dict[str, dict]) -> dict[str, dict]:
+    """The ``sim.*`` slice of a snapshot — what word and burst must agree on."""
+    return {k: v for k, v in snapshot.items() if k.startswith("sim.")}
+
+
+def sim_totals_digest(snapshot: dict[str, dict]) -> str:
+    """SHA-256 over the canonical JSON of the ``sim.*`` totals."""
+    return hashlib.sha256(
+        json.dumps(sim_totals(snapshot), sort_keys=True).encode()
+    ).hexdigest()
+
+
+#: The process-wide registry the instrumented sites update.
+REGISTRY = MetricsRegistry()
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "sim_totals",
+    "sim_totals_digest",
+]

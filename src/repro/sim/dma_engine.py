@@ -17,6 +17,8 @@ stuck channel the way the real DMACR.Reset bit does.
 
 from __future__ import annotations
 
+from repro.obs.events import BUS as _BUS
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.sim.axi import AxiLiteDevice, StreamChannel
 from repro.sim.kernel import Environment, Event, Process
 from repro.sim.memory import CYCLES_PER_WORD, Memory, READ_LATENCY, WRITE_LATENCY
@@ -176,6 +178,26 @@ class DmaEngine(AxiLiteDevice):
             raise SimError(
                 f"DMA {self.name!r}: {what} transfer past end of {buf.name!r}"
             )
+        # Accepted descriptor = one ``sim.dma`` event.  Both simulation
+        # paths validate every transfer at its kick cycle (the word path
+        # inside mm2s/s2mm_transfer, the burst path directly), so the
+        # event stream and the byte counters are path-independent —
+        # exactly what the word-vs-burst invariant tests pin.
+        if _BUS.enabled:
+            _BUS.emit(
+                "sim.dma",
+                f"{self.name}.{what.lower()}",
+                cycle=self.env.now,
+                worker=self.name,
+                nbytes=nbytes,
+            )
+            _METRICS.counter("sim.dma.transfers", "accepted DMA descriptors").inc()
+            _METRICS.counter(
+                f"sim.dma.{what.lower()}_bytes", f"bytes kicked on {what} channels"
+            ).inc(nbytes)
+            _METRICS.histogram(
+                "sim.dma.transfer_bytes", "accepted DMA descriptor sizes"
+            ).observe(nbytes)
 
     def soft_reset(self) -> None:
         """DMACR.Reset: abort in-flight transfers, clear both channels."""

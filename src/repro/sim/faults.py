@@ -31,6 +31,9 @@ import json
 import random
 from dataclasses import dataclass, field, replace
 
+from repro.obs.events import BUS as _BUS
+from repro.obs.metrics import REGISTRY as _METRICS
+
 FAULT_KINDS = (
     "accel_hang",
     "dma_stall",
@@ -263,6 +266,7 @@ class FaultInjector:
             self.events.append(
                 FaultEvent(cycle=self.env.now, kind=kind, target=target, detail=detail)
             )
+            self._observe(kind, target)
             return f
         return None
 
@@ -271,6 +275,14 @@ class FaultInjector:
         self.events.append(
             FaultEvent(cycle=self.env.now, kind=kind, target=target, detail=detail)
         )
+        self._observe(kind, target)
+
+    def _observe(self, kind: str, target: str) -> None:
+        if _BUS.enabled:
+            _BUS.emit(
+                "sim.fault", kind, cycle=self.env.now, worker=target, target=target
+            )
+            _METRICS.counter("sim.faults", "faults fired").inc()
 
 
 @dataclass(frozen=True)

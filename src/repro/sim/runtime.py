@@ -56,6 +56,8 @@ from repro.sim.faults import (
     RecoveryEvent,
     RecoveryPolicy,
 )
+from repro.obs.events import BUS as _BUS
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.sim.kernel import Environment, Event
 from repro.sim.memory import Memory
 from repro.sim.trace import Trace
@@ -805,6 +807,15 @@ class _Runtime:
                 attempt=attempt, cause=cause,
             )
         )
+        if _BUS.enabled:
+            _BUS.emit(
+                "sim.recovery",
+                action,
+                cycle=self.p.env.now,
+                worker=name,
+                attempt=attempt,
+            )
+            _METRICS.counter("sim.recoveries", "recovery actions taken").inc()
 
     def _recover_node(self, name: str, node, cause: BaseException, attempt: int):
         """Soft-reset the hardware a failed attempt holds, charge the cost."""
@@ -879,10 +890,32 @@ class _Runtime:
                 runner = self.run_hw_task if hw else self.run_sw_task
             else:
                 runner = self.run_hw_phase if hw else self.run_sw_phase
-            if hw and self._ladder:
-                yield from self._run_guarded(name, node, runner)
-            else:
-                yield from runner(node)
+            # One ``sim.phase`` span per HTG node, stamped in cycle time.
+            # Both simulation paths reach identical node start/end cycles
+            # (the burst equivalence argument), so the span set is
+            # path-independent.  ``worker=name`` gives each node its own
+            # Chrome track; the E lands in a ``finally`` so a fault that
+            # escapes the ladder still closes the span.
+            kind = "hw" if hw else "sw"
+            if _BUS.enabled:
+                _BUS.emit(
+                    "sim.phase", name, phase="B", cycle=start, worker=name, kind=kind
+                )
+            try:
+                if hw and self._ladder:
+                    yield from self._run_guarded(name, node, runner)
+                else:
+                    yield from runner(node)
+            finally:
+                if _BUS.enabled:
+                    _BUS.emit(
+                        "sim.phase",
+                        name,
+                        phase="E",
+                        cycle=self.p.env.now,
+                        worker=name,
+                        kind=kind,
+                    )
             self.node_spans[name] = (start, self.p.env.now)
 
         for name in topological_order(self.htg):
@@ -951,6 +984,36 @@ def simulate_application(
     runtime = _Runtime(htg, partition, behaviors, platform, inputs, policy=policy)
     runtime.launch()
     cycles = platform.env.run()
+    if _BUS.enabled:
+        # ``sim.*`` totals are *run-determined* — they mirror the fields
+        # ExecutionReport.digest() covers, so the word and burst paths
+        # must agree on every one of them byte for byte.  The engine's
+        # own effort goes under ``simulator.*``: kernel event counts and
+        # the burst/word phase split legitimately differ between paths
+        # and are excluded from the sim-totals digest.
+        _METRICS.counter("sim.runs", "simulations completed").inc()
+        _METRICS.counter("sim.cycles", "simulated cycles").inc(cycles)
+        _METRICS.counter("sim.nodes", "HTG nodes executed").inc(
+            len(runtime.node_spans)
+        )
+        _METRICS.counter("sim.hp_words", "words across the HP port").inc(
+            platform.hp_port.total_words if platform.hp_port else 0
+        )
+        _METRICS.counter("sim.channel_tokens", "tokens through stream FIFOs").inc(
+            sum(ch.total_got for ch in platform.channels.values())
+        )
+        _METRICS.counter("sim.trace_spans", "trace spans recorded").inc(
+            len(platform.trace.spans)
+        )
+        _METRICS.counter("simulator.kernel_events", "kernel events processed").inc(
+            platform.env.events_processed
+        )
+        _METRICS.counter("simulator.burst_phases", "phases on the burst path").inc(
+            runtime.burst_phases
+        )
+        _METRICS.counter("simulator.word_phases", "phases on the word path").inc(
+            runtime.word_phases
+        )
     return ExecutionReport(
         cycles=cycles,
         data=runtime.data,

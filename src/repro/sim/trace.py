@@ -42,15 +42,44 @@ class Trace:
         total = self.makespan()
         return self.busy(component) / total if total else 0.0
 
+    @staticmethod
+    def _merged(spans: list[Span]) -> list[tuple[int, int]]:
+        """Sorted union of *spans* as disjoint ``(start, end)`` intervals.
+
+        Spans of one component that overlap or touch at a boundary are
+        coalesced, so a cycle a component is busy in counts exactly once
+        no matter how many of its spans cover it.
+        """
+        out: list[tuple[int, int]] = []
+        for start, end in sorted((s.start, s.end) for s in spans):
+            if out and start <= out[-1][1]:
+                if end > out[-1][1]:
+                    out[-1] = (out[-1][0], end)
+            else:
+                out.append((start, end))
+        return out
+
     def overlap(self, a: str, b: str) -> int:
-        """Cycles during which components *a* and *b* are both busy."""
+        """Cycles during which components *a* and *b* are both busy.
+
+        Sort-and-sweep over the two components' merged interval sets —
+        ``O((n+m) log(n+m))`` instead of the old ``O(n·m)`` pairwise
+        scan, and each co-busy cycle counts once even when a component's
+        own spans overlap or touch at boundaries (the pairwise scan
+        multiple-counted those cycles).
+        """
+        ma, mb = self._merged(self.of(a)), self._merged(self.of(b))
         total = 0
-        for sa in self.of(a):
-            for sb in self.of(b):
-                lo = max(sa.start, sb.start)
-                hi = min(sa.end, sb.end)
-                if hi > lo:
-                    total += hi - lo
+        i = j = 0
+        while i < len(ma) and j < len(mb):
+            lo = max(ma[i][0], mb[j][0])
+            hi = min(ma[i][1], mb[j][1])
+            if hi > lo:
+                total += hi - lo
+            if ma[i][1] <= mb[j][1]:
+                i += 1
+            else:
+                j += 1
         return total
 
     def to_chrome_trace(self, *, cycles_per_us: float = 100.0) -> list[dict]:

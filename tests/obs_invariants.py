@@ -1,0 +1,178 @@
+"""Reusable invariant checks for the observability layer.
+
+``assert_well_formed`` is the structural contract every captured event
+stream must satisfy, whatever produced it — a serial build, a parallel
+build, a crash-and-resume pair, a word- or burst-path simulation, or a
+random design from the property generators.  ``assert_valid_chrome``
+pins the exporter's structural guarantees (required keys, labelled
+pid/tid tracks, no negative timestamps or durations).  Both are plain
+functions raising ``AssertionError`` so any test module can drive them;
+the acceptance bar requires at least three distinct modules to do so.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import CATEGORIES, ObsEvent
+
+
+def assert_well_formed(
+    events: list[ObsEvent],
+    metrics: dict[str, dict] | None = None,
+    *,
+    allow_dangling_intents: bool = False,
+    allow_unclosed_spans: bool = False,
+) -> None:
+    """Check the structural invariants of a captured event stream.
+
+    1. Sequence numbers are strictly increasing (bus-wide monotonicity);
+    2. every category is a known taxonomy entry and every phase marker
+       is ``B``/``E``/``i``;
+    3. per-worker wall clocks never run backwards, ``sim.*`` events are
+       cycle-stamped, and cycles never run backwards per worker;
+    4. journal commits pair with a write-ahead intent — a commit with no
+       intent is legal (the cache-hit path commits without starting the
+       step) but an intent with no commit is an interrupted step, only
+       legal for crash scenarios (*allow_dangling_intents*);
+    5. ``B``/``E`` spans nest properly per (subsystem, worker) — every
+       ``E`` matches the innermost open ``B`` of that worker, and all
+       spans are closed at the end unless *allow_unclosed_spans*;
+    6. when *metrics* (a registry snapshot) is given: every cache lookup
+       resolved to exactly one of hit or miss
+       (``cache.hits + cache.misses == cache.lookups``).
+    """
+    last_seq = None
+    last_wall: dict[str, int] = {}
+    last_cycle: dict[str, int] = {}
+    pending_intents: dict[str, int] = {}
+    committed: list[str] = []
+    stacks: dict[tuple[str, str], list[ObsEvent]] = {}
+
+    for evt in events:
+        if last_seq is not None:
+            assert evt.seq > last_seq, (
+                f"sequence not monotonic: {evt.seq} after {last_seq}"
+            )
+        last_seq = evt.seq
+
+        assert evt.category in CATEGORIES, f"unknown category {evt.category!r}"
+        assert evt.phase in ("B", "E", "i"), f"unknown phase {evt.phase!r}"
+
+        prev_wall = last_wall.get(evt.worker)
+        assert prev_wall is None or evt.wall_ns >= prev_wall, (
+            f"wall clock ran backwards for worker {evt.worker!r} at {evt.describe()}"
+        )
+        last_wall[evt.worker] = evt.wall_ns
+
+        if evt.subsystem == "sim":
+            assert evt.cycle is not None, f"uncycled sim event: {evt.describe()}"
+            assert evt.cycle >= 0, f"negative cycle: {evt.describe()}"
+            prev_cycle = last_cycle.get(evt.worker)
+            assert prev_cycle is None or evt.cycle >= prev_cycle, (
+                f"cycles ran backwards for worker {evt.worker!r} "
+                f"at {evt.describe()}"
+            )
+            last_cycle[evt.worker] = evt.cycle
+
+        if evt.category == "journal.intent":
+            pending_intents[evt.name] = pending_intents.get(evt.name, 0) + 1
+        elif evt.category == "journal.commit":
+            if pending_intents.get(evt.name, 0) > 0:
+                pending_intents[evt.name] -= 1
+            committed.append(evt.name)
+
+        if evt.phase == "B":
+            stacks.setdefault((evt.subsystem, evt.worker), []).append(evt)
+        elif evt.phase == "E":
+            stack = stacks.get((evt.subsystem, evt.worker), [])
+            assert stack, (
+                f"E with no open span for ({evt.subsystem}, {evt.worker}): "
+                f"{evt.describe()}"
+            )
+            begin = stack.pop()
+            assert begin.name == evt.name, (
+                f"span mismatch for worker {evt.worker!r}: "
+                f"E {evt.name!r} closes B {begin.name!r}"
+            )
+            if begin.cycle is not None and evt.cycle is not None:
+                assert evt.cycle >= begin.cycle, (
+                    f"span {evt.name!r} ends before it starts "
+                    f"({begin.cycle} .. {evt.cycle})"
+                )
+
+    dangling = {s: n for s, n in pending_intents.items() if n > 0}
+    if not allow_dangling_intents:
+        assert not dangling, (
+            f"intent(s) with no commit (interrupted steps?): {sorted(dangling)}"
+        )
+    if not allow_unclosed_spans:
+        open_spans = {
+            key: [e.name for e in stack] for key, stack in stacks.items() if stack
+        }
+        assert not open_spans, f"unclosed span(s): {open_spans}"
+
+    if metrics is not None:
+        hits = metrics.get("cache.hits", {}).get("value", 0)
+        misses = metrics.get("cache.misses", {}).get("value", 0)
+        lookups = metrics.get("cache.lookups", {}).get("value", 0)
+        assert hits + misses == lookups, (
+            f"cache accounting broken: {hits} hits + {misses} misses "
+            f"!= {lookups} lookups"
+        )
+
+
+def assert_valid_chrome(obj: dict) -> None:
+    """Check the structural contract of an exported Chrome trace.
+
+    Required top-level keys; every event carries ``name``/``ph``/``pid``;
+    complete (``X``) events have non-negative ``ts`` and ``dur``;
+    instants are thread-scoped; and every pid (and every (pid, tid) of a
+    non-metadata event) is labelled by a matching metadata row.
+    """
+    assert "traceEvents" in obj, "missing traceEvents"
+    assert "displayTimeUnit" in obj, "missing displayTimeUnit"
+    events = obj["traceEvents"]
+    assert isinstance(events, list)
+
+    named_pids: set[int] = set()
+    named_tids: set[tuple[int, int]] = set()
+    for evt in events:
+        assert "name" in evt and "ph" in evt and "pid" in evt, f"bare event: {evt}"
+        if evt["ph"] == "M":
+            if evt["name"] == "process_name":
+                named_pids.add(evt["pid"])
+            elif evt["name"] == "thread_name":
+                named_tids.add((evt["pid"], evt["tid"]))
+            assert evt.get("args", {}).get("name"), f"unnamed metadata row: {evt}"
+            continue
+        assert evt["ph"] in ("X", "i"), f"unexpected phase in export: {evt}"
+        assert "tid" in evt, f"event without tid: {evt}"
+        assert evt["ts"] >= 0, f"negative timestamp: {evt}"
+        if evt["ph"] == "X":
+            assert evt["dur"] >= 0, f"negative duration: {evt}"
+        else:
+            assert evt.get("s") == "t", f"instant without thread scope: {evt}"
+
+    for evt in events:
+        if evt["ph"] == "M":
+            continue
+        assert evt["pid"] in named_pids, f"pid {evt['pid']} has no process_name"
+        assert (evt["pid"], evt["tid"]) in named_tids, (
+            f"track ({evt['pid']}, {evt['tid']}) has no thread_name"
+        )
+
+
+def committed_step_spans(obj: dict) -> set[str]:
+    """The committed-step name set of an exported Chrome trace.
+
+    A step counts as committed when its ``journal.commit`` instant is in
+    the trace — the resume differential test requires a crash-recovered
+    build and an uninterrupted one to export the same set.
+    """
+    return {
+        evt["name"]
+        for evt in obj["traceEvents"]
+        if evt.get("cat") == "journal.commit"
+    }
+
+
+__all__ = ["assert_valid_chrome", "assert_well_formed", "committed_step_spans"]

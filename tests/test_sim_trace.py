@@ -1,0 +1,174 @@
+"""Regression and edge-case coverage for ``repro.sim.trace``.
+
+``Trace.overlap`` used to be an O(n·m) pairwise scan that also
+double-counted cycles covered by more than one span of the same
+component; the sort-and-sweep rewrite is pinned here with exact
+expected values, including the cases the old implementation got wrong.
+The makespan/utilization/render edges (empty trace, zero-length and
+single-cycle spans) are pinned alongside.
+"""
+
+import pytest
+
+from repro.obs.chrome import chrome_trace
+from repro.sim.trace import Span, Trace
+from tests.obs_invariants import assert_valid_chrome
+
+
+def make_trace(*spans):
+    t = Trace()
+    for component, activity, start, end in spans:
+        t.record(component, activity, start, end)
+    return t
+
+
+class TestOverlapExactValues:
+    def test_simple_partial_overlap(self):
+        t = make_trace(("a", "w", 0, 10), ("b", "w", 5, 15))
+        assert t.overlap("a", "b") == 5
+        assert t.overlap("b", "a") == 5
+
+    def test_disjoint_intervals_no_overlap(self):
+        t = make_trace(("a", "w", 0, 10), ("b", "w", 10, 20))
+        assert t.overlap("a", "b") == 0
+
+    def test_containment(self):
+        t = make_trace(("a", "w", 0, 100), ("b", "w", 30, 40))
+        assert t.overlap("a", "b") == 10
+
+    def test_multiple_disjoint_fragments(self):
+        t = make_trace(
+            ("a", "w", 0, 10), ("a", "w", 20, 30),
+            ("b", "w", 5, 25),
+        )
+        # [5,10) from the first fragment, [20,25) from the second.
+        assert t.overlap("a", "b") == 10
+
+    def test_self_overlapping_spans_count_once(self):
+        # The old pairwise scan summed span-by-span: [0,10)x[0,10) and
+        # [0,10)x[5,15) would each contribute, yielding 15 against b's
+        # [0,10) — but a is only *busy* during [0,15), so the co-busy
+        # cycles with b are exactly 10.
+        t = make_trace(
+            ("a", "w", 0, 10), ("a", "w", 5, 15),
+            ("b", "w", 0, 10),
+        )
+        assert t.overlap("a", "b") == 10
+
+    def test_touching_spans_coalesce(self):
+        # Spans touching at a boundary are one busy interval, and the
+        # shared boundary cycle is not double-counted.
+        t = make_trace(
+            ("a", "w", 0, 5), ("a", "w", 5, 10),
+            ("b", "w", 0, 10),
+        )
+        assert t.overlap("a", "b") == 10
+
+    def test_duplicate_spans_count_once(self):
+        t = make_trace(
+            ("a", "w", 2, 8), ("a", "w", 2, 8), ("a", "w", 2, 8),
+            ("b", "w", 0, 10),
+        )
+        assert t.overlap("a", "b") == 6
+
+    def test_unknown_component_is_zero(self):
+        t = make_trace(("a", "w", 0, 10))
+        assert t.overlap("a", "ghost") == 0
+        assert t.overlap("ghost", "phantom") == 0
+
+    def test_many_fragments_exact_sum(self):
+        # a busy on even 10-cycle blocks, b on one long interval: the
+        # sweep must add each fragment's clipped contribution exactly.
+        t = Trace()
+        for k in range(10):
+            t.record("a", "w", 20 * k, 20 * k + 10)
+        t.record("b", "w", 5, 175)
+        # Fragments: [5,10) =5, then [20,30),[40,50)..[160,170) = 8*10.
+        assert t.overlap("a", "b") == 85
+
+    def test_merged_is_sorted_and_disjoint(self):
+        t = make_trace(
+            ("a", "w", 50, 60), ("a", "w", 0, 10),
+            ("a", "w", 8, 20), ("a", "w", 20, 25),
+        )
+        assert Trace._merged(t.of("a")) == [(0, 25), (50, 60)]
+
+
+class TestEdgeCases:
+    def test_empty_trace(self):
+        t = Trace()
+        assert t.makespan() == 0
+        assert t.busy("a") == 0
+        assert t.utilization("a") == 0.0
+        assert t.overlap("a", "b") == 0
+        assert t.render() == "(empty trace)"
+        assert t.to_chrome_trace() == []
+
+    def test_zero_length_spans(self):
+        t = make_trace(("a", "tick", 5, 5), ("b", "tick", 5, 5))
+        assert t.busy("a") == 0
+        assert t.makespan() == 0
+        assert t.utilization("a") == 0.0  # no division by a 0 makespan
+        assert t.overlap("a", "b") == 0  # instants never co-busy
+        # The renderer and exporter still show them (min 1-cycle wide).
+        assert "a" in t.render()
+        chrome = t.to_chrome_trace()
+        assert all(e["dur"] > 0 for e in chrome if e["ph"] == "X")
+
+    def test_zero_length_span_inside_busy_interval(self):
+        t = make_trace(("a", "w", 0, 10), ("a", "tick", 4, 4))
+        assert t.busy("a") == 10
+        assert Trace._merged(t.of("a")) == [(0, 10)]
+
+    def test_single_cycle_spans(self):
+        t = make_trace(("a", "w", 3, 4), ("b", "w", 3, 4), ("b", "w", 9, 10))
+        assert t.busy("a") == 1
+        assert t.busy("b") == 2
+        assert t.overlap("a", "b") == 1
+        assert t.makespan() == 7  # 3 .. 10
+        assert t.utilization("b") == pytest.approx(2 / 7)
+
+    def test_negative_duration_rejected(self):
+        t = Trace()
+        with pytest.raises(ValueError):
+            t.record("a", "w", 10, 9)
+
+    def test_makespan_ignores_origin(self):
+        t = make_trace(("a", "w", 1000, 1100))
+        assert t.makespan() == 100
+        assert t.utilization("a") == 1.0
+
+    def test_render_marks_busy_columns(self):
+        t = make_trace(("cpu", "run", 0, 32), ("dma", "xfer", 32, 64))
+        art = t.render(width=32)
+        lines = art.splitlines()
+        assert lines[0].startswith("timeline: 0 .. 64")
+        cpu = next(line for line in lines if line.startswith("cpu"))
+        dma = next(line for line in lines if line.startswith("dma"))
+        # cpu busy in the first half only, dma in the second half only.
+        assert "#" in cpu.split("|")[1][:16]
+        assert "#" not in cpu.split("|")[1][17:]
+        assert "#" in dma.split("|")[1][17:]
+        assert "#" not in dma.split("|")[1][:16]
+
+
+class TestChromeExport:
+    def test_standalone_export_tracks(self):
+        t = make_trace(("a", "w", 0, 100), ("b", "w", 50, 250))
+        events = t.to_chrome_trace()
+        meta = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {m["args"]["name"] for m in meta} == {"a", "b"}
+        assert len(spans) == 2
+        by_name = {e["tid"] for e in spans}
+        assert len(by_name) == 2  # one track per component
+        a = next(e for e in spans if e["ts"] == 0.0)
+        assert a["dur"] == pytest.approx(1.0)  # 100 cycles @ 100 cycles/us
+
+    def test_merged_into_obs_exporter_is_valid(self):
+        t = make_trace(("dma0", "mm2s", 0, 40), ("core", "hw", 10, 90))
+        obj = chrome_trace([], sim_trace=t)
+        assert_valid_chrome(obj)
+        spans = [e for e in obj["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in spans} == {"mm2s", "hw"}
+        assert all(e["pid"] == 4 for e in spans)  # the sim subsystem pid
