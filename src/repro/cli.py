@@ -263,6 +263,31 @@ def _cmd_otsu(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _fmt_fallback_reasons(reasons: dict) -> str:
+    """``hp_unprovable x1, fifo_busy x2`` -- or ``none``."""
+    if not reasons:
+        return "none"
+    return ", ".join(f"{k} x{v}" for k, v in sorted(reasons.items()))
+
+
+def _simbench_fault_cycle(report, hw_nodes: list[str]) -> int | None:
+    """Pick a mid-phase cycle inside the prefix window of the longest
+    hardware phase: late enough to clear every driver kick, early enough
+    to land before the phase drains."""
+    spans = [
+        (end - start, start, end)
+        for name in hw_nodes
+        for start, end in (report.node_spans.get(name),)
+        if report.node_spans.get(name) is not None
+    ]
+    if not spans:
+        return None
+    length, start, end = max(spans)
+    if length < 20:
+        return None
+    return start + (length * 9) // 10
+
+
 def _cmd_simbench(args: argparse.Namespace) -> int:
     import json
     import time
@@ -271,7 +296,7 @@ def _cmd_simbench(args: argparse.Namespace) -> int:
 
     from repro.apps.otsu import build_otsu_app
     from repro.flow import run_flow
-    from repro.sim import simulate_application
+    from repro.sim import Fault, FaultPlan, simulate_application
 
     arches = [int(a) for a in args.arches.split(",")]
     width, _, height = args.size.partition("x")
@@ -302,7 +327,8 @@ def _cmd_simbench(args: argparse.Namespace) -> int:
                 burst.of("binImage"), np.asarray(app.golden["binary"])
             )
         )
-        fast = burst.burst_stats["burst_phases"] > 0
+        stats = burst.burst_stats
+        fast = stats["burst_phases"] + stats["prefix_phases"] > 0
         if not identical or (fast and burst.kernel_events >= word.kernel_events):
             failures += 1
         speedup = timings["word"] / timings["burst"] if timings["burst"] else 0.0
@@ -310,8 +336,10 @@ def _cmd_simbench(args: argparse.Namespace) -> int:
             "arch": arch,
             "cycles": word.cycles,
             "identical": identical,
-            "burst_phases": burst.burst_stats["burst_phases"],
-            "word_phases": burst.burst_stats["word_phases"],
+            "burst_phases": stats["burst_phases"],
+            "prefix_phases": stats["prefix_phases"],
+            "word_phases": stats["word_phases"],
+            "fallback_reasons": dict(stats["fallback_reasons"]),
             "events_word": word.kernel_events,
             "events_burst": burst.kernel_events,
             "seconds_word": timings["word"],
@@ -319,18 +347,104 @@ def _cmd_simbench(args: argparse.Namespace) -> int:
             "speedup": speedup,
             "digest": burst.digest(),
         }
-        rows.append(row)
         print(
             f"  arch{arch}: {word.cycles} cycles, "
             f"events {word.kernel_events} -> {burst.kernel_events}, "
             f"{timings['word']:.3f}s -> {timings['burst']:.3f}s "
             f"({speedup:.1f}x), "
             f"{'identical' if identical else 'MISMATCH'}"
-            f"{'' if fast else ' (word fallback)'}"
+            + ("" if fast else " (word fallback)")
+            + (
+                f", fallbacks: {_fmt_fallback_reasons(row['fallback_reasons'])}"
+                if row["word_phases"]
+                else ""
+            )
         )
-    if not any(r["burst_phases"] for r in rows):
+        # Faulted leg: a mid-phase DRAM flip that under the pre-prefix
+        # simulator forced every hardware phase onto the word path.  The
+        # prefix-burst engine must keep the flip's phase on the fast
+        # path (burst the fault-free prefix, hand live state to the
+        # word path) and still be digest-identical to the word run.
+        at = _simbench_fault_cycle(word, app.partition.hw_nodes())
+        if at is not None:
+            plan = FaultPlan(
+                (Fault("dram_flip", "*", at_cycle=at, bit=3, word=5),)
+            )
+            f_reports = {}
+            for label, mode in (("word", False), ("burst", True)):
+                f_reports[label] = simulate_application(
+                    app.htg, app.partition, app.behaviors, {},
+                    system=flow.system, burst_mode=mode, faults=plan,
+                )
+            f_word, f_burst = f_reports["word"], f_reports["burst"]
+            f_stats = f_burst.burst_stats
+            f_identical = (
+                f_word.cycles == f_burst.cycles
+                and f_word.digest() == f_burst.digest()
+            )
+            hw_phases = (
+                f_stats["burst_phases"]
+                + f_stats["prefix_phases"]
+                + f_stats["word_phases"]
+            )
+            # The pre-prefix simulator word-pathed every phase a
+            # dram_flip plan could touch -- i.e. all of them.
+            legacy_word = hw_phases
+            shrunk = f_stats["word_phases"] < legacy_word
+            if not f_identical or not shrunk:
+                failures += 1
+            row.update(
+                fault_at=at,
+                fault_identical=f_identical,
+                fault_burst_phases=f_stats["burst_phases"],
+                fault_prefix_phases=f_stats["prefix_phases"],
+                fault_word_phases=f_stats["word_phases"],
+                fault_fallback_reasons=dict(f_stats["fallback_reasons"]),
+                fault_legacy_word_phases=legacy_word,
+                fault_digest=f_burst.digest(),
+            )
+            print(
+                f"    fault@{at}: phases burst={f_stats['burst_phases']} "
+                f"prefix={f_stats['prefix_phases']} "
+                f"word={f_stats['word_phases']} (was {legacy_word}), "
+                f"{'identical' if f_identical else 'MISMATCH'}, "
+                f"fallbacks: "
+                f"{_fmt_fallback_reasons(row['fault_fallback_reasons'])}"
+            )
+        rows.append(row)
+    if not any(r["burst_phases"] + r["prefix_phases"] for r in rows):
         print("error: no architecture took the fast path", file=sys.stderr)
         failures += 1
+    if args.baseline:
+        base_path = Path(args.baseline)
+        if not base_path.exists():
+            print(f"error: baseline {base_path} not found", file=sys.stderr)
+            failures += 1
+        else:
+            base = json.loads(base_path.read_text())
+            base_rows = {int(k): v for k, v in base.get("rows", {}).items()}
+            if base.get("size") != f"{width}x{height}":
+                print(
+                    f"  baseline size {base.get('size')} != run size "
+                    f"{width}x{height}; skipping fallback diff"
+                )
+            else:
+                for row in rows:
+                    ref = base_rows.get(row["arch"])
+                    if ref is None:
+                        continue
+                    for key in ("word_phases", "fault_word_phases"):
+                        was, now = ref.get(key), row.get(key)
+                        if was is None or now is None:
+                            continue
+                        if now > was:
+                            print(
+                                f"error: arch{row['arch']} {key} regressed "
+                                f"{was} -> {now} vs {base_path}",
+                                file=sys.stderr,
+                            )
+                            failures += 1
+                print(f"  fallback rates diffed against {base_path}")
     if args.json:
         payload = {"size": f"{width}x{height}", "runs": args.runs, "rows": rows}
         Path(args.json).parent.mkdir(parents=True, exist_ok=True)
@@ -758,6 +872,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sb.add_argument("--size", default="64x64", help="image size, e.g. 128x128")
     p_sb.add_argument("--runs", type=int, default=1, help="timing repetitions")
     p_sb.add_argument("--json", default=None, help="write results as JSON here")
+    p_sb.add_argument(
+        "--baseline", default=None,
+        help="committed fallback-rate baseline JSON to diff against "
+        "(exit 1 if a previously-burst architecture regresses)",
+    )
     p_sb.set_defaults(func=_cmd_simbench)
 
     p_exp = sub.add_parser(

@@ -17,7 +17,13 @@ pipeline depth, latency) and calibrated bus costs.
 """
 
 from repro.sim.axi import AxiLiteBus, StreamChannel
-from repro.sim.burst import PhaseSolution, hw_serialized, solve_phase
+from repro.sim.burst import (
+    FALLBACK_REASONS,
+    PhaseSolution,
+    hw_serialized,
+    solve_phase,
+    solve_phase_ex,
+)
 from repro.sim.faults import (
     Fault,
     FaultEvent,
@@ -34,6 +40,7 @@ from repro.sim.runtime import ExecutionReport, SimPlatform, simulate_application
 __all__ = [
     "AxiLiteBus",
     "Environment",
+    "FALLBACK_REASONS",
     "Event",
     "ExecutionReport",
     "Fault",
@@ -51,4 +58,5 @@ __all__ = [
     "hw_serialized",
     "simulate_application",
     "solve_phase",
+    "solve_phase_ex",
 ]

@@ -313,6 +313,23 @@ class StreamChannel:
             self._getters.append(pend)
         return evt
 
+    def commit_burst(self, items, gets: int, high_water: int) -> None:
+        """Commit a solved slice of traffic in one event pair.
+
+        Used by the burst fast path (:mod:`repro.sim.burst`) and the
+        prefix-burst commit (:mod:`repro.sim.prefix`): burst-put
+        *items*, burst-get the first *gets* of them, then pin
+        ``high_water`` to the solver's occupancy estimate — a
+        whole-slice burst would otherwise overstate the word path's
+        peak.  Leaves ``len(items) - gets`` tokens buffered, exactly
+        the committed occupancy.
+        """
+        before = self.high_water
+        self.put_burst(items)
+        if gets:
+            self.get_burst(gets)
+        self.high_water = max(before, high_water)
+
     def reset(self) -> None:
         """Soft reset: discard buffered tokens and pending handshakes.
 

@@ -28,27 +28,32 @@ order in which the kernel happens to run the handshake callbacks, so
 evaluating them arithmetically reproduces the event kernel's cycles
 bit-for-bit.
 
-*The HP port is exactly a per-master rate limiter while masters never
-share a cycle.*  The shared-port automaton couples two acquires only
-when the later call lands at or before the earlier grant; during any
-busy stretch a master's grant cycles form a contiguous range, so any
-cross-master coupling would put one master's call cycle inside another
-master's recorded call∪grant cycle set.  The solver therefore runs each
-master against its own copy of the automaton, records those cycle sets,
-and accepts the solution when they are **pairwise disjoint** — a check
-that is sound *and* complete (first-coupling induction) for the
-no-shared-cycle case.
+*Shared HP-port timing is certified by a merged interleaving replay.*
+The solver first runs each master against a private copy of the port
+automaton (its *solo* schedule), then replays **every** master's calls
+through one shared automaton in global call-time order, starting from
+the port's real pre-phase state.  The replay is the proof: the real
+kernel also mutates the port at each call's cycle, so the only freedom
+an interleaving has left is the order of *cross-master same-cycle*
+calls.  The certificate therefore accepts the solution exactly when
 
-*Masters may share cycles when the port is never saturated.*  If every
-solo grant was immediate (granted in its own call cycle) and the merged
-per-cycle grant count never exceeds ``words_per_cycle``, then in the
-shared automaton every call is still granted in its own cycle no matter
-how the kernel interleaves same-cycle acquires: a call at ``t`` finds
-``_slot_time < t`` (reset) or ``_slot_time == t`` with spare width, by
-induction over cycles.  Concurrent MM2S + S2MM streaming — the common
-pipelined-phase shape — is exact under this rule.  Anything outside
-both conditions **falls back to the word path**, so the fast path is
-only taken when it is provably exact.
+* every cross-master same-cycle call group is granted **uniformly**
+  (all calls of the group get the same grant cycle) — the grant
+  multiset of a tie group depends only on the pre-state and the group
+  size, so uniform grants make the per-master assignment, and the
+  post-state, independent of kernel order; and
+* every call's merged grant equals its solo grant — then each master's
+  solved timestamps (which only depend on its own grants and the FIFO
+  value recurrences) are a fixed point of the shared port too.
+
+This strictly generalizes the earlier pairwise-disjoint-or-unsaturated
+test: disjoint schedules replay to their solo grants trivially, an
+unsaturated shared window is a uniform tie group, and saturated
+single-master stretches (a DMA filling a deep FIFO at full rate) are
+now accepted whenever the other masters provably keep out of the
+contended cycles.  Anything the replay cannot certify **falls back to
+the word path**, so the fast path is only taken when it is provably
+exact.
 
 What is *not* reconstructed exactly: a FIFO's ``high_water`` statistic
 depends on whether a same-cycle put/get pair hands off directly or
@@ -70,6 +75,11 @@ round-robin chunks until every sequence is complete; a cycle of unmet
 dependencies (count mismatch, genuine deadlock) makes a full round pass
 with no progress and the solver returns ``None`` — the word path is the
 universal fallback.
+
+Every bail-out is classified into the closed taxonomy
+:data:`FALLBACK_REASONS` (via :func:`solve_phase_ex`), so the runtime,
+``repro simbench`` and the benchmark artifacts can account for *why*
+each phase fell back instead of just counting fallbacks.
 """
 
 from __future__ import annotations
@@ -80,6 +90,20 @@ import numpy as np
 
 from repro.htg.schedule import topological_order
 from repro.sim.memory import CYCLES_PER_WORD, READ_LATENCY, WRITE_LATENCY
+
+#: Closed taxonomy of burst-fallback causes.  Every path that sends a
+#: hardware phase to the word simulator is tagged with exactly one of
+#: these, and :attr:`ExecutionReport.burst_stats` carries the per-phase
+#: and per-reason accounting downstream (simbench, benchmarks, CI).
+FALLBACK_REASONS = (
+    "fault_touches",    # armed fault could fire before/inside the phase
+    "hp_unprovable",    # shared HP-port schedule not interleaving-invariant
+    "fifo_busy",        # a phase FIFO holds tokens or pending handshakes
+    "engine_busy",      # a DMA channel still has a transfer in flight
+    "no_convergence",   # solver made no progress / token counts mismatch
+    "watchdog_budget",  # solved finish would outlive the node watchdog
+    "shallow_fifo",     # a FIFO is too shallow for the burst algebra
+)
 
 
 def hw_serialized(htg, partition) -> bool:
@@ -136,13 +160,29 @@ class ActorSpec:
 
 @dataclass
 class PhaseSolution:
-    """Everything the runtime needs to commit a solved phase."""
+    """Everything the runtime needs to commit a solved phase.
+
+    Besides the final-state summary, the solution keeps the *complete*
+    per-channel timestamp lists and per-master HP call schedules: the
+    prefix-burst path (see :mod:`repro.sim.prefix`) truncates them at an
+    arbitrary cycle to reconstruct exact mid-phase state.
+    """
 
     finish: int  # max completion cycle over every component
     actor_spans: list[tuple[str, int, int]]  # (name, started, finished)
     channels: dict  # key -> (puts, gets, high_water_estimate)
     hp_state: tuple[int, int] | None  # final (_slot_time, _slot_used)
     hp_words: int = 0
+    #: channel key -> (P, G): full put/get completion-time lists.
+    timeline: dict = field(default_factory=dict)
+    #: per-DmaSpec solo HP schedule [(call_cycle, grant_cycle), ...]
+    #: (None for specs solved without an HP port).
+    dma_calls: list = field(default_factory=list)
+    #: merged HP events [(call_cycle, master_index, grant_cycle), ...]
+    #: sorted by call cycle — the certificate's replay input.
+    hp_events: list = field(default_factory=list)
+    #: HP-port automaton state at phase entry (for truncated replays).
+    hp_init: tuple[int, int] = (-1, 0)
 
 
 class _Chan:
@@ -157,31 +197,22 @@ class _Chan:
 class _SoloHp:
     """One master's private replica of the HP-port automaton.
 
-    Starts from the reset state (valid because the solver separately
-    requires the real port's ``_slot_time`` to lie before this phase's
-    first call) and records every call and grant cycle for the
-    cross-master disjointness check.
+    Starts from the reset state and records the full call/grant
+    schedule; the merged-replay certificate (:func:`_hp_certificate`)
+    then decides whether this solo schedule survives sharing the real
+    port with the other masters under every kernel interleaving.
     """
 
-    __slots__ = ("wpc", "slot_time", "slot_used", "words", "cycles",
-                 "first_call", "last_grant", "grants", "delayed")
+    __slots__ = ("wpc", "slot_time", "slot_used", "calls")
 
     def __init__(self, wpc: int) -> None:
         self.wpc = wpc
         self.slot_time = -1
         self.slot_used = 0
-        self.words = 0
-        self.cycles: set[int] = set()
-        self.first_call: int | None = None
-        self.last_grant = -1
-        #: grant cycle -> words granted there (for the saturation check).
-        self.grants: dict[int, int] = {}
-        #: True once any grant landed after its call cycle.
-        self.delayed = False
+        #: [(call_cycle, grant_cycle), ...] in program order.
+        self.calls: list[tuple[int, int]] = []
 
     def call(self, t: int) -> int:
-        if self.first_call is None:
-            self.first_call = t
         if self.slot_time < t:
             self.slot_time = t
             self.slot_used = 0
@@ -190,14 +221,89 @@ class _SoloHp:
             self.slot_used = 0
         grant = self.slot_time
         self.slot_used += 1
-        self.words += 1
-        self.cycles.add(t)
-        self.cycles.add(grant)
-        self.last_grant = grant
-        self.grants[grant] = self.grants.get(grant, 0) + 1
-        if grant != t:
-            self.delayed = True
+        self.calls.append((t, grant))
         return grant
+
+
+def _hp_certificate(
+    events: list[tuple[int, int, int]],
+    wpc: int,
+    init: tuple[int, int],
+) -> tuple[int, int] | None:
+    """Per-cycle interleaving certificate for a shared HP port.
+
+    *events* is the merged schedule ``[(call, master, solo_grant), ...]``
+    sorted by call cycle (stable, so one master's same-cycle calls stay
+    in program order).  Replays it through a single automaton starting
+    from *init* — the port's real pre-phase ``(_slot_time, _slot_used)``
+    — and accepts only when
+
+    * within every same-cycle group containing calls from more than one
+      master, every call is granted the *same* cycle (the grant multiset
+      of a tie group is interleaving-invariant, so uniform grants make
+      the per-master assignment order-independent), and
+    * every merged grant equals the caller's solo grant (so the solved
+      timestamps are a fixed point of the shared automaton).
+
+    Returns the exact final ``(_slot_time, _slot_used)`` on success,
+    ``None`` when the schedule is not provably order-independent.
+    """
+    slot_time, slot_used = init
+    i, n = 0, len(events)
+    while i < n:
+        t = events[i][0]
+        j = i
+        masters = set()
+        while j < n and events[j][0] == t:
+            masters.add(events[j][1])
+            j += 1
+        if slot_time < t:
+            slot_time = t
+            slot_used = 0
+        first_grant = None
+        for k in range(i, j):
+            if slot_used >= wpc:
+                slot_time += 1
+                slot_used = 0
+            if first_grant is None:
+                first_grant = slot_time
+            if slot_time != events[k][2]:
+                return None  # sharing the port breaks the solo schedule
+            slot_used += 1
+        if len(masters) > 1 and slot_time != first_grant:
+            return None  # grant assignment depends on kernel order
+        i = j
+    return (slot_time, slot_used)
+
+
+def replay_hp_state(
+    events: list[tuple[int, int, int]],
+    wpc: int,
+    init: tuple[int, int],
+    cut: int,
+) -> tuple[tuple[int, int], int]:
+    """Port state after every call at or before *cut* of a certified run.
+
+    Used by the prefix-burst commit: calls are replayed in call-cycle
+    order (the order the real kernel mutates the port in), so the
+    returned ``(_slot_time, _slot_used)`` and call count are exactly the
+    live port's state at the end of cycle *cut*.  Only valid for event
+    lists :func:`_hp_certificate` accepted.
+    """
+    slot_time, slot_used = init
+    done = 0
+    for call, _master, _grant in events:
+        if call > cut:
+            break
+        if slot_time < call:
+            slot_time = call
+            slot_used = 0
+        if slot_used >= wpc:
+            slot_time += 1
+            slot_used = 0
+        slot_used += 1
+        done += 1
+    return (slot_time, slot_used), done
 
 
 class _Comp:
@@ -305,35 +411,38 @@ def _high_water_estimate(P: list[int], G: list[int], cap: int) -> int:
     return max(1, min(cap, int(occ.max())))
 
 
-def solve_phase(
+def solve_phase_ex(
     channels: dict,
     dmas: list[DmaSpec],
     actors: list[ActorSpec],
     *,
     hp_wpc: int | None = None,
     hp_slot_time: int | None = None,
-) -> PhaseSolution | None:
-    """Solve one phase's timestamps; ``None`` means "use the word path".
+    hp_slot_used: int = 0,
+) -> tuple[PhaseSolution | None, str | None]:
+    """Solve one phase's timestamps.
 
-    *channels* maps channel keys to capacities (post capacity-bump).
-    ``None`` is returned whenever exactness cannot be guaranteed: a
-    too-shallow FIFO, a dependency cycle that makes no progress
-    (mismatched token counts / genuine deadlock), leftover tokens, a
-    busy HP port at phase entry, or overlapping per-master HP cycle
-    sets.
+    Returns ``(solution, None)`` on success, ``(None, reason)`` — with
+    *reason* drawn from :data:`FALLBACK_REASONS` — whenever exactness
+    cannot be guaranteed: a too-shallow FIFO, a dependency cycle that
+    makes no progress (mismatched token counts / genuine deadlock),
+    leftover tokens, or a shared HP-port schedule the interleaving
+    certificate cannot prove order-independent.  *channels* maps channel
+    keys to capacities (post capacity-bump); *hp_slot_time* /
+    *hp_slot_used* carry the real port's pre-phase automaton state into
+    the certificate.
     """
     if any(cap < 2 for cap in channels.values()):
-        return None
+        return None, "shallow_fifo"
     chans = {key: _Chan(cap) for key, cap in channels.items()}
     comps: list[_Comp] = []
-    solos: list[_SoloHp] = []
+    solos: list[_SoloHp | None] = []
     for spec in dmas:
         if spec.count < 1:
-            return None
+            return None, "no_convergence"
         comp = _Comp()
         solo = _SoloHp(hp_wpc) if hp_wpc is not None else None
-        if solo is not None:
-            solos.append(solo)
+        solos.append(solo)
         comp.gen = _dma_gen(comp, spec, chans[spec.chan], solo)
         comps.append(comp)
     actor_comps: list[_Comp] = []
@@ -358,41 +467,29 @@ def solve_phase(
         if sum(len(c.P) + len(c.G) for c in chans.values()) > before:
             progressed = True
         if not progressed:
-            return None  # unmet dependency cycle: the word path decides
+            return None, "no_convergence"  # unmet dependency cycle
         pending = still
 
     # Every token produced must also be consumed, or the commit would
     # have to materialize leftover FIFO contents — fall back instead.
     for ch in chans.values():
         if len(ch.P) != len(ch.G):
-            return None
+            return None, "no_convergence"
 
     hp_state: tuple[int, int] | None = None
     hp_words = 0
-    active = [s for s in solos if s.first_call is not None]
+    hp_events: list[tuple[int, int, int]] = []
+    hp_init = (hp_slot_time if hp_slot_time is not None else -1, hp_slot_used)
+    active = [s for s in solos if s is not None and s.calls]
     if active:
-        first = min(s.first_call for s in active)
-        if hp_slot_time is not None and hp_slot_time >= first:
-            return None  # port still busy from before the phase
-        disjoint = all(
-            a.cycles.isdisjoint(b.cycles)
-            for i, a in enumerate(active)
-            for b in active[i + 1:]
-        )
-        if not disjoint:
-            # Shared cycles are still exact when no solo grant was ever
-            # deferred and the merged load never saturates the port.
-            if any(s.delayed for s in active):
-                return None
-            load: dict[int, int] = {}
-            for s in active:
-                for cyc, n in s.grants.items():
-                    load[cyc] = load.get(cyc, 0) + n
-            if any(n > hp_wpc for n in load.values()):
-                return None
-        last = max(s.last_grant for s in active)
-        hp_state = (last, sum(s.grants.get(last, 0) for s in active))
-        hp_words = sum(s.words for s in active)
+        for mi, s in enumerate(active):
+            for call, grant in s.calls:
+                hp_events.append((call, mi, grant))
+        hp_events.sort(key=lambda e: e[0])
+        hp_state = _hp_certificate(hp_events, hp_wpc, hp_init)
+        if hp_state is None:
+            return None, "hp_unprovable"
+        hp_words = len(hp_events)
 
     return PhaseSolution(
         finish=max(c.finish for c in comps) if comps else 0,
@@ -406,4 +503,29 @@ def solve_phase(
         },
         hp_state=hp_state,
         hp_words=hp_words,
+        timeline={key: (ch.P, ch.G) for key, ch in chans.items()},
+        dma_calls=[s.calls if s is not None else None for s in solos],
+        hp_events=hp_events,
+        hp_init=hp_init,
+    ), None
+
+
+def solve_phase(
+    channels: dict,
+    dmas: list[DmaSpec],
+    actors: list[ActorSpec],
+    *,
+    hp_wpc: int | None = None,
+    hp_slot_time: int | None = None,
+    hp_slot_used: int = 0,
+) -> PhaseSolution | None:
+    """Reason-less wrapper of :func:`solve_phase_ex` (compat shim)."""
+    solution, _reason = solve_phase_ex(
+        channels,
+        dmas,
+        actors,
+        hp_wpc=hp_wpc,
+        hp_slot_time=hp_slot_time,
+        hp_slot_used=hp_slot_used,
     )
+    return solution

@@ -294,6 +294,104 @@ class DmaEngine(AxiLiteDevice):
         self.regs[S2MM_DMASR] = _SR_IDLE | SR_IOC_IRQ
         return count
 
+    # -- prefix-burst resume points (see repro.sim.prefix) ----------------------
+    def resume_mm2s(self, addr: int, nbytes: int, first: int, mode: str,
+                    wake: int):
+        """Continue an MM2S transfer from word *first* at the prefix cut.
+
+        *mode* (from :func:`repro.sim.prefix.plan_mm2s_resume`):
+        ``fresh`` sleeps out the remaining ``READ_LATENCY`` and replays
+        the whole per-word loop; ``grant_wait`` sleeps to word *first*'s
+        already-committed HP grant (or ``CYCLES_PER_WORD`` pacing) and
+        puts it; ``put_pending`` re-issues the blocked put immediately.
+        Word *first*'s injection checks and HP call happened at or
+        before the cut, where no armed fault can fire — only ``fresh``
+        re-runs them.  DRAM is read word by word so flips landing after
+        the cut are observed exactly like the word path.
+        """
+        buf = self.memory.at(addr)
+        start = (addr - buf.base) // buf.data.itemsize
+        count = nbytes // buf.data.itemsize
+        flat = buf.data.reshape(-1)
+        env = self.env
+        i0 = first
+        try:
+            if mode == "fresh":
+                yield env.timeout(max(0, wake - env.now))
+            else:
+                if mode == "grant_wait":
+                    yield env.timeout(max(0, wake - env.now))
+                yield self.mm2s.put(flat[start + first].item())
+                i0 = first + 1
+            for i in range(i0, count):
+                if self._fault("dma_stall", "mm2s") is not None:
+                    yield env.event()  # channel wedges: never resumes
+                if self._fault("dma_truncate", "mm2s") is not None:
+                    self.regs[MM2S_DMASR] = SR_DMA_INT_ERR
+                    self.bytes_mm2s += i * buf.data.itemsize
+                    return i
+                if self.hp_port is not None:
+                    yield self.hp_port.acquire()
+                else:
+                    yield env.timeout(CYCLES_PER_WORD)
+                yield self.mm2s.put(flat[start + i].item())
+        except SimError:
+            self.regs[MM2S_DMASR] = SR_DMA_INT_ERR
+            raise
+        self.bytes_mm2s += nbytes
+        self.regs[MM2S_DMASR] = _SR_IDLE | SR_IOC_IRQ
+        return count
+
+    def resume_s2mm(self, addr: int, nbytes: int, first: int, mode: str,
+                    wake: int):
+        """Continue an S2MM transfer from word *first* at the prefix cut.
+
+        ``acquire_wait`` means word *first* was received and written
+        inside the prefix and only its HP grant (or pacing) is
+        outstanding — sleep to it, then continue with the next word;
+        ``get_wait`` re-issues the blocked get; ``fresh`` sleeps out the
+        remaining ``WRITE_LATENCY`` and replays the whole loop.
+        """
+        buf = self.memory.at(addr)
+        start = (addr - buf.base) // buf.data.itemsize
+        count = nbytes // buf.data.itemsize
+        flat = buf.data.reshape(-1)
+        env = self.env
+        i0 = first
+        try:
+            if mode == "fresh":
+                yield env.timeout(max(0, wake - env.now))
+            elif mode == "acquire_wait":
+                yield env.timeout(max(0, wake - env.now))
+                i0 = first + 1
+            else:  # "get_wait"
+                item = yield self.s2mm.get()
+                flat[start + first] = item
+                if self.hp_port is not None:
+                    yield self.hp_port.acquire()
+                else:
+                    yield env.timeout(CYCLES_PER_WORD)
+                i0 = first + 1
+            for i in range(i0, count):
+                if self._fault("dma_stall", "s2mm") is not None:
+                    yield env.event()
+                if self._fault("dma_truncate", "s2mm") is not None:
+                    self.regs[S2MM_DMASR] = SR_DMA_INT_ERR
+                    self.bytes_s2mm += i * buf.data.itemsize
+                    return i
+                item = yield self.s2mm.get()
+                flat[start + i] = item
+                if self.hp_port is not None:
+                    yield self.hp_port.acquire()
+                else:
+                    yield env.timeout(CYCLES_PER_WORD)
+        except SimError:
+            self.regs[S2MM_DMASR] = SR_DMA_INT_ERR
+            raise
+        self.bytes_s2mm += nbytes
+        self.regs[S2MM_DMASR] = _SR_IDLE | SR_IOC_IRQ
+        return count
+
     # -- register interface ---------------------------------------------------------
     def reg_read(self, offset: int) -> int:
         return self.regs.get(offset, 0)

@@ -126,6 +126,47 @@ class FaultPlan:
                 return True
         return False
 
+    def earliest_hazard(
+        self,
+        targets: set[str] | frozenset[str],
+        *,
+        now: int,
+        spent: dict[int, int] | None = None,
+    ) -> int | None:
+        """Earliest cycle at which a fault could fire inside a phase.
+
+        Sharper than :meth:`touches`: the prefix-burst path (see
+        :mod:`repro.sim.burst`) uses this to burst-commit everything
+        strictly before the hazard and run only the remainder on the
+        word path.  *now* is the phase's entry cycle; *spent* maps fault
+        indices to fire counts already charged by the live injector
+        (:meth:`FaultInjector.spent`), so exhausted one-shot faults no
+        longer cast a hazard (retries after recovery can full-burst).
+
+        DRAM flips are background events: they fire at exactly
+        ``at_cycle`` and, if that is already past, have nothing left to
+        do.  Every other kind fires from an in-phase injection point, so
+        an armed fault whose ``at_cycle`` is in the past still fires at
+        the *next* injection point — hazard ``max(at_cycle, now)``.
+        Returns ``None`` when no armed fault can fire at or after *now*.
+        """
+        hazard: int | None = None
+        for i, f in enumerate(self.faults):
+            if spent is not None and not f.persistent:
+                if spent.get(i, 0) >= f.count:
+                    continue
+            if f.kind == "dram_flip":
+                if f.at_cycle <= now:
+                    continue  # background event already fired (or never armed)
+                cand = f.at_cycle
+            elif f.target == ANY or f.target in targets:
+                cand = max(f.at_cycle, now)
+            else:
+                continue
+            if hazard is None or cand < hazard:
+                hazard = cand
+        return hazard
+
     @classmethod
     def random(
         cls,
@@ -269,6 +310,14 @@ class FaultInjector:
             self._observe(kind, target)
             return f
         return None
+
+    def spent(self) -> dict[int, int]:
+        """Charges consumed so far, keyed by plan fault index.
+
+        Feeds :meth:`FaultPlan.earliest_hazard` so exhausted one-shot
+        faults stop suppressing the burst fast path on retries.
+        """
+        return dict(self._uses)
 
     def note(self, kind: str, target: str, detail: str = "") -> None:
         """Record a fault firing decided elsewhere (e.g. a DRAM flip)."""

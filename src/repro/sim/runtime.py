@@ -38,7 +38,19 @@ from repro.htg.schedule import phase_firing_order, topological_order
 from repro.htg.validate import validate_htg
 from repro.sim.accel import ActorTiming, LiteAccelSim, StreamActorSim, StreamEndpoint
 from repro.sim.axi import AxiLiteBus, StreamChannel
-from repro.sim.burst import ActorSpec, DmaSpec, hw_serialized, solve_phase
+from repro.sim.burst import (
+    ActorSpec,
+    DmaSpec,
+    hw_serialized,
+    replay_hp_state,
+    solve_phase_ex,
+)
+from repro.sim.prefix import (
+    channel_commit_spec,
+    plan_mm2s_resume,
+    plan_s2mm_resume,
+    resume_actor,
+)
 from repro.sim.cpu import CpuModel, DRIVER_CALL_OVERHEAD
 from repro.sim.devfs import DevFs
 from repro.sim.dma_engine import (
@@ -338,6 +350,13 @@ class _Runtime:
         self._burst_base = platform.burst_enabled and hw_serialized(htg, partition)
         self.burst_phases = 0
         self.word_phases = 0
+        self.prefix_phases = 0
+        #: Fallback accounting: reason -> count (a retried phase counts
+        #: once per word-path attempt), phase name -> last reason, and
+        #: phase name -> (path, reason) for the obs span attributes.
+        self.fallback_reasons: dict[str, int] = {}
+        self.fallback_phases: dict[str, str] = {}
+        self.phase_modes: dict[str, tuple[str, str | None]] = {}
         #: AXI-Lite cores may charge their m_axi traffic as one burst
         #: grant only when nothing can interrupt the core mid-window:
         #: serialized hardware and no recovery ladder (a watchdog abandon
@@ -522,10 +541,19 @@ class _Runtime:
         channel_data = None
         if self._burst_base:
             channel_data = self._dataflow_outputs(phase)
-            plan = self._plan_burst_phase(phase, channel_data)
-            if plan is not None:
-                yield from self._run_hw_phase_burst(phase, channel_data, *plan)
+            kind, payload = self._plan_burst_phase(phase, channel_data)
+            if kind == "burst":
+                self.phase_modes[phase.name] = ("burst", None)
+                yield from self._run_hw_phase_burst(phase, channel_data, *payload)
                 return
+            if kind == "prefix":
+                self.phase_modes[phase.name] = ("prefix", None)
+                yield from self._run_hw_phase_prefix(phase, channel_data, *payload)
+                return
+            reason = payload
+            self.fallback_reasons[reason] = self.fallback_reasons.get(reason, 0) + 1
+            self.fallback_phases[phase.name] = reason
+            self.phase_modes[phase.name] = ("word", reason)
         yield from self._run_hw_phase_word(phase, channel_data)
 
     def _run_hw_phase_word(self, phase: Phase, channel_data=None):
@@ -598,8 +626,13 @@ class _Runtime:
 
     # -- burst fast path (see repro.sim.burst for the equivalence argument) --
     def _plan_burst_phase(self, phase: Phase, channel_data):
-        """Solve *phase* analytically; None means "run the word path".
+        """Solve *phase* analytically; returns ``(kind, payload)``.
 
+        ``("burst", args)`` runs the whole phase as one commit;
+        ``("prefix", args)`` burst-commits up to the cycle before the
+        earliest fault hazard and resumes the remainder on the live word
+        path; ``("fallback", reason)`` — reason from
+        :data:`~repro.sim.burst.FALLBACK_REASONS` — runs the word path.
         Pure apart from the idempotent capacity bump: nothing is staged,
         kicked or charged until the plan is accepted, so a fallback
         leaves the simulator exactly where the word path expects it.
@@ -638,7 +671,8 @@ class _Runtime:
                 out_ctx.append((ch.dst_port, ref, engine, ch.src_actor))
                 targets.add(engine.name)
         except SimError:
-            return None  # unmappable boundary: let the word path raise
+            # Unmappable boundary: let the word path raise the error.
+            return ("fallback", "no_convergence")
 
         channels: dict[StreamChannel, int] = {}
         chan_tokens: dict[StreamChannel, list] = {}
@@ -665,34 +699,48 @@ class _Runtime:
             actor_specs.append(spec)
         targets.update(ch.name for ch in channels)
 
-        # Word granularity required: a fault could fire inside the phase.
-        if p.fault_plan is not None and p.fault_plan.touches(targets):
-            return None
+        # The earliest cycle a fault could fire in-phase.  Everything
+        # strictly before it is fault-free and burstable; the cut must
+        # also clear the driver-call window (the kicks and descriptor
+        # validations are replayed synchronously up to the cut).
+        hazard = None
+        if p.fault_plan is not None:
+            spent = p.injector.spent() if p.injector is not None else None
+            hazard = p.fault_plan.earliest_hazard(targets, now=t0, spent=spent)
+            if hazard is not None and hazard <= kick:
+                return ("fallback", "fault_touches")
         # The FIFOs must be idle and deep enough for burst algebra.
         for ch in channels:
             if ch.capacity < 2 or len(ch) or ch._getters or ch._putters:
-                return None
+                return ("fallback", "fifo_busy")
         for _, _, engine in in_ctx:
             if engine._mm2s_busy is not None and not engine._mm2s_busy.triggered:
-                return None
+                return ("fallback", "engine_busy")
         for _, _, engine, _ in out_ctx:
             if engine._s2mm_busy is not None and not engine._s2mm_busy.triggered:
-                return None
+                return ("fallback", "engine_busy")
 
-        solution = solve_phase(
+        solution, reason = solve_phase_ex(
             channels,
             dma_specs,
             actor_specs,
             hp_wpc=p.hp_port.words_per_cycle if p.hp_port else None,
             hp_slot_time=p.hp_port._slot_time if p.hp_port else None,
+            hp_slot_used=p.hp_port._slot_used if p.hp_port else 0,
         )
         if solution is None:
-            return None
+            return ("fallback", reason)
         # A watchdog that would expire mid-phase must see the word path
         # wedge word by word, not a single opaque timeout.
         if self._ladder and solution.finish - t0 >= self.policy.node_budget:
-            return None
-        return (solution, in_ctx, out_ctx, chan_tokens)
+            return ("fallback", "watchdog_budget")
+        if hazard is not None and hazard <= solution.finish:
+            return (
+                "prefix",
+                (solution, in_ctx, out_ctx, chan_tokens, dma_specs,
+                 actor_specs, hazard - 1),
+            )
+        return ("burst", (solution, in_ctx, out_ctx, chan_tokens))
 
     def _run_hw_phase_burst(self, phase: Phase, channel_data, solution,
                             in_ctx, out_ctx, chan_tokens):
@@ -732,20 +780,149 @@ class _Runtime:
         for dst_port, buf, _ref, _eng in out_bufs:
             self.data[dst_port] = buf.data.copy()
         # The phase's traffic crosses each FIFO as one burst event pair;
-        # high_water is then pinned to the solver's occupancy estimate
-        # (a whole-transfer burst would overstate the word path's peak).
+        # high_water is pinned to the solver's occupancy estimate (a
+        # whole-transfer burst would overstate the word path's peak).
         for ch, (puts, gets, high_water) in solution.channels.items():
             if not puts:
                 continue
-            before = ch.high_water
-            ch.put_burst(chan_tokens[ch])
-            ch.get_burst(gets)
-            ch.high_water = max(before, high_water)
+            ch.commit_burst(chan_tokens[ch], gets, high_water)
         if p.hp_port is not None and solution.hp_state is not None:
             p.hp_port._slot_time, p.hp_port._slot_used = solution.hp_state
             p.hp_port.total_words += solution.hp_words
         for name, started, finished in solution.actor_spans:
             p.trace.record(f"hw:{name}", "stream", started, finished)
+        p.trace.record(f"phase:{phase.name}", "hw-phase", start, env.now)
+
+    def _run_hw_phase_prefix(self, phase: Phase, channel_data, solution,
+                             in_ctx, out_ctx, chan_tokens, dma_specs,
+                             actor_specs, cut):
+        """Burst-commit the phase up to *cut*, run the rest word by word.
+
+        The cut is the cycle before the earliest fault hazard, so the
+        committed prefix is provably fault-free and cycle-identical to
+        the word path (the burst equivalence argument), and every
+        injection point from the hazard cycle on runs live — see
+        :mod:`repro.sim.prefix` for the state-handoff argument.
+        """
+        p = self.p
+        env = p.env
+        start = env.now
+        self.prefix_phases += 1
+        # Driver-call replay: identical CPU cost and descriptor
+        # validation cycles as the word path.  Bytes are NOT pre-charged
+        # (unlike the full-burst commit): the live remainder may
+        # truncate, so each transfer charges at its end like the word
+        # path does.
+        in_bufs = []
+        for src_port, arr, engine in in_ctx:
+            buf = self._ensure_buffer(f"{phase.name}.{src_port}", arr)
+            yield from p.cpu.call_driver()
+            engine._validate(buf.base, buf.nbytes, "MM2S", MM2S_DMASR)
+            engine.regs[MM2S_DMASR] = 0x0  # busy
+            in_bufs.append(buf)
+        out_bufs = []
+        for dst_port, ref, engine, _src_actor in out_ctx:
+            buf = self._ensure_buffer(f"{phase.name}.{dst_port}", np.zeros_like(ref))
+            yield from p.cpu.call_driver()
+            engine._validate(buf.base, buf.nbytes, "S2MM", S2MM_DMASR)
+            engine.regs[S2MM_DMASR] = 0x0
+            out_bufs.append((dst_port, buf, ref, engine))
+        # The whole fault-free prefix is one kernel event.
+        yield env.timeout(max(0, cut - env.now))
+        # ---- commit: the exact word-path state at the end of the cut ----
+        for ch, (P, G) in solution.timeline.items():
+            n_put, n_got, high_water = channel_commit_spec(
+                P, G, ch.capacity, cut
+            )
+            if n_put:
+                ch.commit_burst(chan_tokens[ch][:n_put], n_got, high_water)
+        if p.hp_port is not None and solution.hp_events:
+            state, done = replay_hp_state(
+                solution.hp_events, p.hp_port.words_per_cycle,
+                solution.hp_init, cut,
+            )
+            p.hp_port._slot_time, p.hp_port._slot_used = state
+            p.hp_port.total_words += done
+        # ---- spawn the live remainder ----
+        procs: list = []
+        used_channels = set(solution.timeline)
+        used_engines = set()
+        for i, (src_port, arr, engine) in enumerate(in_ctx):
+            spec = dma_specs[i]
+            buf = in_bufs[i]
+            plan = plan_mm2s_resume(
+                spec, solution.dma_calls[i], solution.timeline[spec.chan][0], cut
+            )
+            used_engines.add(engine)
+            if plan.mode == "done":
+                engine.bytes_mm2s += buf.nbytes
+                engine.regs[MM2S_DMASR] = _SR_IDLE | SR_IOC_IRQ
+                engine._mm2s_busy = None
+                continue
+            proc = env.process(
+                engine.resume_mm2s(buf.base, buf.nbytes, plan.first,
+                                   plan.mode, plan.wake),
+                name=f"{engine.name}.mm2s",
+            )
+            engine._mm2s_busy = proc
+            procs.append(proc)
+        n_in = len(in_ctx)
+        for j, (dst_port, buf, ref, engine) in enumerate(out_bufs):
+            spec = dma_specs[n_in + j]
+            plan = plan_s2mm_resume(
+                spec, solution.dma_calls[n_in + j],
+                solution.timeline[spec.chan][1], cut,
+            )
+            used_engines.add(engine)
+            if plan.committed:
+                flat_ref = np.asarray(ref).reshape(-1)
+                buf.data.reshape(-1)[:plan.committed] = flat_ref[:plan.committed]
+            if plan.mode == "done":
+                engine.bytes_s2mm += buf.nbytes
+                engine.regs[S2MM_DMASR] = _SR_IDLE | SR_IOC_IRQ
+                engine._s2mm_busy = None
+                continue
+            proc = env.process(
+                engine.resume_s2mm(buf.base, buf.nbytes, plan.first,
+                                   plan.mode, plan.wake),
+                name=f"{engine.name}.s2mm",
+            )
+            engine._s2mm_busy = proc
+            procs.append(proc)
+        actor_states: list[tuple[str, int, int | None, dict]] = []
+        for spec, (name, started, finished) in zip(
+            actor_specs, solution.actor_spans
+        ):
+            if finished <= cut:
+                actor_states.append((name, started, finished, {}))
+                continue
+            span: dict = {}
+            procs.append(env.process(
+                resume_actor(env, spec, solution.timeline, chan_tokens,
+                             cut, span),
+                name=f"actor.{name}",
+            ))
+            actor_states.append((name, started, None, span))
+
+        # Register what a watchdog recovery must clean up, then wait.
+        self._phase_state[phase.name] = {
+            "procs": list(procs),
+            "channels": used_channels,
+            "engines": used_engines,
+        }
+        yield env.all_of(procs)
+        self._phase_state.pop(phase.name, None)
+        if self._verify:
+            self._check_integrity(
+                phase.name,
+                [(name, buf.data, ref) for name, buf, ref, _ in out_bufs],
+            )
+        for dst_port, buf, _ref, _eng in out_bufs:
+            self.data[dst_port] = buf.data.copy()
+        for name, started, finished, span in actor_states:
+            end = finished if finished is not None else span.get("finish")
+            if end is not None:
+                p.trace.record(f"hw:{name}", "stream", started, end)
         p.trace.record(f"phase:{phase.name}", "hw-phase", start, env.now)
 
     def _dma_handle(self, cell: str):
@@ -908,6 +1085,16 @@ class _Runtime:
                     yield from runner(node)
             finally:
                 if _BUS.enabled:
+                    # Hardware phases also report which simulation path
+                    # ran them (burst | prefix | word) and, for word
+                    # fallbacks, the taxonomy reason — the E span is the
+                    # per-phase view of ExecutionReport.burst_stats.
+                    extra = {}
+                    mode = self.phase_modes.get(name)
+                    if mode is not None:
+                        extra["path"] = mode[0]
+                        if mode[1] is not None:
+                            extra["fallback_reason"] = mode[1]
                     _BUS.emit(
                         "sim.phase",
                         name,
@@ -915,6 +1102,7 @@ class _Runtime:
                         cycle=self.p.env.now,
                         worker=name,
                         kind=kind,
+                        **extra,
                     )
             self.node_spans[name] = (start, self.p.env.now)
 
@@ -1011,6 +1199,9 @@ def simulate_application(
         _METRICS.counter("simulator.burst_phases", "phases on the burst path").inc(
             runtime.burst_phases
         )
+        _METRICS.counter(
+            "simulator.prefix_phases", "phases on the prefix-burst path"
+        ).inc(runtime.prefix_phases)
         _METRICS.counter("simulator.word_phases", "phases on the word path").inc(
             runtime.word_phases
         )
@@ -1032,7 +1223,10 @@ def simulate_application(
             "enabled": platform.burst_enabled,
             "hw_serialized": runtime._burst_base or not platform.burst_enabled,
             "burst_phases": runtime.burst_phases,
+            "prefix_phases": runtime.prefix_phases,
             "word_phases": runtime.word_phases,
+            "fallback_reasons": dict(runtime.fallback_reasons),
+            "fallback_phases": dict(runtime.fallback_phases),
         },
     )
 

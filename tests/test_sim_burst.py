@@ -161,9 +161,13 @@ class TestFaultSuppression:
         word, burst = both_modes(
             htg, part, behaviors, system, faults=plan, policy=self.POLICY
         )
-        # The plan touches a phase DMA engine: never fast-pathed, and
-        # the stall wedges / recovers at the exact same cycle both ways.
-        assert burst.burst_stats["burst_phases"] == 0
+        # The armed stall can fire at the phase's first injection point,
+        # so attempt 1 runs word-granular (reason: fault_touches) and
+        # wedges / recovers at the exact same cycle both ways; the retry
+        # finds the one-shot charge spent and full-bursts.
+        assert burst.burst_stats["word_phases"] == 1
+        assert burst.burst_stats["burst_phases"] == 1
+        assert burst.burst_stats["fallback_reasons"] == {"fault_touches": 1}
         assert_identical(word, burst)
         assert [e.describe() for e in word.fault_events] == [
             e.describe() for e in burst.fault_events
@@ -182,14 +186,19 @@ class TestFaultSuppression:
         )
         assert_identical(word, burst)
 
-    def test_dram_flip_always_word_path(self):
+    def test_dram_flip_before_phase_keeps_fast_path(self):
+        # The flip is a background event at exactly cycle 10 — long past
+        # by the time the hardware phase starts, so it casts no hazard
+        # and the phase full-bursts with identical results.
         htg, behaviors, _ = build_pipeline_app(n=64)
         part, system = build_hw_system(htg)
         plan = FaultPlan.single("dram_flip", "*", at_cycle=10, word=3)
-        _, burst = both_modes(
+        word, burst = both_modes(
             htg, part, behaviors, system, faults=plan, policy=self.POLICY
         )
-        assert burst.burst_stats["burst_phases"] == 0
+        assert burst.burst_stats["burst_phases"] >= 1
+        assert burst.burst_stats["word_phases"] == 0
+        assert_identical(word, burst)
 
     def test_touches_matches_names_and_wildcard(self):
         plan = FaultPlan.single("dma_stall", "dma0")
@@ -431,3 +440,368 @@ class TestHwSerialized:
         htg = self._htg(parallel=True)
         part = Partition.from_hw_set(htg, {"p1"})
         assert hw_serialized(htg, part)
+
+
+class TestHpInterleavingCertificate:
+    """The merged-replay certificate against real word-path arbitration.
+
+    Accepted schedules must be interleaving-invariant: replaying the
+    merged calls through one shared automaton — in *any* same-cycle
+    arbitration order the kernel could pick — reproduces every master's
+    solo grants.  Schedules where orders disagree must be refused.
+    """
+
+    @staticmethod
+    def _step(state, t, wpc):
+        """One ``HpPort.acquire`` call at cycle *t*: state -> (state, grant)."""
+        slot_time, slot_used = state
+        if slot_time < t:
+            slot_time, slot_used = t, 0
+        if slot_used >= wpc:
+            slot_time, slot_used = slot_time + 1, 0
+        return (slot_time, slot_used + 1), slot_time
+
+    def _solo(self, master, wpc):
+        """Master alone on a reset port (mirrors the solver's _SoloHp)."""
+        t0, gaps = master
+        state, t, calls = (-1, 0), t0, []
+        for i in range(len(gaps) + 1):
+            if i:
+                t = calls[-1][1] + gaps[i - 1]
+            state, grant = self._step(state, t, wpc)
+            calls.append((t, grant))
+        return calls
+
+    @staticmethod
+    def _merged(solos):
+        events = []
+        for m, calls in enumerate(solos):
+            events.extend((c, m, g) for c, g in calls)
+        events.sort(key=lambda e: e[0])  # stable: program order survives
+        return events
+
+    def _shared(self, masters, wpc, init, pick, history=None):
+        """Word-path reference: one live automaton; *pick* is the
+        kernel's arbitration order inside each same-cycle tie group."""
+        state = init
+        grants = [[] for _ in masters]
+        nxt = {m: (t0, 0) for m, (t0, _gaps) in enumerate(masters)}
+        while nxt:
+            tmin = min(t for t, _ in nxt.values())
+            group = sorted(m for m in nxt if nxt[m][0] == tmin)
+            for m in pick(group):
+                state, grant = self._step(state, tmin, wpc)
+                grants[m].append(grant)
+                if history is not None:
+                    history.append((tmin, state))
+                idx = nxt[m][1]
+                gaps = masters[m][1]
+                if idx < len(gaps):
+                    nxt[m] = (grant + gaps[idx], idx + 1)
+                else:
+                    del nxt[m]
+        return grants, state
+
+    def _check(self, masters, wpc, init, rng):
+        """Returns (accepted, all_orders_agree)."""
+        from repro.sim.burst import _hp_certificate
+
+        solos = [self._solo(m, wpc) for m in masters]
+        events = self._merged(solos)
+        final = _hp_certificate(events, wpc, init)
+        picks = [lambda g: g, lambda g: list(reversed(g))]
+        picks += [
+            (lambda r: (lambda g: r.sample(g, len(g))))(
+                __import__("random").Random(rng.randrange(1 << 30))
+            )
+            for _ in range(4)
+        ]
+        runs = [self._shared(masters, wpc, init, pick) for pick in picks]
+        agree = all(r[0] == runs[0][0] for r in runs)
+        if final is not None:
+            expect = [[g for _c, g in calls] for calls in solos]
+            for grants, state in runs:
+                assert grants == expect
+                assert state == final
+        return final is not None, agree
+
+    def test_randomized_schedules(self):
+        import random
+
+        rng = random.Random(20260807)
+        accepted = rejected = 0
+        for _ in range(300):
+            wpc = rng.randint(1, 3)
+            init = rng.choice(
+                [(-1, 0), (-1, 0), (rng.randint(-1, 2), rng.randint(0, wpc - 1))]
+            )
+            masters = [
+                (
+                    rng.randint(0, 5),
+                    [rng.randint(0, 3) for _ in range(rng.randint(0, 3))],
+                )
+                for _ in range(rng.randint(1, 3))
+            ]
+            ok, _agree = self._check(masters, wpc, init, rng)
+            accepted += ok
+            rejected += not ok
+        # The property is vacuous unless both outcomes occur.
+        assert accepted > 0 and rejected > 0
+
+    def test_exhaustive_two_masters(self):
+        import itertools
+        import random
+
+        rng = random.Random(7)
+        accepted = rejected = divergent = 0
+        for t0a, gapa, t0b, gapb, wpc in itertools.product(
+            (0, 1), (0, 1, 2), (0, 1), (0, 1, 2), (1, 2)
+        ):
+            masters = [(t0a, [gapa]), (t0b, [gapb])]
+            ok, agree = self._check(masters, wpc, (-1, 0), rng)
+            accepted += ok
+            rejected += not ok
+            if not agree:
+                divergent += 1
+                # Order-dependent grants MUST have been refused.
+                assert not ok
+        assert accepted > 0 and rejected > 0 and divergent > 0
+
+    def test_saturated_tie_group_is_refused(self):
+        # Two masters, two back-to-back calls each, all in one cycle,
+        # wpc=2: solo each pair fits its own slot; shared, the port can
+        # serve only one pair per cycle, so the grant assignment depends
+        # on kernel order — the contended-HP shape that must word-path.
+        from repro.sim.burst import _hp_certificate
+
+        masters = [(5, [0]), (5, [0])]
+        solos = [self._solo(m, 2) for m in masters]
+        assert [g for _c, g in solos[0]] == [5, 5]
+        assert _hp_certificate(self._merged(solos), 2, (-1, 0)) is None
+
+    def test_busy_port_entry_state_certified(self):
+        # A port mid-slot at phase entry: the certificate starts from
+        # the real (slot_time, slot_used) and still proves the schedule
+        # when the solo grants already account for the occupancy.
+        from repro.sim.burst import _hp_certificate
+
+        # One master calling at cycle 3 while the port holds slot_time=3
+        # with 2/2 words used: the call spills to cycle 4 — so a solo
+        # schedule computed from reset (grant 3) must be refused ...
+        solos = [self._solo((3, []), 2)]
+        assert _hp_certificate(self._merged(solos), 2, (3, 2)) is None
+        # ... while the true spilled schedule is certified.
+        assert _hp_certificate([(3, 0, 4)], 2, (3, 2)) == (4, 1)
+
+    def test_replay_hp_state_matches_live_prefix(self):
+        import random
+
+        from repro.sim.burst import _hp_certificate, replay_hp_state
+
+        masters = [(0, [2, 2]), (1, [3])]
+        wpc, init = 2, (-1, 0)
+        solos = [self._solo(m, wpc) for m in masters]
+        events = self._merged(solos)
+        assert _hp_certificate(events, wpc, init) is not None
+        history: list = []
+        self._shared(masters, wpc, init, lambda g: g, history=history)
+        last_call = max(c for c, _m, _g in events)
+        for cut in range(-1, last_call + 2):
+            upto = [(c, s) for c, s in history if c <= cut]
+            want_state = upto[-1][1] if upto else init
+            want_done = len(upto)
+            assert replay_hp_state(events, wpc, init, cut) == (
+                want_state,
+                want_done,
+            ), cut
+
+
+class TestFaultPrefixDifferential:
+    """Prefix-bursting faulted phases (see repro.sim.prefix).
+
+    A fault plan that touches a phase no longer forces the whole phase
+    onto the word path: the fault-free prefix up to the earliest hazard
+    commits in one shot and live FIFO/DMA/HP state is handed to the
+    word path at the cut.  Every scenario must stay digest-identical.
+    """
+
+    POLICY = RecoveryPolicy(node_budget=200_000, reset_cycles=50)
+
+    def _both(self, plan, n=64):
+        htg, behaviors, golden = build_pipeline_app(n=n)
+        part, system = build_hw_system(htg)
+        word, burst = both_modes(
+            htg, part, behaviors, system, faults=plan, policy=self.POLICY
+        )
+        return word, burst, golden
+
+    def test_mid_phase_stream_flip_prefix_bursts(self):
+        # Cycle 430 is inside the n=64 pipe phase's prefix window (past
+        # the last driver kick at ~400, before the solved finish at 449).
+        plan = FaultPlan.single(
+            "stream_flip", "GAUSS.out->EDGE.in", at_cycle=430, bit=4
+        )
+        word, burst, golden = self._both(plan)
+        assert burst.burst_stats["prefix_phases"] == 1
+        assert burst.burst_stats["word_phases"] == 0
+        assert burst.burst_stats["fallback_reasons"] == {}
+        assert_identical(word, burst)
+        assert np.array_equal(burst.of("result"), golden)
+
+    def test_fault_at_cycle_zero_word_paths(self):
+        # Armed from cycle 0 the hazard precedes the first driver kick:
+        # no fault-free prefix exists, so the phase word-paths with the
+        # fault_touches reason — and fires identically both ways.
+        plan = FaultPlan.single(
+            "stream_flip", "GAUSS.out->EDGE.in", at_cycle=0, bit=4
+        )
+        word, burst, _ = self._both(plan)
+        assert burst.burst_stats["word_phases"] == 1
+        assert burst.burst_stats["prefix_phases"] == 0
+        assert burst.burst_stats["fallback_reasons"] == {"fault_touches": 1}
+        assert_identical(word, burst)
+        assert [e.describe() for e in word.fault_events] == [
+            e.describe() for e in burst.fault_events
+        ]
+
+    def test_fault_after_natural_finish_full_bursts(self):
+        # The hazard lands beyond the solved finish: the fault can never
+        # fire inside the phase, so it full-bursts and the fault stays
+        # armed (and silent) in both runs.
+        plan = FaultPlan.single(
+            "stream_flip", "GAUSS.out->EDGE.in", at_cycle=100_000, bit=4
+        )
+        word, burst, golden = self._both(plan)
+        assert burst.burst_stats["burst_phases"] == 1
+        assert burst.burst_stats["prefix_phases"] == 0
+        assert burst.burst_stats["word_phases"] == 0
+        assert_identical(word, burst)
+        assert not burst.fault_events
+        assert np.array_equal(burst.of("result"), golden)
+
+    def test_mid_phase_dram_flip_detected_and_healed(self):
+        # The background flip fires right after the committed prefix;
+        # the corruption is diagnosed, the phase soft-resets, and the
+        # retry full-bursts because the one-shot charge is spent.
+        plan = FaultPlan.single("dram_flip", "*", at_cycle=430, word=3, bit=2)
+        word, burst, golden = self._both(plan)
+        assert burst.burst_stats["prefix_phases"] == 1
+        assert burst.burst_stats["burst_phases"] == 1
+        assert burst.burst_stats["word_phases"] == 0
+        assert_identical(word, burst)
+        assert [e.describe() for e in word.recovery_events] == [
+            e.describe() for e in burst.recovery_events
+        ]
+        assert np.array_equal(burst.of("result"), golden)
+
+    def test_random_campaign_digest_matches_word_path(self):
+        # The full 24-scenario seeded campaign (the faultcheck seed
+        # formula), run word-granular and burst: every scenario's report
+        # digest is embedded in its record, so one campaign-digest
+        # comparison proves per-scenario identity AND campaign-level
+        # determinism across the two execution paths.
+        from repro.sim import campaign_digest
+        from repro.util.errors import SimError
+
+        htg, behaviors, _ = build_pipeline_app(n=32)
+        part, system = build_hw_system(htg)
+        campaigns = {}
+        for mode in (False, True):
+            records = []
+            for k in range(24):
+                plan = FaultPlan.random(100_003 + k, system=system, horizon=2_000)
+                try:
+                    rep = simulate_application(
+                        htg, part, behaviors, {}, system=system,
+                        faults=plan, policy=self.POLICY, burst_mode=mode,
+                    )
+                except SimError as exc:
+                    records.append(
+                        {"k": k, "plan": plan.digest(), "outcome": "diagnosed",
+                         "error": str(exc)}
+                    )
+                    continue
+                records.append(
+                    {"k": k, "plan": plan.digest(),
+                     "outcome": "recovered" if rep.recovery_events else "survived",
+                     "cycles": rep.cycles, "digest": rep.digest()}
+                )
+            campaigns[mode] = records
+        assert len(campaigns[True]) == 24
+        assert campaign_digest(campaigns[False]) == campaign_digest(
+            campaigns[True]
+        )
+
+
+class TestTable1FallbackRates:
+    """Tier-1 fallback budget: at 128x128 every Table-I architecture
+    must full-burst — zero word-fallback phases per reason.  Any new
+    solver bail (shallow_fifo, hp_unprovable, ...) shows up here as an
+    explicit diff against the pinned (empty) reason map."""
+
+    PINNED: dict[int, dict] = {1: {}, 2: {}, 3: {}, 4: {}}
+
+    def test_fallback_rates_pinned_at_128(self):
+        from repro.apps.otsu import build_otsu_app
+        from repro.flow import run_flow
+
+        for arch, pinned in self.PINNED.items():
+            app = build_otsu_app(arch, width=128, height=128)
+            flow = run_flow(
+                app.dsl_graph(), app.c_sources,
+                extra_directives=app.extra_directives,
+            )
+            rep = simulate_application(
+                app.htg, app.partition, app.behaviors, {},
+                system=flow.system, burst_mode=True,
+            )
+            stats = rep.burst_stats
+            assert stats["fallback_reasons"] == pinned, f"arch{arch}"
+            assert stats["word_phases"] == sum(pinned.values())
+            assert stats["burst_phases"] >= 1
+            assert np.array_equal(
+                rep.of("binImage"), np.asarray(app.golden["binary"])
+            )
+
+
+class TestPhaseSpanAttributes:
+    """sim.phase spans carry the execution path and fallback reason."""
+
+    def _phase_fields(self, plan=None):
+        from repro.obs import capture
+
+        htg, behaviors, _ = build_pipeline_app(n=64)
+        part, system = build_hw_system(htg)
+        kw = {}
+        if plan is not None:
+            kw = {"faults": plan,
+                  "policy": RecoveryPolicy(node_budget=200_000, reset_cycles=50)}
+        with capture() as (bus, _reg):
+            simulate_application(
+                htg, part, behaviors, {}, system=system, burst_mode=True, **kw
+            )
+        for e in bus.events():
+            if e.category == "sim.phase" and e.phase == "E" and e.name == "pipe":
+                return dict(e.fields)
+        raise AssertionError("no sim.phase end span for the hw phase")
+
+    def test_burst_path_attribute(self):
+        fields = self._phase_fields()
+        assert fields["path"] == "burst"
+        assert "fallback_reason" not in fields
+
+    def test_prefix_path_attribute(self):
+        plan = FaultPlan.single(
+            "stream_flip", "GAUSS.out->EDGE.in", at_cycle=430, bit=4
+        )
+        fields = self._phase_fields(plan)
+        assert fields["path"] == "prefix"
+        assert "fallback_reason" not in fields
+
+    def test_word_path_reason_attribute(self):
+        plan = FaultPlan.single(
+            "stream_flip", "GAUSS.out->EDGE.in", at_cycle=0, bit=4
+        )
+        fields = self._phase_fields(plan)
+        assert fields["path"] == "word"
+        assert fields["fallback_reason"] == "fault_touches"
