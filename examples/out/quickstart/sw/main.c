@@ -10,6 +10,22 @@
 #define ACCEL_TIMEOUT 10000000u /* watchdog budget per attempt */
 #define ACCEL_RETRIES 3
 
+/* Golden software version of 'SCALE' — the synthesized C itself,
+ * kept callable for the hardware-failure fallback path. */
+static void SCALE_golden(int in[128], int out[128]) {
+    for (int i = 0; i < 128; i++) out[i] = (in[i] * 205) >> 8;
+}
+
+/* Golden software version of 'OFFSET' — the synthesized C itself,
+ * kept callable for the hardware-failure fallback path. */
+static void OFFSET_golden(int in[128], int out[128]) {
+    for (int i = 0; i < 128; i++) out[i] = in[i] + 16;
+}
+
+/* Golden software version of 'CHECKSUM' — the synthesized C itself,
+ * kept callable for the hardware-failure fallback path. */
+static int CHECKSUM_golden(int A, int B) { return (A ^ B) * 31 + A; }
+
 int main(void) {
     int dma0 = openDMA("/dev/axidma0");
 
@@ -18,19 +34,24 @@ int main(void) {
 
     /* invoke CHECKSUM (retry, then software fallback) */
     {
+        /* CHECKSUM argument registers (from the register map) */
+        uint32_t CHECKSUM_arg_A = 0u; /* reg A @ 0x10, 32 bits */
+        uint32_t CHECKSUM_arg_B = 0u; /* reg B @ 0x18, 32 bits */
+        uint32_t CHECKSUM_result = 0u;
         int attempt, ok = 0;
         for (attempt = 1; attempt <= ACCEL_RETRIES && !ok; ++attempt) {
-            CHECKSUM_set_A(0 /* TODO */);
-            CHECKSUM_set_B(0 /* TODO */);
+            CHECKSUM_set_A(CHECKSUM_arg_A);
+            CHECKSUM_set_B(CHECKSUM_arg_B);
             CHECKSUM_start();
             ok = CHECKSUM_wait_timeout(ACCEL_TIMEOUT) == 0;
             if (!ok) CHECKSUM_reset();
         }
+        if (ok) CHECKSUM_result = CHECKSUM_get_return();
         if (!ok) {
             fprintf(stderr, "CHECKSUM: hardware gave up, falling back to software\n");
-            /* TODO: golden software version of CHECKSUM */
+            CHECKSUM_result = CHECKSUM_golden(CHECKSUM_arg_A, CHECKSUM_arg_B);
         }
-        printf("CHECKSUM -> %u\n", CHECKSUM_get_return());
+        printf("CHECKSUM -> %u\n", CHECKSUM_result);
     }
 
     {
@@ -45,7 +66,10 @@ int main(void) {
         }
         if (!ok) {
             fprintf(stderr, "DMA pipeline gave up, falling back to software\n");
-            /* TODO: golden software pipeline */
+            static int32_t sw_tmp0[1024];
+            /* software pipeline: golden cores chained along the stream links */
+            SCALE_golden((int *)in_buf0, (int *)sw_tmp0);
+            OFFSET_golden((int *)sw_tmp0, (int *)out_buf1);
         }
     }
 

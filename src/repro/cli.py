@@ -22,11 +22,22 @@ Commands
                  architectures; every scenario must recover or raise a
                  structured diagnostic (same seed => same digest)
 ``cachecheck``   scrub the shared build cache: verify every entry's
-                 integrity, quarantine corrupt ones, report
+                 integrity, quarantine corrupt ones, report (``--json``
+                 emits the full scrub report as JSON)
 ``crashcheck``   crash-injection campaign: kill the flow at every
                  journal boundary on every Table-I architecture, resume,
                  and require byte-identical artifacts (plus a deliberate
                  cache-corruption leg that must quarantine and rebuild)
+``serve``        run the multi-tenant build service on a unix socket:
+                 fair-share queueing, admission control, retries,
+                 circuit breakers, warm-cache degradation, and journal
+                 recovery of jobs interrupted by a daemon kill
+``submit``       client for ``serve``: submit a ``.tg`` design (plus C
+                 sources) as a job for a tenant, optionally wait for it
+``servicecheck`` kill-the-daemon chaos campaign: at every journal
+                 boundary, kill a two-tenant daemon mid-flight, restart,
+                 recover, and require every job's artifacts to be
+                 byte-identical to an uninterrupted run
 """
 
 from __future__ import annotations
@@ -563,15 +574,26 @@ def _cmd_cachecheck(args: argparse.Namespace) -> int:
     with warnings.catch_warnings():
         warnings.simplefilter("ignore")  # the report lists them itself
         report = cache.scrub()
-    print(report.render())
+    purged = None
     if args.purge_quarantine:
-        n = cache.purge_quarantine()
-        print(f"purged {n} quarantined blob(s)")
-    elif cache.quarantined_keys():
-        print(
-            f"{len(cache.quarantined_keys())} blob(s) in quarantine "
-            "(inspect, then `repro cachecheck --purge-quarantine`)"
-        )
+        purged = cache.purge_quarantine()
+    if args.json:
+        import json
+
+        payload = report.as_dict()
+        payload["cache_dir"] = str(cache_dir)
+        if purged is not None:
+            payload["purged"] = purged
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.render())
+        if purged is not None:
+            print(f"purged {purged} quarantined blob(s)")
+        elif cache.quarantined_keys():
+            print(
+                f"{len(cache.quarantined_keys())} blob(s) in quarantine "
+                "(inspect, then `repro cachecheck --purge-quarantine`)"
+            )
     if args.strict and not report.healthy:
         raise CacheCorrupted(
             f"{len(report.quarantined)} corrupt cache entr"
@@ -717,6 +739,106 @@ def _cmd_crashcheck(args: argparse.Namespace) -> int:
         print(
             f"error: {failures} scenario(s) did not reproduce the "
             "uninterrupted artifacts",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.service import BuildService, ServiceServer
+
+    async def go() -> int:
+        service = BuildService(
+            args.root,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            saturation_backlog=args.saturation_backlog,
+        )
+        counts = service.recover()
+        if any(counts.values()):
+            print(
+                "recovered: "
+                + " ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+            )
+        server = ServiceServer(service, args.socket)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, server._shutdown.set)
+        print(f"serving on {args.socket} (root {args.root}); ctrl-c to stop")
+        await server.serve_until_shutdown()
+        service.close()
+        print("stopped")
+        return 0
+
+    return asyncio.run(go())
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.dsl import parse_dsl
+    from repro.service import JobSpec, ServiceClient, SimSpec
+
+    dsl = Path(args.design).read_text()
+    graph = parse_dsl(dsl, filename=args.design)
+    sources = _load_sources(graph, args.sources)
+    sim = SimSpec(seed=args.seed) if args.sim else None
+    spec = JobSpec(dsl=dsl, sources=sources, sim=sim, deadline_s=args.deadline)
+    with ServiceClient(args.socket, timeout_s=args.timeout) as client:
+        response = client.submit(args.tenant, spec)
+        if not response.get("ok"):
+            print(f"error: {response.get('error')}", file=sys.stderr)
+            return 1
+        record = response["record"]
+        print(f"job {record['job_id']} ({record['state']}) for {args.tenant}")
+        if args.wait:
+            response = client.wait(record["job_id"], timeout=args.timeout)
+            if not response.get("ok"):
+                print(f"error: {response.get('error')}", file=sys.stderr)
+                return 1
+            record = response["record"]
+            print(
+                f"  {record['state']} served_from={record['served_from']} "
+                f"attempts={record['attempts']} retries={record['retries']}"
+            )
+            if record.get("artifact_digest"):
+                print(f"  artifact digest: {record['artifact_digest']}")
+            if record.get("sim_digest"):
+                print(f"  sim digest:      {record['sim_digest']}")
+            if record.get("error"):
+                print(
+                    f"  error at step {record.get('error_step')}: "
+                    f"{record['error']}",
+                    file=sys.stderr,
+                )
+            return 0 if record["state"] == "done" else 1
+    return 0
+
+
+def _cmd_servicecheck(args: argparse.Namespace) -> int:
+    import tempfile
+    from contextlib import nullcontext
+
+    from repro.service import run_servicecheck
+
+    holder = (
+        nullcontext(args.root)
+        if args.root
+        else tempfile.TemporaryDirectory(prefix="repro-servicecheck-")
+    )
+    with holder as root:
+        report = run_servicecheck(root, log=print)
+    print(report.render())
+    if args.digest_out:
+        Path(args.digest_out).write_text(report.digest + "\n")
+        print(f"  digest written to {args.digest_out}")
+    if not report.ok:
+        print(
+            f"error: {report.failures} digest failure(s), {report.lost} "
+            f"lost job(s), {report.duplicated} duplicated job(s)",
             file=sys.stderr,
         )
         return 1
@@ -928,7 +1050,74 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true",
         help="exit non-zero if the scrub quarantined anything",
     )
+    p_cc.add_argument(
+        "--json", action="store_true",
+        help="emit the full scrub report as JSON instead of text",
+    )
     p_cc.set_defaults(func=_cmd_cachecheck)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant build service on a unix socket",
+    )
+    p_serve.add_argument(
+        "--root", default="service_root",
+        help="service state directory (cache, tenants, warm index)",
+    )
+    p_serve.add_argument(
+        "--socket", default="service_root/repro.sock",
+        help="unix socket path for the JSON-lines API",
+    )
+    p_serve.add_argument("--workers", type=int, default=2, help="executor threads")
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=8,
+        help="queued jobs allowed per tenant before admission rejects",
+    )
+    p_serve.add_argument(
+        "--saturation-backlog", type=int, default=None,
+        help="total backlog at which warm-cache degradation kicks in",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_sub = sub.add_parser(
+        "submit", help="submit a .tg design as a job to a running service"
+    )
+    p_sub.add_argument("design", help="path to the .tg file")
+    p_sub.add_argument(
+        "--sources", required=True, help="directory holding <node>.c files"
+    )
+    p_sub.add_argument(
+        "--socket", default="service_root/repro.sock", help="service socket"
+    )
+    p_sub.add_argument("--tenant", default="default", help="tenant name")
+    p_sub.add_argument(
+        "--sim", action="store_true", help="also simulate the built design"
+    )
+    p_sub.add_argument("--seed", type=int, default=1, help="simulation seed")
+    p_sub.add_argument(
+        "--deadline", type=float, default=None, help="per-job deadline (seconds)"
+    )
+    p_sub.add_argument(
+        "--wait", action="store_true", help="block until the job is terminal"
+    )
+    p_sub.add_argument(
+        "--timeout", type=float, default=600.0, help="client timeout (seconds)"
+    )
+    p_sub.set_defaults(func=_cmd_submit)
+
+    p_sc = sub.add_parser(
+        "servicecheck",
+        help="kill-the-daemon chaos campaign: recovery must reproduce the "
+        "uninterrupted artifacts for every tenant's job",
+    )
+    p_sc.add_argument(
+        "--root", default=None,
+        help="campaign scratch directory (default: a fresh temp dir)",
+    )
+    p_sc.add_argument(
+        "--digest-out", default=None, help="write the campaign digest here"
+    )
+    p_sc.set_defaults(func=_cmd_servicecheck)
 
     p_kc = sub.add_parser(
         "crashcheck",

@@ -186,14 +186,18 @@ def autosimulate(
     seed: int = 1,
     wait_mode: str = "poll",
     burst_mode: bool | None = None,
+    faults=None,
+    policy=None,
 ) -> AutoSimResult:
     """Simulate *flow*'s system with interpreter-derived behaviours.
 
     *stimuli* overrides the generated inputs (keyed
     ``in_<node>_<port>``); *lite_args* supplies scalar arguments per
-    AXI-Lite node (register name -> value); *burst_mode* is forwarded to
-    :func:`~repro.sim.runtime.simulate_application` (None = environment
-    default).
+    AXI-Lite node (register name -> value); *burst_mode*, *faults* (a
+    :class:`~repro.sim.faults.FaultPlan`) and *policy* (a
+    :class:`~repro.sim.faults.RecoveryPolicy`) are forwarded to
+    :func:`~repro.sim.runtime.simulate_application` (None = defaults) —
+    the build service's fault-injected simulation jobs ride this path.
     """
     cores = {name: build.result for name, build in flow.cores.items()}
     htg, partition, behaviors, prototypes, lite_nodes = lift_to_htg(
@@ -222,6 +226,7 @@ def autosimulate(
         report = simulate_application(
             htg, partition, behaviors, {}, system=flow.system,
             wait_mode=wait_mode, burst_mode=burst_mode,
+            faults=faults, policy=policy,
         )
         for node in htg.nodes.values():
             if isinstance(node, Phase):

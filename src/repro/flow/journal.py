@@ -201,6 +201,21 @@ class RunJournal:
         return self._committed.get(step) == digest
 
     @property
+    def committed_steps(self) -> dict[str, str]:
+        """Step -> input digest of every committed step (a copy)."""
+        return dict(self._committed)
+
+    @property
+    def started_steps(self) -> dict[str, str]:
+        """Step -> input digest of every started step (a copy).
+
+        The build service attributes a failed run to a backend step by
+        looking at the started-but-uncommitted tail — the step the flow
+        died inside is the last intent with no matching commit.
+        """
+        return dict(self._started)
+
+    @property
     def crash_recoveries(self) -> int:
         """Steps the loaded journal left started-but-uncommitted."""
         return len(self.interrupted)

@@ -394,7 +394,11 @@ class FlowHooks(ActionHooks):
             if self.journal is not None:
                 self.journal.step_start("swgen", swgen_digest)
             crashpoint("swgen:start")
-            image = assemble_image(system, bitstream)
+            image = assemble_image(
+                system,
+                bitstream,
+                c_sources={name: b.c_source for name, b in self.cores.items()},
+            )
             self._journal_commit("swgen", swgen_digest)
             if _BUS.enabled:
                 _METRICS.counter("flow.steps", "flow steps executed").inc()

@@ -45,11 +45,20 @@ CATEGORIES = frozenset(
         "sim.dma",
         "sim.fault",
         "sim.recovery",
+        # Build-service lifecycle (PR 7): one span per executed job plus
+        # instants for the admission/robustness decisions around it.
+        "service.job",
+        "service.submit",
+        "service.reject",
+        "service.retry",
+        "service.recover",
+        "service.degrade",
+        "service.breaker",
     }
 )
 
 #: Category prefix -> subsystem (one Chrome pid per subsystem).
-SUBSYSTEMS = ("flow", "cache", "journal", "sim")
+SUBSYSTEMS = ("flow", "cache", "journal", "sim", "service")
 
 
 def subsystem_of(category: str) -> str:
@@ -131,6 +140,9 @@ class EventBus:
             self._seq += 1
             if len(self._ring) == self.capacity:
                 self.dropped += 1
+                dropped_now = True
+            else:
+                dropped_now = False
             evt = ObsEvent(
                 seq=self._seq,
                 category=category,
@@ -142,6 +154,17 @@ class EventBus:
                 fields=tuple(sorted(fields.items())),
             )
             self._ring.append(evt)
+        if dropped_now:
+            # Surfaced as a metric so campaigns can assert zero drops at
+            # the default ring size (imported lazily: metrics never
+            # imports events, but keeping the dependency out of the
+            # module top level makes that impossible to regress).
+            from repro.obs.metrics import REGISTRY
+
+            REGISTRY.counter(
+                "obs.events_dropped_total",
+                "events evicted from the bus ring before export",
+            ).inc()
         return evt
 
     @contextmanager

@@ -1,0 +1,65 @@
+"""Multi-tenant build service: job daemon + robustness + chaos harness.
+
+``repro serve`` runs a :class:`~repro.service.daemon.BuildService`
+behind a unix-socket JSON-lines API; ``repro submit`` is its client;
+``repro servicecheck`` is the kill-the-daemon chaos campaign proving
+the recovery story end to end.
+"""
+
+from repro.service.chaos import (
+    ServiceCheckReport,
+    default_submissions,
+    run_servicecheck,
+    service_sites,
+)
+from repro.service.daemon import (
+    BuildService,
+    ServiceClient,
+    ServiceServer,
+    UnknownJob,
+)
+from repro.service.jobs import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobRecord,
+    JobRejected,
+    JobSpec,
+    SimSpec,
+)
+from repro.service.queueing import FairScheduler
+from repro.service.robust import (
+    BreakerOpen,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+)
+from repro.service.store import JobStore
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "QUEUED",
+    "RUNNING",
+    "BreakerOpen",
+    "BuildService",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "FairScheduler",
+    "JobRecord",
+    "JobRejected",
+    "JobSpec",
+    "JobStore",
+    "RetryPolicy",
+    "ServiceCheckReport",
+    "ServiceClient",
+    "ServiceServer",
+    "SimSpec",
+    "UnknownJob",
+    "default_submissions",
+    "run_servicecheck",
+    "service_sites",
+]

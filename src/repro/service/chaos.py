@@ -1,0 +1,276 @@
+"""``repro servicecheck`` — kill-the-daemon chaos campaign.
+
+The crashcheck campaign (PR 3) proved the *flow* recovers from a kill at
+every journal boundary.  This campaign proves the *service* does: a
+daemon with two tenants' jobs in flight — one of them fault-injected
+through the simulation leg — is killed at every journal boundary, a
+fresh daemon recovers the root, every submission is replayed (testing
+idempotent resubmission), and the final state must satisfy:
+
+* **byte-identical artifacts** — every job's artifact digest (and sim
+  digest) equals the uninterrupted reference run's;
+* **zero lost jobs** — every durably-admitted job reaches ``DONE``;
+* **zero duplicated jobs** — resubmitting every spec after recovery
+  creates no new job (content-addressed identity);
+* **stable campaign digest** — the outcome records contain only
+  deterministic fields, so two runs of the campaign digest identically.
+
+Determinism is by construction: one executor worker (serial execution,
+deterministic journal-boundary visit order), seeded stimuli, seeded
+fault plans, and deterministic backoff jitter.  The daemon is killed
+in-process (``die_on_interrupt``): the armed crash-point raises out of
+the executor, the dispatcher abandons all state exactly as a ``kill
+-9`` would have left the disk, and recovery gets only what was durable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.dsl.parser import parse_dsl
+from repro.flow.crashpoints import CrashPlan, all_sites, armed
+from repro.service.daemon import BuildService
+from repro.service.jobs import DONE, JobSpec, SimSpec
+from repro.sim.faults import Fault, FaultPlan, campaign_digest
+
+#: The campaign's design: a two-stage stream pipeline plus one AXI-Lite
+#: core — every interface class, small enough that the full
+#: kill-at-every-boundary matrix stays fast.
+SERVICE_DSL = """
+object svc extends App {
+  tg nodes;
+    tg node "SCALE" is "in" is "out" end;
+    tg node "CLIP" is "in" is "out" end;
+    tg node "SUM" i "A" i "B" i "return" end;
+  tg end_nodes;
+  tg edges;
+    tg connect "SUM";
+    tg link 'soc to ("SCALE", "in") end;
+    tg link ("SCALE", "out") to ("CLIP", "in") end;
+    tg link ("CLIP", "out") to 'soc end;
+  tg end_edges;
+}
+"""
+
+SERVICE_SOURCES = {
+    "SCALE": "void SCALE(int in[16], int out[16]) {\n"
+    "    for (int i = 0; i < 16; i++) out[i] = in[i] * 2;\n}\n",
+    "CLIP": "void CLIP(int in[16], int out[16]) {\n"
+    "    for (int i = 0; i < 16; i++) out[i] = in[i] > 20 ? 20 : in[i];\n}\n",
+    "SUM": "int SUM(int A, int B) { return A + B; }\n",
+}
+
+
+def default_submissions() -> list[tuple[str, JobSpec]]:
+    """The two-tenant job mix the campaign runs.
+
+    * ``alice`` submits a clean build+simulate job;
+    * ``bob`` submits the same design with a fault-injected simulation
+      (a seeded DRAM bit flip from :mod:`repro.sim.faults`);
+    * ``alice`` also submits a spec identical to bob's — same content
+      digest, different tenant — so every campaign case exercises
+      cross-tenant dedup through the shared cache.
+    """
+    clean = JobSpec(dsl=SERVICE_DSL, sources=dict(SERVICE_SOURCES), sim=SimSpec(seed=1))
+    faulty = JobSpec(
+        dsl=SERVICE_DSL,
+        sources=dict(SERVICE_SOURCES),
+        sim=SimSpec(
+            seed=1,
+            faults=FaultPlan(
+                (Fault("dram_flip", "*", at_cycle=50, bit=2, word=3),), seed=7
+            ),
+        ),
+    )
+    return [("alice", clean), ("bob", faulty), ("alice", faulty)]
+
+
+def service_sites(dsl: str = SERVICE_DSL) -> list[str]:
+    """Every journal boundary one job of the campaign design visits."""
+    graph = parse_dsl(dsl)
+    return all_sites([n.name for n in graph.nodes]) + [
+        "simulate:start",
+        "simulate:commit",
+    ]
+
+
+@dataclass
+class ServiceCheckReport:
+    """Outcome of one campaign."""
+
+    records: list[dict] = field(default_factory=list)
+    digest: str = ""
+    failures: int = 0
+    lost: int = 0
+    duplicated: int = 0
+    sites: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.failures == 0 and self.lost == 0 and self.duplicated == 0
+
+    def render(self) -> str:
+        lines = [
+            f"servicecheck: {self.sites} kill site(s), "
+            f"{self.failures} digest failure(s), {self.lost} lost, "
+            f"{self.duplicated} duplicated",
+            f"  campaign digest: {self.digest}",
+        ]
+        return "\n".join(lines)
+
+
+def _service(root: Path, *, check_tcl: bool, die: bool = False) -> BuildService:
+    # One worker: the campaign's determinism argument rests on serial,
+    # reproducible execution order; concurrency is exercised at the
+    # tenant/queueing level (and separately by the service unit suite).
+    return BuildService(
+        root, workers=1, check_tcl=check_tcl, die_on_interrupt=die
+    )
+
+
+def _job_outcomes(svc: BuildService) -> dict[str, dict]:
+    return {
+        job_id: {
+            "tenant": rec.tenant,
+            "state": rec.state,
+            "served_from": rec.served_from,
+            "artifact_digest": rec.artifact_digest,
+            "sim_digest": rec.sim_digest,
+            "steps_skipped": rec.steps_skipped,
+            "crash_recoveries": rec.crash_recoveries,
+        }
+        for job_id, rec in sorted(svc.records.items())
+    }
+
+
+def _run_reference(root: Path, submissions, *, check_tcl: bool) -> dict[str, dict]:
+    async def go() -> dict[str, dict]:
+        svc = _service(root, check_tcl=check_tcl)
+        for tenant, spec in submissions:
+            svc.submit(tenant, spec)
+        await svc.drain()
+        outcomes = _job_outcomes(svc)
+        svc.close()
+        return outcomes
+
+    return asyncio.run(go())
+
+
+def _run_killed(root: Path, submissions, site: str, *, check_tcl: bool) -> bool:
+    """Run a daemon armed to die at *site*; True when it actually died."""
+
+    async def go() -> bool:
+        svc = _service(root, check_tcl=check_tcl, die=True)
+        for tenant, spec in submissions:
+            svc.submit(tenant, spec)
+        with armed(CrashPlan(site)):
+            await svc.drain()
+        died = svc.died
+        svc.close()
+        return died
+
+    return asyncio.run(go())
+
+
+def _recover_and_drain(
+    root: Path, submissions, *, check_tcl: bool
+) -> tuple[dict[str, dict], dict[str, int], int]:
+    """Fresh daemon on the killed root: recover, resubmit all, drain."""
+
+    async def go():
+        svc = _service(root, check_tcl=check_tcl)
+        counts = svc.recover()
+        expected_ids = {spec.job_id(tenant) for tenant, spec in submissions}
+        before = set(svc.records)
+        for tenant, spec in submissions:
+            svc.submit(tenant, spec)  # idempotent: a lost ACK is resubmitted
+        duplicated = len(set(svc.records) - (before | expected_ids))
+        await svc.drain()
+        outcomes = _job_outcomes(svc)
+        svc.close()
+        return outcomes, counts, duplicated
+
+    return asyncio.run(go())
+
+
+def run_servicecheck(
+    root: str | Path,
+    *,
+    submissions: list[tuple[str, JobSpec]] | None = None,
+    check_tcl: bool = True,
+    log=lambda line: None,
+) -> ServiceCheckReport:
+    """Run the full kill-at-every-journal-boundary campaign under *root*."""
+    root = Path(root)
+    subs = submissions if submissions is not None else default_submissions()
+    expected_ids = {spec.job_id(tenant) for tenant, spec in subs}
+    sites = service_sites(subs[0][1].dsl)
+
+    ref_root = root / "ref"
+    expected = _run_reference(ref_root, subs, check_tcl=check_tcl)
+    if set(expected) != expected_ids or any(
+        o["state"] != DONE for o in expected.values()
+    ):
+        raise RuntimeError("servicecheck reference run did not complete")
+    log(
+        f"reference: {len(expected)} job(s) done, killing at "
+        f"{len(sites)} journal boundaries"
+    )
+
+    report = ServiceCheckReport(sites=len(sites))
+    for i, site in enumerate(sites):
+        site_root = root / f"site{i:02d}"
+        if site_root.exists():
+            shutil.rmtree(site_root)
+        killed = _run_killed(site_root, subs, site, check_tcl=check_tcl)
+        outcomes, counts, duplicated = _recover_and_drain(
+            site_root, subs, check_tcl=check_tcl
+        )
+        lost = sum(
+            1
+            for job_id in expected_ids
+            if outcomes.get(job_id, {}).get("state") != DONE
+        )
+        match = all(
+            outcomes.get(job_id, {}).get("artifact_digest")
+            == expected[job_id]["artifact_digest"]
+            and outcomes.get(job_id, {}).get("sim_digest")
+            == expected[job_id]["sim_digest"]
+            for job_id in expected_ids
+        )
+        report.failures += 0 if match else 1
+        report.lost += lost
+        report.duplicated += duplicated
+        report.records.append(
+            {
+                "site": site,
+                "killed": killed,
+                "recovered": counts,
+                "jobs": outcomes,
+                "match": match,
+                "lost": lost,
+                "duplicated": duplicated,
+            }
+        )
+        log(
+            f"  {site:24s} {'killed' if killed else 'not-hit':8s} "
+            f"replay={counts['replayed']} resume={counts['resumed']} "
+            f"requeue={counts['requeued']} -> "
+            + ("ok" if match and not lost and not duplicated else "FAILED")
+        )
+
+    report.digest = campaign_digest(report.records)
+    return report
+
+
+__all__ = [
+    "SERVICE_DSL",
+    "SERVICE_SOURCES",
+    "ServiceCheckReport",
+    "default_submissions",
+    "run_servicecheck",
+    "service_sites",
+]

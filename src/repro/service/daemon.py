@@ -1,0 +1,671 @@
+"""The build-service daemon: asyncio job execution over the flow engine.
+
+:class:`BuildService` owns one service root (see
+:mod:`repro.service.store`), a :class:`~repro.service.queueing.FairScheduler`,
+and a bounded thread pool the synchronous flow engine runs on.  One
+asyncio *dispatcher* pulls jobs from the scheduler and fans them out to
+the pool; every job execution is wrapped in the robustness ladder:
+
+1. **Degradation gate** — when a circuit breaker is open or the queue
+   backlog exceeds the saturation bound, an identical completed job's
+   workspace is served warm (read-only copy, any tenant) instead of
+   executing; an open breaker with no warm artifact fails fast with
+   :class:`~repro.service.robust.BreakerOpen`.
+2. **Journaled execution** — ``run_flow`` rides the PR-3 write-ahead
+   journal under the job directory, the workspace materializes
+   atomically, and an optional fault-injected simulation leg commits as
+   a ``simulate`` journal step (its record written durably *before* the
+   commit, the same publish-then-commit contract as every flow step).
+3. **Deadline** — the per-job wall-clock budget is checked at step
+   boundaries (the flow itself is simulated, so steps are short).
+4. **Retry** — transient failures (lock contention, deadline overruns,
+   interrupted flows) retry with deterministic exponential backoff; a
+   retried :class:`~repro.util.errors.FlowInterrupted` *resumes* through
+   the journal rather than rebuilding.
+5. **Breaker accounting** — a failed run is attributed to the backend
+   step the journal shows started-but-uncommitted; that step's breaker
+   counts the failure, opens after the threshold, and half-open probes
+   close it again.
+
+Restart safety: ``job.json`` is durable before admission, the journal
+before execution, terminal records after publication — so
+:meth:`BuildService.recover` reconstructs the entire daemon state from
+disk: terminal jobs re-serve their recorded results (*replay*),
+journaled jobs resume mid-flight (*resume*), admitted-but-unstarted
+jobs re-queue.  ``repro servicecheck`` kills the daemon at every journal
+boundary and proves the recovered artifacts byte-identical.
+
+With ``die_on_interrupt=True`` (the chaos harness) an armed crash-point
+is treated as daemon death: the dispatcher stops instantly, nothing is
+cleaned up, and recovery must cope with exactly what was durable —
+in-process ``kill -9`` semantics.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro.flow.autosim import autosimulate
+from repro.flow.crashpoints import crashpoint
+from repro.flow.journal import RunJournal, stable_digest
+from repro.flow.orchestrator import FlowConfig, run_flow
+from repro.flow.workspace import materialize
+from repro.obs.events import BUS as _BUS
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.service.jobs import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobRecord,
+    JobSpec,
+)
+from repro.service.queueing import FairScheduler
+from repro.service.robust import (
+    OPEN,
+    BreakerOpen,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+)
+from repro.service.store import JobStore
+from repro.sim.faults import RecoveryPolicy
+from repro.util.errors import FlowInterrupted, ReproError
+
+
+class UnknownJob(ReproError):
+    """The requested job id is not known to this daemon."""
+
+
+class BuildService:
+    """One daemon instance over one service root."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        workers: int = 2,
+        queue_depth: int = 8,
+        starvation_after: int = 4,
+        retry: RetryPolicy | None = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 30.0,
+        saturation_backlog: int | None = None,
+        die_on_interrupt: bool = False,
+        check_tcl: bool = True,
+        clock=time.monotonic,
+    ) -> None:
+        self.store = JobStore(root)
+        self.workers = max(1, workers)
+        self.sched = FairScheduler(
+            depth_bound=queue_depth, starvation_after=starvation_after
+        )
+        self.retry = retry or RetryPolicy()
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_s = breaker_cooldown_s
+        self.saturation_backlog = saturation_backlog
+        self.die_on_interrupt = die_on_interrupt
+        self.check_tcl = check_tcl
+        self.clock = clock
+        self.records: dict[str, JobRecord] = {}
+        self.specs: dict[str, JobSpec] = {}
+        self.breakers: dict[str, CircuitBreaker] = {}
+        self.died = False
+        self.death: BaseException | None = None
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="svc-exec"
+        )
+        self._events: dict[str, asyncio.Event] = {}
+        self._wakeup: asyncio.Event | None = None
+
+    # -- admission ---------------------------------------------------------
+    def submit(self, tenant: str, spec: JobSpec) -> JobRecord:
+        """Admit one job (idempotent) and return its record.
+
+        The same spec from the same tenant is the same job: a terminal
+        job returns its durable record, a queued/running one its live
+        record — a client that lost its response can always resubmit.
+        Raises :class:`~repro.service.jobs.JobRejected` when the
+        tenant's queue is at its bound.
+        """
+        job_id = spec.job_id(tenant)
+        existing = self.records.get(job_id)
+        if existing is not None:
+            return existing
+        # Durable admission intent *before* the queue: a daemon killed
+        # right after this line recovers the job; killed before it, the
+        # client never got an ACK and resubmits.
+        self.store.save_spec(tenant, job_id, spec)
+        self.sched.submit(tenant, job_id)  # raises JobRejected when full
+        self.specs[job_id] = spec
+        record = JobRecord(job_id=job_id, tenant=tenant, state=QUEUED)
+        self.records[job_id] = record
+        if _BUS.enabled:
+            _BUS.emit("service.submit", job_id, tenant=tenant)
+            _METRICS.counter("service.jobs_submitted", "jobs admitted").inc()
+        if self._wakeup is not None:
+            self._wakeup.set()
+        return record
+
+    # -- recovery ----------------------------------------------------------
+    def recover(self) -> dict[str, int]:
+        """Rebuild daemon state from the durable root after a restart."""
+        counts = {"replayed": 0, "resumed": 0, "requeued": 0}
+        for scan in self.store.scan():
+            if scan.job_id in self.records:
+                continue
+            self.specs[scan.job_id] = scan.spec
+            if scan.record is not None:
+                scan.record.served_from = "replay"
+                self.records[scan.job_id] = scan.record
+                counts["replayed"] += 1
+                continue
+            record = JobRecord(
+                job_id=scan.job_id, tenant=scan.tenant, state=QUEUED
+            )
+            self.records[scan.job_id] = record
+            # Recovery bypasses admission bounds: these jobs were already
+            # admitted durably — rejecting one now would lose it.
+            self.sched.restore(scan.tenant, scan.job_id)
+            kind = "resumed" if scan.phase == "inflight" else "requeued"
+            counts[kind] += 1
+            if _BUS.enabled:
+                _BUS.emit(
+                    "service.recover", scan.job_id,
+                    tenant=scan.tenant, kind=kind,
+                )
+                _METRICS.counter(
+                    "service.recoveries", "jobs recovered after a restart"
+                ).inc()
+        return counts
+
+    # -- inspection --------------------------------------------------------
+    def status(self, job_id: str) -> JobRecord:
+        record = self.records.get(job_id)
+        if record is None:
+            raise UnknownJob(f"unknown job {job_id!r}")
+        return record
+
+    async def wait(self, job_id: str, timeout: float | None = None) -> JobRecord:
+        record = self.status(job_id)
+        if record.terminal or self.died:
+            return record
+        event = self._events.setdefault(job_id, asyncio.Event())
+        await asyncio.wait_for(event.wait(), timeout)
+        return self.records[job_id]
+
+    def stats(self) -> dict:
+        return {
+            "queue": self.sched.describe(),
+            "breakers": [b.describe() for b in sorted(
+                self.breakers.values(), key=lambda b: b.step
+            )],
+            "jobs": {
+                state: sum(1 for r in self.records.values() if r.state == state)
+                for state in (QUEUED, RUNNING, DONE, FAILED)
+            },
+            "died": self.died,
+        }
+
+    # -- dispatch ----------------------------------------------------------
+    async def drain(self) -> None:
+        """Run every queued job to a terminal state (or daemon death)."""
+        await self._dispatch(stop_when_idle=True)
+
+    async def _dispatch(self, *, stop_when_idle: bool) -> None:
+        self._wakeup = self._wakeup or asyncio.Event()
+        running: set[asyncio.Task] = set()
+        while not self.died:
+            while len(running) < self.workers:
+                picked = self.sched.pick()
+                if picked is None:
+                    break
+                tenant, job_id = picked
+                running.add(asyncio.create_task(self._run_job(tenant, job_id)))
+            if not running:
+                if stop_when_idle:
+                    break
+                self._wakeup.clear()
+                try:
+                    await asyncio.wait_for(self._wakeup.wait(), 0.1)
+                except asyncio.TimeoutError:
+                    pass
+                continue
+            done, running = await asyncio.wait(
+                running, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in done:
+                exc = task.exception()
+                if exc is not None:  # pragma: no cover - programming error
+                    raise exc
+        if self.died:
+            # Abandoned like a kill: unblock waiters, leave all state as-is.
+            for event in self._events.values():
+                event.set()
+
+    async def _run_job(self, tenant: str, job_id: str) -> None:
+        record = self.records[job_id]
+        spec = self.specs[job_id]
+        record.state = RUNNING
+        loop = asyncio.get_running_loop()
+        attempt = 0
+        while True:
+            attempt += 1
+            record.attempts = attempt
+            try:
+                info = await loop.run_in_executor(
+                    self._pool, self._execute, tenant, job_id, spec
+                )
+            except FlowInterrupted as exc:
+                if self.die_on_interrupt:
+                    # The armed crash-point killed "the daemon": stop
+                    # everything, clean up nothing — recovery's problem.
+                    self.died = True
+                    self.death = exc
+                    return
+                if self.retry.should_retry(attempt, exc):
+                    await self._backoff(record, attempt)
+                    continue
+                self._fail(record, spec, exc, step=self._step_family(exc))
+                break
+            except BaseException as exc:
+                step = self._step_family(exc)
+                if not isinstance(exc, BreakerOpen):
+                    self._breaker(step).record_failure()
+                    self._breaker_event(self._breaker(step))
+                if self.retry.should_retry(attempt, exc):
+                    await self._backoff(record, attempt)
+                    continue
+                self._fail(record, spec, exc, step=step)
+                break
+            else:
+                record.state = DONE
+                record.served_from = info["served_from"]
+                record.artifact_digest = info["artifact_digest"]
+                record.sim_digest = info["sim_digest"]
+                record.steps_skipped = info["steps_skipped"]
+                record.crash_recoveries = info["crash_recoveries"]
+                for step in info["step_families"]:
+                    breaker = self.breakers.get(step)
+                    if breaker is not None:
+                        breaker.record_success()
+                        self._breaker_event(breaker)
+                self.store.write_terminal(
+                    record, content_digest=spec.content_digest()
+                )
+                if _BUS.enabled:
+                    _METRICS.counter("service.jobs_done", "jobs completed").inc()
+                break
+        self._events.setdefault(job_id, asyncio.Event()).set()
+
+    async def _backoff(self, record: JobRecord, attempt: int) -> None:
+        record.retries += 1
+        delay = self.retry.delay_s(record.job_id, attempt)
+        if _BUS.enabled:
+            _BUS.emit(
+                "service.retry", record.job_id,
+                attempt=attempt, delay_ms=round(delay * 1000),
+            )
+            _METRICS.counter("service.retries", "job attempt retries").inc()
+        await asyncio.sleep(delay)
+
+    @staticmethod
+    def _step_family(exc: BaseException) -> str:
+        """The journal-step family an exception is attributed to.
+
+        ``_execute`` attaches ``service_step`` (the uncommitted journal
+        tail) on the way out; a :class:`FlowInterrupted` carries the
+        crash site; anything without either is charged to ``flow``.
+        """
+        step = getattr(exc, "service_step", None)
+        if step is None:
+            step = getattr(exc, "step", None)
+        if not step:
+            return "flow"
+        return str(step).split(":", 1)[0]
+
+    def _fail(
+        self, record: JobRecord, spec: JobSpec, exc: BaseException, *, step: str
+    ) -> None:
+        record.state = FAILED
+        record.error = f"{type(exc).__name__}: {exc}"
+        record.error_step = step
+        self.store.write_terminal(record, content_digest=spec.content_digest())
+        if _BUS.enabled:
+            _METRICS.counter("service.jobs_failed", "jobs ending FAILED").inc()
+
+    # -- execution (runs on the thread pool) -------------------------------
+    def _execute(self, tenant: str, job_id: str, spec: JobSpec) -> dict:
+        deadline = Deadline(spec.deadline_s, clock=self.clock)
+        degraded = self._maybe_degrade(tenant, job_id, spec)
+        if degraded is not None:
+            return degraded
+
+        cache = self.store.cache_for(tenant)
+        journal = RunJournal(self.store.journal_path(tenant, job_id))
+        out_dir = self.store.out_dir(tenant, job_id)
+        config = FlowConfig(check_tcl=self.check_tcl)
+        directives = {node: list(d) for node, d in spec.directives.items()}
+        served = "build"
+        try:
+            with _BUS.span("service.job", job_id, worker=f"job:{job_id}",
+                           tenant=tenant):
+                result = run_flow(
+                    spec.dsl,
+                    dict(spec.sources),
+                    extra_directives=directives,
+                    config=config,
+                    build_cache=cache,
+                    journal=journal,
+                )
+                if journal.resumed:
+                    served = "resume"
+                deadline.check()
+                materialize(result, out_dir, journal=journal)
+                deadline.check()
+                sim_digest = None
+                if spec.sim is not None:
+                    sim_digest = self._simulate_step(
+                        tenant, job_id, spec, result, journal
+                    )
+                    deadline.check()
+            manifest = json.loads((out_dir / "MANIFEST.json").read_text())
+            timing = result.timing
+            return {
+                "served_from": served,
+                "artifact_digest": manifest["artifact_digest"],
+                "sim_digest": sim_digest,
+                "steps_skipped": timing.steps_skipped,
+                "crash_recoveries": timing.crash_recoveries,
+                "step_families": sorted(
+                    {s.split(":", 1)[0] for s in journal.committed_steps}
+                ),
+            }
+        except FlowInterrupted:
+            raise
+        except BaseException as exc:
+            started = journal.started_steps
+            committed = journal.committed_steps
+            tail = [s for s, d in started.items() if committed.get(s) != d]
+            exc.service_step = (  # type: ignore[attr-defined]
+                tail[-1].split(":", 1)[0] if tail else "flow"
+            )
+            raise
+        finally:
+            journal.close()
+
+    def _maybe_degrade(self, tenant: str, job_id: str, spec: JobSpec) -> dict | None:
+        """Warm-serve (or fail fast) instead of executing, when degraded."""
+        blocking = [b.step for b in self.breakers.values() if not b.allow()]
+        saturated = (
+            self.saturation_backlog is not None
+            and self.sched.depth() >= self.saturation_backlog
+        )
+        if not blocking and not saturated:
+            return None
+        entry = self.store.serve_warm(spec.content_digest(), tenant, job_id)
+        if entry is not None:
+            if _BUS.enabled:
+                _BUS.emit(
+                    "service.degrade", job_id, tenant=tenant,
+                    reason="breaker-open" if blocking else "saturated",
+                    source=entry["job_id"],
+                )
+                _METRICS.counter(
+                    "service.degraded", "jobs served warm under degradation"
+                ).inc()
+            return {
+                "served_from": "warm",
+                "artifact_digest": entry["artifact_digest"],
+                "sim_digest": entry.get("sim_digest"),
+                "steps_skipped": 0,
+                "crash_recoveries": 0,
+                "step_families": [],
+            }
+        if blocking:
+            breaker = self.breakers[blocking[0]]
+            raise BreakerOpen(
+                f"circuit breaker for step {breaker.step!r} is open "
+                f"(retry in {breaker.retry_after_s():.1f} s) and no warm "
+                "artifact exists for this job",
+                step=breaker.step,
+                retry_after_s=breaker.retry_after_s(),
+            )
+        return None  # saturated but no warm artifact — execute anyway
+
+    def _simulate_step(
+        self, tenant: str, job_id: str, spec: JobSpec, result, journal: RunJournal
+    ) -> str:
+        """The journaled simulation leg: publish ``sim.json``, then commit."""
+        sim = spec.sim
+        assert sim is not None
+        manifest = json.loads(
+            (self.store.out_dir(tenant, job_id) / "MANIFEST.json").read_text()
+        )
+        digest_in = stable_digest(
+            {"artifact": manifest["artifact_digest"], "sim": sim.as_dict()}
+        )
+        sim_path = self.store.sim_path(tenant, job_id)
+        if journal.committed("simulate", digest_in):
+            try:
+                data = json.loads(sim_path.read_text())
+            except (OSError, ValueError):
+                data = None
+            if data is not None and data.get("input") == digest_in:
+                return data["digest"]  # committed => the record is durable
+        journal.step_start("simulate", digest_in)
+        crashpoint("simulate:start")
+        policy = RecoveryPolicy(node_budget=sim.node_budget)
+        res = autosimulate(
+            result, seed=sim.seed, faults=sim.faults, policy=policy
+        )
+        report = {
+            "input": digest_in,
+            "cycles": res.report.cycles,
+            "outputs": {
+                name: hashlib.sha256(
+                    np.ascontiguousarray(arr).tobytes()
+                ).hexdigest()
+                for name, arr in sorted(res.outputs.items())
+            },
+            "lite_returns": {
+                k: v for k, v in sorted(res.lite_returns.items())
+            },
+            "faults_fired": len(res.report.fault_events),
+            "recoveries": len(res.report.recovery_events),
+        }
+        report["digest"] = stable_digest(report)
+        from repro.service.store import _durable_write
+
+        _durable_write(sim_path, report)
+        journal.step_commit("simulate", digest_in)
+        crashpoint("simulate:commit")
+        return report["digest"]
+
+    # -- breakers ----------------------------------------------------------
+    def _breaker(self, step: str) -> CircuitBreaker:
+        breaker = self.breakers.get(step)
+        if breaker is None:
+            breaker = self.breakers[step] = CircuitBreaker(
+                step,
+                failure_threshold=self.breaker_threshold,
+                cooldown_s=self.breaker_cooldown_s,
+                clock=self.clock,
+            )
+        return breaker
+
+    def _breaker_event(self, breaker: CircuitBreaker) -> None:
+        if _BUS.enabled:
+            _BUS.emit(
+                "service.breaker", breaker.step,
+                state=breaker.state, failures=breaker.consecutive_failures,
+            )
+            _METRICS.gauge(
+                "service.breakers_open", "circuit breakers currently open"
+            ).set(sum(1 for b in self.breakers.values() if b.state == OPEN))
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+
+# -- socket protocol ---------------------------------------------------------
+#
+# JSON lines over a unix socket: one request object per line, one
+# response object per line.  Ops: ping, submit, status, wait, result,
+# stats, shutdown.  Errors come back as {"ok": false, "error": ...}.
+
+
+class ServiceServer:
+    """Unix-socket front end for one :class:`BuildService`."""
+
+    def __init__(self, service: BuildService, socket_path: str | Path) -> None:
+        self.service = service
+        self.socket_path = Path(socket_path)
+        self._server: asyncio.AbstractServer | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._shutdown = asyncio.Event()
+
+    async def start(self) -> None:
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        if self.socket_path.exists():
+            self.socket_path.unlink()
+        self._server = await asyncio.start_unix_server(
+            self._handle, path=str(self.socket_path)
+        )
+        self._dispatcher = asyncio.create_task(
+            self.service._dispatch(stop_when_idle=False)
+        )
+
+    async def serve_until_shutdown(self) -> None:
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._dispatcher is not None:
+            self.service.died = True  # stop the dispatcher loop
+            if self.service._wakeup is not None:
+                self.service._wakeup.set()
+            try:
+                await asyncio.wait_for(self._dispatcher, 5.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                self._dispatcher.cancel()
+        if self.socket_path.exists():
+            self.socket_path.unlink()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            await self._handle_lines(reader, writer)
+        except (asyncio.CancelledError, ConnectionError):
+            pass  # server stopping with a client mid-read: close quietly
+        finally:
+            writer.close()
+
+    async def _handle_lines(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            try:
+                request = json.loads(line)
+                response = await self._serve_op(request)
+            except ReproError as exc:
+                response = {
+                    "ok": False,
+                    "error": str(exc),
+                    "kind": type(exc).__name__,
+                    **{
+                        k: getattr(exc, k)
+                        for k in ("tenant", "reason")
+                        if hasattr(exc, k)
+                    },
+                }
+            except (ValueError, KeyError) as exc:
+                response = {"ok": False, "error": f"bad request: {exc}"}
+            writer.write(json.dumps(response).encode() + b"\n")
+            await writer.drain()
+
+    async def _serve_op(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "submit":
+            spec = JobSpec.from_dict(request["spec"])
+            record = self.service.submit(request["tenant"], spec)
+            return {"ok": True, "record": record.as_dict()}
+        if op == "status":
+            return {
+                "ok": True,
+                "record": self.service.status(request["job_id"]).as_dict(),
+            }
+        if op == "wait":
+            record = await self.service.wait(
+                request["job_id"], timeout=request.get("timeout")
+            )
+            return {"ok": True, "record": record.as_dict()}
+        if op == "result":
+            record = self.service.status(request["job_id"])
+            out = self.service.store.out_dir(record.tenant, record.job_id)
+            return {
+                "ok": True,
+                "record": record.as_dict(),
+                "workspace": str(out) if out.exists() else None,
+            }
+        if op == "stats":
+            return {"ok": True, "stats": self.service.stats()}
+        if op == "shutdown":
+            self._shutdown.set()
+            return {"ok": True, "stopping": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+class ServiceClient:
+    """Blocking JSON-lines client for :class:`ServiceServer` (CLI/tests)."""
+
+    def __init__(self, socket_path: str | Path, *, timeout_s: float = 60.0) -> None:
+        import socket as _socket
+
+        self._sock = _socket.socket(_socket.AF_UNIX, _socket.SOCK_STREAM)
+        self._sock.settimeout(timeout_s)
+        self._sock.connect(str(socket_path))
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, op: str, **fields) -> dict:
+        self._file.write(json.dumps({"op": op, **fields}).encode() + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ReproError("service closed the connection")
+        return json.loads(line)
+
+    def submit(self, tenant: str, spec: JobSpec) -> dict:
+        return self.request("submit", tenant=tenant, spec=spec.as_dict())
+
+    def wait(self, job_id: str, timeout: float | None = None) -> dict:
+        return self.request("wait", job_id=job_id, timeout=timeout)
+
+    def close(self) -> None:
+        self._file.close()
+        self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = ["BuildService", "ServiceClient", "ServiceServer", "UnknownJob"]

@@ -1,0 +1,217 @@
+"""Job model of the multi-tenant build service.
+
+A *job* is one client request: build a DSL design (plus its C sources
+and optional HLS directives) through the full tool-flow, and optionally
+execute the built system on the simulated board — with or without an
+injected :class:`~repro.sim.faults.FaultPlan` (the chaos campaign's
+fault-injected jobs ride exactly this slot).
+
+Everything in a :class:`JobSpec` is JSON-serializable by construction,
+because the spec travels two ways: over the daemon's socket protocol,
+and into the job's durable ``job.json`` record — the write-ahead
+admission intent a restarted daemon recovers queued work from.
+
+Job identity is *content-addressed*: :meth:`JobSpec.content_digest`
+covers the design, sources, directives, backend and simulation leg, and
+the job id is the tenant-scoped digest.  Submitting the same spec twice
+is therefore the same job (idempotent submission — a client that lost
+its response can safely resubmit), and two tenants submitting identical
+specs share every build-cache object while keeping separate job records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.flow.journal import stable_digest
+from repro.hls.interfaces import Directive
+from repro.sim.faults import Fault, FaultPlan
+from repro.util.errors import ReproError
+
+
+class JobRejected(ReproError):
+    """Admission control refused the job (queue bounds, bad spec)."""
+
+    def __init__(self, message: str, *, tenant: str = "?", reason: str = "?") -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.reason = reason
+
+
+#: Job lifecycle states.  QUEUED and RUNNING are transient; DONE and
+#: FAILED are terminal and durably recorded in the job directory.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+STATES = (QUEUED, RUNNING, DONE, FAILED)
+
+
+@dataclass(frozen=True)
+class SimSpec:
+    """Optional post-build simulation leg of a job."""
+
+    seed: int = 1
+    #: Fault plan executed against the simulated system (None = clean).
+    faults: FaultPlan | None = None
+    #: Watchdog budget per node attempt, forwarded to RecoveryPolicy.
+    node_budget: int = 2_000_000
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "faults": [dict(f.__dict__) for f in self.faults.faults]
+            if self.faults is not None
+            else None,
+            "node_budget": self.node_budget,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimSpec":
+        faults = data.get("faults")
+        plan = (
+            FaultPlan(tuple(Fault(**f) for f in faults))
+            if faults is not None
+            else None
+        )
+        return cls(
+            seed=int(data.get("seed", 1)),
+            faults=plan,
+            node_budget=int(data.get("node_budget", 2_000_000)),
+        )
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Everything one build job depends on (JSON-serializable)."""
+
+    dsl: str
+    sources: dict[str, str] = field(default_factory=dict)
+    #: node -> extra HLS directives (beyond the DSL's interface ones).
+    directives: dict[str, tuple[Directive, ...]] = field(default_factory=dict)
+    backend: str = "2015.3"
+    sim: SimSpec | None = None
+    #: Wall-clock budget for one execution attempt; None = unbounded.
+    deadline_s: float | None = None
+
+    def content_digest(self) -> str:
+        """Tenant-independent digest — the global dedup key."""
+        return stable_digest(
+            {
+                "dsl": self.dsl,
+                "sources": sorted(self.sources.items()),
+                "directives": {
+                    node: [d.to_tcl() for d in dirs]
+                    for node, dirs in sorted(self.directives.items())
+                },
+                "backend": self.backend,
+                "sim": self.sim.as_dict() if self.sim is not None else None,
+            }
+        )
+
+    def job_id(self, tenant: str) -> str:
+        """Tenant-scoped job identity (stable across resubmission)."""
+        return "j-" + stable_digest({"tenant": tenant, "content": self.content_digest()})[:20]
+
+    def as_dict(self) -> dict:
+        return {
+            "dsl": self.dsl,
+            "sources": dict(self.sources),
+            "directives": {
+                node: [
+                    {
+                        "kind": d.kind,
+                        "function": d.function,
+                        "target": d.target,
+                        "options": [list(kv) for kv in d.options],
+                    }
+                    for d in dirs
+                ]
+                for node, dirs in self.directives.items()
+            },
+            "backend": self.backend,
+            "sim": self.sim.as_dict() if self.sim is not None else None,
+            "deadline_s": self.deadline_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        directives = {
+            node: tuple(
+                Directive(
+                    d["kind"],
+                    d["function"],
+                    d["target"],
+                    tuple((k, v) for k, v in d.get("options", [])),
+                )
+                for d in dirs
+            )
+            for node, dirs in (data.get("directives") or {}).items()
+        }
+        sim = data.get("sim")
+        return cls(
+            dsl=data["dsl"],
+            sources=dict(data.get("sources") or {}),
+            directives=directives,
+            backend=data.get("backend", "2015.3"),
+            sim=SimSpec.from_dict(sim) if sim is not None else None,
+            deadline_s=data.get("deadline_s"),
+        )
+
+
+@dataclass
+class JobRecord:
+    """One job's observable state (what ``status`` returns)."""
+
+    job_id: str
+    tenant: str
+    state: str = QUEUED
+    #: How the terminal artifacts were produced: "build" (executed),
+    #: "warm" (served read-only from an identical completed job),
+    #: "resume" (recovered from an in-flight journal after a restart),
+    #: "replay" (re-served from this job's own durable terminal record).
+    served_from: str | None = None
+    attempts: int = 0
+    retries: int = 0
+    #: Artifact digest of the materialized workspace (terminal DONE).
+    artifact_digest: str | None = None
+    #: Simulation report digest, when the spec had a sim leg.
+    sim_digest: str | None = None
+    error: str | None = None
+    error_step: str | None = None
+    #: Steps the journal shows were recovered rather than re-executed.
+    steps_skipped: int = 0
+    crash_recoveries: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "served_from": self.served_from,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "artifact_digest": self.artifact_digest,
+            "sim_digest": self.sim_digest,
+            "error": self.error,
+            "error_step": self.error_step,
+            "steps_skipped": self.steps_skipped,
+            "crash_recoveries": self.crash_recoveries,
+        }
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in (DONE, FAILED)
+
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "JobRecord",
+    "JobRejected",
+    "JobSpec",
+    "QUEUED",
+    "RUNNING",
+    "STATES",
+    "SimSpec",
+]

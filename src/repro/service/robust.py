@@ -1,0 +1,206 @@
+"""Robustness primitives of the build service.
+
+Three small, synchronous, independently-testable pieces the daemon
+composes around every job execution:
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  **deterministic** jitter: the jitter is drawn from a hash of
+  ``(job_id, attempt)``, so a replayed campaign sleeps the same
+  schedule and its digest stays stable, while across *different* jobs
+  the delays still decorrelate (no thundering herd after a shared
+  failure).
+* :class:`CircuitBreaker` — per-backend-step failure accounting with
+  the classic closed → open → half-open lifecycle.  The daemon keys
+  breakers by the journal step a failure died in (``hls``,
+  ``integrate``, ``swgen``, ``materialize``, ``simulate``), so a
+  poisoned HLS backend stops admitting fresh synthesis work while
+  warm-cache serving stays available.
+* :class:`Deadline` — a monotonic-clock budget for one attempt.
+
+Nothing here imports asyncio: the daemon owns the event loop, these own
+the policy.  All classes accept an injectable ``clock`` so tests (and
+the chaos campaign) never sleep for real.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+
+from repro.util.errors import ReproError
+
+
+class BreakerOpen(ReproError):
+    """The circuit breaker for a backend step is open (fail fast)."""
+
+    def __init__(self, message: str, *, step: str = "?", retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.step = step
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceeded(ReproError):
+    """A job attempt exceeded its wall-clock budget."""
+
+    def __init__(self, message: str, *, budget_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.budget_s = budget_s
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic, decorrelated jitter."""
+
+    max_attempts: int = 3
+    base_s: float = 0.05
+    cap_s: float = 2.0
+    #: Jitter fraction: each delay is scaled by 1 ± jitter·u where u is
+    #: the deterministic per-(job, attempt) unit draw.
+    jitter: float = 0.5
+
+    def delay_s(self, job_id: str, attempt: int) -> float:
+        """Backoff before retry number *attempt* (1-based) of *job_id*."""
+        if attempt < 1:
+            return 0.0
+        raw = min(self.cap_s, self.base_s * (2 ** (attempt - 1)))
+        # Deterministic unit draw in [0, 1): same (job, attempt), same
+        # jitter — replayable campaigns — but decorrelated across jobs.
+        h = hashlib.sha256(f"{job_id}:{attempt}".encode()).digest()
+        u = int.from_bytes(h[:8], "big") / 2**64
+        return raw * (1.0 + self.jitter * (2.0 * u - 1.0))
+
+    def should_retry(self, attempt: int, exc: BaseException) -> bool:
+        """Is a retry allowed after *attempt* attempts died with *exc*?
+
+        Only plausibly-transient failures retry: lock contention,
+        deadline overruns, interrupted flows.  Deterministic failures
+        (a C source that does not parse will not parse on attempt 3)
+        fail fast and poison-pin the job instead of burning the pool.
+        """
+        if attempt >= self.max_attempts:
+            return False
+        from repro.util.errors import CacheLockTimeout, FlowInterrupted
+
+        return isinstance(exc, (CacheLockTimeout, DeadlineExceeded, FlowInterrupted))
+
+
+#: Breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure-rate guard for one backend step.
+
+    Closed: everything passes, consecutive failures are counted.  After
+    *failure_threshold* consecutive failures the breaker **opens**:
+    :meth:`allow` refuses (the daemon then parks fresh work and serves
+    warm artifacts only).  After *cooldown_s* the breaker goes
+    **half-open**: exactly one probe is admitted; its success closes the
+    breaker, its failure re-opens it for another cooldown.
+    """
+
+    def __init__(
+        self,
+        step: str,
+        *,
+        failure_threshold: int = 3,
+        cooldown_s: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        self.step = step
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.clock = clock
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: float | None = None
+        self._probe_out = False
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self.state == OPEN
+            and self.opened_at is not None
+            and self.clock() - self.opened_at >= self.cooldown_s
+        ):
+            self.state = HALF_OPEN
+            self._probe_out = False
+
+    def allow(self) -> bool:
+        """May a fresh execution of this step start now?"""
+        self._maybe_half_open()
+        if self.state == CLOSED:
+            return True
+        if self.state == HALF_OPEN and not self._probe_out:
+            self._probe_out = True  # one probe per half-open window
+            return True
+        return False
+
+    def retry_after_s(self) -> float:
+        """Seconds until the breaker would next admit a probe."""
+        if self.state != OPEN or self.opened_at is None:
+            return 0.0
+        return max(0.0, self.cooldown_s - (self.clock() - self.opened_at))
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = CLOSED
+        self.opened_at = None
+        self._probe_out = False
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or (
+            self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = OPEN
+            self.opened_at = self.clock()
+            self._probe_out = False
+
+    def describe(self) -> dict:
+        self._maybe_half_open()
+        return {
+            "step": self.step,
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+        }
+
+
+class Deadline:
+    """Monotonic wall-clock budget for one attempt."""
+
+    def __init__(self, budget_s: float | None, *, clock=time.monotonic) -> None:
+        self.budget_s = budget_s
+        self.clock = clock
+        self.started = clock()
+
+    def remaining_s(self) -> float | None:
+        if self.budget_s is None:
+            return None
+        return self.budget_s - (self.clock() - self.started)
+
+    @property
+    def expired(self) -> bool:
+        remaining = self.remaining_s()
+        return remaining is not None and remaining <= 0
+
+    def check(self) -> None:
+        if self.expired:
+            raise DeadlineExceeded(
+                f"attempt exceeded its {self.budget_s:g} s deadline",
+                budget_s=self.budget_s or 0.0,
+            )
+
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "BreakerOpen",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "RetryPolicy",
+]

@@ -1,0 +1,234 @@
+"""Durable on-disk state of the build service.
+
+Layout under one service root::
+
+    <root>/cache/                          shared content-addressed BuildCache
+    <root>/cache/tenants/<t>/refs/<key>    per-tenant object refs (see buildcache)
+    <root>/tenants/<t>/jobs/<job>/job.json      durable admission intent
+    <root>/tenants/<t>/jobs/<job>/journal.jsonl write-ahead run journal
+    <root>/tenants/<t>/jobs/<job>/out/          materialized workspace
+    <root>/tenants/<t>/jobs/<job>/sim.json      simulation record (pre-commit)
+    <root>/tenants/<t>/jobs/<job>/result.json   terminal DONE record
+    <root>/tenants/<t>/jobs/<job>/failed.json   terminal FAILED record
+    <root>/index/<content_digest>.json          global warm-serving index
+
+``job.json`` is the service-level write-ahead intent: it is written —
+fsynced, then atomically renamed into place — *before* the job enters
+the scheduler, so a daemon killed at any instant can reconstruct its
+whole queue from disk.  Recovery classifies each job directory by what
+survived: a terminal record means the job is re-served from its own
+durable result (*replay*); a journal without a terminal record means
+the job died mid-flight and resumes through
+:func:`~repro.flow.orchestrator.resume_flow` (*resume*); ``job.json``
+alone means the job never started and is simply re-queued.
+
+The global index maps a :meth:`~repro.service.jobs.JobSpec.content_digest`
+to one completed job's workspace, enabling **warm serving**: when the
+executor pool is saturated or a circuit breaker is open, an identical
+job (any tenant — content-addressed identity makes that safe) is served
+by copying the verified workspace read-only instead of executing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import stat
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.flow.buildcache import BuildCache
+from repro.flow.workspace import verify_workspace
+from repro.service.jobs import DONE, FAILED, JobRecord, JobSpec
+
+_JOB_FILE = "job.json"
+_JOURNAL_FILE = "journal.jsonl"
+_RESULT_FILE = "result.json"
+_FAILED_FILE = "failed.json"
+_SIM_FILE = "sim.json"
+_OUT_DIR = "out"
+
+
+def _durable_write(path: Path, payload: dict) -> None:
+    """Write JSON atomically: temp file, fsync, rename, fsync dir."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".tmp-{path.name}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, sort_keys=True, indent=1)
+        fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    dirfd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(dirfd)
+    finally:
+        os.close(dirfd)
+
+
+def _read_json(path: Path) -> dict | None:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+
+
+@dataclass
+class JobScan:
+    """One job directory as recovery classified it."""
+
+    tenant: str
+    job_id: str
+    spec: JobSpec
+    #: "done" | "failed" | "inflight" | "queued"
+    phase: str
+    record: JobRecord | None = None
+
+
+class JobStore:
+    """Filesystem layout + durability rules of the service root."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.cache_root = self.root / "cache"
+        self.tenants_root = self.root / "tenants"
+        self.index_root = self.root / "index"
+
+    # -- paths -------------------------------------------------------------
+    def job_dir(self, tenant: str, job_id: str) -> Path:
+        return self.tenants_root / tenant / "jobs" / job_id
+
+    def journal_path(self, tenant: str, job_id: str) -> Path:
+        return self.job_dir(tenant, job_id) / _JOURNAL_FILE
+
+    def out_dir(self, tenant: str, job_id: str) -> Path:
+        return self.job_dir(tenant, job_id) / _OUT_DIR
+
+    def sim_path(self, tenant: str, job_id: str) -> Path:
+        return self.job_dir(tenant, job_id) / _SIM_FILE
+
+    def cache_for(self, tenant: str) -> BuildCache:
+        """The shared object store viewed through *tenant*'s namespace."""
+        return BuildCache(self.cache_root, namespace=tenant)
+
+    # -- admission intent --------------------------------------------------
+    def save_spec(self, tenant: str, job_id: str, spec: JobSpec) -> None:
+        """Durably record the admission intent — before the queue sees it."""
+        _durable_write(
+            self.job_dir(tenant, job_id) / _JOB_FILE,
+            {
+                "tenant": tenant,
+                "job_id": job_id,
+                "content_digest": spec.content_digest(),
+                "spec": spec.as_dict(),
+            },
+        )
+
+    def load_spec(self, tenant: str, job_id: str) -> JobSpec | None:
+        data = _read_json(self.job_dir(tenant, job_id) / _JOB_FILE)
+        if data is None:
+            return None
+        return JobSpec.from_dict(data["spec"])
+
+    # -- terminal records --------------------------------------------------
+    def write_terminal(self, record: JobRecord, *, content_digest: str) -> None:
+        """Durably publish a terminal record; DONE jobs also index
+        themselves for warm serving."""
+        name = _RESULT_FILE if record.state == DONE else _FAILED_FILE
+        _durable_write(
+            self.job_dir(record.tenant, record.job_id) / name,
+            {"content_digest": content_digest, "record": record.as_dict()},
+        )
+        if record.state == DONE:
+            _durable_write(
+                self.index_root / f"{content_digest}.json",
+                {
+                    "tenant": record.tenant,
+                    "job_id": record.job_id,
+                    "artifact_digest": record.artifact_digest,
+                    "sim_digest": record.sim_digest,
+                },
+            )
+
+    def load_terminal(self, tenant: str, job_id: str) -> JobRecord | None:
+        for name in (_RESULT_FILE, _FAILED_FILE):
+            data = _read_json(self.job_dir(tenant, job_id) / name)
+            if data is not None:
+                return JobRecord(**data["record"])
+        return None
+
+    # -- warm serving ------------------------------------------------------
+    def warm_entry(self, content_digest: str) -> dict | None:
+        """The index entry for *content_digest*, verified against disk."""
+        entry = _read_json(self.index_root / f"{content_digest}.json")
+        if entry is None:
+            return None
+        src = self.out_dir(entry["tenant"], entry["job_id"])
+        status = verify_workspace(src)
+        if not status.ok or status.artifact_digest != entry["artifact_digest"]:
+            return None  # stale or torn — never serve it
+        return entry
+
+    def serve_warm(self, content_digest: str, tenant: str, job_id: str) -> dict | None:
+        """Copy a verified identical workspace into this job — read-only.
+
+        Returns the index entry served from, or ``None`` when no
+        verified warm artifact exists.  The copy is marked read-only
+        file by file: a degraded serving is explicitly not a writable
+        build workspace.
+        """
+        entry = self.warm_entry(content_digest)
+        if entry is None:
+            return None
+        src = self.out_dir(entry["tenant"], entry["job_id"])
+        dest = self.out_dir(tenant, job_id)
+        if dest.exists():
+            shutil.rmtree(dest)
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        stage = dest.parent / f".warm-{content_digest[:16]}"
+        if stage.exists():
+            shutil.rmtree(stage)
+        shutil.copytree(src, stage)
+        for path in stage.rglob("*"):
+            if path.is_file():
+                path.chmod(stat.S_IRUSR | stat.S_IRGRP | stat.S_IROTH)
+        stage.rename(dest)
+        # Copy the sim record too, when the source job had one.
+        src_sim = self.sim_path(entry["tenant"], entry["job_id"])
+        sim = _read_json(src_sim)
+        if sim is not None:
+            _durable_write(self.sim_path(tenant, job_id), sim)
+        return entry
+
+    # -- recovery ----------------------------------------------------------
+    def scan(self) -> list[JobScan]:
+        """Classify every job directory for daemon recovery.
+
+        Deterministic order (tenant, then job id) so a recovered daemon
+        re-queues work in a stable sequence.
+        """
+        scans: list[JobScan] = []
+        if not self.tenants_root.exists():
+            return scans
+        for tenant_dir in sorted(self.tenants_root.iterdir()):
+            jobs_dir = tenant_dir / "jobs"
+            if not jobs_dir.is_dir():
+                continue
+            for job_dir in sorted(jobs_dir.iterdir()):
+                tenant, job_id = tenant_dir.name, job_dir.name
+                spec = self.load_spec(tenant, job_id)
+                if spec is None:
+                    continue  # torn admission intent — the submit never ACKed
+                record = self.load_terminal(tenant, job_id)
+                if record is not None:
+                    phase = "done" if record.state == DONE else "failed"
+                elif (job_dir / _JOURNAL_FILE).exists():
+                    phase = "inflight"
+                else:
+                    phase = "queued"
+                scans.append(JobScan(tenant, job_id, spec, phase, record))
+        return scans
+
+
+__all__ = ["JobScan", "JobStore"]

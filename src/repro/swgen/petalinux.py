@@ -37,8 +37,18 @@ class PetalinuxImage:
         return "\n".join(lines)
 
 
-def assemble_image(system: IntegratedSystem, bitstream: Bitstream) -> PetalinuxImage:
-    """Build the full software bundle for *system*."""
+def assemble_image(
+    system: IntegratedSystem,
+    bitstream: Bitstream,
+    *,
+    c_sources: dict[str, str] | None = None,
+) -> PetalinuxImage:
+    """Build the full software bundle for *system*.
+
+    *c_sources* (node -> synthesized C text) flows into the generated
+    ``main.c`` so its hardware-failure fallbacks call the golden
+    software versions of the cores.
+    """
     image = PetalinuxImage(boot=generate_boot_files(system, bitstream))
     for edge in system.graph.connects():
         core = edge.node
@@ -48,6 +58,6 @@ def assemble_image(system: IntegratedSystem, bitstream: Bitstream) -> PetalinuxI
         image.sources[f"{core}_accel.c"] = generate_api_source(core, result, rng)
     if system.dmas:
         image.sources["dma_api.h"] = generate_dma_api_header(system)
-    image.sources["main.c"] = generate_main_c(system)
+    image.sources["main.c"] = generate_main_c(system, c_sources=c_sources)
     image.dev_nodes = device_nodes(system)
     return image
