@@ -31,13 +31,22 @@ Commands
 ``serve``        run the multi-tenant build service on a unix socket:
                  fair-share queueing, admission control, retries,
                  circuit breakers, warm-cache degradation, and journal
-                 recovery of jobs interrupted by a daemon kill
+                 recovery of jobs interrupted by a daemon kill;
+                 ``--replicas N`` runs N leader-less replica processes
+                 coordinating through durable lease files instead
+``replica``      run one cluster replica over a shared root: claim
+                 unleased jobs, heartbeat, steal expired leases, and
+                 publish through the fencing token (``--drain`` exits
+                 once every durably-admitted job is terminal)
 ``submit``       client for ``serve``: submit a ``.tg`` design (plus C
                  sources) as a job for a tenant, optionally wait for it
 ``servicecheck`` kill-the-daemon chaos campaign: at every journal
                  boundary, kill a two-tenant daemon mid-flight, restart,
                  recover, and require every job's artifacts to be
-                 byte-identical to an uninterrupted run
+                 byte-identical to an uninterrupted run; with
+                 ``--replicas N`` the victim is a real replica process,
+                 SIGKILLed and SIGSTOPped at every boundary, and the
+                 survivors must steal its lease and fence its ghost
 """
 
 from __future__ import annotations
@@ -751,6 +760,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.service import BuildService, ServiceServer
 
+    if args.replicas > 1:
+        return _serve_replicas(args)
+
     async def go() -> int:
         service = BuildService(
             args.root,
@@ -775,6 +787,94 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("stopped")
         return 0
 
+    return asyncio.run(go())
+
+
+def _serve_replicas(args: argparse.Namespace) -> int:
+    """``repro serve --replicas N``: N leader-less replica processes."""
+    import signal
+
+    from repro.service.cluster import spawn_replica
+
+    sock_base = Path(args.socket)
+    procs = []
+    for i in range(args.replicas):
+        replica_id = f"r{i}"
+        socket_path = sock_base.with_suffix(f".{replica_id}{sock_base.suffix}")
+        procs.append(
+            spawn_replica(
+                args.root, replica_id,
+                socket_path=socket_path, ttl_s=args.lease_ttl,
+            )
+        )
+        print(f"replica {replica_id} serving on {socket_path}")
+    print(f"{args.replicas} replicas over root {args.root}; ctrl-c to stop")
+    try:
+        for p in procs:
+            p.wait()
+    except KeyboardInterrupt:
+        for p in procs:
+            if p.poll() is None:
+                p.send_signal(signal.SIGTERM)
+        for p in procs:
+            try:
+                p.wait(timeout=10)
+            except Exception:
+                p.kill()
+        print("stopped")
+    return 0
+
+
+def _cmd_replica(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as _json
+    import signal
+
+    from repro.service.cluster import ClusterReplica
+
+    replica = ClusterReplica(
+        args.root,
+        args.replica_id,
+        ttl_s=args.ttl,
+        check_tcl=not args.no_check_tcl,
+    )
+    counts = replica.recover()
+    if any(counts.values()):
+        print(
+            "recovered: "
+            + " ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        )
+    if args.drain:
+        report = replica.run_until_drained(timeout_s=args.timeout)
+        replica.close()
+        print(_json.dumps(report, sort_keys=True))
+        return 1 if report.get("timed_out") else 0
+
+    if args.socket is None:
+        print("error: --socket is required unless --drain is given", file=sys.stderr)
+        return 2
+
+    async def go() -> int:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+
+        async def shutdown_watch(server_task):
+            await stop.wait()
+            server_task.cancel()
+
+        serve_task = asyncio.create_task(replica.serve(args.socket))
+        watch = asyncio.create_task(shutdown_watch(serve_task))
+        try:
+            await serve_task
+        except asyncio.CancelledError:
+            pass
+        finally:
+            watch.cancel()
+        return 0
+
+    print(f"replica {args.replica_id} serving on {args.socket} (root {args.root})")
     return asyncio.run(go())
 
 
@@ -819,10 +919,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 def _cmd_servicecheck(args: argparse.Namespace) -> int:
+    import json as _json
     import tempfile
     from contextlib import nullcontext
 
     from repro.service import run_servicecheck
+    from repro.service.chaos import run_replicacheck, service_sites
 
     holder = (
         nullcontext(args.root)
@@ -830,11 +932,28 @@ def _cmd_servicecheck(args: argparse.Namespace) -> int:
         else tempfile.TemporaryDirectory(prefix="repro-servicecheck-")
     )
     with holder as root:
-        report = run_servicecheck(root, log=print)
+        if args.replicas > 1:
+            sites = service_sites()
+            if args.max_sites is not None:
+                sites = sites[: args.max_sites]
+            report = run_replicacheck(
+                root,
+                replicas=args.replicas,
+                sites=sites,
+                ttl_s=args.lease_ttl,
+                log=print,
+            )
+        else:
+            report = run_servicecheck(root, log=print)
     print(report.render())
     if args.digest_out:
         Path(args.digest_out).write_text(report.digest + "\n")
         print(f"  digest written to {args.digest_out}")
+    if args.replicas > 1 and args.lease_report:
+        Path(args.lease_report).write_text(
+            _json.dumps(report.lease_report(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"  lease report written to {args.lease_report}")
     if not report.ok:
         print(
             f"error: {report.failures} digest failure(s), {report.lost} "
@@ -1077,7 +1196,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--saturation-backlog", type=int, default=None,
         help="total backlog at which warm-cache degradation kicks in",
     )
+    p_serve.add_argument(
+        "--replicas", type=int, default=1,
+        help="run N leader-less replica processes over the shared root, "
+        "each on <socket>.rK, coordinating through durable lease files",
+    )
+    p_serve.add_argument(
+        "--lease-ttl", type=float, default=3.0,
+        help="heartbeat TTL before a replica's lease may be stolen",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_rep = sub.add_parser(
+        "replica",
+        help="run one cluster replica over a shared service root "
+        "(lease-fenced claim loop; used by serve --replicas)",
+    )
+    p_rep.add_argument("--root", required=True, help="shared service root")
+    p_rep.add_argument(
+        "--replica-id", required=True, help="this replica's identity"
+    )
+    p_rep.add_argument(
+        "--ttl", type=float, default=3.0,
+        help="lease heartbeat TTL in seconds",
+    )
+    p_rep.add_argument(
+        "--socket", default=None, help="unix socket to serve (omit with --drain)"
+    )
+    p_rep.add_argument(
+        "--drain", action="store_true",
+        help="exit once every durably-admitted job is terminal",
+    )
+    p_rep.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="drain mode: give up after this many seconds",
+    )
+    p_rep.add_argument(
+        "--no-check-tcl", action="store_true",
+        help="skip tcl golden checks (campaign speed)",
+    )
+    p_rep.set_defaults(func=_cmd_replica)
 
     p_sub = sub.add_parser(
         "submit", help="submit a .tg design as a job to a running service"
@@ -1116,6 +1274,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sc.add_argument(
         "--digest-out", default=None, help="write the campaign digest here"
+    )
+    p_sc.add_argument(
+        "--replicas", type=int, default=1,
+        help="run the multi-replica campaign instead: SIGKILL and "
+        "SIGSTOP a victim replica process at every boundary and require "
+        "the surviving replicas to steal and fence",
+    )
+    p_sc.add_argument(
+        "--lease-ttl", type=float, default=0.75,
+        help="replica campaign: heartbeat TTL before stealing",
+    )
+    p_sc.add_argument(
+        "--max-sites", type=int, default=None,
+        help="replica campaign: only the first N kill sites (CI budget)",
+    )
+    p_sc.add_argument(
+        "--lease-report", default=None,
+        help="replica campaign: write steals/fences per scenario here (JSON)",
     )
     p_sc.set_defaults(func=_cmd_servicecheck)
 

@@ -29,8 +29,11 @@ from __future__ import annotations
 
 import os
 import random
+import signal
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.util.errors import FlowInterrupted
 
@@ -48,7 +51,11 @@ class CrashPlan:
 
     site: str
     hit: int = 1
-    #: ``raise`` (FlowInterrupted) or ``exit`` (os._exit, no cleanup).
+    #: ``raise`` (FlowInterrupted), ``exit`` (os._exit, no cleanup),
+    #: ``kill`` (SIGKILL to self — the real signal, for multi-process
+    #: chaos), or ``stop`` (SIGSTOP to self: the process freezes at the
+    #: boundary until something sends SIGCONT, then execution continues
+    #: exactly where it paused — the lease-expiry/fencing scenario).
     mode: str = "raise"
 
     @classmethod
@@ -63,6 +70,22 @@ class CrashPlan:
 
 _armed: CrashPlan | None = None
 _visits: dict[str, int] = {}
+
+#: Optional per-process boundary hook, called at *every* crashpoint
+#: visit (after any armed crash fires and, for ``stop`` mode, after the
+#: process is resumed).  The cluster replica installs its lease fence
+#: here so ownership is re-validated at every journal boundary — in
+#: particular, a SIGSTOPped replica that wakes up re-checks *inside*
+#: the boundary it paused at, before touching another byte of shared
+#: state.  One job executes at a time per replica process (workers=1),
+#: so a single process-global hook is sufficient.
+_boundary_hook: Callable[[str], None] | None = None
+
+
+def set_boundary_hook(hook: Callable[[str], None] | None) -> None:
+    """Install (or clear, with ``None``) the process boundary hook."""
+    global _boundary_hook
+    _boundary_hook = hook
 
 
 def arm(plan: CrashPlan | None) -> None:
@@ -95,7 +118,9 @@ def _env_plan() -> CrashPlan | None:
         n = max(1, int(hit)) if hit else 1
     except ValueError:
         n = 1
-    mode = "exit" if os.environ.get(ENV_MODE) == "exit" else "raise"
+    mode = os.environ.get(ENV_MODE) or "raise"
+    if mode not in ("raise", "exit", "kill", "stop"):
+        mode = "raise"
     return CrashPlan(site=site, hit=n, mode=mode)
 
 
@@ -107,16 +132,32 @@ def crashpoint(site: str, *, core: str | None = None) -> None:
     pay one dict lookup per boundary.
     """
     plan = _armed if _armed is not None else _env_plan()
-    if plan is None:
-        return
-    _visits[site] = _visits.get(site, 0) + 1
-    if site != plan.site or _visits[site] != plan.hit:
-        return
-    if plan.mode == "exit":
-        os._exit(CRASH_EXIT_CODE)  # a real kill: nothing else runs
-    raise FlowInterrupted(
-        f"flow killed at crash-point {site!r}", step=site, core=core
-    )
+    if plan is not None:
+        _visits[site] = _visits.get(site, 0) + 1
+        if site == plan.site and _visits[site] == plan.hit:
+            # Signals are sent thread-directed (pthread_kill to *this*
+            # thread), not process-directed (os.kill): a process-directed
+            # signal is only pending after kill() returns, so the caller
+            # could race several lines — even a whole journal commit —
+            # past the crashpoint before the group stop/kill lands.
+            # Thread-directed delivery happens at this very syscall's
+            # exit, freezing or killing the flow exactly here.
+            if plan.mode == "exit":
+                os._exit(CRASH_EXIT_CODE)  # a real kill: nothing else runs
+            elif plan.mode == "kill":
+                signal.pthread_kill(threading.get_ident(), signal.SIGKILL)
+            elif plan.mode == "stop":
+                # Freeze right here; on SIGCONT execution resumes on the
+                # next line — which runs the boundary hook below, so a
+                # resurrected replica is fenced before leaving the
+                # boundary it was paused at.
+                signal.pthread_kill(threading.get_ident(), signal.SIGSTOP)
+            else:
+                raise FlowInterrupted(
+                    f"flow killed at crash-point {site!r}", step=site, core=core
+                )
+    if _boundary_hook is not None:
+        _boundary_hook(site)
 
 
 def flow_sites(core_names: list[str]) -> list[str]:
@@ -147,5 +188,6 @@ __all__ = [
     "crashpoint",
     "disarm",
     "flow_sites",
+    "set_boundary_hook",
     "workspace_sites",
 ]

@@ -53,6 +53,15 @@ def stable_digest(obj: object) -> str:
     ).hexdigest()
 
 
+def fsync_dir(path: Path) -> None:
+    """fsync a directory so a file created inside it survives power loss."""
+    dirfd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(dirfd)
+    finally:
+        os.close(dirfd)
+
+
 class RunJournal:
     """Append-only write-ahead log of one flow run's step lifecycle.
 
@@ -124,6 +133,12 @@ class RunJournal:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = open(self.path, "w", encoding="utf-8")
             self._append({"e": "run", "v": JOURNAL_VERSION, "d": run_digest})
+            # The header record is fsynced by _append, but the *file
+            # creation* lives in the directory: without a dir fsync a
+            # power loss can forget the journal exists while keeping
+            # artifacts it journaled — fsync the parent so the header
+            # is durable the way every record after it is.
+            fsync_dir(self.path.parent)
 
     def _load(self) -> list[dict] | None:
         """Parse the on-disk journal; ``None`` means start fresh."""
@@ -229,4 +244,4 @@ class RunJournal:
         }
 
 
-__all__ = ["JOURNAL_VERSION", "RunJournal", "stable_digest"]
+__all__ = ["JOURNAL_VERSION", "RunJournal", "fsync_dir", "stable_digest"]

@@ -54,6 +54,13 @@ CATEGORIES = frozenset(
         "service.recover",
         "service.degrade",
         "service.breaker",
+        # Leader-less cluster coordination (PR 8): lease lifecycle per
+        # job — fresh acquisition, heartbeat renewal, expired-heartbeat
+        # steal, and fenced (rejected) writes from stale owners.
+        "service.lease_acquired",
+        "service.lease_renewed",
+        "service.lease_stolen",
+        "service.lease_fenced",
     }
 )
 

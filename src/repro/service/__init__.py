@@ -7,16 +7,26 @@ the recovery story end to end.
 """
 
 from repro.service.chaos import (
+    ReplicaCheckReport,
     ServiceCheckReport,
     default_submissions,
+    run_replicacheck,
     run_servicecheck,
     service_sites,
 )
+from repro.service.cluster import ClusterReplica, spawn_replica
 from repro.service.daemon import (
     BuildService,
     ServiceClient,
     ServiceServer,
     UnknownJob,
+)
+from repro.service.leases import (
+    Fence,
+    FencedWrite,
+    Lease,
+    LeaseLost,
+    LeaseManager,
 )
 from repro.service.jobs import (
     DONE,
@@ -46,13 +56,20 @@ __all__ = [
     "BreakerOpen",
     "BuildService",
     "CircuitBreaker",
+    "ClusterReplica",
     "Deadline",
     "DeadlineExceeded",
     "FairScheduler",
+    "Fence",
+    "FencedWrite",
     "JobRecord",
     "JobRejected",
     "JobSpec",
     "JobStore",
+    "Lease",
+    "LeaseLost",
+    "LeaseManager",
+    "ReplicaCheckReport",
     "RetryPolicy",
     "ServiceCheckReport",
     "ServiceClient",
@@ -60,6 +77,8 @@ __all__ = [
     "SimSpec",
     "UnknownJob",
     "default_submissions",
+    "run_replicacheck",
     "run_servicecheck",
     "service_sites",
+    "spawn_replica",
 ]

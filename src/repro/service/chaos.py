@@ -26,14 +26,19 @@ the executor, the dispatcher abandons all state exactly as a ``kill
 from __future__ import annotations
 
 import asyncio
+import os
 import shutil
+import signal
+import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.dsl.parser import parse_dsl
-from repro.flow.crashpoints import CrashPlan, all_sites, armed
+from repro.flow.crashpoints import ENV_MODE, ENV_SITE, CrashPlan, all_sites, armed
+from repro.service.cluster import read_replica_reports, spawn_replica
 from repro.service.daemon import BuildService
 from repro.service.jobs import DONE, JobSpec, SimSpec
+from repro.service.store import JobStore
 from repro.sim.faults import Fault, FaultPlan, campaign_digest
 
 #: The campaign's design: a two-stage stream pipeline plus one AXI-Lite
@@ -266,11 +271,294 @@ def run_servicecheck(
     return report
 
 
+# -- multi-replica campaign ---------------------------------------------------
+#
+# The replica-kill campaign proves the leader-less cluster the way the
+# single-daemon campaign proved recovery: at every journal boundary, a
+# *victim replica process* is SIGKILLed (dead owner) or SIGSTOPped
+# (paused owner — the nastier case: it comes back), the surviving
+# replicas must steal its lease and finish its work, and the final
+# state must satisfy:
+#
+# * zero lost jobs, zero duplicated side effects (exactly one terminal
+#   record per job, no stray job directories);
+# * byte-identical artifact and sim digests vs an uninterrupted
+#   single-replica reference run;
+# * exactly one steal per scenario, and — for every SIGSTOP scenario —
+#   exactly one fenced write: the resurrected victim is rejected at the
+#   boundary it paused in (``LeaseLost``) and its terminal-publish
+#   attempt bounces off the fencing token (``FencedWrite``, counted in
+#   ``service.fenced_writes_total``);
+# * a stable campaign digest over the deterministic fields.
+#
+# Determinism is by construction: the store is seeded in a fixed
+# admission order, the victim starts *alone* (so it claims the first
+# job and hits the armed site on a deterministic visit), helpers start
+# only after the victim is dead or frozen, and the victim is resumed
+# only after the helpers drained everything.
+
+
+@dataclass
+class ReplicaCheckReport:
+    """Outcome of one multi-replica chaos campaign."""
+
+    records: list[dict] = field(default_factory=list)
+    #: Per-scenario per-replica lease reports (timing-dependent detail —
+    #: renewals, who stole — kept out of the digest on purpose).
+    lease_detail: list[dict] = field(default_factory=list)
+    digest: str = ""
+    failures: int = 0
+    lost: int = 0
+    duplicated: int = 0
+    scenarios: int = 0
+    steals: int = 0
+    fenced_writes: int = 0
+    lease_lost: int = 0
+    #: SIGSTOP scenarios — each must contribute exactly one fenced write.
+    stop_scenarios: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.failures == 0
+            and self.lost == 0
+            and self.duplicated == 0
+            and self.steals == self.scenarios
+            and self.fenced_writes == self.stop_scenarios
+            and self.lease_lost == self.stop_scenarios
+        )
+
+    def lease_report(self) -> dict:
+        """The ``LEASE_report.json`` payload: steals/fences per scenario."""
+        return {
+            "scenarios": self.scenarios,
+            "steals": self.steals,
+            "fenced_writes": self.fenced_writes,
+            "lease_lost": self.lease_lost,
+            "digest": self.digest,
+            "per_scenario": self.lease_detail,
+        }
+
+    def render(self) -> str:
+        return (
+            f"servicecheck --replicas: {self.scenarios} scenario(s), "
+            f"{self.failures} digest failure(s), {self.lost} lost, "
+            f"{self.duplicated} duplicated, {self.steals} steal(s), "
+            f"{self.fenced_writes} fenced write(s) "
+            f"(expected {self.stop_scenarios})\n"
+            f"  campaign digest: {self.digest}"
+        )
+
+
+def _seed_store(root: Path, submissions) -> set[str]:
+    """Durably admit the campaign jobs in a fixed order, no daemon."""
+    store = JobStore(root)
+    ids = set()
+    for order, (tenant, spec) in enumerate(submissions, start=1):
+        job_id = spec.job_id(tenant)
+        store.save_spec(tenant, job_id, spec, order=order)
+        ids.add(job_id)
+    return ids
+
+
+def _reap(proc: subprocess.Popen, timeout_s: float) -> int | None:
+    try:
+        return proc.wait(timeout=timeout_s)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait()
+        return None
+
+
+def _terminate_all(procs) -> None:
+    """Leave no child behind — SIGKILL works on stopped processes too,
+    but SIGCONT first so a frozen victim's wait() can't linger."""
+    for p in procs:
+        if p.poll() is not None:
+            continue
+        for sig in (signal.SIGCONT, signal.SIGKILL):
+            try:
+                os.kill(p.pid, sig)
+            except OSError:
+                break
+        try:
+            p.wait(timeout=5)
+        except (OSError, subprocess.TimeoutExpired):
+            pass
+
+
+def run_replicacheck(
+    root: str | Path,
+    *,
+    replicas: int = 3,
+    submissions: list[tuple[str, JobSpec]] | None = None,
+    sites: list[str] | None = None,
+    modes: tuple[str, ...] = ("kill", "stop"),
+    check_tcl: bool = True,
+    ttl_s: float = 0.75,
+    timeout_s: float = 120.0,
+    log=lambda line: None,
+) -> ReplicaCheckReport:
+    """The replica-kill chaos campaign over real child processes."""
+    if replicas < 2:
+        raise ValueError("the replica campaign needs at least 2 replicas")
+    root = Path(root)
+    subs = submissions if submissions is not None else default_submissions()
+    expected_ids = {spec.job_id(tenant) for tenant, spec in subs}
+    sites = sites if sites is not None else service_sites(subs[0][1].dsl)
+
+    ref_root = root / "ref"
+    expected = _run_reference(ref_root, subs, check_tcl=check_tcl)
+    if set(expected) != expected_ids or any(
+        o["state"] != DONE for o in expected.values()
+    ):
+        raise RuntimeError("replicacheck reference run did not complete")
+    log(
+        f"reference: {len(expected)} job(s) done; {len(sites)} site(s) x "
+        f"{len(modes)} signal(s), {replicas} replicas per scenario"
+    )
+
+    report = ReplicaCheckReport()
+    for mode in modes:
+        for i, site in enumerate(sites):
+            scenario = f"{mode}-{i:02d}"
+            scenario_root = root / scenario
+            if scenario_root.exists():
+                shutil.rmtree(scenario_root)
+            _seed_store(scenario_root, subs)
+            procs: list[subprocess.Popen] = []
+            victim_state = "unknown"
+            helper_rcs: list[int | None] = []
+            try:
+                victim = spawn_replica(
+                    scenario_root, "v0",
+                    ttl_s=ttl_s, drain=True, timeout_s=timeout_s,
+                    check_tcl=check_tcl,
+                    env={ENV_SITE: site, ENV_MODE: mode},
+                )
+                procs.append(victim)
+                if mode == "kill":
+                    rc = _reap(victim, timeout_s)
+                    victim_state = (
+                        "killed" if rc == -signal.SIGKILL else f"exit:{rc}"
+                    )
+                else:
+                    # Block until the child SIGSTOPs itself at the armed
+                    # boundary (WUNTRACED reports stops without reaping).
+                    _, status = os.waitpid(victim.pid, os.WUNTRACED)
+                    victim_state = (
+                        "stopped" if os.WIFSTOPPED(status) else "exited"
+                    )
+                helpers = [
+                    spawn_replica(
+                        scenario_root, f"h{k}",
+                        ttl_s=ttl_s, drain=True, timeout_s=timeout_s,
+                        check_tcl=check_tcl,
+                    )
+                    for k in range(1, replicas)
+                ]
+                procs.extend(helpers)
+                helper_rcs = [_reap(h, timeout_s) for h in helpers]
+                if mode == "stop" and victim_state == "stopped":
+                    # Resurrect the zombie owner *after* its work was
+                    # stolen and finished: it must be fenced, not obeyed.
+                    os.kill(victim.pid, signal.SIGCONT)
+                    rc = _reap(victim, timeout_s)
+                    victim_state = f"fenced-exit:{rc}"
+            finally:
+                _terminate_all(procs)
+
+            store = JobStore(scenario_root)
+            scans = {s.job_id: s for s in store.scan()}
+            outcomes = {
+                job_id: {
+                    "tenant": s.tenant,
+                    "state": s.record.state if s.record else "missing",
+                    "artifact_digest": s.record.artifact_digest if s.record else None,
+                    "sim_digest": s.record.sim_digest if s.record else None,
+                }
+                for job_id, s in sorted(scans.items())
+            }
+            double = sum(
+                1
+                for s in scans.values()
+                if (store.job_dir(s.tenant, s.job_id) / "result.json").exists()
+                and (store.job_dir(s.tenant, s.job_id) / "failed.json").exists()
+            )
+            reports = read_replica_reports(scenario_root)
+            steals = sum(r.get("stolen", 0) for r in reports)
+            fenced = sum(r.get("fenced_writes", 0) for r in reports)
+            lease_lost = sum(r.get("lease_lost", 0) for r in reports)
+            lost = sum(
+                1
+                for job_id in expected_ids
+                if outcomes.get(job_id, {}).get("state") != DONE
+            )
+            duplicated = len(set(scans) - expected_ids) + double
+            match = all(
+                outcomes.get(job_id, {}).get("artifact_digest")
+                == expected[job_id]["artifact_digest"]
+                and outcomes.get(job_id, {}).get("sim_digest")
+                == expected[job_id]["sim_digest"]
+                for job_id in expected_ids
+            )
+            report.scenarios += 1
+            report.failures += 0 if match else 1
+            report.lost += lost
+            report.duplicated += duplicated
+            report.steals += steals
+            report.fenced_writes += fenced
+            report.lease_lost += lease_lost
+            if mode == "stop":
+                report.stop_scenarios += 1
+            report.records.append(
+                {
+                    "site": site,
+                    "mode": mode,
+                    "victim": victim_state,
+                    "jobs": outcomes,
+                    "match": match,
+                    "lost": lost,
+                    "duplicated": duplicated,
+                    "steals": steals,
+                    "fenced_writes": fenced,
+                    "lease_lost": lease_lost,
+                }
+            )
+            report.lease_detail.append(
+                {
+                    "scenario": scenario,
+                    "site": site,
+                    "mode": mode,
+                    "victim": victim_state,
+                    "helper_exits": helper_rcs,
+                    "replicas": reports,
+                }
+            )
+            ok = (
+                match
+                and not lost
+                and not duplicated
+                and steals == 1
+                and (fenced == 1) == (mode == "stop")
+            )
+            log(
+                f"  {mode:4s} {site:24s} {victim_state:14s} "
+                f"steals={steals} fenced={fenced} -> "
+                + ("ok" if ok else "FAILED")
+            )
+
+    report.digest = campaign_digest(report.records)
+    return report
+
+
 __all__ = [
     "SERVICE_DSL",
     "SERVICE_SOURCES",
+    "ReplicaCheckReport",
     "ServiceCheckReport",
     "default_submissions",
+    "run_replicacheck",
     "run_servicecheck",
     "service_sites",
 ]

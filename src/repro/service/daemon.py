@@ -53,7 +53,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.flow.autosim import autosimulate
-from repro.flow.crashpoints import crashpoint
+from repro.flow.crashpoints import crashpoint, set_boundary_hook
 from repro.flow.journal import RunJournal, stable_digest
 from repro.flow.orchestrator import FlowConfig, run_flow
 from repro.flow.workspace import materialize
@@ -101,8 +101,12 @@ class BuildService:
         die_on_interrupt: bool = False,
         check_tcl: bool = True,
         clock=time.monotonic,
+        replica_id: str = "d0",
     ) -> None:
         self.store = JobStore(root)
+        #: Replica identity, threaded through events, spans and terminal
+        #: records so a multi-replica trace attributes every action.
+        self.replica_id = replica_id
         self.workers = max(1, workers)
         self.sched = FairScheduler(
             depth_bound=queue_depth, starvation_after=starvation_after
@@ -124,6 +128,7 @@ class BuildService:
         )
         self._events: dict[str, asyncio.Event] = {}
         self._wakeup: asyncio.Event | None = None
+        self._admission_seq = 0
 
     # -- admission ---------------------------------------------------------
     def submit(self, tenant: str, spec: JobSpec) -> JobRecord:
@@ -141,14 +146,21 @@ class BuildService:
             return existing
         # Durable admission intent *before* the queue: a daemon killed
         # right after this line recovers the job; killed before it, the
-        # client never got an ACK and resubmits.
-        self.store.save_spec(tenant, job_id, spec)
+        # client never got an ACK and resubmits.  First-writer-wins: a
+        # resubmission against a root where another replica already
+        # persisted the identical intent leaves it (and its admission
+        # order) untouched.
+        self._admission_seq += 1
+        self.store.save_spec(tenant, job_id, spec, order=self._admission_seq)
         self.sched.submit(tenant, job_id)  # raises JobRejected when full
         self.specs[job_id] = spec
         record = JobRecord(job_id=job_id, tenant=tenant, state=QUEUED)
         self.records[job_id] = record
         if _BUS.enabled:
-            _BUS.emit("service.submit", job_id, tenant=tenant)
+            _BUS.emit(
+                "service.submit", job_id, tenant=tenant,
+                replica=self.replica_id,
+            )
             _METRICS.counter("service.jobs_submitted", "jobs admitted").inc()
         if self._wakeup is not None:
             self._wakeup.set()
@@ -156,9 +168,15 @@ class BuildService:
 
     # -- recovery ----------------------------------------------------------
     def recover(self) -> dict[str, int]:
-        """Rebuild daemon state from the durable root after a restart."""
+        """Rebuild daemon state from the durable root after a restart.
+
+        ``store.scan`` returns jobs in admission order, so recovered
+        jobs re-enter the scheduler exactly as clients admitted them;
+        subsequent fresh submissions continue the sequence.
+        """
         counts = {"replayed": 0, "resumed": 0, "requeued": 0}
         for scan in self.store.scan():
+            self._admission_seq = max(self._admission_seq, scan.order)
             if scan.job_id in self.records:
                 continue
             self.specs[scan.job_id] = scan.spec
@@ -179,7 +197,7 @@ class BuildService:
             if _BUS.enabled:
                 _BUS.emit(
                     "service.recover", scan.job_id,
-                    tenant=scan.tenant, kind=kind,
+                    tenant=scan.tenant, kind=kind, replica=self.replica_id,
                 )
                 _METRICS.counter(
                     "service.recoveries", "jobs recovered after a restart"
@@ -342,7 +360,20 @@ class BuildService:
             _METRICS.counter("service.jobs_failed", "jobs ending FAILED").inc()
 
     # -- execution (runs on the thread pool) -------------------------------
-    def _execute(self, tenant: str, job_id: str, spec: JobSpec) -> dict:
+    def _execute(
+        self, tenant: str, job_id: str, spec: JobSpec, *, fence=None
+    ) -> dict:
+        """Run one job attempt: flow, workspace, optional simulation.
+
+        With a *fence* (cluster execution under a lease) ownership is
+        re-validated at every journal boundary: the fence's check is
+        installed as the crashpoint boundary hook for the duration, so
+        the moment the lease is stolen the attempt dies with
+        :class:`~repro.service.leases.LeaseLost` instead of racing the
+        thief through shared state.  Fenced execution is single-job per
+        process (the cluster replica runs ``workers=1``), which is what
+        makes the process-global hook sound.
+        """
         deadline = Deadline(spec.deadline_s, clock=self.clock)
         degraded = self._maybe_degrade(tenant, job_id, spec)
         if degraded is not None:
@@ -354,9 +385,12 @@ class BuildService:
         config = FlowConfig(check_tcl=self.check_tcl)
         directives = {node: list(d) for node, d in spec.directives.items()}
         served = "build"
+        if fence is not None:
+            set_boundary_hook(fence.check)
         try:
-            with _BUS.span("service.job", job_id, worker=f"job:{job_id}",
-                           tenant=tenant):
+            with _BUS.span("service.job", job_id,
+                           worker=f"{self.replica_id}:job:{job_id}",
+                           tenant=tenant, replica=self.replica_id):
                 result = run_flow(
                     spec.dsl,
                     dict(spec.sources),
@@ -399,6 +433,8 @@ class BuildService:
             )
             raise
         finally:
+            if fence is not None:
+                set_boundary_hook(None)
             journal.close()
 
     def _maybe_degrade(self, tenant: str, job_id: str, spec: JobSpec) -> dict | None:
@@ -525,9 +561,18 @@ class BuildService:
 class ServiceServer:
     """Unix-socket front end for one :class:`BuildService`."""
 
-    def __init__(self, service: BuildService, socket_path: str | Path) -> None:
+    def __init__(
+        self,
+        service: BuildService,
+        socket_path: str | Path,
+        *,
+        dispatch: bool = True,
+    ) -> None:
         self.service = service
         self.socket_path = Path(socket_path)
+        #: With ``dispatch=False`` the server only answers the socket —
+        #: execution belongs to someone else (the cluster claim loop).
+        self.dispatch = dispatch
         self._server: asyncio.AbstractServer | None = None
         self._dispatcher: asyncio.Task | None = None
         self._shutdown = asyncio.Event()
@@ -539,9 +584,10 @@ class ServiceServer:
         self._server = await asyncio.start_unix_server(
             self._handle, path=str(self.socket_path)
         )
-        self._dispatcher = asyncio.create_task(
-            self.service._dispatch(stop_when_idle=False)
-        )
+        if self.dispatch:
+            self._dispatcher = asyncio.create_task(
+                self.service._dispatch(stop_when_idle=False)
+            )
 
     async def serve_until_shutdown(self) -> None:
         await self._shutdown.wait()
@@ -633,15 +679,74 @@ class ServiceServer:
 
 
 class ServiceClient:
-    """Blocking JSON-lines client for :class:`ServiceServer` (CLI/tests)."""
+    """Blocking JSON-lines client for :class:`ServiceServer` (CLI/tests).
 
-    def __init__(self, socket_path: str | Path, *, timeout_s: float = 60.0) -> None:
+    Connection setup is hardened for the multi-replica world: a replica
+    that is still binding its socket (or was just restarted) refuses or
+    lacks the socket file for a moment, so ``connect`` retries with
+    capped deterministic exponential backoff instead of failing the
+    first raced attempt.  Submissions are idempotent end to end — the
+    job id is content-addressed and the admission intent is published
+    first-writer-wins — so a client that lost its ACK can resubmit the
+    same spec to *any* replica of the same root (:meth:`submit` with
+    ``resubmit`` does the reconnect-and-retry itself).
+    """
+
+    def __init__(
+        self,
+        socket_path: str | Path,
+        *,
+        timeout_s: float = 60.0,
+        connect_retries: int = 5,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 0.5,
+        sleep=time.sleep,
+    ) -> None:
+        self.socket_path = Path(socket_path)
+        self.timeout_s = timeout_s
+        self.connect_retries = connect_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._sleep = sleep
+        self._sock = None
+        self._file = None
+        self._connect()
+
+    @staticmethod
+    def backoff_s(attempt: int, *, base: float, cap: float) -> float:
+        """Deterministic capped exponential backoff for attempt *n* (1-based)."""
+        return min(cap, base * (2 ** (attempt - 1)))
+
+    def _connect(self) -> None:
         import socket as _socket
 
-        self._sock = _socket.socket(_socket.AF_UNIX, _socket.SOCK_STREAM)
-        self._sock.settimeout(timeout_s)
-        self._sock.connect(str(socket_path))
-        self._file = self._sock.makefile("rwb")
+        last: Exception | None = None
+        for attempt in range(1, self.connect_retries + 2):
+            sock = _socket.socket(_socket.AF_UNIX, _socket.SOCK_STREAM)
+            sock.settimeout(self.timeout_s)
+            try:
+                sock.connect(str(self.socket_path))
+            except (ConnectionRefusedError, FileNotFoundError, TimeoutError) as exc:
+                sock.close()
+                last = exc
+                if attempt > self.connect_retries:
+                    break
+                self._sleep(
+                    self.backoff_s(
+                        attempt, base=self.backoff_base_s, cap=self.backoff_cap_s
+                    )
+                )
+                continue
+            self._sock = sock
+            self._file = sock.makefile("rwb")
+            return
+        raise ReproError(
+            f"could not connect to service at {self.socket_path}: {last}"
+        )
+
+    def _reconnect(self) -> None:
+        self.close()
+        self._connect()
 
     def request(self, op: str, **fields) -> dict:
         self._file.write(json.dumps({"op": op, **fields}).encode() + b"\n")
@@ -651,15 +756,41 @@ class ServiceClient:
             raise ReproError("service closed the connection")
         return json.loads(line)
 
-    def submit(self, tenant: str, spec: JobSpec) -> dict:
-        return self.request("submit", tenant=tenant, spec=spec.as_dict())
+    def submit(self, tenant: str, spec: JobSpec, *, resubmit: int = 0) -> dict:
+        """Submit one job; a lost ACK is resubmitted up to *resubmit* times.
+
+        Losing the response line (replica killed between admitting the
+        job and ACKing it) is indistinguishable from losing the request,
+        and both are safe to replay: the job id is a content digest, the
+        daemon's ``submit`` is idempotent, and the durable intent is
+        first-writer-wins — so the retry reconnects and sends the exact
+        same spec again, to this socket or whichever replica now owns it.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self.request("submit", tenant=tenant, spec=spec.as_dict())
+            except (ReproError, OSError):
+                if attempt > resubmit:
+                    raise
+                self._sleep(
+                    self.backoff_s(
+                        attempt, base=self.backoff_base_s, cap=self.backoff_cap_s
+                    )
+                )
+                self._reconnect()
 
     def wait(self, job_id: str, timeout: float | None = None) -> dict:
         return self.request("wait", job_id=job_id, timeout=timeout)
 
     def close(self) -> None:
-        self._file.close()
-        self._sock.close()
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
 
     def __enter__(self) -> "ServiceClient":
         return self

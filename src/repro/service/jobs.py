@@ -182,6 +182,8 @@ class JobRecord:
     #: Steps the journal shows were recovered rather than re-executed.
     steps_skipped: int = 0
     crash_recoveries: int = 0
+    #: Replica that published the terminal record (multi-replica runs).
+    replica: str | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -197,6 +199,7 @@ class JobRecord:
             "error_step": self.error_step,
             "steps_skipped": self.steps_skipped,
             "crash_recoveries": self.crash_recoveries,
+            "replica": self.replica,
         }
 
     @property

@@ -39,8 +39,10 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.flow.buildcache import BuildCache
+from repro.flow.journal import fsync_dir
 from repro.flow.workspace import verify_workspace
-from repro.service.jobs import DONE, FAILED, JobRecord, JobSpec
+from repro.service.jobs import DONE, JobRecord, JobSpec
+from repro.service.leases import Fence
 
 _JOB_FILE = "job.json"
 _JOURNAL_FILE = "journal.jsonl"
@@ -60,11 +62,33 @@ def _durable_write(path: Path, payload: dict) -> None:
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, path)
-    dirfd = os.open(path.parent, os.O_RDONLY)
+    fsync_dir(path.parent)
+
+
+def _durable_publish_excl(path: Path, payload: dict, *, suffix: str) -> bool:
+    """Durably create *path* if and only if it does not exist yet.
+
+    The multi-replica publish primitive: the payload is fully written
+    and fsynced to a temp file, then ``os.link``ed into place — an
+    atomic create-if-absent, so of any number of racing publishers
+    exactly the first wins and no reader ever sees a torn record.
+    Returns ``False`` when *path* already existed (the caller lost).
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".tmp-{suffix}-{path.name}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, sort_keys=True, indent=1)
+        fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
     try:
-        os.fsync(dirfd)
+        os.link(tmp, path)
+    except FileExistsError:
+        return False
     finally:
-        os.close(dirfd)
+        os.unlink(tmp)
+    fsync_dir(path.parent)
+    return True
 
 
 def _read_json(path: Path) -> dict | None:
@@ -84,6 +108,9 @@ class JobScan:
     #: "done" | "failed" | "inflight" | "queued"
     phase: str
     record: JobRecord | None = None
+    #: Admission sequence from ``job.json`` — recovery and the cluster
+    #: claim loop walk jobs in the order clients were admitted.
+    order: int = 0
 
 
 class JobStore:
@@ -113,16 +140,30 @@ class JobStore:
         return BuildCache(self.cache_root, namespace=tenant)
 
     # -- admission intent --------------------------------------------------
-    def save_spec(self, tenant: str, job_id: str, spec: JobSpec) -> None:
-        """Durably record the admission intent — before the queue sees it."""
-        _durable_write(
-            self.job_dir(tenant, job_id) / _JOB_FILE,
+    def save_spec(
+        self, tenant: str, job_id: str, spec: JobSpec, *, order: int = 0
+    ) -> bool:
+        """Durably record the admission intent — before the queue sees it.
+
+        First-writer-wins: the job id is content-addressed, so a
+        resubmission (lost ACK, different replica, restarted client)
+        carries byte-identical intent — an existing ``job.json`` is left
+        untouched, preserving the original admission *order*.  Returns
+        ``True`` when this call created the intent.
+        """
+        path = self.job_dir(tenant, job_id) / _JOB_FILE
+        if path.exists():
+            return False
+        return _durable_publish_excl(
+            path,
             {
                 "tenant": tenant,
                 "job_id": job_id,
+                "order": order,
                 "content_digest": spec.content_digest(),
                 "spec": spec.as_dict(),
             },
+            suffix="spec",
         )
 
     def load_spec(self, tenant: str, job_id: str) -> JobSpec | None:
@@ -132,14 +173,36 @@ class JobStore:
         return JobSpec.from_dict(data["spec"])
 
     # -- terminal records --------------------------------------------------
-    def write_terminal(self, record: JobRecord, *, content_digest: str) -> None:
+    def write_terminal(
+        self,
+        record: JobRecord,
+        *,
+        content_digest: str,
+        fence: Fence | None = None,
+    ) -> None:
         """Durably publish a terminal record; DONE jobs also index
-        themselves for warm serving."""
+        themselves for warm serving.
+
+        With a *fence* (multi-replica execution) the publish is guarded
+        twice: the fencing token is validated against the on-disk lease
+        (stale ⇒ :class:`~repro.service.leases.FencedWrite`, counted in
+        ``service.fenced_writes_total``), and the record itself is
+        created with link-based first-writer-wins semantics — even a
+        replica that revalidates and then stalls inside the publish
+        window cannot clobber or duplicate an already-published result.
+        Only the winning publisher updates the warm-serving index.
+        """
         name = _RESULT_FILE if record.state == DONE else _FAILED_FILE
-        _durable_write(
-            self.job_dir(record.tenant, record.job_id) / name,
-            {"content_digest": content_digest, "record": record.as_dict()},
-        )
+        path = self.job_dir(record.tenant, record.job_id) / name
+        payload = {"content_digest": content_digest, "record": record.as_dict()}
+        if fence is None:
+            _durable_write(path, payload)
+        else:
+            fence.validate()
+            if not _durable_publish_excl(
+                path, payload, suffix=fence.lease.replica
+            ):
+                fence.rejected("already-published")
         if record.state == DONE:
             _durable_write(
                 self.index_root / f"{content_digest}.json",
@@ -203,10 +266,12 @@ class JobStore:
 
     # -- recovery ----------------------------------------------------------
     def scan(self) -> list[JobScan]:
-        """Classify every job directory for daemon recovery.
+        """Classify every job directory for recovery and work stealing.
 
-        Deterministic order (tenant, then job id) so a recovered daemon
-        re-queues work in a stable sequence.
+        Deterministic order — admission sequence first (recovered jobs
+        re-enter the queue in the order clients were admitted), tenant
+        and job id as tie-breakers — so a recovered daemon or a replica
+        fleet walks the backlog in one stable sequence.
         """
         scans: list[JobScan] = []
         if not self.tenants_root.exists():
@@ -217,9 +282,13 @@ class JobStore:
                 continue
             for job_dir in sorted(jobs_dir.iterdir()):
                 tenant, job_id = tenant_dir.name, job_dir.name
-                spec = self.load_spec(tenant, job_id)
-                if spec is None:
+                data = _read_json(job_dir / _JOB_FILE)
+                if data is None:
                     continue  # torn admission intent — the submit never ACKed
+                try:
+                    spec = JobSpec.from_dict(data["spec"])
+                except (KeyError, TypeError, ValueError):
+                    continue
                 record = self.load_terminal(tenant, job_id)
                 if record is not None:
                     phase = "done" if record.state == DONE else "failed"
@@ -227,7 +296,13 @@ class JobStore:
                     phase = "inflight"
                 else:
                     phase = "queued"
-                scans.append(JobScan(tenant, job_id, spec, phase, record))
+                scans.append(
+                    JobScan(
+                        tenant, job_id, spec, phase, record,
+                        order=int(data.get("order", 0)),
+                    )
+                )
+        scans.sort(key=lambda s: (s.order, s.tenant, s.job_id))
         return scans
 
 

@@ -1,0 +1,39 @@
+"""Multi-process replica-kill chaos: a trimmed ``servicecheck --replicas``.
+
+Real subprocesses, real signals.  One SIGKILL scenario and one SIGSTOP
+scenario (the zombie case: the victim is resurrected *after* its work
+was stolen and must be fenced, not believed).  The full site matrix is
+the CI ``replicacheck`` job / ``repro servicecheck --replicas 3``.
+"""
+
+from repro.service.chaos import run_replicacheck, service_sites
+
+
+def test_kill_and_stop_scenarios_converge_and_fence(tmp_path):
+    sites = service_sites()
+    report = run_replicacheck(
+        tmp_path / "camp",
+        replicas=3,
+        sites=[sites[0]],
+        modes=("kill", "stop"),
+        ttl_s=0.75,
+        check_tcl=False,
+        log=lambda msg: None,
+    )
+    assert report.ok, report.render()
+    assert report.scenarios == 2
+    assert report.lost == 0 and report.duplicated == 0
+    assert report.failures == 0
+    # Exactly one steal per scenario: the victim's leased job moved to
+    # a helper exactly once, never re-acquired at a regressed token.
+    assert report.steals == 2
+    # The resurrected SIGSTOP victim attempted exactly one stale
+    # publish, and it was rejected and counted — the acceptance metric.
+    assert report.stop_scenarios == 1
+    assert report.fenced_writes == 1
+    assert report.lease_lost == 1
+    # Deterministic campaign digest over the terminal records.
+    assert len(report.digest) == 64
+    lease_report = report.lease_report()
+    assert lease_report["steals"] == 2
+    assert lease_report["fenced_writes"] == 1
