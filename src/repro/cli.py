@@ -131,6 +131,17 @@ def _cmd_build(args: argparse.Namespace) -> int:
                 + ", ".join(f"{k}={v}s" for k, v in result.timing.as_row().items())
             )
             t = result.timing
+            if t.fn_cache_hits or t.fn_cache_misses:
+                per_core = ", ".join(
+                    f"{tr.name}={tr.fn_cache_hits}"
+                    for tr in t.trace
+                    if tr.fn_cache_hits
+                )
+                print(
+                    f"fn-cache: {t.fn_cache_hits} hit(s), "
+                    f"{t.fn_cache_misses} miss(es)"
+                    + (f" [{per_core}]" if per_core else "")
+                )
             if t.resumed:
                 print(
                     f"resumed from {journal_path}: {t.steps_skipped} step(s) "
@@ -586,6 +597,23 @@ def _cmd_cachecheck(args: argparse.Namespace) -> int:
     purged = None
     if args.purge_quarantine:
         purged = cache.purge_quarantine()
+
+    # The sub-core per-function memo persists under <cache_dir>/fn and
+    # reuses the same integrity machinery — scrub it alongside.
+    fn_section = None
+    fn_report = None
+    fn_dir = Path(cache_dir) / "fn"
+    if fn_dir.is_dir():
+        from repro.hls.fncache import FunctionCache
+
+        fn_cache = FunctionCache(fn_dir)
+        fn_section = fn_cache.report()  # hit rate reads "since last scrub"
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            fn_report = fn_cache.scrub()
+        fn_section["scrub"] = fn_report.as_dict()
+        if args.purge_quarantine:
+            fn_section["purged"] = fn_cache._store.purge_quarantine()
     if args.json:
         import json
 
@@ -593,6 +621,8 @@ def _cmd_cachecheck(args: argparse.Namespace) -> int:
         payload["cache_dir"] = str(cache_dir)
         if purged is not None:
             payload["purged"] = purged
+        if fn_section is not None:
+            payload["fn_cache"] = fn_section
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(report.render())
@@ -603,11 +633,32 @@ def _cmd_cachecheck(args: argparse.Namespace) -> int:
                 f"{len(cache.quarantined_keys())} blob(s) in quarantine "
                 "(inspect, then `repro cachecheck --purge-quarantine`)"
             )
+        if fn_section is not None:
+            rate = fn_section["hit_rate"]
+            print(
+                f"fn-cache: {fn_section['entries']} entr"
+                f"{'y' if fn_section['entries'] == 1 else 'ies'}, "
+                f"{fn_section['bytes']} bytes, hit rate since last scrub: "
+                + (f"{rate:.1%}" if rate is not None else "n/a")
+            )
+            if fn_report is not None and fn_report.quarantined:
+                print(
+                    f"fn-cache: {len(fn_report.quarantined)} corrupt "
+                    "entr{} quarantined".format(
+                        "y" if len(fn_report.quarantined) == 1 else "ies"
+                    )
+                )
     if args.strict and not report.healthy:
         raise CacheCorrupted(
             f"{len(report.quarantined)} corrupt cache entr"
             f"{'y' if len(report.quarantined) == 1 else 'ies'} quarantined",
             key=report.quarantined[0],
+        )
+    if args.strict and fn_report is not None and not fn_report.healthy:
+        raise CacheCorrupted(
+            f"{len(fn_report.quarantined)} corrupt fn-cache entr"
+            f"{'y' if len(fn_report.quarantined) == 1 else 'ies'} quarantined",
+            key=fn_report.quarantined[0],
         )
     return 0
 

@@ -34,12 +34,14 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.dsl.actions import ActionHooks
 from repro.dsl.ast import NodeDecl, PortDecl, PortKind, TgGraph
 from repro.dsl.codegen import emit_dsl
 from repro.dsl.parser import parse_dsl
 from repro.dsl.validate import validate_graph
+from repro.hls import fncache
 from repro.hls.interfaces import Directive, InterfaceMode, interface
 from repro.hls.project import HlsProject, SynthesisResult
 from repro.soc.integrator import IntegratedSystem, IntegrationConfig, integrate
@@ -277,6 +279,8 @@ class FlowHooks(ActionHooks):
         seconds = self.config.timing_model.hls_core_s(result)
         self.timing.hls_s += seconds
         self.timing.hls_cores[name] = seconds
+        self.timing.fn_cache_hits += result.fn_cache_hits
+        self.timing.fn_cache_misses += result.fn_cache_misses
         build = CoreBuild(
             name=name,
             result=result,
@@ -288,7 +292,14 @@ class FlowHooks(ActionHooks):
         )
         self.cores[name] = build
         self.timing.trace.append(
-            CoreTrace(name, seconds, source="synth", wave=wave, attempts=attempts)
+            CoreTrace(
+                name,
+                seconds,
+                source="synth",
+                wave=wave,
+                attempts=attempts,
+                fn_cache_hits=result.fn_cache_hits,
+            )
         )
         if self.build_cache is not None:
             self.build_cache.put(key, build)
@@ -491,7 +502,12 @@ def run_flow(
         build_cache=build_cache,
         journal=journal,
     )
-    parse_dsl(text, hooks=hooks)
+    # Persist the sub-core per-function memo next to (and under) the
+    # whole-core objects for the duration of this run: a whole-core miss
+    # still reuses every unchanged function from previous builds.
+    fn_dir = Path(config.cache_dir) / "fn" if config.cache_dir is not None else None
+    with fncache.routed(fn_dir):
+        parse_dsl(text, hooks=hooks)
     if hooks.result is None:  # pragma: no cover - parse_dsl raises first
         raise FlowError("flow did not complete")
     return hooks.result

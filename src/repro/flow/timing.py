@@ -37,6 +37,9 @@ class CoreTrace:
     source: str = "synth"
     wave: int = 0
     attempts: int = 1
+    #: Per-function memo lookups (front-end / result stage) that served
+    #: this core's synthesis — non-zero only when source == "synth".
+    fn_cache_hits: int = 0
 
 
 @dataclass
@@ -63,6 +66,10 @@ class FlowTiming:
     #: Content-addressed build-cache hits / misses (0/0 without a cache).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Sub-core per-function memo hits / misses across all synthesized
+    #: cores (the layer beneath the whole-core cache; see repro.hls.fncache).
+    fn_cache_hits: int = 0
+    fn_cache_misses: int = 0
     #: True when this run continued an existing run journal (resume).
     resumed: bool = False
     #: Journal-committed steps satisfied without re-executing the work
@@ -105,6 +112,7 @@ class FlowTiming:
             "jobs": self.jobs,
             "speedup": round(self.speedup, 2),
             "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "fn_cache": {"hits": self.fn_cache_hits, "misses": self.fn_cache_misses},
             "resume": {
                 "resumed": self.resumed,
                 "steps_skipped": self.steps_skipped,
@@ -117,6 +125,7 @@ class FlowTiming:
                     "source": t.source,
                     "wave": t.wave,
                     "attempts": t.attempts,
+                    "fn_cache_hits": t.fn_cache_hits,
                 }
                 for t in self.trace
             ],

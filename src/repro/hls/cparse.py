@@ -537,6 +537,16 @@ class _CParser:
         raise CSyntaxError(f"unexpected token {tok.value!r}", tok.loc)
 
 
-def parse_c(text: str, filename: str = "<c>") -> A.TranslationUnit:
-    """Parse a C translation unit; raises :class:`CSyntaxError`."""
-    return _CParser(clex(text, filename)).parse_unit()
+def parse_c(
+    text: str,
+    filename: str = "<c>",
+    *,
+    tokens: list[CToken] | None = None,
+) -> A.TranslationUnit:
+    """Parse a C translation unit; raises :class:`CSyntaxError`.
+
+    *tokens* lets a caller that already lexed *text* (the per-function
+    compilation cache fingerprints the token stream before deciding
+    whether to parse at all) hand the list over instead of lexing twice.
+    """
+    return _CParser(tokens if tokens is not None else clex(text, filename)).parse_unit()

@@ -1,0 +1,373 @@
+"""Per-function HLS compilation cache — the sub-core memo layer.
+
+The flow's :class:`~repro.flow.buildcache.BuildCache` memoizes **whole
+cores**: its key covers the full source text, the rendered directives
+and the backend version, so touching any of them recompiles the core
+from the lexer up.  This module adds the layer *underneath*: two memo
+tables inside ``synthesize_function`` itself, keyed on content the
+whole-core key normalizes away.
+
+* **Front-end memo** — keyed on the token fingerprint of the source
+  (:func:`~repro.hls.clex.token_fingerprint`; comments and whitespace
+  do not participate), the top name and the optimize flag.  A hit skips
+  parse → sema → lower → ``run_default_pipeline`` and hands back a deep
+  copy of the lowered+optimized IR, ready for a fresh directive slice —
+  the DSE hot loop, where only directives change between calls.
+* **Result memo** — keyed on the canonical IR digest
+  (:func:`~repro.hls.ir.ir_digest`), this function's directive slice,
+  the explicit limits and the default trip count, plus the engine
+  version.  A hit makes scheduling, binding, FSM construction, latency
+  analysis and RTL emission a single lookup.
+
+Both keys are process-stable (no ``id()``, no ``PYTHONHASHSEED``
+dependence) and both payloads are exactly what the uncached pipeline
+would have produced — the compilation pipeline is deterministic in its
+inputs, so serving a memoized result preserves byte-identity of every
+artifact (the differential suite in ``tests/test_fncache.py`` and
+``benchmarks/bench_hls.py`` prove it end to end).
+
+Persistence reuses the hardened :class:`BuildCache` machinery —
+integrity headers, quarantine-on-corruption, cross-process locking,
+scrub — rooted at ``<flow cache dir>/fn``.  Without a directory the
+cache is a bounded in-process memo.  ``REPRO_HLS_FN_CACHE=0`` disables
+the layer entirely (the differential legs build with it off).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.hls.ir import Function
+from repro.obs.events import BUS as _BUS
+from repro.obs.metrics import REGISTRY as _METRICS
+
+#: Version of the per-function memo layout; combined with the engine
+#: version in every key, so bumping either strands stale entries.
+FN_CACHE_VERSION = "1"
+
+
+def _engine_version() -> str:
+    # Lazy: repro.flow imports repro.hls, so a top-level import here
+    # would be circular.  After the first call it is a sys.modules hit.
+    from repro.flow.buildcache import ENGINE_VERSION
+
+    return ENGINE_VERSION
+
+
+def _digest_fields(*parts: str) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        data = part.encode()
+        h.update(len(data).to_bytes(8, "little"))
+        h.update(data)
+    return h.hexdigest()
+
+
+def frontend_key(token_fp: str, top: str, optimize: bool) -> str:
+    """Key of the front-end memo (token stream → optimized IR)."""
+    return _digest_fields(
+        "fn-frontend", FN_CACHE_VERSION, _engine_version(), top, token_fp,
+        "opt" if optimize else "raw",
+    )
+
+
+def result_key(
+    ir_dig: str,
+    directives_slice: str,
+    limits: dict[str, int] | None,
+    default_trip: int,
+) -> str:
+    """Key of the result memo — ``(IR digest, directives slice, engine)``.
+
+    *directives_slice* is the rendered tcl of the directives addressing
+    this function only (the middle-end never reads any other), *limits*
+    the caller-supplied overrides, canonically sorted.
+    """
+    canon_limits = ",".join(f"{k}={v}" for k, v in sorted((limits or {}).items()))
+    return _digest_fields(
+        "fn-result", FN_CACHE_VERSION, _engine_version(), ir_dig,
+        directives_slice, canon_limits, str(default_trip),
+    )
+
+
+@dataclass
+class FrontendEntry:
+    """Cached front-end outcome: pristine optimized IR + its identity.
+
+    The IR is held pickled: ``pickle.loads`` is several times faster
+    than ``copy.deepcopy`` on Function graphs (measured ~7x on the
+    Table-I kernels), and the entry round-trips to disk unchanged.
+    Scalar types re-intern on load (``ScalarType.__reduce__``), so
+    identity-based fast paths keep working on materialized copies.
+    """
+
+    blob: bytes
+    converged: bool
+    ir_digest: str
+
+    @classmethod
+    def from_function(cls, fn: Function, converged: bool, ir_dig: str) -> "FrontendEntry":
+        return cls(pickle.dumps(fn, pickle.HIGHEST_PROTOCOL), converged, ir_dig)
+
+    def materialize(self) -> Function:
+        """A private copy of the IR, safe for the mutating middle-end
+        (``loop_directives`` and ``tag_const_muls`` write into it)."""
+        return pickle.loads(self.blob)
+
+
+@dataclass
+class FnCacheStats:
+    """Lookup counters for one :class:`FunctionCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+class FunctionCache:
+    """Two-level-keyed memo of per-function compilation stages.
+
+    In-process entries live in a bounded LRU (``memory_entries``); with
+    *cache_dir* set, entries additionally persist through a
+    :class:`~repro.flow.buildcache.BuildCache` (same integrity header,
+    quarantine and locking discipline as the whole-core cache) and
+    cumulative hit/miss counters persist in ``<dir>/stats.json`` so
+    ``repro cachecheck`` can report a hit rate across processes.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike | None = None,
+        *,
+        max_entries: int | None = 4096,
+        memory_entries: int = 256,
+    ) -> None:
+        self.cache_dir = cache_dir
+        self.memory_entries = memory_entries
+        self.stats = FnCacheStats()
+        #: Portion of ``stats`` already folded into the on-disk counters.
+        self._flushed: dict[str, int] = {"hits": 0, "misses": 0, "stores": 0}
+        self._memory: OrderedDict[str, object] = OrderedDict()
+        # The parallel HLS pool shares one instance across its worker
+        # threads; the cross-process FileLock in BuildCache is depth-
+        # reentrant (not thread-exclusive), so intra-process exclusion
+        # needs its own lock.
+        self._lock = threading.Lock()
+        self._store = None
+        if cache_dir is not None:
+            from repro.flow.buildcache import BuildCache  # lazy: layer cycle
+
+            self._store = BuildCache(cache_dir, max_entries=max_entries)
+
+    # -- lookup ------------------------------------------------------------
+    def get(self, key: str, *, stage: str, fn_name: str) -> object | None:
+        with self._lock:
+            value = self._memory.get(key)
+            in_memory = value is not None
+            if in_memory:
+                self._memory.move_to_end(key)
+            elif self._store is not None:
+                value = self._store.get(key)
+                if value is not None:
+                    self._remember(key, value)
+            if value is not None:
+                self.stats.hits += 1
+            else:
+                self.stats.misses += 1
+            if not in_memory and self._store is not None:
+                self._flush_stats_soon()
+        self._observe("hit" if value is not None else "miss", key, stage, fn_name)
+        return value
+
+    def put(self, key: str, value: object, *, stage: str, fn_name: str) -> None:
+        with self._lock:
+            self._remember(key, value)
+            self.stats.stores += 1
+            if self._store is not None:
+                self._store.put(key, value)
+                self._flush_stats_soon()
+        self._observe("store", key, stage, fn_name)
+
+    def _remember(self, key: str, value: object) -> None:
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+
+    def _observe(self, what: str, key: str, stage: str, fn_name: str) -> None:
+        if not _BUS.enabled:
+            return
+        _BUS.emit(f"hls.fn_cache.{what}", key[:16], stage=stage, fn=fn_name)
+        if what == "hit":
+            _METRICS.counter(
+                "hls.fn_cache_hits_total",
+                "per-function memo lookups served from the cache",
+            ).inc()
+        elif what == "miss":
+            _METRICS.counter(
+                "hls.fn_cache_misses_total",
+                "per-function memo lookups that found nothing",
+            ).inc()
+
+    # -- persistent stats --------------------------------------------------
+    def _stats_path(self):
+        assert self._store is not None and self._store.dir is not None
+        return self._store.dir / "stats.json"
+
+    def _flush_stats_soon(self) -> None:
+        """Fold this instance's counters into the on-disk cumulative ones.
+
+        Called on every disk-level event — rare enough (once per key per
+        process on the read side, once per cold compile on the write
+        side) that a small atomic JSON rewrite is in the noise.
+        """
+        if self._store is None:
+            return
+        path = self._stats_path()
+        with self._store._locked():
+            disk = self._load_disk_stats()
+            disk["hits"] += self.stats.hits - self._flushed.get("hits", 0)
+            disk["misses"] += self.stats.misses - self._flushed.get("misses", 0)
+            disk["stores"] += self.stats.stores - self._flushed.get("stores", 0)
+            tmp = path.with_name(path.name + ".tmp")
+            tmp.write_text(json.dumps(disk, sort_keys=True))
+            os.replace(tmp, path)
+        self._flushed = self.stats.as_dict()
+
+    def _load_disk_stats(self) -> dict[str, int]:
+        base = {"hits": 0, "misses": 0, "stores": 0}
+        try:
+            raw = json.loads(self._stats_path().read_text())
+        except (OSError, ValueError):
+            return base
+        for k in base:
+            v = raw.get(k)
+            if isinstance(v, int) and v >= 0:
+                base[k] = v
+        return base
+
+    # -- maintenance -------------------------------------------------------
+    def scrub(self):
+        """Integrity-check every persistent entry (quarantining corrupt
+        ones via the shared BuildCache machinery) and reset the
+        persistent counters — hit rates read "since last scrub"."""
+        assert self._store is not None, "scrub needs a disk-backed cache"
+        with self._lock:
+            report = self._store.scrub()
+            path = self._stats_path()
+            with self._store._locked():
+                tmp = path.with_name(path.name + ".tmp")
+                tmp.write_text(json.dumps({"hits": 0, "misses": 0, "stores": 0}))
+                os.replace(tmp, path)
+            self._flushed = self.stats.as_dict()
+            return report
+
+    def report(self) -> dict:
+        """The ``fn_cache`` section of ``repro cachecheck --json``."""
+        entries = 0
+        size = 0
+        hit_rate = None
+        disk: dict[str, int] = {}
+        if self._store is not None:
+            files = self._store._entry_files()
+            entries = len(files)
+            for p in files:
+                try:
+                    size += p.stat().st_size
+                except OSError:
+                    pass
+            disk = self._load_disk_stats()
+            looked = disk["hits"] + disk["misses"]
+            hit_rate = round(disk["hits"] / looked, 4) if looked else None
+        else:
+            entries = len(self._memory)
+        return {
+            "entries": entries,
+            "bytes": size,
+            "since_scrub": disk or self.stats.as_dict(),
+            "hit_rate": hit_rate,
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._memory.clear()
+            if self._store is not None:
+                self._store.clear()
+
+
+#: The process-default in-memory cache, always available: a second
+#: compilation of an unchanged function in the same process is a memo
+#: hit even without any flow cache directory configured.
+_DEFAULT = FunctionCache()
+_BY_DIR: dict[str, FunctionCache] = {}
+_ACTIVE: FunctionCache = _DEFAULT
+
+
+def active_cache() -> FunctionCache | None:
+    """The cache ``synthesize_function`` consults, or ``None`` when the
+    layer is disabled via ``REPRO_HLS_FN_CACHE=0``."""
+    if os.environ.get("REPRO_HLS_FN_CACHE", "") == "0":
+        return None
+    return _ACTIVE
+
+
+def use_cache_dir(cache_dir: str | os.PathLike | None) -> FunctionCache:
+    """Route the process-default cache to a persistent directory.
+
+    The flow orchestrator routes ``<cache_dir>/fn`` here when a build
+    cache is configured, so per-function entries persist next to (and
+    under) the whole-core objects.  ``None`` reverts to the in-memory
+    default.  Instances are kept per directory: two flows alternating
+    directories each keep their own store.
+    """
+    global _ACTIVE
+    if cache_dir is None:
+        _ACTIVE = _DEFAULT
+    else:
+        key = str(cache_dir)
+        cache = _BY_DIR.get(key)
+        if cache is None:
+            cache = FunctionCache(cache_dir)
+            _BY_DIR[key] = cache
+        _ACTIVE = cache
+    return _ACTIVE
+
+
+@contextmanager
+def routed(cache_dir: str | os.PathLike | None):
+    """Scope :func:`use_cache_dir` to a ``with`` block.
+
+    The flow wraps each run in this so a flow pointed at a temporary
+    cache directory does not leave the process-default routed at a
+    directory that is about to disappear (the test suite runs hundreds
+    of flows against ``tmp_path`` caches in one process).
+    """
+    global _ACTIVE
+    prev = _ACTIVE
+    try:
+        yield use_cache_dir(cache_dir) if cache_dir is not None else _ACTIVE
+    finally:
+        _ACTIVE = prev
+
+
+__all__ = [
+    "FN_CACHE_VERSION",
+    "FnCacheStats",
+    "FrontendEntry",
+    "FunctionCache",
+    "active_cache",
+    "frontend_key",
+    "result_key",
+    "routed",
+    "use_cache_dir",
+]

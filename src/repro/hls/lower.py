@@ -151,7 +151,10 @@ class _Lowerer:
 
     def coerce(self, val: Value, target: ScalarType) -> Value:
         """Insert a cast if *val* is not already of *target* type."""
-        if val.type == target:
+        # Types are interned singletons, so the common no-op case is one
+        # identity test — no field-by-field dataclass comparison on the
+        # hottest lowering path.
+        if val.type is target or val.type == target:
             return val
         res = self.fn.new_value(target)
         self.emit(Op("cast", res, (val,), {"to": target}))

@@ -23,6 +23,8 @@ inserting copy ops, so the IR never grows.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.hls.interp import eval_pure
 from repro.hls.ir import Block, Function, Op, Value
 from repro.hls.types import ScalarType
@@ -30,23 +32,47 @@ from repro.util.errors import HlsError
 
 
 def _apply_replacements(fn: Function, repl: dict[int, Value]) -> None:
-    """Rewrite all operand references through *repl* (path-compressed)."""
+    """Rewrite all operand references through *repl* in one pass.
+
+    The map is flattened first (each chain walked once, results shared
+    across entries), then applied with plain dict lookups; an op's
+    operand tuple is rebuilt only when one of its operands actually
+    changed, so untouched ops cost one membership test per operand
+    instead of a new tuple per op per pass invocation.
+    """
     if not repl:
         return
-
-    def resolve(v: Value) -> Value:
-        seen = set()
-        while v.vid in repl:
-            if v.vid in seen:  # pragma: no cover - defensive
+    resolved: dict[int, Value] = {}
+    for vid in repl:
+        if vid in resolved:
+            continue
+        chain = [vid]
+        v = repl[vid]
+        while v.vid in repl and v.vid not in resolved:
+            if v.vid in chain:  # pragma: no cover - defensive
                 raise HlsError("replacement cycle")
-            seen.add(v.vid)
+            chain.append(v.vid)
             v = repl[v.vid]
-        return v
-
+        v = resolved.get(v.vid, v)
+        for c in chain:
+            resolved[c] = v
     for block in fn.blocks:
         for op in block.ops:
-            if op.operands:
-                op.operands = tuple(resolve(v) for v in op.operands)
+            operands = op.operands
+            for v in operands:
+                if v.vid in resolved:
+                    op.operands = tuple(resolved.get(o.vid, o) for o in operands)
+                    break
+
+
+def _const_map(fn: Function) -> dict[int, int | float]:
+    """vid -> value for every ``const`` op (one scan, shared by passes)."""
+    return {
+        op.result.vid: op.attrs["value"]
+        for block in fn.blocks
+        for op in block.ops
+        if op.opcode == "const"
+    }
 
 
 def forward_slots(fn: Function) -> bool:
@@ -93,11 +119,7 @@ def forward_slots(fn: Function) -> bool:
 def constant_fold(fn: Function) -> bool:
     """Fold pure ops with all-constant operands; returns True if changed."""
     changed = False
-    const_vals: dict[int, int | float] = {}
-    for block in fn.blocks:
-        for op in block.ops:
-            if op.opcode == "const":
-                const_vals[op.result.vid] = op.attrs["value"]
+    const_vals = _const_map(fn)
     for block in fn.blocks:
         for op in block.ops:
             if (
@@ -132,12 +154,7 @@ def _is_pow2(v: int) -> bool:
 def strength_reduce(fn: Function) -> bool:
     """Shift/mask rewrites and algebraic identities; returns True if changed."""
     changed = False
-    const_ops: dict[int, int | float] = {}
-    for block in fn.blocks:
-        for op in block.ops:
-            if op.opcode == "const":
-                const_ops[op.result.vid] = op.attrs["value"]
-
+    const_ops = _const_map(fn)
     repl: dict[int, Value] = {}
 
     def make_const(block: Block, idx: int, value: int, t: ScalarType) -> Value:
@@ -333,11 +350,7 @@ def tag_const_muls(fn: Function, *, small_bits: int = 18) -> int:
     needs three.  The scheduler and the resource model treat tagged ops
     as the cheaper ``mul_small`` class.  Returns the number of tagged ops.
     """
-    const_vals: dict[int, int | float] = {}
-    for block in fn.blocks:
-        for op in block.ops:
-            if op.opcode == "const":
-                const_vals[op.result.vid] = op.attrs["value"]
+    const_vals = _const_map(fn)
     limit = 1 << (small_bits - 1)
     tagged = 0
     for block in fn.blocks:
@@ -364,13 +377,55 @@ DEFAULT_PASSES = (
 )
 
 
-def run_default_pipeline(fn: Function, *, max_iters: int = 10) -> Function:
-    """Run the default pass pipeline to a fixpoint (bounded)."""
+@dataclass(frozen=True)
+class PipelineResult:
+    """Outcome of one :func:`run_default_pipeline` invocation.
+
+    ``converged`` is True when an iteration completed with no pass
+    reporting a change — a genuine fixpoint.  False means the iteration
+    bound cut the pipeline off while passes were still rewriting: the IR
+    is valid (it is verified either way) but not fully optimized, which
+    the caller should surface rather than silently accept.
+    """
+
+    fn: Function
+    converged: bool
+    iterations: int
+
+
+def run_default_pipeline(fn: Function, *, max_iters: int = 10) -> PipelineResult:
+    """Run the default pass pipeline to a fixpoint (bounded).
+
+    Non-convergence within *max_iters* is **reported**, not swallowed:
+    the returned :class:`PipelineResult` carries the flag and, when
+    observability is enabled, an ``hls.pipeline`` event records the
+    function and iteration bound.
+    """
+    converged = False
+    iterations = 0
     for _ in range(max_iters):
+        iterations += 1
         changed = False
         for pass_fn in DEFAULT_PASSES:
             changed |= pass_fn(fn)
         if not changed:
+            converged = True
             break
     fn.verify()
-    return fn
+    if not converged:
+        from repro.obs.events import BUS as _BUS
+
+        if _BUS.enabled:
+            from repro.obs.metrics import REGISTRY as _METRICS
+
+            _BUS.emit(
+                "hls.pipeline",
+                "nonconvergence",
+                fn=fn.name,
+                max_iters=max_iters,
+            )
+            _METRICS.counter(
+                "hls.pipeline_nonconverged_total",
+                "pass pipelines stopped by the iteration bound, not a fixpoint",
+            ).inc()
+    return PipelineResult(fn, converged, iterations)

@@ -12,14 +12,17 @@ tests and the flow orchestrator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.hls import fncache
 from repro.hls.bind import Binding, bind_function
+from repro.hls.clex import clex, token_fingerprint
 from repro.hls.cparse import parse_c
 from repro.hls.inline import inline_functions
 from repro.hls.fsm import Fsm, build_fsm
+from repro.hls.ir import ir_digest
 from repro.hls.interfaces import (
     Directive,
     InterfaceMode,
@@ -59,6 +62,12 @@ class SynthesisResult:
     verilog: str
     directives: list[Directive]
     report: SynthesisReport
+    #: True when the pass pipeline reached a genuine fixpoint.
+    pipeline_converged: bool = True
+    #: Per-function memo lookups that served this synthesis (0-2: the
+    #: front-end stage and the full-result stage) and the complement.
+    fn_cache_hits: int = 0
+    fn_cache_misses: int = 0
 
     def interpreter(self) -> Interpreter:
         """Executable model of the core (used by csim and the simulator)."""
@@ -69,6 +78,28 @@ class SynthesisResult:
         return self.interpreter().run(*args)
 
 
+#: Sentinel: "use the process-default cache" (pass ``None`` to disable).
+_ACTIVE_CACHE = object()
+
+#: Token fingerprints of recently seen sources — the DSE hot loop calls
+#: ``synthesize_function`` with the same text over and over, and lexing
+#: just to recompute a known fingerprint would dominate a memo hit.
+_FP_MEMO: "OrderedDict[str, str]" = __import__("collections").OrderedDict()
+_FP_MEMO_CAP = 128
+
+
+def _source_fingerprint(source: str) -> str:
+    fp = _FP_MEMO.get(source)
+    if fp is None:
+        fp = token_fingerprint(clex(source))
+        _FP_MEMO[source] = fp
+        while len(_FP_MEMO) > _FP_MEMO_CAP:
+            _FP_MEMO.popitem(last=False)
+    else:
+        _FP_MEMO.move_to_end(source)
+    return fp
+
+
 def synthesize_function(
     source: str,
     top: str,
@@ -77,15 +108,63 @@ def synthesize_function(
     limits: dict[str, int] | None = None,
     default_trip: int = 256,
     optimize: bool = True,
+    cache: "fncache.FunctionCache | None" = _ACTIVE_CACHE,  # type: ignore[assignment]
 ) -> SynthesisResult:
-    """Full HLS pipeline for one C function; see module docstring."""
-    unit = parse_c(source)
-    inline_functions(unit)
-    sema = analyze(unit)
-    fn = lower_function(sema, top)
-    if optimize:
-        run_default_pipeline(fn)
+    """Full HLS pipeline for one C function; see module docstring.
+
+    The pipeline is memoized at two levels through *cache* (default: the
+    process-wide :func:`repro.hls.fncache.active_cache`): the front end
+    (token fingerprint → lowered+optimized IR) and the full result
+    (IR digest + directives slice → :class:`SynthesisResult`).  Both
+    serve exactly what an uncached run would compute — every stage is
+    deterministic in the cached key — so artifacts stay byte-identical.
+    """
+    if cache is _ACTIVE_CACHE:
+        cache = fncache.active_cache()
     dir_list = list(directives)
+    hits = misses = 0
+
+    entry = None
+    r_key = None
+    if cache is not None:
+        fe_key = fncache.frontend_key(_source_fingerprint(source), top, optimize)
+        entry = cache.get(fe_key, stage="frontend", fn_name=top)
+        if entry is not None:
+            hits += 1
+        else:
+            misses += 1
+    fn = None
+    converged = True
+    if entry is None:
+        unit = parse_c(source)
+        inline_functions(unit)
+        sema = analyze(unit)
+        fn = lower_function(sema, top)
+        if optimize:
+            pipe = run_default_pipeline(fn)
+            converged = pipe.converged
+        if cache is not None:
+            # The entry pickles the IR while it is still pristine — the
+            # middle-end below mutates ``fn`` in place.
+            entry = fncache.FrontendEntry.from_function(fn, converged, ir_digest(fn))
+            cache.put(fe_key, entry, stage="frontend", fn_name=top)
+
+    if cache is not None:
+        slice_tcl = directives_file([d for d in dir_list if d.function == top])
+        r_key = fncache.result_key(entry.ir_digest, slice_tcl, limits, default_trip)
+        cached = cache.get(r_key, stage="result", fn_name=top)
+        if cached is not None:
+            hits += 1
+            return replace(
+                cached,
+                directives=dir_list,
+                fn_cache_hits=hits,
+                fn_cache_misses=misses,
+            )
+        misses += 1
+        if fn is None:
+            fn = entry.materialize()
+        converged = entry.converged
     loop_directives(fn, dir_list)
     tag_const_muls(fn)
     limits = {**allocation_limits(top, dir_list), **(limits or {})}
@@ -121,7 +200,7 @@ def synthesize_function(
         registers=binding.total_register_bits(),
         fu_counts=dict(binding.fu_counts),
     )
-    return SynthesisResult(
+    result = SynthesisResult(
         top=top,
         function=fn,
         schedule=schedule,
@@ -133,7 +212,13 @@ def synthesize_function(
         verilog=verilog,
         directives=dir_list,
         report=report,
+        pipeline_converged=converged,
+        fn_cache_hits=hits,
+        fn_cache_misses=misses,
     )
+    if cache is not None and r_key is not None:
+        cache.put(r_key, result, stage="result", fn_name=top)
+    return result
 
 
 @dataclass

@@ -256,13 +256,20 @@ def schedule_block(
         if key is not None:
             cap = limit_of(key)
             usage = busy.setdefault(key, {})
-            while any(
-                usage.get(c, 0) >= cap
-                for c in range(start_cycle, start_cycle + timing.unit_ii)
-            ):
-                start_cycle += 1
-            for c in range(start_cycle, start_cycle + timing.unit_ii):
-                usage[c] = usage.get(c, 0) + 1
+            if timing.unit_ii == 1:
+                # Fast path for fully-pipelined units (the common case):
+                # probe single cycles without a generator per candidate.
+                while usage.get(start_cycle, 0) >= cap:
+                    start_cycle += 1
+                usage[start_cycle] = usage.get(start_cycle, 0) + 1
+            else:
+                while any(
+                    usage.get(c, 0) >= cap
+                    for c in range(start_cycle, start_cycle + timing.unit_ii)
+                ):
+                    start_cycle += 1
+                for c in range(start_cycle, start_cycle + timing.unit_ii):
+                    usage[c] = usage.get(c, 0) + 1
         finish = (start_cycle + timing.latency) * CLOCK_NS
         sched.ops[id(op)] = ScheduledOp(op, start_cycle, finish)
 

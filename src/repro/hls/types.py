@@ -13,12 +13,17 @@ from dataclasses import dataclass
 from repro.util.errors import CSemanticError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class ScalarType:
     """An integer or floating-point scalar.
 
-    Instances are immutable singletons; identity comparisons (``t is
-    INT32``) are used throughout, so ``deepcopy`` preserves identity.
+    Instances are immutable **interned** singletons; identity comparisons
+    (``t is INT32``) are used throughout, so ``deepcopy`` preserves
+    identity and unpickling resolves back to the interned instance
+    (``__reduce__`` goes through :func:`intern_scalar`) — a type that
+    round-trips through the on-disk compilation caches still satisfies
+    ``t is INT32``.  Equality takes the identity fast path first, which
+    is what the front-end hot loops (``coerce``, CSE keys) hit.
     """
 
     name: str
@@ -26,22 +31,61 @@ class ScalarType:
     signed: bool
     is_float: bool = False
 
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_hash", hash((self.name, self.bits, self.signed, self.is_float))
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, ScalarType):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.bits == other.bits
+            and self.signed == other.signed
+            and self.is_float == other.is_float
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
     def __str__(self) -> str:
         return self.name
 
     def __deepcopy__(self, memo: dict) -> "ScalarType":
         return self
 
+    def __reduce__(self):
+        return (intern_scalar, (self.name, self.bits, self.signed, self.is_float))
+
+
+#: Intern table: one live instance per distinct scalar type.
+_INTERNED: dict[tuple[str, int, bool, bool], ScalarType] = {}
+
+
+def intern_scalar(
+    name: str, bits: int, signed: bool, is_float: bool = False
+) -> ScalarType:
+    """The canonical :class:`ScalarType` for this shape (create-on-miss)."""
+    key = (name, bits, signed, is_float)
+    t = _INTERNED.get(key)
+    if t is None:
+        t = ScalarType(name, bits, signed, is_float)
+        _INTERNED[key] = t
+    return t
+
 
 #: The scalar types the frontend accepts, keyed by source spelling.
-VOID = ScalarType("void", 0, False)
-BOOL = ScalarType("bool", 1, False)
-UINT8 = ScalarType("uint8", 8, False)
-INT16 = ScalarType("int16", 16, True)
-UINT16 = ScalarType("uint16", 16, False)
-INT32 = ScalarType("int", 32, True)
-UINT32 = ScalarType("uint", 32, False)
-FLOAT = ScalarType("float", 32, True, is_float=True)
+VOID = intern_scalar("void", 0, False)
+BOOL = intern_scalar("bool", 1, False)
+UINT8 = intern_scalar("uint8", 8, False)
+INT16 = intern_scalar("int16", 16, True)
+UINT16 = intern_scalar("uint16", 16, False)
+INT32 = intern_scalar("int", 32, True)
+UINT32 = intern_scalar("uint", 32, False)
+FLOAT = intern_scalar("float", 32, True, is_float=True)
 
 #: Source spellings → types ("unsigned char" is normalized by the lexer).
 SPELLINGS: dict[str, ScalarType] = {

@@ -27,7 +27,7 @@ from pathlib import Path
 from repro.obs.events import ObsEvent
 
 #: Stable pid assignment, one per subsystem.
-PIDS = {"flow": 1, "cache": 2, "journal": 3, "sim": 4, "service": 5}
+PIDS = {"flow": 1, "cache": 2, "journal": 3, "sim": 4, "service": 5, "hls": 6}
 
 
 def _tid_tables(events: list[ObsEvent]) -> dict[str, dict[str, int]]:

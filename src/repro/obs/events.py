@@ -61,11 +61,17 @@ CATEGORIES = frozenset(
         "service.lease_renewed",
         "service.lease_stolen",
         "service.lease_fenced",
+        # Per-function HLS memo layer (PR 9): one instant per lookup in
+        # the sub-core cache plus pass-pipeline non-convergence reports.
+        "hls.fn_cache.hit",
+        "hls.fn_cache.miss",
+        "hls.fn_cache.store",
+        "hls.pipeline",
     }
 )
 
 #: Category prefix -> subsystem (one Chrome pid per subsystem).
-SUBSYSTEMS = ("flow", "cache", "journal", "sim", "service")
+SUBSYSTEMS = ("flow", "cache", "journal", "sim", "service", "hls")
 
 
 def subsystem_of(category: str) -> str:

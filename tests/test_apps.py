@@ -157,7 +157,7 @@ class TestOtsuCSources:
         from repro.hls.sema import analyze
 
         fn = lower_function(analyze(parse_c(all_sources(npix)[name])), name)
-        return run_default_pipeline(fn)
+        return run_default_pipeline(fn).fn
 
     def test_gray_scale(self, data):
         packed, golden = data
