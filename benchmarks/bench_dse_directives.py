@@ -6,16 +6,23 @@ subsets over grayScale/computeHistogram/segment, runs each system, and
 reports the latency/area landscape.
 """
 
+import tempfile
+
 from conftest import save_artifact
 
 from repro.dse import explore_directives
+from repro.hls import fncache
 from repro.util.text import format_table
 
 
 def test_directive_dse(benchmark):
-    points = benchmark.pedantic(
-        lambda: explore_directives(width=24, height=24), rounds=1, iterations=1
-    )
+    with tempfile.TemporaryDirectory(prefix="bench-dse-dir-") as td:
+        points = benchmark.pedantic(
+            lambda: explore_directives(width=24, height=24, fn_cache_dir=f"{td}/fn"),
+            rounds=1,
+            iterations=1,
+        )
+        stats = fncache.use_cache_dir(f"{td}/fn").stats
     rows = [
         (p.label(), p.cycles, p.lut, p.ff, p.dsp)
         for p in sorted(points, key=lambda p: p.cycles)
@@ -35,3 +42,9 @@ def test_directive_dse(benchmark):
     assert full.cycles < none.cycles
     # Pipelining everything is the fastest configuration.
     assert full.cycles == min(p.cycles for p in points)
+    # All eight configs share their C sources, so the shared per-function
+    # store must carry at least half of all lookups even from cold.
+    hit_rate = stats.hits / (stats.hits + stats.misses)
+    print(f"fn-cache: {stats.hits} hits / {stats.misses} misses "
+          f"(rate {hit_rate:.2f})")
+    assert hit_rate >= 0.5

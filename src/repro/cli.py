@@ -47,6 +47,20 @@ Commands
                  ``--replicas N`` the victim is a real replica process,
                  SIGKILLed and SIGSTOPped at every boundary, and the
                  survivors must steal its lease and fence its ghost
+``dse``          parallel multi-objective design-space exploration:
+                 evaluate every candidate (partition × PIPELINE subset ×
+                 DMA policy × HP bandwidth) through the real flow +
+                 simulator with one shared per-function HLS store, prune
+                 to the latency-vs-LUT/FF/BRAM/DSP Pareto frontier;
+                 journaled (``--resume``), parallel (``--jobs``),
+                 digest-deterministic; ``--baseline`` compares the SDSoC
+                 one-DMA-per-stream point
+``dsecheck``     deterministic DSE campaign gate: same digest across two
+                 runs and across ``--jobs 1/N`` (byte-identical frontier
+                 JSON), killed-and-resumed campaign equals uninterrupted,
+                 frontier re-derives the winning architectures and
+                 dominates the SDSoC baseline, and the directives-only
+                 sweep meets the fn-cache hit-rate floor
 """
 
 from __future__ import annotations
@@ -1015,6 +1029,251 @@ def _cmd_servicecheck(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_frontier(front) -> str:
+    """Fixed-width frontier table (the README's rendered example)."""
+    header = f"{'lut':>6} {'ff':>6} {'bram':>5} {'dsp':>4} {'cycles':>8}  candidate"
+    lines = [header, "-" * len(header)]
+    for p in front:
+        lut, ff, bram, dsp, cycles = p.objectives()
+        lines.append(
+            f"{lut:>6} {ff:>6} {bram:>5} {dsp:>4} {cycles:>8}  {p.label()}"
+        )
+    return "\n".join(lines)
+
+
+def _dse_space(name: str):
+    from repro.dse import otsu_directives_space, otsu_space
+
+    if name == "full":
+        return otsu_space()
+    if name == "directives":
+        return otsu_directives_space()
+    raise ReproError(f"unknown space {name!r} (expected full|directives)")
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    import json as _json
+    import tempfile
+    from contextlib import nullcontext
+
+    from repro.dse import (
+        CampaignConfig,
+        frontier_dominates,
+        run_campaign,
+        sdsoc_baseline_point,
+    )
+
+    width, _, height = args.size.partition("x")
+    width, height = int(width), int(height or width)
+    space = _dse_space(args.space)
+    holder = (
+        nullcontext(args.root)
+        if args.root
+        else tempfile.TemporaryDirectory(prefix="repro-dse-")
+    )
+    with holder as root:
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        config = CampaignConfig(
+            space=space,
+            width=width,
+            height=height,
+            jobs=args.jobs,
+            fn_cache_dir=str(root / "fn"),
+            journal_path=str(root / "campaign.jsonl"),
+            resume=args.resume,
+        )
+        result = run_campaign(config)
+        baseline = None
+        if args.baseline:
+            baseline = sdsoc_baseline_point(
+                width=width, height=height, fn_cache_dir=str(root / "fn")
+            )
+        report_json = result.frontier_json(baseline=baseline)
+        if args.json:
+            print(report_json, end="")
+        else:
+            print(
+                f"dse: space {space.name!r} ({len(result.points)} candidates, "
+                f"jobs {args.jobs})"
+            )
+            print(
+                f"  evaluated {result.evaluated} new, resumed {result.resumed}, "
+                f"frontier {len(result.front)}, pruned {result.pruned}, "
+                f"evicted {result.evicted}"
+            )
+            print(
+                f"  fn-cache: {result.fn_cache_hits} hits / "
+                f"{result.fn_cache_misses} misses "
+                f"(rate {result.fn_cache_hit_rate:.2f})"
+            )
+            print(_render_frontier(result.front))
+            if baseline is not None:
+                dominated = frontier_dominates(result.front, baseline)
+                lut, ff, bram, dsp, cycles = baseline.objectives()
+                print(
+                    f"  SDSoC baseline (one DMA per stream): lut {lut} ff {ff} "
+                    f"bram {bram} dsp {dsp} cycles {cycles} -> "
+                    + ("dominated by frontier" if dominated else "NOT dominated")
+                )
+            print(f"  campaign digest {result.digest}")
+        if args.out:
+            Path(args.out).write_text(report_json)
+            if not args.json:
+                print(f"  frontier report written to {args.out}")
+        if args.digest_out:
+            Path(args.digest_out).write_text(result.digest + "\n")
+    if args.baseline and baseline is not None:
+        return 0 if frontier_dominates(result.front, baseline) else 1
+    return 0
+
+
+def _cmd_dsecheck(args: argparse.Namespace) -> int:
+    import json as _json
+    import tempfile
+    from contextlib import nullcontext
+
+    from repro.dse import (
+        CampaignConfig,
+        frontier_dominates,
+        otsu_directives_space,
+        otsu_space,
+        run_campaign,
+        sdsoc_baseline_point,
+    )
+
+    width, _, height = args.size.partition("x")
+    width, height = int(width), int(height or width)
+    space = otsu_space()
+    n = len(space)
+    failures: list[str] = []
+
+    def leg(name: str, ok: bool, detail: str) -> None:
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}: {detail}")
+        if not ok:
+            failures.append(name)
+
+    holder = (
+        nullcontext(args.root)
+        if args.root
+        else tempfile.TemporaryDirectory(prefix="repro-dsecheck-")
+    )
+    with holder as root:
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        fn_dir = str(root / "fn")
+        print(f"dsecheck: space {space.name!r}, {n} candidates at {width}x{height}")
+
+        def cfg(tag: str, **kw) -> CampaignConfig:
+            return CampaignConfig(
+                space=space,
+                width=width,
+                height=height,
+                fn_cache_dir=fn_dir,
+                journal_path=str(root / f"{tag}.jsonl"),
+                **kw,
+            )
+
+        r1 = run_campaign(cfg("serial-a"))
+        r2 = run_campaign(cfg("serial-b"))
+        leg(
+            "rerun-digest",
+            r1.digest == r2.digest,
+            f"two serial runs: {r1.digest[:12]} vs {r2.digest[:12]}",
+        )
+        rp = run_campaign(cfg("parallel", jobs=args.jobs))
+        leg(
+            "parallel-digest",
+            rp.digest == r1.digest,
+            f"--jobs {args.jobs} vs --jobs 1: {rp.digest[:12]} vs {r1.digest[:12]}",
+        )
+        leg(
+            "parallel-frontier-bytes",
+            rp.frontier_json() == r1.frontier_json(),
+            "frontier JSON byte-identical across parallelism levels",
+        )
+        killed = run_campaign(cfg("resume", stop_after=max(1, n // 3)))
+        resumed = run_campaign(cfg("resume", resume=True))
+        leg(
+            "kill-resume",
+            (not killed.completed)
+            and resumed.completed
+            and resumed.resumed == killed.evaluated
+            and resumed.digest == r1.digest,
+            f"killed after {killed.evaluated}, resumed {resumed.resumed} + "
+            f"{resumed.evaluated} new, digest "
+            + ("equal" if resumed.digest == r1.digest else "DIFFERS"),
+        )
+        anchor = [p for p in r1.front if p.objectives()[:4] == (0, 0, 0, 0)]
+        fastest = min(r1.front, key=lambda p: p.objectives()[4])
+        leg(
+            "winning-architectures",
+            len(anchor) == 1 and bool(fastest.candidate.get("hw")),
+            f"all-software anchor on frontier; fastest point uses hardware "
+            f"({fastest.label()}, {fastest.objectives()[4]} cycles)",
+        )
+        baseline = sdsoc_baseline_point(
+            width=width, height=height, fn_cache_dir=fn_dir
+        )
+        leg(
+            "baseline-dominated",
+            frontier_dominates(r1.front, baseline),
+            f"SDSoC one-DMA-per-stream point {baseline.objectives()} "
+            "strictly dominated by the frontier",
+        )
+        # Directives-only sweep against a *fresh* store: every candidate
+        # shares its sources, so the per-function frontend memo must
+        # carry most lookups even from cold.
+        dspace = otsu_directives_space()
+        rd = run_campaign(
+            CampaignConfig(
+                space=dspace,
+                width=width,
+                height=height,
+                fn_cache_dir=str(root / "fn-directives"),
+                journal_path=str(root / "directives.jsonl"),
+            )
+        )
+        leg(
+            "fn-cache-hit-rate",
+            rd.fn_cache_hit_rate >= 0.5,
+            f"directives sweep: {rd.fn_cache_hits} hits / "
+            f"{rd.fn_cache_misses} misses (rate {rd.fn_cache_hit_rate:.2f})",
+        )
+
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        report_path = out_dir / "FRONTIER_report.json"
+        report_path.write_text(r1.frontier_json(baseline=baseline))
+        bench = {
+            "space": space.describe(),
+            "candidates": n,
+            "campaign_digest": r1.digest,
+            "frontier_size": len(r1.front),
+            "frontier": [p.record() for p in r1.front],
+            "baseline": baseline.record(),
+            "baseline_dominated": frontier_dominates(r1.front, baseline),
+            "directives_sweep": {
+                "candidates": len(rd.points),
+                "fn_cache_hits": rd.fn_cache_hits,
+                "fn_cache_misses": rd.fn_cache_misses,
+                "fn_cache_hit_rate": round(rd.fn_cache_hit_rate, 4),
+            },
+            "legs_failed": failures,
+        }
+        (out_dir / "BENCH_dse.json").write_text(
+            _json.dumps(bench, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"  reports in {out_dir}/ (FRONTIER_report.json, BENCH_dse.json)")
+        if args.digest_out:
+            Path(args.digest_out).write_text(r1.digest + "\n")
+    if failures:
+        print(f"error: {len(failures)} leg(s) failed: {failures}", file=sys.stderr)
+        return 1
+    print(f"  all legs ok; campaign digest {r1.digest}")
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.apps.image import write_pgm
     from repro.report import (
@@ -1345,6 +1604,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="replica campaign: write steals/fences per scenario here (JSON)",
     )
     p_sc.set_defaults(func=_cmd_servicecheck)
+
+    p_dse = sub.add_parser(
+        "dse",
+        help="parallel multi-objective design-space exploration: evaluate "
+        "every candidate (partition x PIPELINE subset x DMA policy x HP "
+        "bandwidth) through the flow + simulator, sharing one per-function "
+        "HLS store, and print the Pareto frontier",
+    )
+    p_dse.add_argument(
+        "--space", default="full", choices=("full", "directives"),
+        help="search space: the full coupled space or the directives-only "
+        "slice over the pinned Table-I partition",
+    )
+    p_dse.add_argument("--size", default="16x16", help="synthetic image size")
+    p_dse.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (results are identical at any level)",
+    )
+    p_dse.add_argument(
+        "--root", default=None,
+        help="campaign directory holding the fn store + journal "
+        "(default: a fresh temp dir; required for --resume)",
+    )
+    p_dse.add_argument(
+        "--resume", action="store_true",
+        help="continue a killed campaign from its journal under --root",
+    )
+    p_dse.add_argument(
+        "--baseline", action="store_true",
+        help="also evaluate the SDSoC one-DMA-per-stream reference point; "
+        "exit 1 unless the frontier dominates it",
+    )
+    p_dse.add_argument(
+        "--json", action="store_true",
+        help="print the frontier report as JSON instead of a table",
+    )
+    p_dse.add_argument(
+        "--out", default=None, help="write the frontier report JSON here"
+    )
+    p_dse.add_argument(
+        "--digest-out", default=None, help="write the campaign digest here"
+    )
+    p_dse.set_defaults(func=_cmd_dse)
+
+    p_dck = sub.add_parser(
+        "dsecheck",
+        help="deterministic DSE campaign gate: digest stable across reruns "
+        "and parallelism, kill+resume equals uninterrupted, frontier "
+        "dominates the SDSoC baseline, directives sweep hits the fn-cache",
+    )
+    p_dck.add_argument("--size", default="16x16", help="synthetic image size")
+    p_dck.add_argument(
+        "--jobs", type=int, default=4, help="worker count for the parallel leg"
+    )
+    p_dck.add_argument(
+        "--root", default=None,
+        help="campaign scratch directory (default: a fresh temp dir)",
+    )
+    p_dck.add_argument(
+        "--out", default="benchmarks/out",
+        help="directory for FRONTIER_report.json and BENCH_dse.json",
+    )
+    p_dck.add_argument(
+        "--digest-out", default=None, help="write the campaign digest here"
+    )
+    p_dck.set_defaults(func=_cmd_dsecheck)
 
     p_kc = sub.add_parser(
         "crashcheck",

@@ -16,8 +16,9 @@ from itertools import combinations
 import numpy as np
 
 from repro.apps.otsu import build_otsu_app
-from repro.flow.orchestrator import FlowConfig, run_flow
+from repro.dse.evaluate import dse_flow_config
 from repro.sim.runtime import simulate_application
+from repro.flow.orchestrator import run_flow
 from repro.util.errors import ReproError
 
 #: Actors whose main loop accepts a PIPELINE directive.
@@ -44,8 +45,15 @@ def evaluate_directive_config(
     *,
     width: int = 32,
     height: int = 32,
+    fn_cache_dir: str | None = None,
 ) -> DirectivePoint:
-    """Build Arch4 with PIPELINE only on *pipelined* actors; simulate."""
+    """Build Arch4 with PIPELINE only on *pipelined* actors; simulate.
+
+    *fn_cache_dir* routes the per-function memo at a shared persistent
+    store; the flow config comes from :func:`dse_flow_config`, never an
+    ad-hoc ``FlowConfig()`` whose env-defaulted cache fields could hand
+    each caller a private cold store.
+    """
     pipelined = frozenset(pipelined)
     unknown = pipelined - set(PIPELINEABLE)
     if unknown:
@@ -63,7 +71,7 @@ def evaluate_directive_config(
         app.dsl_graph(),
         app.c_sources,
         extra_directives=directives,
-        config=FlowConfig(check_tcl=False),
+        config=dse_flow_config(fn_cache_dir=fn_cache_dir),
     )
     report = simulate_application(
         app.htg, app.partition, app.behaviors, {}, system=flow.system
@@ -82,13 +90,23 @@ def evaluate_directive_config(
     )
 
 
-def explore_directives(*, width: int = 32, height: int = 32) -> list[DirectivePoint]:
+def explore_directives(
+    *,
+    width: int = 32,
+    height: int = 32,
+    fn_cache_dir: str | None = None,
+) -> list[DirectivePoint]:
     """Evaluate every PIPELINE subset over the pipelineable actors."""
     points = []
     for r in range(len(PIPELINEABLE) + 1):
         for combo in combinations(PIPELINEABLE, r):
             points.append(
-                evaluate_directive_config(frozenset(combo), width=width, height=height)
+                evaluate_directive_config(
+                    frozenset(combo),
+                    width=width,
+                    height=height,
+                    fn_cache_dir=fn_cache_dir,
+                )
             )
     wrong = [p.label() for p in points if not p.correct]
     if wrong:

@@ -22,16 +22,25 @@ def greedy_partition(
     height: int = 32,
     lut_budget: int | None = None,
     evaluator: Callable[[frozenset[str]], DsePoint] | None = None,
+    fn_cache_dir: str | None = None,
 ) -> list[DsePoint]:
     """Greedy trajectory from all-software; returns the visited points.
 
     The last element is the heuristic's chosen solution.  *evaluator*
     can replace the full flow+simulation (for tests); *lut_budget* caps
-    the area.
+    the area; *fn_cache_dir* shares one per-function memo store across
+    the trajectory's flow runs.
     """
     if evaluator is None:
+        from repro.dse.evaluate import dse_flow_config
+
         def evaluator(hw: frozenset[str]) -> DsePoint:  # noqa: F811
-            return evaluate_hw_set(hw, width=width, height=height)
+            return evaluate_hw_set(
+                hw,
+                width=width,
+                height=height,
+                config=dse_flow_config(fn_cache_dir=fn_cache_dir),
+            )
 
     buildable = set(buildable_hw_sets())
     current = evaluator(frozenset())

@@ -96,6 +96,14 @@ class FlowConfig:
     #: Directory of the persistent content-addressed artifact cache;
     #: ``None`` disables it.
     cache_dir: str | None = field(default_factory=_env_cache_dir)
+    #: Explicit root of the per-function HLS memo store.  ``None`` keeps
+    #: the default routing (``<cache_dir>/fn`` when a build cache is
+    #: configured, the in-process memo otherwise).  Setting it routes the
+    #: sub-core memo *without* enabling the whole-core cache — the DSE
+    #: engine shares one persistent function store across candidate
+    #: evaluations while every candidate still compiles its own cores,
+    #: so directives-only candidates hit the frontend memo.
+    fn_cache_dir: str | None = None
     #: Per-core synthesis timeout on the parallel path (``None`` = unbounded).
     core_timeout_s: float | None = None
     #: Extra synthesis attempts before a failing core fails the flow.
@@ -460,6 +468,7 @@ def flow_run_digest(
             "check_tcl": config.check_tcl,
             "jobs": config.jobs,
             "cache_dir": str(config.cache_dir),
+            "fn_cache_dir": str(config.fn_cache_dir),
         }
     )
 
@@ -504,8 +513,15 @@ def run_flow(
     )
     # Persist the sub-core per-function memo next to (and under) the
     # whole-core objects for the duration of this run: a whole-core miss
-    # still reuses every unchanged function from previous builds.
-    fn_dir = Path(config.cache_dir) / "fn" if config.cache_dir is not None else None
+    # still reuses every unchanged function from previous builds.  An
+    # explicit ``fn_cache_dir`` overrides that routing — the DSE engine
+    # points many build-cache-less flows at one shared function store.
+    if config.fn_cache_dir is not None:
+        fn_dir = Path(config.fn_cache_dir)
+    elif config.cache_dir is not None:
+        fn_dir = Path(config.cache_dir) / "fn"
+    else:
+        fn_dir = None
     with fncache.routed(fn_dir):
         parse_dsl(text, hooks=hooks)
     if hooks.result is None:  # pragma: no cover - parse_dsl raises first

@@ -67,11 +67,16 @@ CATEGORIES = frozenset(
         "hls.fn_cache.miss",
         "hls.fn_cache.store",
         "hls.pipeline",
+        # Design-space exploration (PR 10): one instant per evaluated
+        # candidate landing in the frontier accumulator, one per point
+        # pruned as dominated (or evicted by a later dominator).
+        "dse.point",
+        "dse.prune",
     }
 )
 
 #: Category prefix -> subsystem (one Chrome pid per subsystem).
-SUBSYSTEMS = ("flow", "cache", "journal", "sim", "service", "hls")
+SUBSYSTEMS = ("flow", "cache", "journal", "sim", "service", "hls", "dse")
 
 
 def subsystem_of(category: str) -> str:

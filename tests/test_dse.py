@@ -1,16 +1,39 @@
 """Tests for the design-space exploration extension."""
 
+import random
+
 import pytest
 
 from repro.apps.otsu.app import buildable_hw_sets
 from repro.dse import DsePoint, evaluate_hw_set, explore, greedy_partition, pareto_front
-from repro.dse.pareto import dominates
+from repro.dse.pareto import ParetoFront, dominates, dominates_vec, point_objectives
 
 
 def P(hw, lut, cycles):
     return DsePoint(
         hw=frozenset(hw), lut=lut, ff=0, bram18=0, dsp=0, cycles=cycles, correct=True
     )
+
+
+def random_cloud(seed, n, *, spread=6):
+    """Seeded random 5-objective point cloud with unique identities.
+
+    A small *spread* forces duplicate objective vectors, exercising the
+    tie-break path.
+    """
+    rng = random.Random(seed)
+    return [
+        DsePoint(
+            hw=frozenset({f"p{i:03d}"}),
+            lut=rng.randrange(spread),
+            ff=rng.randrange(spread),
+            bram18=rng.randrange(spread),
+            dsp=rng.randrange(spread),
+            cycles=rng.randrange(spread),
+            correct=True,
+        )
+        for i in range(n)
+    ]
 
 
 class TestPareto:
@@ -39,6 +62,115 @@ class TestPareto:
         pts = [P({"a"}, 10, 5), P({"b"}, 10, 5), P({"c"}, 5, 10)]
         front = pareto_front(pts)
         assert [p.lut for p in front] == [5, 10]
+
+    def test_dominates_all_five_objectives(self):
+        a = DsePoint(frozenset({"a"}), 1, 1, 1, 1, 1, True)
+        b = DsePoint(frozenset({"b"}), 1, 1, 2, 1, 1, True)
+        assert dominates(a, b)
+        assert not dominates(b, a)
+        assert not dominates(a, a)
+        assert dominates_vec((0, 0), (0, 1))
+        with pytest.raises(ValueError):
+            dominates_vec((0, 0), (0, 0, 0))
+
+
+class TestParetoProperties:
+    """Seeded random-cloud properties of the frontier extractors."""
+
+    SEEDS = range(12)
+
+    def test_no_frontier_point_dominated(self):
+        for seed in self.SEEDS:
+            front = pareto_front(random_cloud(seed, 60))
+            for p in front:
+                assert not any(dominates(q, p) for q in front if q is not p)
+
+    def test_every_pruned_point_dominated_or_tied(self):
+        for seed in self.SEEDS:
+            pts = random_cloud(seed, 60)
+            front = pareto_front(pts)
+            front_vecs = {point_objectives(p) for p in front}
+            kept = set(map(id, front))
+            for p in pts:
+                if id(p) in kept:
+                    continue
+                assert any(
+                    dominates(q, p) for q in front
+                ) or point_objectives(p) in front_vecs
+
+    def test_permutation_invariance(self):
+        for seed in self.SEEDS:
+            pts = random_cloud(seed, 60)
+            base = pareto_front(pts)
+            for shuffle_seed in range(4):
+                shuffled = pts[:]
+                random.Random(shuffle_seed).shuffle(shuffled)
+                assert pareto_front(shuffled) == base
+
+    def test_duplicates_collapse_to_min_identity(self):
+        pts = [P({"zz"}, 1, 1), P({"aa"}, 1, 1), P({"mm"}, 1, 1)]
+        for order in (pts, pts[::-1], [pts[2], pts[0], pts[1]]):
+            front = pareto_front(order)
+            assert len(front) == 1
+            assert front[0].label() == "aa"
+
+    def test_streaming_equals_batch_any_order(self):
+        for seed in self.SEEDS:
+            pts = random_cloud(seed, 60)
+            base = pareto_front(pts)
+            for shuffle_seed in range(4):
+                shuffled = pts[:]
+                random.Random(shuffle_seed).shuffle(shuffled)
+                stream = ParetoFront()
+                stream.extend(shuffled)
+                assert stream.front() == base
+                assert stream.seen == len(pts)
+
+    def test_streaming_counters(self):
+        stream = ParetoFront()
+        assert stream.add(P({"a"}, 10, 10))
+        assert not stream.add(P({"b"}, 11, 11))  # dominated on arrival
+        assert stream.add(P({"c"}, 5, 5))  # evicts a
+        assert len(stream) == 1
+        assert stream.pruned == 1
+        assert stream.evicted == 1
+
+    def test_streaming_tie_keeps_min_identity_both_orders(self):
+        for order in (("zz", "aa"), ("aa", "zz")):
+            stream = ParetoFront()
+            for name in order:
+                stream.add(P({name}, 3, 3))
+            assert [p.label() for p in stream.front()] == ["aa"]
+
+    def test_single_and_empty_inputs(self):
+        assert pareto_front([]) == []
+        only = P({"a"}, 1, 2)
+        assert pareto_front([only]) == [only]
+
+    def test_point_protocol_fallbacks(self):
+        class Bare:
+            lut, ff, dsp, cycles = 4, 3, 2, 1  # no bram18, no objectives()
+
+        assert point_objectives(Bare()) == (4, 3, 0, 2, 1)
+
+    def test_streaming_front_emits_events_and_counters(self):
+        from repro.obs.events import capture
+
+        with capture() as (bus, registry):
+            stream = ParetoFront()
+            stream.add(P({"a"}, 10, 10))
+            stream.add(P({"b"}, 11, 11))  # pruned as dominated
+            stream.add(P({"c"}, 5, 5))  # admitted, evicts a
+            stream.add(P({"c2"}, 5, 5))  # tie, loses to c
+            cats = [e.category for e in bus.events()]
+            assert cats.count("dse.point") == 2
+            assert cats.count("dse.prune") == 3
+            prune = [e for e in bus.events() if e.category == "dse.prune"]
+            assert sorted(e.field("reason") for e in prune) == [
+                "dominated", "evicted", "tie",
+            ]
+            assert registry.counter("dse.frontier_admissions_total").value == 2
+            assert registry.counter("dse.pruned_total").value == 3
 
 
 class TestEvaluate:
@@ -102,6 +234,12 @@ class TestGreedy:
         tight = greedy_partition(evaluator=self.make_evaluator(), lut_budget=1500)
         assert tight[-1].lut <= 1500
         assert tight[-1].lut <= unlimited[-1].lut
+
+    def test_default_evaluator_routes_shared_fn_store(self, tmp_path):
+        traj = greedy_partition(width=8, height=8, fn_cache_dir=str(tmp_path / "fn"))
+        assert traj[0].label() == "all-sw"
+        assert len(traj) >= 2
+        assert (tmp_path / "fn").is_dir()
 
     def test_greedy_point_not_dominated_in_synthetic_space(self):
         evaluator = self.make_evaluator()

@@ -92,7 +92,7 @@ class TestEventBus:
         assert "nbytes=64" in evt.describe()
         assert evt.subsystem == "sim"
         assert {subsystem_of(c) for c in CATEGORIES} == {
-            "flow", "cache", "journal", "sim", "service", "hls",
+            "flow", "cache", "journal", "sim", "service", "hls", "dse",
         }
 
 
